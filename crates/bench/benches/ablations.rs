@@ -1,0 +1,209 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. IGMST candidate pool (all nodes vs near-net vs none);
+//! 2. batched vs one-at-a-time Steiner-point acceptance;
+//! 3. switch-block flexibility `F_s` (3 / 4 / 6);
+//! 4. congestion pressure `α`;
+//! 5. move-to-front net ordering vs static order.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+
+use experiments::table::TextTable;
+use fpga_device::synth::{synthesize, CircuitProfile};
+use fpga_device::width::{minimum_channel_width, WidthSearch};
+use fpga_device::{ArchSpec, FpgaError, Router, RouterConfig};
+use route_graph::{GridGraph, Weight};
+use steiner_route::{CandidatePool, Iterated, IteratedConfig, Kmb, Net, SteinerHeuristic};
+
+fn ablation_profile() -> CircuitProfile {
+    CircuitProfile {
+        name: "ablate",
+        rows: 8,
+        cols: 8,
+        nets_2_3: 24,
+        nets_4_10: 8,
+        nets_over_10: 2,
+    }
+}
+
+/// Candidate pool & batching ablation on Table 1 style grid workloads.
+fn ablate_igmst(nets: usize) {
+    let configs: Vec<(&str, IteratedConfig)> = vec![
+        ("all+batched (default)", IteratedConfig::default()),
+        (
+            "all+one-at-a-time",
+            IteratedConfig {
+                batched: false,
+                ..IteratedConfig::default()
+            },
+        ),
+        (
+            "near-net slack 0",
+            IteratedConfig {
+                pool: CandidatePool::NearNet {
+                    slack: Weight::ZERO,
+                },
+                ..IteratedConfig::default()
+            },
+        ),
+        (
+            "near-net slack 2",
+            IteratedConfig {
+                pool: CandidatePool::NearNet {
+                    slack: Weight::from_units(2),
+                },
+                ..IteratedConfig::default()
+            },
+        ),
+        (
+            "no candidates (=KMB)",
+            IteratedConfig {
+                pool: CandidatePool::Explicit(vec![]),
+                ..IteratedConfig::default()
+            },
+        ),
+        (
+            "screened ranking",
+            IteratedConfig {
+                screened: true,
+                ..IteratedConfig::default()
+            },
+        ),
+    ];
+    let mut t = TextTable::new(
+        format!("Ablation 1+2: IGMST candidate pool and batching ({nets} nets, 20x20 grid)"),
+        &["configuration", "avg wire vs KMB %", "avg rounds", "time/net"],
+    );
+    for (label, config) in configs {
+        let heuristic = Iterated::with_config(Kmb::new(), config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut wire_pct = 0.0;
+        let mut rounds = 0usize;
+        let start = Instant::now();
+        for _ in 0..nets {
+            let grid = GridGraph::new(20, 20, Weight::UNIT).expect("valid grid");
+            let pins =
+                route_graph::random::random_net(grid.graph(), 6, &mut rng).expect("enough nodes");
+            let net = Net::from_terminals(pins).expect("distinct pins");
+            let kmb = Kmb::new().construct(grid.graph(), &net).expect("routable");
+            let outcome = heuristic
+                .construct_traced(grid.graph(), &net)
+                .expect("routable");
+            wire_pct += (outcome.tree.cost().as_f64() / kmb.cost().as_f64() - 1.0) * 100.0;
+            rounds += outcome.rounds;
+        }
+        let elapsed = start.elapsed();
+        t.push_row(vec![
+            label.to_string(),
+            format!("{:+.2}", wire_pct / nets as f64),
+            format!("{:.1}", rounds as f64 / nets as f64),
+            format!("{:.1?}", elapsed / nets as u32),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Switch-block flexibility ablation: minimum channel width as `F_s` grows.
+fn ablate_switchbox(max_passes: usize) {
+    let profile = ablation_profile();
+    let circuit = synthesize(&profile, 2, 11).expect("synthesizable");
+    let mut t = TextTable::new(
+        "Ablation 3: switch-block flexibility Fs vs minimum channel width",
+        &["Fs", "min W (IKMB)", "wirelength"],
+    );
+    for fs in [3usize, 4, 6] {
+        let mut base = ArchSpec::xilinx4000(profile.rows, profile.cols, 4);
+        base.fs = fs;
+        let found = minimum_channel_width(base, 3..=20, WidthSearch::Binary, |device| {
+            Router::new(
+                device,
+                RouterConfig {
+                    max_passes,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+        })
+        .expect("routable in range");
+        t.push_row(vec![
+            fs.to_string(),
+            found.channel_width.to_string(),
+            format!("{:.0}", found.outcome.total_wirelength.as_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Congestion pressure ablation at a fixed tight width.
+fn ablate_congestion(max_passes: usize) {
+    let profile = ablation_profile();
+    let circuit = synthesize(&profile, 2, 11).expect("synthesizable");
+    let mut t = TextTable::new(
+        "Ablation 4: congestion pressure alpha (fixed W)",
+        &["alpha (milli)", "min W (IKMB)", "passes at min W"],
+    );
+    for alpha in [0u64, 500, 1500, 4000] {
+        let base = ArchSpec::xilinx4000(profile.rows, profile.cols, 4);
+        let found = minimum_channel_width(base, 3..=20, WidthSearch::Binary, |device| {
+            Router::new(
+                device,
+                RouterConfig {
+                    max_passes,
+                    congestion_alpha_milli: alpha,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+        })
+        .expect("routable in range");
+        t.push_row(vec![
+            alpha.to_string(),
+            found.channel_width.to_string(),
+            found.outcome.passes.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Net-ordering ablation: move-to-front vs static order.
+fn ablate_ordering(max_passes: usize) {
+    let profile = ablation_profile();
+    let circuit = synthesize(&profile, 2, 11).expect("synthesizable");
+    let mut t = TextTable::new(
+        "Ablation 5: move-to-front ordering vs static order",
+        &["ordering", "min W (IKMB)"],
+    );
+    for (label, mtf) in [("move-to-front", true), ("static", false)] {
+        let base = ArchSpec::xilinx4000(profile.rows, profile.cols, 4);
+        let result = minimum_channel_width(base, 3..=20, WidthSearch::Binary, |device| {
+            Router::new(
+                device,
+                RouterConfig {
+                    max_passes,
+                    move_to_front: mtf,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+        });
+        let cell = match result {
+            Ok(found) => found.channel_width.to_string(),
+            Err(FpgaError::Unroutable { .. }) => "unroutable <= 20".into(),
+            Err(e) => panic!("{e}"),
+        };
+        t.push_row(vec![label.to_string(), cell]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let nets = if quick { 6 } else { 25 };
+    let passes = if quick { 5 } else { 10 };
+    ablate_igmst(nets);
+    ablate_switchbox(passes);
+    ablate_congestion(passes);
+    ablate_ordering(passes);
+}

@@ -1,0 +1,92 @@
+//! Regenerates paper Figures 4, 10, 11, 14, and 16.
+use experiments::table::TextTable;
+use experiments::widths::WidthExperimentConfig;
+use experiments::{fig16, fig4, worst_case};
+
+fn main() {
+    let quick = bench::quick_mode();
+
+    let f4 = fig4::run(if quick { 100 } else { 500 }).expect("figure 4 failed");
+    println!("{}", fig4::render(&f4));
+    let out = experiments::artifact_dir();
+    std::fs::create_dir_all(&out).expect("artifact dir");
+    let fig4_svg = out.join("fig4_panels.svg");
+    std::fs::write(&fig4_svg, fig4::render_svg(&f4).expect("SVG render failed"))
+        .expect("write SVG");
+    println!("Figure 4 four-panel SVG written to {}\n", fig4_svg.display());
+
+    println!(
+        "{}",
+        experiments::figs_exec::render(
+            &experiments::figs_exec::run_fig6().expect("figure 6 trace failed")
+        )
+    );
+    println!(
+        "{}",
+        experiments::figs_exec::render(
+            &experiments::figs_exec::run_fig13().expect("figure 13 trace failed")
+        )
+    );
+
+    let sizes10: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32] };
+    let fig10 = worst_case::run_fig10(sizes10).expect("figure 10 failed");
+    let mut t = TextTable::new(
+        "Figure 10: PFA worst case on weighted graphs (ratio vs optimal)",
+        &["clusters", "sinks", "PFA/opt", "IDOM/opt"],
+    );
+    for p in &fig10 {
+        t.push_row(vec![
+            p.clusters.to_string(),
+            (2 * p.clusters).to_string(),
+            format!("{:.3}", p.pfa_ratio),
+            format!("{:.3}", p.idom_ratio),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let sizes11: &[usize] = if quick { &[2, 4, 7] } else { &[2, 3, 5, 7, 9, 12] };
+    let fig11 = worst_case::run_fig11(sizes11).expect("figure 11 failed");
+    let mut t = TextTable::new(
+        "Figure 11: PFA on the grid staircase (tight bound 2)",
+        &["k", "PFA cost", "Steiner opt (lower bound)", "ratio"],
+    );
+    for p in &fig11 {
+        t.push_row(vec![
+            p.k.to_string(),
+            format!("{:.0}", p.pfa_cost),
+            p.steiner_opt.map_or("-".into(), |o| format!("{o:.0}")),
+            p.ratio_vs_steiner.map_or("-".into(), |r| format!("{r:.3}")),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let sizes14: &[usize] = if quick { &[2, 4] } else { &[2, 3, 4, 5, 6, 7] };
+    let fig14 = worst_case::run_fig14(sizes14).expect("figure 14 failed");
+    let mut t = TextTable::new(
+        "Figure 14: IDOM on the set-cover gadget (Omega(log N) lower bound)",
+        &["m", "sinks", "IDOM/opt", "(m+2)/2"],
+    );
+    for p in &fig14 {
+        t.push_row(vec![
+            p.m.to_string(),
+            p.sinks.to_string(),
+            format!("{:.3}", p.idom_ratio),
+            format!("{:.3}", (p.m as f64 + 2.0) / 2.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut config = WidthExperimentConfig::default();
+    if quick {
+        config.max_passes = 5;
+    }
+    let out = experiments::artifact_dir();
+    let f16 = fig16::run(&config, &out).expect("figure 16 failed");
+    println!(
+        "Figure 16: busc routed at W = {} (total wirelength {:.0}); SVG at {}",
+        f16.channel_width,
+        f16.total_wirelength,
+        f16.svg_path.display()
+    );
+    println!("{}", f16.ascii);
+}

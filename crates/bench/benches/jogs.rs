@@ -1,0 +1,11 @@
+//! Regenerates the multi-weighted jog-minimization sweep.
+use experiments::jogs::{render, run, JogsConfig};
+
+fn main() {
+    let config = JogsConfig {
+        nets: if bench::quick_mode() { 8 } else { 20 },
+        ..JogsConfig::default()
+    };
+    let points = run(&config).expect("jogs experiment failed");
+    println!("{}", render(&points, &config));
+}

@@ -1,0 +1,14 @@
+//! Regenerates the mixed critical/non-critical routing comparison.
+use experiments::mixed::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let mut config = WidthExperimentConfig::default();
+    if bench::quick_mode() {
+        config.max_passes = 5;
+    }
+    for (circuit, width) in [("term1", 10), ("9symml", 9), ("apex7", 10)] {
+        let rows = run(&config, circuit, width, 0.15).expect("mixed experiment failed");
+        println!("{}", render(&rows, circuit, width));
+    }
+}

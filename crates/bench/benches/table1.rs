@@ -1,0 +1,12 @@
+//! Regenerates paper Table 1 (quality metrics, not a timing bench).
+//! Set `BENCH_QUICK=1` for a 10-net-per-cell run.
+use experiments::table1::{render, run, Table1Config};
+
+fn main() {
+    let config = Table1Config {
+        nets: if bench::quick_mode() { 10 } else { 50 },
+        ..Table1Config::default()
+    };
+    let sections = run(&config).expect("table 1 experiment failed");
+    println!("{}", render(&sections));
+}

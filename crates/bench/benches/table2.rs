@@ -1,0 +1,12 @@
+//! Regenerates paper Table 2 (Xilinx 3000-series channel widths).
+use experiments::table2::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let mut config = WidthExperimentConfig::default();
+    if bench::quick_mode() {
+        config.max_passes = 5;
+    }
+    let rows = run(&config).expect("table 2 experiment failed");
+    println!("{}", render(&rows));
+}

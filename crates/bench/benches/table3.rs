@@ -1,0 +1,12 @@
+//! Regenerates paper Table 3 (Xilinx 4000-series channel widths).
+use experiments::table3::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let mut config = WidthExperimentConfig::default();
+    if bench::quick_mode() {
+        config.max_passes = 5;
+    }
+    let rows = run(&config).expect("table 3 experiment failed");
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table 4 (channel width: IKMB vs PFA vs IDOM).
+use experiments::table4::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let mut config = WidthExperimentConfig::default();
+    if bench::quick_mode() {
+        config.max_passes = 5;
+    }
+    let rows = run(&config).expect("table 4 experiment failed");
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table 5 (wirelength/pathlength tradeoff).
+use experiments::table5::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let mut config = WidthExperimentConfig::default();
+    if bench::quick_mode() {
+        config.max_passes = 5;
+    }
+    let rows = run(&config).expect("table 5 experiment failed");
+    println!("{}", render(&rows));
+}

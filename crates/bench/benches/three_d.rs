@@ -1,0 +1,11 @@
+//! Regenerates the §6 3D-FPGA folding comparison.
+use experiments::three_d::{render, run, ThreeDConfig};
+
+fn main() {
+    let config = ThreeDConfig {
+        nets: if bench::quick_mode() { 8 } else { 25 },
+        ..ThreeDConfig::default()
+    };
+    let result = run(&config).expect("3D experiment failed");
+    println!("{}", render(&result, &config));
+}

@@ -1,0 +1,110 @@
+//! Criterion timing benches — the paper's §5 CPU-time claims.
+//!
+//! "CPU times for IKMB, PFA and IDOM on random graphs with |V| = 50,
+//! |E| = 1000 and |N| = 5 are in the range of several dozen milliseconds
+//! on a Sun/4 workstation." Absolute numbers on this machine will be far
+//! faster; the *relative* ordering across algorithms is the comparable
+//! signal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use fpga_device::synth::{synthesize, CircuitProfile};
+use fpga_device::{ArchSpec, Device, RouteAlgorithm, Router, RouterConfig};
+use route_graph::random::{random_connected_graph, random_net};
+use route_graph::Graph;
+use steiner_route::{idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel};
+
+fn paper_graph() -> (Graph, Vec<Net>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1995);
+    let g = random_connected_graph(50, 1000, 1..10, &mut rng).expect("valid shape");
+    let nets = (0..8)
+        .map(|_| {
+            Net::from_terminals(random_net(&g, 5, &mut rng).expect("enough nodes"))
+                .expect("distinct pins")
+        })
+        .collect();
+    (g, nets)
+}
+
+fn roster() -> Vec<(&'static str, Box<dyn SteinerHeuristic>)> {
+    vec![
+        ("KMB", Box::new(Kmb::new())),
+        ("ZEL", Box::new(Zel::new())),
+        ("IKMB", Box::new(ikmb())),
+        ("IZEL", Box::new(izel())),
+        ("DJKA", Box::new(Djka::new())),
+        ("DOM", Box::new(Dom::new())),
+        ("PFA", Box::new(Pfa::new())),
+        ("IDOM", Box::new(idom())),
+    ]
+}
+
+/// One construction per algorithm on the paper's timing graph.
+fn bench_constructions(c: &mut Criterion) {
+    let (g, nets) = paper_graph();
+    let mut group = c.benchmark_group("construct_v50_e1000_n5");
+    for (name, algo) in roster() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nets, |b, nets| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let net = &nets[i % nets.len()];
+                i += 1;
+                algo.construct(&g, net).expect("routable")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Whole-circuit routing time on a small real device.
+fn bench_circuit_routing(c: &mut Criterion) {
+    let profile = CircuitProfile {
+        name: "bench",
+        rows: 8,
+        cols: 8,
+        nets_2_3: 20,
+        nets_4_10: 6,
+        nets_over_10: 1,
+    };
+    let circuit = synthesize(&profile, 2, 7).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(8, 8, 9)).expect("valid arch");
+    let mut group = c.benchmark_group("route_8x8_circuit");
+    group.sample_size(10);
+    for algo in [
+        RouteAlgorithm::Ikmb,
+        RouteAlgorithm::Pfa,
+        RouteAlgorithm::Idom,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+            b.iter(|| {
+                Router::new(&device, RouterConfig::with_algorithm(algo))
+                    .route(&circuit)
+                    .expect("routable at W=9")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Substrate primitives: Dijkstra and the distance graph.
+fn bench_substrate(c: &mut Criterion) {
+    let (g, nets) = paper_graph();
+    c.bench_function("dijkstra_v50_e1000", |b| {
+        let src = nets[0].source();
+        b.iter(|| route_graph::ShortestPaths::run(&g, src).expect("live source"));
+    });
+    c.bench_function("terminal_distances_n5", |b| {
+        b.iter(|| {
+            route_graph::TerminalDistances::compute(&g, nets[0].terminals())
+                .expect("valid terminals")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_constructions, bench_circuit_routing, bench_substrate
+}
+criterion_main!(benches);

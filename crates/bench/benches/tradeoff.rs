@@ -1,0 +1,11 @@
+//! Regenerates the §2 radius-cost tradeoff comparison (BRBC/AHHK sweep).
+use experiments::tradeoff::{render, run, TradeoffConfig};
+
+fn main() {
+    let config = TradeoffConfig {
+        nets: if bench::quick_mode() { 8 } else { 30 },
+        ..TradeoffConfig::default()
+    };
+    let points = run(&config).expect("tradeoff experiment failed");
+    println!("{}", render(&points, &config));
+}

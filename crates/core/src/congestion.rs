@@ -1,0 +1,161 @@
+//! The congestion workload model of the paper's Table 1 experiments.
+//!
+//! "Congestion was modeled as follows: starting with a grid graph having
+//! unit weights (w = 1.00) on all edges, k uniformly-distributed nets (2–5
+//! pins each) were routed using KMB. As each net was routed, the weights of
+//! the corresponding graph edges were incremented, thus raising the average
+//! routing-graph edge weight to w̄ > 1.00." Three levels: none (k = 0,
+//! w̄ = 1.00), low (k = 10, w̄ ≈ 1.28), medium (k = 20, w̄ ≈ 1.55).
+
+use rand::Rng;
+
+use route_graph::{GridGraph, Weight};
+
+use crate::heuristic::SteinerHeuristic;
+use crate::{Kmb, Net, SteinerError};
+
+/// The three congestion levels of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CongestionLevel {
+    /// `k = 0` pre-routed nets, `w̄ = 1.00`.
+    None,
+    /// `k = 10` pre-routed nets, `w̄ ≈ 1.28` on a 20×20 grid.
+    Low,
+    /// `k = 20` pre-routed nets, `w̄ ≈ 1.55` on a 20×20 grid.
+    Medium,
+}
+
+impl CongestionLevel {
+    /// Number of pre-routed congesting nets at this level.
+    #[must_use]
+    pub fn preroute_count(self) -> usize {
+        match self {
+            CongestionLevel::None => 0,
+            CongestionLevel::Low => 10,
+            CongestionLevel::Medium => 20,
+        }
+    }
+
+    /// Display label matching the paper's table headings.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CongestionLevel::None => "No Congestion",
+            CongestionLevel::Low => "Low Congestion",
+            CongestionLevel::Medium => "Medium Congestion",
+        }
+    }
+
+    /// All three levels in table order.
+    #[must_use]
+    pub fn all() -> [CongestionLevel; 3] {
+        [
+            CongestionLevel::None,
+            CongestionLevel::Low,
+            CongestionLevel::Medium,
+        ]
+    }
+}
+
+/// Routes `k` random 2–5-pin nets on the grid with KMB, incrementing the
+/// weight of every edge each routed tree uses by one unit, and returns the
+/// resulting mean edge weight `w̄`.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur on a connected grid with
+/// enough nodes).
+pub fn congest_grid<R: Rng>(
+    grid: &mut GridGraph,
+    k: usize,
+    rng: &mut R,
+) -> Result<f64, SteinerError> {
+    let kmb = Kmb::new();
+    for _ in 0..k {
+        let pins = rng.gen_range(2..=5);
+        let terminals = route_graph::random::random_net(grid.graph(), pins, rng)?;
+        let net = Net::from_terminals(terminals)?;
+        let tree = kmb.construct(grid.graph(), &net)?;
+        for &e in tree.edges() {
+            grid.graph_mut().add_weight(e, Weight::UNIT)?;
+        }
+    }
+    Ok(grid
+        .graph()
+        .mean_edge_weight()
+        .expect("grids always have edges"))
+}
+
+/// Builds a fresh 20×20 unit grid congested to `level`, as used for every
+/// net of the Table 1 experiments ("newly-generated for each net").
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for these parameters).
+pub fn table1_grid<R: Rng>(
+    level: CongestionLevel,
+    rng: &mut R,
+) -> Result<GridGraph, SteinerError> {
+    let mut grid =
+        GridGraph::new(20, 20, Weight::UNIT).expect("20x20 grid parameters are valid");
+    congest_grid(&mut grid, level.preroute_count(), rng)?;
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_congestion_leaves_unit_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let grid = table1_grid(CongestionLevel::None, &mut rng).unwrap();
+        assert!((grid.graph().mean_edge_weight().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_weight_rises_with_level() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let low = table1_grid(CongestionLevel::Low, &mut rng).unwrap();
+        let medium = table1_grid(CongestionLevel::Medium, &mut rng).unwrap();
+        let w_low = low.graph().mean_edge_weight().unwrap();
+        let w_med = medium.graph().mean_edge_weight().unwrap();
+        assert!(w_low > 1.0);
+        assert!(w_med > w_low);
+    }
+
+    #[test]
+    fn levels_match_paper_ballpark() {
+        // Paper: w̄ ≈ 1.28 at k = 10 and ≈ 1.55 at k = 20 on a 20×20 grid.
+        // Averaged over seeds our generator must land in the same regime.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let mut w_low = 0.0;
+        let mut w_med = 0.0;
+        let runs = 10;
+        for _ in 0..runs {
+            w_low += table1_grid(CongestionLevel::Low, &mut rng)
+                .unwrap()
+                .graph()
+                .mean_edge_weight()
+                .unwrap();
+            w_med += table1_grid(CongestionLevel::Medium, &mut rng)
+                .unwrap()
+                .graph()
+                .mean_edge_weight()
+                .unwrap();
+        }
+        w_low /= runs as f64;
+        w_med /= runs as f64;
+        assert!((1.1..1.5).contains(&w_low), "w_low = {w_low}");
+        assert!((1.3..1.9).contains(&w_med), "w_med = {w_med}");
+    }
+
+    #[test]
+    fn preroute_counts() {
+        assert_eq!(CongestionLevel::None.preroute_count(), 0);
+        assert_eq!(CongestionLevel::Low.preroute_count(), 10);
+        assert_eq!(CongestionLevel::Medium.preroute_count(), 20);
+        assert_eq!(CongestionLevel::all().len(), 3);
+    }
+}

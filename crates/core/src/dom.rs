@@ -1,0 +1,334 @@
+//! The DOM spanning-arborescence heuristic (paper §4.2).
+//!
+//! DOM connects each sink, via a shortest path, to the *closest*
+//! sink-or-source that it dominates, then extracts a shortest-paths tree
+//! over the union of those paths. Equivalently (and this is how its cost is
+//! priced inside IDOM), it is a minimum-cost shortest-paths spanning
+//! arborescence over the net's distance graph — computable in `O(|N|²)`
+//! once the distance graph is known, which is the per-call cost the paper
+//! cites for the IDOM inner loop.
+
+use route_graph::{EdgeId, Graph, GraphError, NodeId, TerminalDistances, Weight};
+
+use crate::dominance::dominates;
+use crate::heuristic::{construct_via_base, require_connected, IteratedBase, SteinerHeuristic};
+use crate::subgraph::spt_over_edges;
+use crate::{Net, RoutingTree, SteinerError};
+
+/// The DOM heuristic: a restricted PFA where merge points are constrained
+/// to the net itself.
+///
+/// Also serves as the base of the iterated **IDOM** construction via
+/// [`IteratedBase`], where its [`cost_with`](IteratedBase::cost_with)
+/// override prices candidates with the `O(k²)` distance-graph arborescence
+/// cost instead of building the full tree.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{GridGraph, Weight};
+/// use steiner_route::{Dom, Net, SteinerHeuristic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(5, 5, Weight::UNIT)?;
+/// let net = Net::new(
+///     grid.node_at(0, 0)?,
+///     vec![grid.node_at(2, 2)?, grid.node_at(4, 4)?],
+/// )?;
+/// let tree = Dom::new().construct(grid.graph(), &net)?;
+/// // (2,2) dominates nothing closer than the source; (4,4) dominates
+/// // (2,2): the tree chains through it and costs 8.
+/// assert_eq!(tree.cost(), Weight::from_units(8));
+/// assert!(tree.is_shortest_paths_tree(grid.graph(), &net)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dom;
+
+impl Dom {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> Dom {
+        Dom
+    }
+}
+
+impl SteinerHeuristic for Dom {
+    fn name(&self) -> &str {
+        "DOM"
+    }
+
+    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+        construct_via_base(self, g, net)
+    }
+}
+
+/// The member view DOM works over: the terminals of `td` plus an optional
+/// external candidate, with index `td.len()` denoting the candidate.
+struct Members<'a> {
+    td: &'a TerminalDistances,
+    candidate: Option<NodeId>,
+}
+
+impl Members<'_> {
+    fn len(&self) -> usize {
+        self.td.len() + usize::from(self.candidate.is_some())
+    }
+
+    fn node(&self, i: usize) -> NodeId {
+        if i < self.td.len() {
+            self.td.terminals()[i]
+        } else {
+            self.candidate.expect("index implies candidate")
+        }
+    }
+
+    /// Distance from the source (member 0).
+    fn d0(&self, i: usize) -> Option<Weight> {
+        if i < self.td.len() {
+            self.td.dist(0, i)
+        } else {
+            self.td
+                .dist_to_node(0, self.candidate.expect("index implies candidate"))
+        }
+    }
+
+    fn dist(&self, i: usize, j: usize) -> Option<Weight> {
+        let base = self.td.len();
+        match (i == base, j == base) {
+            (false, false) => self.td.dist(i, j),
+            (true, false) => self
+                .td
+                .dist_to_node(j, self.candidate.expect("index implies candidate")),
+            (false, true) => self
+                .td
+                .dist_to_node(i, self.candidate.expect("index implies candidate")),
+            (true, true) => Some(Weight::ZERO),
+        }
+    }
+
+    fn path(&self, i: usize, j: usize) -> Result<route_graph::Path, SteinerError> {
+        let base = self.td.len();
+        let path = match (i == base, j == base) {
+            (false, false) => self.td.path(i, j)?,
+            (true, false) => self
+                .td
+                .path_to_node(j, self.candidate.expect("index implies candidate"))?,
+            (false, true) => self
+                .td
+                .path_to_node(i, self.candidate.expect("index implies candidate"))?,
+            (true, true) => unreachable!("a pair never consists of the candidate twice"),
+        };
+        Ok(path)
+    }
+
+    /// For each non-source member `p`, the dominated member it connects to
+    /// and the connection cost: the closest `s ≠ p` such that `p` dominates
+    /// `s` and `(d0(s), s) <lex (d0(p), p)` (the lexicographic constraint
+    /// breaks zero-distance dominance cycles; the source, at `d0 = 0`, is
+    /// always available).
+    fn parents(&self) -> Result<Vec<(usize, Weight)>, SteinerError> {
+        let k = self.len();
+        let mut out = Vec::with_capacity(k.saturating_sub(1));
+        for p in 1..k {
+            let d0p = self.d0(p).ok_or(SteinerError::Graph(GraphError::Disconnected {
+                from: self.node(0),
+                to: self.node(p),
+            }))?;
+            let mut best: Option<(Weight, Weight, usize)> = None; // (dist, d0s, s)
+            for s in 0..k {
+                if s == p {
+                    continue;
+                }
+                let (Some(d0s), Some(dsp)) = (self.d0(s), self.dist(s, p)) else {
+                    continue;
+                };
+                if !dominates(d0p, d0s, dsp) {
+                    continue;
+                }
+                if (d0s, s) >= (d0p, p) {
+                    continue;
+                }
+                if best.is_none_or(|(bd, bd0, bs)| (dsp, d0s, s) < (bd, bd0, bs)) {
+                    best = Some((dsp, d0s, s));
+                }
+            }
+            let (dsp, _, s) = best.expect("the source is always a dominated option");
+            out.push((s, dsp));
+        }
+        Ok(out)
+    }
+}
+
+impl IteratedBase for Dom {
+    fn base_name(&self) -> &str {
+        "DOM"
+    }
+
+    fn cost_with(
+        &self,
+        _g: &Graph,
+        td: &TerminalDistances,
+        candidate: Option<NodeId>,
+    ) -> Result<Weight, SteinerError> {
+        require_connected(td, candidate)?;
+        let members = Members { td, candidate };
+        Ok(members.parents()?.into_iter().map(|(_, d)| d).sum())
+    }
+
+    fn build_with(
+        &self,
+        g: &Graph,
+        td: &TerminalDistances,
+        candidate: Option<NodeId>,
+    ) -> Result<RoutingTree, SteinerError> {
+        require_connected(td, candidate)?;
+        let members = Members { td, candidate };
+        let parents = members.parents()?;
+        let mut union: Vec<EdgeId> = Vec::new();
+        for (p, &(s, _)) in parents.iter().enumerate() {
+            let p = p + 1; // parents() starts at member 1
+            let path = members.path(s, p)?;
+            union.extend_from_slice(path.edges());
+        }
+        let spt = spt_over_edges(g, &union, members.node(0))?;
+        let tree = RoutingTree::from_edges(g, spt)?;
+        let mut keep: Vec<NodeId> = td.terminals().to_vec();
+        if let Some(c) = candidate {
+            keep.push(c);
+        }
+        tree.pruned_to(g, &keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::GridGraph;
+
+    fn corners_net(grid: &GridGraph) -> Net {
+        Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![
+                grid.node_at(4, 0).unwrap(),
+                grid.node_at(0, 4).unwrap(),
+                grid.node_at(4, 4).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_an_arborescence_with_sharing() {
+        let grid = GridGraph::new(5, 5, Weight::UNIT).unwrap();
+        let net = corners_net(&grid);
+        let tree = Dom::new().construct(grid.graph(), &net).unwrap();
+        assert!(tree.spans(&net));
+        assert!(tree.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+        // The far corner dominates both near corners; DOM chains through
+        // one of them: cost 4 + 4 + 8 = 16 at worst, and never below the
+        // 12-unit Steiner optimum.
+        assert!(tree.cost() <= Weight::from_units(16));
+        assert!(tree.cost() >= Weight::from_units(12));
+    }
+
+    #[test]
+    fn chain_collapses_onto_one_path() {
+        // Collinear sinks: every sink dominates its predecessors; the whole
+        // net is one straight path.
+        let grid = GridGraph::new(1, 6, Weight::UNIT).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![
+                grid.node_at(0, 2).unwrap(),
+                grid.node_at(0, 4).unwrap(),
+                grid.node_at(0, 5).unwrap(),
+            ],
+        )
+        .unwrap();
+        let tree = Dom::new().construct(grid.graph(), &net).unwrap();
+        assert_eq!(tree.cost(), Weight::from_units(5));
+        assert!(tree.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+    }
+
+    #[test]
+    fn cheap_cost_matches_built_tree_on_chains() {
+        let grid = GridGraph::new(1, 6, Weight::UNIT).unwrap();
+        let terminals = [
+            grid.node_at(0, 0).unwrap(),
+            grid.node_at(0, 3).unwrap(),
+            grid.node_at(0, 5).unwrap(),
+        ];
+        let td = TerminalDistances::compute(grid.graph(), &terminals).unwrap();
+        let cheap = Dom::new().cost_with(grid.graph(), &td, None).unwrap();
+        let built = Dom::new().build_with(grid.graph(), &td, None).unwrap();
+        assert_eq!(cheap, Weight::from_units(5));
+        assert_eq!(built.cost(), Weight::from_units(5));
+    }
+
+    #[test]
+    fn cheap_cost_upper_bounds_built_tree() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
+        for _ in 0..10 {
+            let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
+            let td = TerminalDistances::compute(grid.graph(), &pins).unwrap();
+            let cheap = Dom::new().cost_with(grid.graph(), &td, None).unwrap();
+            let built = Dom::new().build_with(grid.graph(), &td, None).unwrap();
+            assert!(built.cost() <= cheap, "sharing can only help");
+        }
+    }
+
+    #[test]
+    fn dom_beats_djka_or_ties_on_grids() {
+        use crate::Djka;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
+        let mut dom_total = Weight::ZERO;
+        let mut djka_total = Weight::ZERO;
+        for _ in 0..20 {
+            let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
+            let net = Net::from_terminals(pins).unwrap();
+            let dom = Dom::new().construct(grid.graph(), &net).unwrap();
+            let djka = Djka::new().construct(grid.graph(), &net).unwrap();
+            assert!(dom.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+            dom_total += dom.cost();
+            djka_total += djka.cost();
+        }
+        // Table 1 ranking: DOM uses less wire than DJKA on average.
+        assert!(dom_total <= djka_total);
+    }
+
+    #[test]
+    fn zero_weight_dominance_cycles_are_broken() {
+        // Two sinks joined by a zero-weight edge, both at distance 2 from
+        // the source: each dominates the other; the lexicographic tie-break
+        // must still deliver a connected arborescence.
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::from_units(2)).unwrap();
+        g.add_edge(n[1], n[2], Weight::ZERO).unwrap();
+        g.add_edge(n[1], n[3], Weight::ZERO).unwrap();
+        g.add_edge(n[2], n[3], Weight::ZERO).unwrap();
+        let net = Net::new(n[0], vec![n[2], n[3]]).unwrap();
+        let tree = Dom::new().construct(&g, &net).unwrap();
+        assert!(tree.spans(&net));
+        assert!(tree.is_shortest_paths_tree(&g, &net).unwrap());
+        assert_eq!(tree.cost(), Weight::from_units(2));
+    }
+
+    #[test]
+    fn disconnected_sink_errors() {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::UNIT).unwrap();
+        let net = Net::new(n[0], vec![n[1], n[2]]).unwrap();
+        assert!(matches!(
+            Dom::new().construct(&g, &net),
+            Err(SteinerError::Graph(GraphError::Disconnected { .. }))
+        ));
+    }
+}

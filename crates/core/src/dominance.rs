@@ -1,0 +1,80 @@
+//! Graph dominance (paper Definition 4.1).
+//!
+//! Given a source `n0`, node `p` *dominates* node `s` when
+//! `minpath(n0, p) == minpath(n0, s) + minpath(s, p)` — i.e. some shortest
+//! path from the source to `p` may pass through `s`. This generalizes the
+//! coordinatewise dominance of the rectilinear RSA heuristic to arbitrary
+//! weighted graphs and is the pivot of both arborescence heuristics: PFA
+//! folds paths at maximal doubly-dominated nodes, and DOM connects each sink
+//! to the nearest node it dominates.
+
+use route_graph::Weight;
+
+/// Returns `true` if a node at source-distance `d0_p` dominates a node at
+/// source-distance `d0_s` that lies `dist_sp` away from it.
+///
+/// All quantities are exact fixed-point [`Weight`]s, so this equality is
+/// meaningful (no floating-point drift).
+///
+/// # Example
+///
+/// ```
+/// use route_graph::Weight;
+/// use steiner_route::dominance::dominates;
+///
+/// let u = Weight::from_units;
+/// // p at distance 5, s at distance 3, and s is 2 away from p:
+/// assert!(dominates(u(5), u(3), u(2)));
+/// // …but not if s is 3 away (the path via s would cost 6 > 5):
+/// assert!(!dominates(u(5), u(3), u(3)));
+/// ```
+#[must_use]
+pub fn dominates(d0_p: Weight, d0_s: Weight, dist_sp: Weight) -> bool {
+    d0_p == d0_s + dist_sp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::{GridGraph, ShortestPaths};
+
+    #[test]
+    fn every_node_dominates_the_source() {
+        let u = Weight::from_units;
+        assert!(dominates(u(7), Weight::ZERO, u(7)));
+    }
+
+    #[test]
+    fn every_node_dominates_itself() {
+        let u = Weight::from_units;
+        assert!(dominates(u(7), u(7), Weight::ZERO));
+    }
+
+    #[test]
+    fn grid_dominance_matches_rectilinear_dominance() {
+        // On a virgin grid with the source at the origin, graph dominance
+        // coincides with coordinatewise (rectilinear) dominance — the
+        // motivating special case of Definition 4.1 (paper Figure 7).
+        let grid = GridGraph::new(5, 5, Weight::UNIT).unwrap();
+        let src = grid.node_at(0, 0).unwrap();
+        let d0 = ShortestPaths::run(grid.graph(), src).unwrap();
+        for pr in 0..5 {
+            for pc in 0..5 {
+                for sr in 0..5 {
+                    for sc in 0..5 {
+                        let p = grid.node_at(pr, pc).unwrap();
+                        let s = grid.node_at(sr, sc).unwrap();
+                        let sp = ShortestPaths::run(grid.graph(), s).unwrap();
+                        let graph_dom = dominates(
+                            d0.dist(p).unwrap(),
+                            d0.dist(s).unwrap(),
+                            sp.dist(p).unwrap(),
+                        );
+                        let rect_dom = pr >= sr && pc >= sc;
+                        assert_eq!(graph_dom, rect_dom, "p=({pr},{pc}) s=({sr},{sc})");
+                    }
+                }
+            }
+        }
+    }
+}

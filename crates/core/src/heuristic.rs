@@ -1,0 +1,166 @@
+//! The heuristic traits shared by all constructions.
+
+use route_graph::{Graph, GraphError, NodeId, TerminalDistances, Weight};
+
+use crate::{Net, RoutingTree, SteinerError};
+
+/// A routing-tree construction: given a graph and a net, produce a tree
+/// spanning the net.
+///
+/// Implemented by every algorithm in the paper — the Steiner heuristics
+/// (KMB, ZEL, and the iterated IGMST instances) and the arborescence
+/// heuristics (DJKA, DOM, PFA, IDOM). Arborescence heuristics honour the
+/// net's source/sink distinction; Steiner heuristics ignore it.
+pub trait SteinerHeuristic {
+    /// Short display name of the algorithm, matching the paper's tables
+    /// (e.g. `"KMB"`, `"IKMB"`, `"PFA"`).
+    fn name(&self) -> &str;
+
+    /// Constructs a routing tree for `net` in `g`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SteinerError::Graph`] when the net's pins
+    /// are invalid or mutually unreachable in the live graph.
+    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError>;
+}
+
+/// A heuristic `H` usable inside the iterated IGMST/IDOM template
+/// (paper §3, Figure 5; §4.2, Figure 12).
+///
+/// The template repeatedly prices Steiner candidates `t` by re-running `H`
+/// over `N ∪ S ∪ {t}`. To avoid re-running Dijkstra for every candidate,
+/// the shared shortest-path state lives in a [`TerminalDistances`] (covering
+/// `N ∪ S`, source first) and the candidate is passed separately — its
+/// distances to all members are read out of the members' own distance
+/// vectors.
+pub trait IteratedBase {
+    /// Short display name of the base heuristic.
+    fn base_name(&self) -> &str;
+
+    /// Builds the concrete tree `H(G, T ∪ {candidate})`, where `T` is the
+    /// terminal set of `td` (with `td.terminals()[0]` acting as the source
+    /// for arborescence bases).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteinerError::Graph`] with
+    /// [`GraphError::Disconnected`] if the extended terminal set cannot be
+    /// spanned.
+    fn build_with(
+        &self,
+        g: &Graph,
+        td: &TerminalDistances,
+        candidate: Option<NodeId>,
+    ) -> Result<RoutingTree, SteinerError>;
+
+    /// The cost `cost(H(G, T ∪ {candidate}))` used for Δ computations.
+    ///
+    /// The default builds the full tree; bases with a cheaper closed form
+    /// (e.g. DOM's distance-graph arborescence cost) override this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build_with`](IteratedBase::build_with).
+    fn cost_with(
+        &self,
+        g: &Graph,
+        td: &TerminalDistances,
+        candidate: Option<NodeId>,
+    ) -> Result<Weight, SteinerError> {
+        Ok(self.build_with(g, td, candidate)?.cost())
+    }
+
+    /// A cheap *upper bound* on [`cost_with`](IteratedBase::cost_with),
+    /// used by [`Iterated`](crate::Iterated) in screened mode to rank
+    /// candidates before spending full evaluations on the best ones.
+    ///
+    /// The default is the exact cost itself; KMB overrides it with the
+    /// distance-graph MST cost (no path expansion or re-MST).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cost_with`](IteratedBase::cost_with).
+    fn screen_with(
+        &self,
+        g: &Graph,
+        td: &TerminalDistances,
+        candidate: Option<NodeId>,
+    ) -> Result<Weight, SteinerError> {
+        self.cost_with(g, td, candidate)
+    }
+}
+
+/// Verifies that all of `td`'s terminals (plus the optional candidate) are
+/// mutually reachable, returning the first offending pair otherwise.
+///
+/// # Errors
+///
+/// Returns [`SteinerError::Graph`] with [`GraphError::Disconnected`].
+pub(crate) fn require_connected(
+    td: &TerminalDistances,
+    candidate: Option<NodeId>,
+) -> Result<(), SteinerError> {
+    let t0 = td.terminals()[0];
+    for j in 1..td.len() {
+        if td.dist(0, j).is_none() {
+            return Err(GraphError::Disconnected {
+                from: t0,
+                to: td.terminals()[j],
+            }
+            .into());
+        }
+    }
+    if let Some(c) = candidate {
+        if td.dist_to_node(0, c).is_none() {
+            return Err(GraphError::Disconnected { from: t0, to: c }.into());
+        }
+    }
+    Ok(())
+}
+
+/// Standalone `construct` implementation shared by bases that are also
+/// directly usable heuristics (KMB, ZEL, DOM): compute the terminal
+/// distances, then build.
+pub(crate) fn construct_via_base<H: IteratedBase>(
+    base: &H,
+    g: &Graph,
+    net: &Net,
+) -> Result<RoutingTree, SteinerError> {
+    net.validate_in(g)?;
+    let td = TerminalDistances::compute(g, net.terminals())?;
+    base.build_with(g, &td, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::GridGraph;
+
+    #[test]
+    fn require_connected_reports_the_pair() {
+        let mut grid = GridGraph::new(1, 4, Weight::UNIT).unwrap();
+        let n: Vec<NodeId> = (0..4).map(|c| grid.node_at(0, c).unwrap()).collect();
+        let e = grid.edge_between(n[1], n[2]).unwrap();
+        grid.graph_mut().remove_edge(e).unwrap();
+        let td = TerminalDistances::compute(grid.graph(), &[n[0], n[3]]).unwrap();
+        let err = require_connected(&td, None).unwrap_err();
+        assert_eq!(
+            err,
+            SteinerError::Graph(GraphError::Disconnected {
+                from: n[0],
+                to: n[3]
+            })
+        );
+        let td2 = TerminalDistances::compute(grid.graph(), &[n[0], n[1]]).unwrap();
+        assert!(require_connected(&td2, None).is_ok());
+        let err2 = require_connected(&td2, Some(n[3])).unwrap_err();
+        assert_eq!(
+            err2,
+            SteinerError::Graph(GraphError::Disconnected {
+                from: n[0],
+                to: n[3]
+            })
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Mehlhorn's fast variant of the KMB heuristic.
+//!
+//! The paper's Appendix notes that KMB's `O(|N|·|V|²)` time "can be reduced
+//! to `O(|E| + |V| log |V|)` using an alternative implementation \[30\]"
+//! (Mehlhorn, IPL 1988). Instead of one Dijkstra per terminal, a single
+//! *multi-source* Dijkstra partitions the graph into terminal Voronoi
+//! regions; every edge bridging two regions induces a candidate
+//! distance-graph edge `d(u) + w(u,v) + d(v)`, and the MST over those
+//! candidates expands to a Steiner tree with the same `2·(1 − 1/L)` bound.
+
+use route_graph::dsu::UnionFind;
+use route_graph::heap::IndexedBinaryHeap;
+use route_graph::mst::kruskal_subgraph;
+use route_graph::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+use crate::heuristic::SteinerHeuristic;
+use crate::{Net, RoutingTree, SteinerError};
+
+/// Mehlhorn's single-Dijkstra KMB (paper Appendix, reference \[30\]).
+///
+/// Produces trees with the same performance bound as [`Kmb`](crate::Kmb)
+/// — and usually the same cost — at a fraction of the preprocessing work,
+/// which matters on chip-scale routing graphs.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{GridGraph, Weight};
+/// use steiner_route::{MehlhornKmb, Net, SteinerHeuristic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(5, 5, Weight::UNIT)?;
+/// let net = Net::new(
+///     grid.node_at(0, 0)?,
+///     vec![grid.node_at(4, 0)?, grid.node_at(0, 4)?],
+/// )?;
+/// let tree = MehlhornKmb::new().construct(grid.graph(), &net)?;
+/// assert!(tree.spans(&net));
+/// assert_eq!(tree.cost(), Weight::from_units(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MehlhornKmb;
+
+impl MehlhornKmb {
+    /// Creates the heuristic.
+    #[must_use]
+    pub fn new() -> MehlhornKmb {
+        MehlhornKmb
+    }
+}
+
+/// Voronoi partition of the live graph around a terminal set.
+#[derive(Debug)]
+struct Voronoi {
+    /// Nearest terminal index per node.
+    owner: Vec<Option<usize>>,
+    /// Distance to the nearest terminal per node.
+    dist: Vec<Option<Weight>>,
+    /// Parent (towards the owning terminal) per node.
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl Voronoi {
+    fn compute(g: &Graph, terminals: &[NodeId]) -> Voronoi {
+        let n = g.node_count();
+        let mut owner: Vec<Option<usize>> = vec![None; n];
+        let mut dist: Vec<Option<Weight>> = vec![None; n];
+        let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut pending_owner: Vec<Option<usize>> = vec![None; n];
+        let mut heap = IndexedBinaryHeap::new(n);
+        for (i, &t) in terminals.iter().enumerate() {
+            heap.push(t.index(), Weight::ZERO);
+            pending_owner[t.index()] = Some(i);
+        }
+        while let Some((vi, d)) = heap.pop() {
+            dist[vi] = Some(d);
+            owner[vi] = pending_owner[vi];
+            for (u, e, w) in g.neighbors(NodeId::from_index(vi)) {
+                if dist[u.index()].is_some() {
+                    continue;
+                }
+                let nd = d + w;
+                if heap.push(u.index(), nd) {
+                    pending_owner[u.index()] = owner[vi];
+                    parent[u.index()] = Some((NodeId::from_index(vi), e));
+                }
+            }
+        }
+        Voronoi {
+            owner,
+            dist,
+            parent,
+        }
+    }
+
+    /// Edges of the walk from `v` up to its owning terminal.
+    fn chain_to_terminal(&self, mut v: NodeId) -> Vec<EdgeId> {
+        let mut edges = Vec::new();
+        while let Some((p, e)) = self.parent[v.index()] {
+            edges.push(e);
+            v = p;
+        }
+        edges
+    }
+}
+
+impl SteinerHeuristic for MehlhornKmb {
+    fn name(&self) -> &str {
+        "KMB-M"
+    }
+
+    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+        net.validate_in(g)?;
+        let terminals = net.terminals();
+        let k = terminals.len();
+        let voronoi = Voronoi::compute(g, terminals);
+        // Candidate distance-graph edges: one minimal bridge per terminal
+        // pair, discovered from region-crossing graph edges.
+        let mut bridges: Vec<(Weight, usize, usize, NodeId, EdgeId, NodeId)> = Vec::new();
+        for e in g.edge_ids() {
+            let (a, b) = g.endpoints(e)?;
+            let (Some(oa), Some(ob)) = (voronoi.owner[a.index()], voronoi.owner[b.index()])
+            else {
+                continue;
+            };
+            if oa == ob {
+                continue;
+            }
+            let w = voronoi.dist[a.index()].expect("owned nodes have distances")
+                + g.weight(e)?
+                + voronoi.dist[b.index()].expect("owned nodes have distances");
+            bridges.push((w, oa.min(ob), oa.max(ob), a, e, b));
+        }
+        // Kruskal over the candidate edges gives MST(G') directly.
+        bridges.sort();
+        let mut uf = UnionFind::new(k);
+        let mut expansion: Vec<EdgeId> = Vec::new();
+        for (_, oa, ob, a, e, b) in bridges {
+            if !uf.union(oa, ob) {
+                continue;
+            }
+            expansion.push(e);
+            expansion.extend(voronoi.chain_to_terminal(a));
+            expansion.extend(voronoi.chain_to_terminal(b));
+        }
+        if uf.set_count() > 1 {
+            // Find a representative unreachable pair for the error.
+            let root0 = uf.find(0);
+            let other = (1..k)
+                .find(|&i| uf.find(i) != root0)
+                .expect("more than one set implies a second component");
+            return Err(SteinerError::Graph(GraphError::Disconnected {
+                from: terminals[0],
+                to: terminals[other],
+            }));
+        }
+        // Final cleanup exactly as KMB: MST of the expansion, prune.
+        let sub = kruskal_subgraph(g, &expansion);
+        let tree = RoutingTree::from_edges(g, sub.edges)?;
+        tree.pruned_to(g, terminals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, Kmb};
+    use route_graph::GridGraph;
+
+    #[test]
+    fn two_pin_nets_are_shortest_paths() {
+        let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(5, 3).unwrap()],
+        )
+        .unwrap();
+        let tree = MehlhornKmb::new().construct(grid.graph(), &net).unwrap();
+        assert_eq!(tree.cost(), Weight::from_units(8));
+    }
+
+    #[test]
+    fn cost_is_competitive_with_classic_kmb() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
+        let mut fast_total = 0u64;
+        let mut classic_total = 0u64;
+        for _ in 0..15 {
+            let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
+            let net = Net::from_terminals(pins).unwrap();
+            let fast = MehlhornKmb::new().construct(grid.graph(), &net).unwrap();
+            let classic = Kmb::new().construct(grid.graph(), &net).unwrap();
+            assert!(fast.spans(&net));
+            fast_total += fast.cost().as_milli();
+            classic_total += classic.cost().as_milli();
+        }
+        // Within 10% of classic KMB in aggregate (usually identical).
+        let ratio = fast_total as f64 / classic_total as f64;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn respects_the_two_approximation_bound() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        for _ in 0..8 {
+            let g =
+                route_graph::random::random_connected_graph(15, 30, 1..8, &mut rng).unwrap();
+            let pins = route_graph::random::random_net(&g, 4, &mut rng).unwrap();
+            let net = Net::from_terminals(pins).unwrap();
+            let tree = MehlhornKmb::new().construct(&g, &net).unwrap();
+            let opt = exact::steiner_cost_for_net(&g, &net).unwrap();
+            assert!(tree.cost() >= opt);
+            assert!(tree.cost().as_milli() <= 2 * opt.as_milli());
+        }
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::UNIT).unwrap();
+        g.add_edge(n[2], n[3], Weight::UNIT).unwrap();
+        let net = Net::new(n[0], vec![n[1], n[3]]).unwrap();
+        assert!(matches!(
+            MehlhornKmb::new().construct(&g, &net),
+            Err(SteinerError::Graph(GraphError::Disconnected { .. }))
+        ));
+    }
+
+    #[test]
+    fn works_on_congested_weights() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let mut grid = crate::congestion::table1_grid(
+            crate::congestion::CongestionLevel::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        let tree = MehlhornKmb::new()
+            .construct(grid.graph_mut(), &net)
+            .unwrap();
+        assert!(tree.spans(&net));
+    }
+}

@@ -1,0 +1,151 @@
+//! Evaluation metrics: wirelength and maximum source-sink pathlength.
+//!
+//! The paper's Table 1 reports, per heuristic, the average *wirelength*
+//! normalized to KMB and the average *maximum pathlength* normalized to the
+//! optimum (`max_i minpath_G(n0, n_i)`). These helpers compute both,
+//! including the percentage normalizations.
+
+use route_graph::{Graph, ShortestPaths, Weight};
+
+use crate::{Net, RoutingTree, SteinerError};
+
+/// The two qualities Table 1 tracks for a single routed net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Total wirelength `cost(T)`.
+    pub wirelength: Weight,
+    /// Maximum source-to-sink pathlength inside the tree.
+    pub max_pathlength: Weight,
+}
+
+/// Measures a routing tree against its net.
+///
+/// # Errors
+///
+/// Returns [`SteinerError::MissingTerminal`] if the tree does not span the
+/// net.
+pub fn measure(tree: &RoutingTree, net: &Net) -> Result<NetMetrics, SteinerError> {
+    Ok(NetMetrics {
+        wirelength: tree.cost(),
+        max_pathlength: tree.max_pathlength(net)?,
+    })
+}
+
+/// The optimal maximum pathlength for a net: the farthest sink's true
+/// shortest-path distance, `max_i minpath_G(n0, n_i)`.
+///
+/// # Errors
+///
+/// Returns [`SteinerError::Graph`] if the source is invalid or a sink is
+/// unreachable.
+pub fn optimal_max_pathlength(g: &Graph, net: &Net) -> Result<Weight, SteinerError> {
+    let sp = ShortestPaths::run_to_targets(g, net.source(), net.sinks())?;
+    let mut max = Weight::ZERO;
+    for &s in net.sinks() {
+        let d = sp
+            .dist(s)
+            .ok_or(route_graph::GraphError::Disconnected {
+                from: net.source(),
+                to: s,
+            })?;
+        max = max.max(d);
+    }
+    Ok(max)
+}
+
+/// Percentage deviation of `value` from `reference`, as reported in
+/// Table 1: positive = disimprovement (larger), negative = improvement.
+///
+/// Returns `0.0` when the reference is zero (both must then be zero for a
+/// meaningful instance).
+#[must_use]
+pub fn percent_vs(value: Weight, reference: Weight) -> f64 {
+    if reference.is_zero() {
+        return 0.0;
+    }
+    (value.as_f64() - reference.as_f64()) / reference.as_f64() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kmb, Pfa, SteinerHeuristic};
+    use route_graph::GridGraph;
+
+    #[test]
+    fn measure_reads_both_qualities() {
+        let grid = GridGraph::new(5, 5, Weight::UNIT).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(4, 2).unwrap(), grid.node_at(2, 4).unwrap()],
+        )
+        .unwrap();
+        let tree = Pfa::new().construct(grid.graph(), &net).unwrap();
+        let m = measure(&tree, &net).unwrap();
+        assert_eq!(m.wirelength, Weight::from_units(8));
+        assert_eq!(m.max_pathlength, Weight::from_units(6));
+    }
+
+    #[test]
+    fn optimal_max_pathlength_is_the_farthest_sink() {
+        let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(1, 1).unwrap(), grid.node_at(5, 5).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(
+            optimal_max_pathlength(grid.graph(), &net).unwrap(),
+            Weight::from_units(10)
+        );
+    }
+
+    #[test]
+    fn arborescences_hit_the_optimal_pathlength() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
+        for _ in 0..10 {
+            let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
+            let net = Net::from_terminals(pins).unwrap();
+            let tree = Pfa::new().construct(grid.graph(), &net).unwrap();
+            let m = measure(&tree, &net).unwrap();
+            assert_eq!(
+                m.max_pathlength,
+                optimal_max_pathlength(grid.graph(), &net).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn steiner_trees_can_exceed_optimal_pathlength() {
+        // A KMB tree optimizes wirelength only; find a seeded instance
+        // where its max pathlength exceeds the optimum (Table 1 shows this
+        // is the common case: +23.5% on average for 5-pin nets).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
+        let mut exceeded = false;
+        for _ in 0..30 {
+            let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
+            let net = Net::from_terminals(pins).unwrap();
+            let tree = Kmb::new().construct(grid.graph(), &net).unwrap();
+            let m = measure(&tree, &net).unwrap();
+            let opt = optimal_max_pathlength(grid.graph(), &net).unwrap();
+            assert!(m.max_pathlength >= opt);
+            if m.max_pathlength > opt {
+                exceeded = true;
+            }
+        }
+        assert!(exceeded, "KMB never exceeded the optimal radius in 30 nets");
+    }
+
+    #[test]
+    fn percent_vs_signs() {
+        let u = Weight::from_units;
+        assert!((percent_vs(u(11), u(10)) - 10.0).abs() < 1e-9);
+        assert!((percent_vs(u(9), u(10)) + 10.0).abs() < 1e-9);
+        assert_eq!(percent_vs(u(0), u(0)), 0.0);
+        assert_eq!(percent_vs(u(5), u(5)), 0.0);
+    }
+}

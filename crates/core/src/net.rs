@@ -1,0 +1,173 @@
+//! Nets: the pin sets to be electrically connected.
+
+use route_graph::{Graph, NodeId};
+
+use crate::SteinerError;
+
+/// A net `N = {n0, n1, …, nk}`: a signal source plus one or more sinks
+/// (paper §2).
+///
+/// The source is distinguished because the arborescence constructions (PFA,
+/// IDOM, DOM, DJKA) must deliver a *shortest* path from it to every sink;
+/// the Steiner constructions (KMB, ZEL, IGMST) ignore the distinction.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::NodeId;
+/// use steiner_route::Net;
+///
+/// # fn main() -> Result<(), steiner_route::SteinerError> {
+/// let net = Net::new(
+///     NodeId::from_index(0),
+///     vec![NodeId::from_index(3), NodeId::from_index(7)],
+/// )?;
+/// assert_eq!(net.pin_count(), 3);
+/// assert_eq!(net.terminals()[0], net.source());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// `terminals[0]` is the source; the rest are sinks.
+    terminals: Vec<NodeId>,
+}
+
+impl Net {
+    /// Creates a net from a source and its sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteinerError::EmptyNet`] if `sinks` is empty and
+    /// [`SteinerError::DuplicatePin`] if any pin repeats (including a sink
+    /// equal to the source).
+    pub fn new(source: NodeId, sinks: Vec<NodeId>) -> Result<Net, SteinerError> {
+        let mut terminals = Vec::with_capacity(sinks.len() + 1);
+        terminals.push(source);
+        terminals.extend(sinks);
+        Net::from_terminals(terminals)
+    }
+
+    /// Creates a net from a terminal list whose first element is the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteinerError::EmptyNet`] for fewer than two terminals and
+    /// [`SteinerError::DuplicatePin`] for repeats.
+    pub fn from_terminals(terminals: Vec<NodeId>) -> Result<Net, SteinerError> {
+        if terminals.len() < 2 {
+            return Err(SteinerError::EmptyNet);
+        }
+        for (i, &t) in terminals.iter().enumerate() {
+            if terminals[..i].contains(&t) {
+                return Err(SteinerError::DuplicatePin(t));
+            }
+        }
+        Ok(Net { terminals })
+    }
+
+    /// The signal source `n0`.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.terminals[0]
+    }
+
+    /// The sinks `n1 … nk`.
+    #[must_use]
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.terminals[1..]
+    }
+
+    /// All terminals, source first.
+    #[must_use]
+    pub fn terminals(&self) -> &[NodeId] {
+        &self.terminals
+    }
+
+    /// Total number of pins (source + sinks).
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Returns `true` if `v` is one of this net's pins.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.terminals.contains(&v)
+    }
+
+    /// Checks that every pin is a live node of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node-validity error of the first offending pin.
+    pub fn validate_in(&self, g: &Graph) -> Result<(), SteinerError> {
+        for &t in &self.terminals {
+            g.require_live_node(t)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::Weight;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn construction_orders_source_first() {
+        let net = Net::new(node(5), vec![node(1), node(2)]).unwrap();
+        assert_eq!(net.source(), node(5));
+        assert_eq!(net.sinks(), &[node(1), node(2)]);
+        assert_eq!(net.terminals(), &[node(5), node(1), node(2)]);
+        assert_eq!(net.pin_count(), 3);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Net::new(node(1), vec![node(1)]).unwrap_err(),
+            SteinerError::DuplicatePin(node(1))
+        );
+        assert_eq!(
+            Net::new(node(0), vec![node(2), node(2)]).unwrap_err(),
+            SteinerError::DuplicatePin(node(2))
+        );
+    }
+
+    #[test]
+    fn rejects_sourceless_or_sinkless() {
+        assert_eq!(Net::new(node(0), vec![]).unwrap_err(), SteinerError::EmptyNet);
+        assert_eq!(
+            Net::from_terminals(vec![node(0)]).unwrap_err(),
+            SteinerError::EmptyNet
+        );
+        assert_eq!(
+            Net::from_terminals(vec![]).unwrap_err(),
+            SteinerError::EmptyNet
+        );
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let net = Net::new(node(0), vec![node(4)]).unwrap();
+        assert!(net.contains(node(0)));
+        assert!(net.contains(node(4)));
+        assert!(!net.contains(node(1)));
+    }
+
+    #[test]
+    fn validate_in_flags_dead_pins() {
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(ids[0], ids[1], Weight::UNIT).unwrap();
+        let net = Net::new(ids[0], vec![ids[2]]).unwrap();
+        assert!(net.validate_in(&g).is_ok());
+        g.remove_node(ids[2]).unwrap();
+        assert!(net.validate_in(&g).is_err());
+    }
+}

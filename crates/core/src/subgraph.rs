@@ -1,0 +1,118 @@
+//! Shortest-path trees over edge-set subgraphs (crate-internal).
+//!
+//! Both arborescence heuristics finish by taking the union of carefully
+//! chosen shortest paths and extracting a shortest-paths tree *within that
+//! union* rooted at the net's source. Because the union contains, for every
+//! spanned node, some path whose length equals the true graph distance, the
+//! restricted SPT inherits the arborescence property while sharing
+//! overlapped wire.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use route_graph::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+use crate::SteinerError;
+
+/// Computes the shortest-paths tree rooted at `root` of the subgraph of `g`
+/// induced by `edges` (duplicates tolerated), returning the tree's edges.
+///
+/// Nodes of the subgraph unreachable from `root` are silently dropped —
+/// callers guarantee relevance of the union.
+pub(crate) fn spt_over_edges(
+    g: &Graph,
+    edges: &[EdgeId],
+    root: NodeId,
+) -> Result<Vec<EdgeId>, SteinerError> {
+    g.require_live_node(root).map_err(SteinerError::Graph)?;
+    let mut adj: HashMap<NodeId, Vec<(NodeId, EdgeId, Weight)>> = HashMap::new();
+    let mut seen = HashMap::new();
+    for &e in edges {
+        if seen.insert(e, ()).is_some() {
+            continue;
+        }
+        if !g.is_edge_usable(e) {
+            return Err(SteinerError::Graph(GraphError::EdgeRemoved(e)));
+        }
+        let (a, b) = g.endpoints(e)?;
+        let w = g.weight(e)?;
+        adj.entry(a).or_default().push((b, e, w));
+        adj.entry(b).or_default().push((a, e, w));
+    }
+    let mut dist: HashMap<NodeId, Weight> = HashMap::new();
+    let mut parent_edge: HashMap<NodeId, EdgeId> = HashMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Weight, usize)>> = BinaryHeap::new();
+    let mut best: HashMap<NodeId, Weight> = HashMap::new();
+    best.insert(root, Weight::ZERO);
+    heap.push(std::cmp::Reverse((Weight::ZERO, root.index())));
+    while let Some(std::cmp::Reverse((d, vi))) = heap.pop() {
+        let v = NodeId::from_index(vi);
+        if dist.contains_key(&v) {
+            continue;
+        }
+        if best.get(&v) != Some(&d) {
+            continue; // stale heap entry
+        }
+        dist.insert(v, d);
+        let Some(nbrs) = adj.get(&v) else { continue };
+        for &(u, e, w) in nbrs {
+            if dist.contains_key(&u) {
+                continue;
+            }
+            let nd = d + w;
+            if best.get(&u).is_none_or(|&cur| nd < cur) {
+                best.insert(u, nd);
+                parent_edge.insert(u, e);
+                heap.push(std::cmp::Reverse((nd, u.index())));
+            }
+        }
+    }
+    let mut out: Vec<EdgeId> = parent_edge.into_values().collect();
+    // HashMap iteration order is randomized; keep the library's outputs
+    // deterministic for identical inputs.
+    out.sort_unstable();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingTree;
+    use route_graph::GridGraph;
+
+    #[test]
+    fn spt_over_full_grid_union_matches_graph_distances() {
+        let grid = GridGraph::new(4, 4, Weight::UNIT).unwrap();
+        let all: Vec<EdgeId> = grid.graph().edge_ids().collect();
+        let root = grid.node_at(0, 0).unwrap();
+        let spt = spt_over_edges(grid.graph(), &all, root).unwrap();
+        let tree = RoutingTree::from_edges(grid.graph(), spt).unwrap();
+        let dist = tree.distances_from(root).unwrap();
+        for v in grid.graph().node_ids() {
+            assert_eq!(
+                dist[&v],
+                Weight::from_units(grid.manhattan(root, v) as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_union_drops_unreachable_parts() {
+        let grid = GridGraph::new(1, 5, Weight::UNIT).unwrap();
+        let n: Vec<NodeId> = (0..5).map(|c| grid.node_at(0, c).unwrap()).collect();
+        // Only the edge between n3 and n4 — unreachable from n0.
+        let e = grid.edge_between(n[3], n[4]).unwrap();
+        let spt = spt_over_edges(grid.graph(), &[e], n[0]).unwrap();
+        assert!(spt.is_empty());
+    }
+
+    #[test]
+    fn overlapping_paths_merge_into_a_tree() {
+        let grid = GridGraph::new(2, 3, Weight::UNIT).unwrap();
+        let root = grid.node_at(0, 0).unwrap();
+        // Union contains a cycle (the whole 2×3 grid); SPT must break it.
+        let all: Vec<EdgeId> = grid.graph().edge_ids().collect();
+        let spt = spt_over_edges(grid.graph(), &all, root).unwrap();
+        assert_eq!(spt.len(), 5); // 6 nodes -> 5 tree edges
+        assert!(RoutingTree::from_edges(grid.graph(), spt).is_ok());
+    }
+}

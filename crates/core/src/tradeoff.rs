@@ -1,0 +1,375 @@
+//! Radius–cost tradeoff baselines: BRBC and Prim–Dijkstra (AHHK).
+//!
+//! Paper §2: "The bounded-radius bounded-cost (BRBC) method of \[14\] and
+//! the AHHK method of \[9\] both achieve wirelength-radius tradeoffs in
+//! weighted graphs, but can not directly produce a shortest paths tree
+//! with minimum wirelength. Rather, with the tradeoff parameter tuned
+//! completely towards pathlength minimization, the methods of \[14\] and \[9\]
+//! both produce the same shortest-paths tree as would Dijkstra's
+//! algorithm." These implementations make that comparison concrete: the
+//! tradeoff experiment sweeps their parameters and shows PFA/IDOM
+//! dominating the whole curve (optimal radius *and* competitive cost).
+
+use std::collections::HashSet;
+
+use route_graph::mst::prim_complete;
+use route_graph::{EdgeId, Graph, NodeId, TerminalDistances, Weight};
+
+use crate::heuristic::{require_connected, SteinerHeuristic};
+use crate::subgraph::spt_over_edges;
+use crate::{Net, RoutingTree, SteinerError};
+
+/// The Prim–Dijkstra tradeoff of Alpert–Hu–Huang–Kahng–Karger (AHHK).
+///
+/// Grows a tree over the net's distance graph, attaching the non-tree
+/// terminal `v` minimizing `c·ℓ(u) + dist(u, v)` where `ℓ(u)` is `u`'s
+/// tree pathlength from the source. `c = 0` degenerates to Prim (a
+/// distance-graph MST, pure wirelength); `c = 1` degenerates to Dijkstra
+/// over the distance graph (optimal radius).
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{GridGraph, Weight};
+/// use steiner_route::{Net, PrimDijkstra, SteinerHeuristic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(6, 6, Weight::UNIT)?;
+/// let net = Net::new(
+///     grid.node_at(0, 0)?,
+///     vec![grid.node_at(5, 2)?, grid.node_at(2, 5)?],
+/// )?;
+/// // Fully delay-tuned: the tree realizes every sink's shortest path.
+/// let spt = PrimDijkstra::new(1000).construct(grid.graph(), &net)?;
+/// assert!(spt.is_shortest_paths_tree(grid.graph(), &net)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimDijkstra {
+    /// Tradeoff parameter `c` in milli-units (0 = Prim … 1000 = Dijkstra).
+    c_milli: u64,
+}
+
+impl PrimDijkstra {
+    /// Creates the heuristic with `c = c_milli / 1000`, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(c_milli: u64) -> PrimDijkstra {
+        PrimDijkstra {
+            c_milli: c_milli.min(1000),
+        }
+    }
+
+    /// The tradeoff parameter in milli-units.
+    #[must_use]
+    pub fn c_milli(&self) -> u64 {
+        self.c_milli
+    }
+}
+
+impl SteinerHeuristic for PrimDijkstra {
+    fn name(&self) -> &str {
+        "AHHK"
+    }
+
+    #[allow(clippy::needless_range_loop)] // index loops mirror the matrix formulation
+    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+        net.validate_in(g)?;
+        let td = TerminalDistances::compute(g, net.terminals())?;
+        require_connected(&td, None)?;
+        let k = td.len();
+        // Priority of attaching v through u: c·ℓ(u) + dist(u, v), in milli.
+        let mut in_tree = vec![false; k];
+        let mut label = vec![Weight::ZERO; k]; // ℓ: tree pathlength from source
+        in_tree[0] = true;
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(k - 1); // (u, v)
+        for _ in 1..k {
+            let mut best: Option<(u128, usize, usize)> = None;
+            for u in 0..k {
+                if !in_tree[u] {
+                    continue;
+                }
+                for v in 0..k {
+                    if in_tree[v] {
+                        continue;
+                    }
+                    let Some(duv) = td.dist(u, v) else { continue };
+                    let score = u128::from(self.c_milli) * u128::from(label[u].as_milli())
+                        / 1000
+                        + u128::from(duv.as_milli());
+                    if best.is_none_or(|(b, _, _)| score < b) {
+                        best = Some((score, u, v));
+                    }
+                }
+            }
+            let (_, u, v) = best.expect("connected terminals always attach");
+            in_tree[v] = true;
+            label[v] = label[u] + td.dist(u, v).expect("edge chosen exists");
+            order.push((u, v));
+        }
+        // Embed into G: splice each attachment path into the growing tree.
+        splice_paths(g, &td, net, &order)
+    }
+}
+
+/// The bounded-radius bounded-cost construction of Cong–Kahng–Robins–
+/// Sarrafzadeh–Wong (BRBC).
+///
+/// Walks a DFS tour of the net's distance-graph MST; whenever the tour
+/// length accumulated since the last shortcut exceeds `ε · minpath(n0, v)`
+/// at a terminal `v`, the direct shortest path to `v` is merged in. The
+/// shortest-paths tree over the resulting union has radius at most
+/// `(1 + ε)` times optimal and cost at most `(1 + 2/ε)` times the MST.
+///
+/// `ε = 0` yields Dijkstra's SPT over the distance graph; large `ε` yields
+/// the plain distance-graph MST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brbc {
+    /// Radius slack `ε` in milli-units (0 = pure SPT).
+    epsilon_milli: u64,
+}
+
+impl Brbc {
+    /// Creates the heuristic with `ε = epsilon_milli / 1000`.
+    #[must_use]
+    pub fn new(epsilon_milli: u64) -> Brbc {
+        Brbc { epsilon_milli }
+    }
+
+    /// The radius slack in milli-units.
+    #[must_use]
+    pub fn epsilon_milli(&self) -> u64 {
+        self.epsilon_milli
+    }
+}
+
+impl SteinerHeuristic for Brbc {
+    fn name(&self) -> &str {
+        "BRBC"
+    }
+
+    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+        net.validate_in(g)?;
+        let td = TerminalDistances::compute(g, net.terminals())?;
+        require_connected(&td, None)?;
+        let k = td.len();
+        let mst = prim_complete(k, |i, j| td.dist(i, j))
+            .expect("connectivity checked above");
+        // Adjacency of the distance-graph MST.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(i, j) in &mst.edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        // DFS tour from the source accumulating tour length; collect
+        // terminals owed a shortcut.
+        let mut shortcuts: Vec<usize> = Vec::new();
+        let mut visited = vec![false; k];
+        let mut stack = vec![(0usize, usize::MAX)];
+        let mut tour = Weight::ZERO;
+        while let Some((v, from)) = stack.pop() {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            if from != usize::MAX {
+                tour += td.dist(from, v).expect("MST edge exists");
+            }
+            let d0 = td.dist(0, v).expect("connected");
+            let budget = Weight::from_milli(
+                (u128::from(self.epsilon_milli) * u128::from(d0.as_milli()) / 1000) as u64,
+            );
+            if v != 0 && tour > budget {
+                shortcuts.push(v);
+                tour = Weight::ZERO;
+            }
+            for &u in adj[v].iter().rev() {
+                if !visited[u] {
+                    stack.push((u, v));
+                }
+            }
+        }
+        // Union: expanded MST edges + expanded shortcut paths, then the
+        // source-rooted SPT of the union.
+        let mut union: Vec<EdgeId> = Vec::new();
+        for &(i, j) in &mst.edges {
+            union.extend_from_slice(td.path(i, j)?.edges());
+        }
+        for v in shortcuts {
+            union.extend_from_slice(td.path(0, v)?.edges());
+        }
+        let spt = spt_over_edges(g, &union, net.source())?;
+        let tree = RoutingTree::from_edges(g, spt)?;
+        tree.pruned_to(g, net.terminals())
+    }
+}
+
+/// Embeds a sequence of distance-graph attachments `(u, v)` into `G`,
+/// walking each concrete `u → v` shortest path backwards from `v` and
+/// splicing it onto the first node already in the tree.
+fn splice_paths(
+    g: &Graph,
+    td: &TerminalDistances,
+    net: &Net,
+    order: &[(usize, usize)],
+) -> Result<RoutingTree, SteinerError> {
+    let mut tree_nodes: HashSet<NodeId> = HashSet::new();
+    tree_nodes.insert(net.source());
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for &(u, v) in order {
+        let path = td.path(u, v)?; // from terminal u to terminal v
+        // Walk backwards from v, collecting until we meet the tree.
+        let nodes = path.nodes();
+        let path_edges = path.edges();
+        let mut collected: Vec<EdgeId> = Vec::new();
+        let mut newly: Vec<NodeId> = vec![*nodes.last().expect("paths are nonempty")];
+        for idx in (0..path_edges.len()).rev() {
+            let from = nodes[idx];
+            if tree_nodes.contains(&nodes[idx + 1]) {
+                // v itself was already in the tree; nothing to add.
+                collected.clear();
+                newly.clear();
+                break;
+            }
+            collected.push(path_edges[idx]);
+            if tree_nodes.contains(&from) {
+                break;
+            }
+            newly.push(from);
+        }
+        edges.extend(collected);
+        tree_nodes.extend(newly);
+    }
+    let tree = RoutingTree::from_edges(g, edges)?;
+    tree.pruned_to(g, net.terminals())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::optimal_max_pathlength;
+    use crate::Kmb;
+    use rand::SeedableRng;
+    use route_graph::GridGraph;
+
+    fn random_instance(seed: u64) -> (GridGraph, Net) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
+        let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
+        (grid, Net::from_terminals(pins).unwrap())
+    }
+
+    #[test]
+    fn fully_delay_tuned_ahhk_is_a_shortest_paths_tree() {
+        // Paper §2: "with the tradeoff parameter tuned completely towards
+        // pathlength minimization, [AHHK] produces the same shortest-paths
+        // tree as would Dijkstra's algorithm."
+        for seed in 0..8 {
+            let (grid, net) = random_instance(seed);
+            let tree = PrimDijkstra::new(1000).construct(grid.graph(), &net).unwrap();
+            assert!(tree.spans(&net), "seed {seed}");
+            assert!(
+                tree.is_shortest_paths_tree(grid.graph(), &net).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_delay_tuned_brbc_is_a_shortest_paths_tree() {
+        for seed in 0..8 {
+            let (grid, net) = random_instance(seed);
+            let tree = Brbc::new(0).construct(grid.graph(), &net).unwrap();
+            assert!(
+                tree.is_shortest_paths_tree(grid.graph(), &net).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn prim_end_of_ahhk_matches_mst_cost_scale() {
+        // c = 0 is Prim over the distance graph; after splicing, cost can
+        // only shrink below the distance-MST cost.
+        for seed in 0..8 {
+            let (grid, net) = random_instance(seed);
+            let td = TerminalDistances::compute(grid.graph(), net.terminals()).unwrap();
+            let mst = prim_complete(td.len(), |i, j| td.dist(i, j)).unwrap();
+            let tree = PrimDijkstra::new(0).construct(grid.graph(), &net).unwrap();
+            assert!(tree.cost() <= mst.cost, "seed {seed}");
+            assert!(tree.spans(&net));
+        }
+    }
+
+    #[test]
+    fn brbc_radius_respects_its_guarantee() {
+        for seed in 0..8 {
+            for eps in [0u64, 250, 500, 1000, 4000] {
+                let (grid, net) = random_instance(seed);
+                let tree = Brbc::new(eps).construct(grid.graph(), &net).unwrap();
+                let radius = tree.max_pathlength(&net).unwrap();
+                let opt = optimal_max_pathlength(grid.graph(), &net).unwrap();
+                let bound = opt.as_milli() as u128 * (1000 + u128::from(eps)) / 1000;
+                assert!(
+                    u128::from(radius.as_milli()) <= bound,
+                    "seed {seed} eps {eps}: radius {radius} vs bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tradeoff_moves_in_the_right_direction() {
+        // Aggregated over seeds, radius should not increase and cost
+        // should not decrease as the delay emphasis grows.
+        let mut radius_lo = 0u64;
+        let mut radius_hi = 0u64;
+        let mut cost_lo = 0u64;
+        let mut cost_hi = 0u64;
+        for seed in 0..10 {
+            let (grid, net) = random_instance(seed);
+            let lo = PrimDijkstra::new(0).construct(grid.graph(), &net).unwrap();
+            let hi = PrimDijkstra::new(1000).construct(grid.graph(), &net).unwrap();
+            radius_lo += lo.max_pathlength(&net).unwrap().as_milli();
+            radius_hi += hi.max_pathlength(&net).unwrap().as_milli();
+            cost_lo += lo.cost().as_milli();
+            cost_hi += hi.cost().as_milli();
+        }
+        assert!(radius_hi <= radius_lo);
+        assert!(cost_hi >= cost_lo);
+    }
+
+    #[test]
+    fn baselines_cannot_beat_kmb_and_arborescences_simultaneously() {
+        // The paper's point: neither baseline delivers optimal radius *and*
+        // Steiner-quality cost at once. At c = 1/ε = 0 the radius is
+        // optimal but the cost is spanning-tree cost (no Steiner nodes), so
+        // it cannot undercut IKMB systematically.
+        let mut kmb_total = 0u64;
+        let mut ahhk_total = 0u64;
+        for seed in 0..10 {
+            let (grid, net) = random_instance(seed);
+            kmb_total += Kmb::new()
+                .construct(grid.graph(), &net)
+                .unwrap()
+                .cost()
+                .as_milli();
+            ahhk_total += PrimDijkstra::new(1000)
+                .construct(grid.graph(), &net)
+                .unwrap()
+                .cost()
+                .as_milli();
+        }
+        assert!(ahhk_total >= kmb_total);
+    }
+
+    #[test]
+    fn disconnected_nets_error() {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::UNIT).unwrap();
+        let net = Net::new(n[0], vec![n[2]]).unwrap();
+        assert!(PrimDijkstra::new(500).construct(&g, &net).is_err());
+        assert!(Brbc::new(500).construct(&g, &net).is_err());
+    }
+}

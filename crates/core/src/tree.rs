@@ -1,0 +1,467 @@
+//! Routing trees: validated tree subgraphs spanning a net.
+
+use std::collections::HashMap;
+
+use route_graph::{EdgeId, Graph, NodeId, ShortestPaths, Weight};
+
+use crate::{Net, SteinerError};
+
+/// A routing solution for a net: a tree `T ⊆ G` (paper §2).
+///
+/// A `RoutingTree` is constructed from an edge set and *validated*: the
+/// edges must be usable in the graph, acyclic, and form a single connected
+/// component. The tree snapshots its cost (sum of edge weights) at
+/// construction time; if graph weights are later mutated the snapshot is not
+/// updated.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{Graph, Weight};
+/// use steiner_route::{Net, RoutingTree};
+///
+/// # fn main() -> Result<(), steiner_route::SteinerError> {
+/// let mut g = Graph::with_nodes(3);
+/// let n: Vec<_> = g.node_ids().collect();
+/// let e0 = g.add_edge(n[0], n[1], Weight::from_units(2))?;
+/// let e1 = g.add_edge(n[1], n[2], Weight::from_units(3))?;
+/// let tree = RoutingTree::from_edges(&g, vec![e0, e1])?;
+/// let net = Net::new(n[0], vec![n[2]])?;
+/// assert!(tree.spans(&net));
+/// assert_eq!(tree.cost(), Weight::from_units(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTree {
+    edges: Vec<EdgeId>,
+    cost: Weight,
+    adjacency: HashMap<NodeId, Vec<(NodeId, EdgeId, Weight)>>,
+}
+
+impl RoutingTree {
+    /// Builds and validates a tree from an edge set.
+    ///
+    /// Duplicate edge ids are collapsed to a single occurrence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SteinerError::Graph`] if an edge is unusable (removed or with a
+    ///   removed endpoint),
+    /// * [`SteinerError::CycleInTree`] if the edges contain a cycle,
+    /// * [`SteinerError::ForestNotTree`] if the edges span more than one
+    ///   connected component.
+    pub fn from_edges(g: &Graph, edges: Vec<EdgeId>) -> Result<RoutingTree, SteinerError> {
+        let mut dedup: Vec<EdgeId> = Vec::with_capacity(edges.len());
+        let mut seen = HashMap::new();
+        for e in edges {
+            if seen.insert(e, ()).is_none() {
+                dedup.push(e);
+            }
+        }
+        let mut adjacency: HashMap<NodeId, Vec<(NodeId, EdgeId, Weight)>> = HashMap::new();
+        let mut cost = Weight::ZERO;
+        let mut index_of: HashMap<NodeId, usize> = HashMap::new();
+        for &e in &dedup {
+            if !g.is_edge_usable(e) {
+                return Err(SteinerError::Graph(route_graph::GraphError::EdgeRemoved(e)));
+            }
+            let (a, b) = g.endpoints(e)?;
+            let w = g.weight(e)?;
+            cost += w;
+            adjacency.entry(a).or_default().push((b, e, w));
+            adjacency.entry(b).or_default().push((a, e, w));
+            let next = index_of.len();
+            index_of.entry(a).or_insert(next);
+            let next = index_of.len();
+            index_of.entry(b).or_insert(next);
+        }
+        // Acyclicity + connectivity via union-find over touched nodes.
+        let mut uf = route_graph::dsu::UnionFind::new(index_of.len());
+        for &e in &dedup {
+            let (a, b) = g.endpoints(e)?;
+            if !uf.union(index_of[&a], index_of[&b]) {
+                return Err(SteinerError::CycleInTree);
+            }
+        }
+        if uf.set_count() > 1 {
+            return Err(SteinerError::ForestNotTree);
+        }
+        Ok(RoutingTree {
+            edges: dedup,
+            cost,
+            adjacency,
+        })
+    }
+
+    /// The tree's edges.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total wirelength: the sum of edge weights at construction time
+    /// (`cost(T)` in the paper).
+    #[must_use]
+    pub fn cost(&self) -> Weight {
+        self.cost
+    }
+
+    /// Iterates over the nodes touched by the tree.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Number of nodes touched by the tree.
+    #[must_use]
+    pub fn node_len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns `true` if `v` is a node of the tree.
+    #[must_use]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.adjacency.contains_key(&v)
+    }
+
+    /// Degree of `v` within the tree (0 if absent).
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency.get(&v).map_or(0, Vec::len)
+    }
+
+    /// Returns `true` if the tree contains every pin of `net`.
+    #[must_use]
+    pub fn spans(&self, net: &Net) -> bool {
+        net.terminals().iter().all(|&t| self.contains_node(t))
+    }
+
+    /// Within-tree path cost from `from` to `to`, or `None` if either node
+    /// is not in the tree.
+    #[must_use]
+    pub fn path_cost(&self, from: NodeId, to: NodeId) -> Option<Weight> {
+        self.distances_from(from)?.get(&to).copied()
+    }
+
+    /// Within-tree distances from `root` to every tree node, or `None` if
+    /// `root` is not in the tree.
+    #[must_use]
+    pub fn distances_from(&self, root: NodeId) -> Option<HashMap<NodeId, Weight>> {
+        if !self.contains_node(root) {
+            return None;
+        }
+        let mut dist = HashMap::with_capacity(self.adjacency.len());
+        dist.insert(root, Weight::ZERO);
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            let dv = dist[&v];
+            for &(u, _, w) in &self.adjacency[&v] {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                    e.insert(dv + w);
+                    stack.push(u);
+                }
+            }
+        }
+        Some(dist)
+    }
+
+    /// The maximum source-to-sink pathlength inside the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteinerError::MissingTerminal`] if the tree does not span
+    /// the net.
+    pub fn max_pathlength(&self, net: &Net) -> Result<Weight, SteinerError> {
+        let dist = self
+            .distances_from(net.source())
+            .ok_or(SteinerError::MissingTerminal(net.source()))?;
+        let mut max = Weight::ZERO;
+        for &s in net.sinks() {
+            let d = *dist.get(&s).ok_or(SteinerError::MissingTerminal(s))?;
+            max = max.max(d);
+        }
+        Ok(max)
+    }
+
+    /// Checks the arborescence property of the GSA problem (paper §2):
+    /// `minpath_T(n0, ni) == minpath_G(n0, ni)` for every sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteinerError::MissingTerminal`] if the tree does not span
+    /// the net, or a graph error if a sink is unreachable in `g`.
+    pub fn is_shortest_paths_tree(&self, g: &Graph, net: &Net) -> Result<bool, SteinerError> {
+        let tree_dist = self
+            .distances_from(net.source())
+            .ok_or(SteinerError::MissingTerminal(net.source()))?;
+        let sp = ShortestPaths::run_to_targets(g, net.source(), net.sinks())?;
+        for &s in net.sinks() {
+            let in_tree = *tree_dist.get(&s).ok_or(SteinerError::MissingTerminal(s))?;
+            let in_graph = sp.dist(s).ok_or(route_graph::GraphError::Disconnected {
+                from: net.source(),
+                to: s,
+            })?;
+            if in_tree != in_graph {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns a copy of the tree with all pendant (degree-1) nodes not in
+    /// `keep` iteratively deleted — the final cleanup step of KMB and of the
+    /// arborescence expansions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction errors (cannot occur for a valid tree).
+    pub fn pruned_to(&self, g: &Graph, keep: &[NodeId]) -> Result<RoutingTree, SteinerError> {
+        let mut degree: HashMap<NodeId, usize> = self
+            .adjacency
+            .iter()
+            .map(|(&v, adj)| (v, adj.len()))
+            .collect();
+        let mut removed_edges: HashMap<EdgeId, bool> = HashMap::new();
+        let mut queue: Vec<NodeId> = degree
+            .iter()
+            .filter(|&(v, &d)| d == 1 && !keep.contains(v))
+            .map(|(&v, _)| v)
+            .collect();
+        let mut dead_nodes: HashMap<NodeId, bool> = HashMap::new();
+        while let Some(v) = queue.pop() {
+            if dead_nodes.contains_key(&v) || degree.get(&v) != Some(&1) || keep.contains(&v) {
+                continue;
+            }
+            dead_nodes.insert(v, true);
+            // Find the single live incident edge.
+            for &(u, e, _) in &self.adjacency[&v] {
+                if removed_edges.contains_key(&e) || dead_nodes.contains_key(&u) {
+                    continue;
+                }
+                removed_edges.insert(e, true);
+                let du = degree.get_mut(&u).expect("neighbor tracked");
+                *du -= 1;
+                if *du == 1 && !keep.contains(&u) {
+                    queue.push(u);
+                }
+                break;
+            }
+        }
+        let kept: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !removed_edges.contains_key(e))
+            .collect();
+        RoutingTree::from_edges(g, kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::GridGraph;
+
+    fn grid3() -> GridGraph {
+        GridGraph::new(3, 3, Weight::UNIT).unwrap()
+    }
+
+    /// Builds the L-shaped tree (0,0)-(0,1)-(0,2)-(1,2) on a 3×3 grid.
+    fn l_tree(grid: &GridGraph) -> (RoutingTree, Vec<NodeId>) {
+        let n00 = grid.node_at(0, 0).unwrap();
+        let n01 = grid.node_at(0, 1).unwrap();
+        let n02 = grid.node_at(0, 2).unwrap();
+        let n12 = grid.node_at(1, 2).unwrap();
+        let edges = vec![
+            grid.edge_between(n00, n01).unwrap(),
+            grid.edge_between(n01, n02).unwrap(),
+            grid.edge_between(n02, n12).unwrap(),
+        ];
+        let tree = RoutingTree::from_edges(grid.graph(), edges).unwrap();
+        (tree, vec![n00, n01, n02, n12])
+    }
+
+    #[test]
+    fn construction_and_cost() {
+        let grid = grid3();
+        let (tree, nodes) = l_tree(&grid);
+        assert_eq!(tree.cost(), Weight::from_units(3));
+        assert_eq!(tree.edge_len(), 3);
+        assert_eq!(tree.node_len(), 4);
+        for &v in &nodes {
+            assert!(tree.contains_node(v));
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let grid = grid3();
+        let a = grid.node_at(0, 0).unwrap();
+        let b = grid.node_at(0, 1).unwrap();
+        let e = grid.edge_between(a, b).unwrap();
+        let tree = RoutingTree::from_edges(grid.graph(), vec![e, e, e]).unwrap();
+        assert_eq!(tree.edge_len(), 1);
+        assert_eq!(tree.cost(), Weight::UNIT);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let grid = grid3();
+        let n00 = grid.node_at(0, 0).unwrap();
+        let n01 = grid.node_at(0, 1).unwrap();
+        let n10 = grid.node_at(1, 0).unwrap();
+        let n11 = grid.node_at(1, 1).unwrap();
+        let edges = vec![
+            grid.edge_between(n00, n01).unwrap(),
+            grid.edge_between(n01, n11).unwrap(),
+            grid.edge_between(n11, n10).unwrap(),
+            grid.edge_between(n10, n00).unwrap(),
+        ];
+        assert_eq!(
+            RoutingTree::from_edges(grid.graph(), edges).unwrap_err(),
+            SteinerError::CycleInTree
+        );
+    }
+
+    #[test]
+    fn forests_rejected() {
+        let grid = grid3();
+        let e1 = grid
+            .edge_between(grid.node_at(0, 0).unwrap(), grid.node_at(0, 1).unwrap())
+            .unwrap();
+        let e2 = grid
+            .edge_between(grid.node_at(2, 0).unwrap(), grid.node_at(2, 1).unwrap())
+            .unwrap();
+        assert_eq!(
+            RoutingTree::from_edges(grid.graph(), vec![e1, e2]).unwrap_err(),
+            SteinerError::ForestNotTree
+        );
+    }
+
+    #[test]
+    fn unusable_edges_rejected() {
+        let mut grid = grid3();
+        let a = grid.node_at(0, 0).unwrap();
+        let b = grid.node_at(0, 1).unwrap();
+        let e = grid.edge_between(a, b).unwrap();
+        grid.graph_mut().remove_edge(e).unwrap();
+        assert!(matches!(
+            RoutingTree::from_edges(grid.graph(), vec![e]),
+            Err(SteinerError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn spans_and_pathlengths() {
+        let grid = grid3();
+        let (tree, nodes) = l_tree(&grid);
+        let net = Net::new(nodes[0], vec![nodes[3]]).unwrap();
+        assert!(tree.spans(&net));
+        assert_eq!(tree.max_pathlength(&net).unwrap(), Weight::from_units(3));
+        assert_eq!(
+            tree.path_cost(nodes[0], nodes[2]),
+            Some(Weight::from_units(2))
+        );
+        assert_eq!(tree.path_cost(nodes[0], grid.node_at(2, 2).unwrap()), None);
+    }
+
+    #[test]
+    fn missing_terminal_detected() {
+        let grid = grid3();
+        let (tree, nodes) = l_tree(&grid);
+        let outside = grid.node_at(2, 2).unwrap();
+        let net = Net::new(nodes[0], vec![outside]).unwrap();
+        assert!(!tree.spans(&net));
+        assert_eq!(
+            tree.max_pathlength(&net).unwrap_err(),
+            SteinerError::MissingTerminal(outside)
+        );
+    }
+
+    #[test]
+    fn arborescence_check() {
+        let grid = grid3();
+        let (tree, nodes) = l_tree(&grid);
+        // Path (0,0)→(1,2) in tree has length 3, equal to Manhattan — an SPT.
+        let net = Net::new(nodes[0], vec![nodes[3]]).unwrap();
+        assert!(tree.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+        // From the corner (0,2) to (0,0): tree path 2 = optimal too.
+        let net2 = Net::new(nodes[2], vec![nodes[0]]).unwrap();
+        assert!(tree.is_shortest_paths_tree(grid.graph(), &net2).unwrap());
+        // Sink (1,2) from source (0,1): tree path 0,1→0,2→1,2 length 2 = optimal.
+        let net3 = Net::new(nodes[1], vec![nodes[3]]).unwrap();
+        assert!(tree.is_shortest_paths_tree(grid.graph(), &net3).unwrap());
+    }
+
+    #[test]
+    fn non_spt_detected() {
+        // U-shaped detour: (0,0)-(1,0)-(2,0)-(2,1)-(2,2)-(1,2)-(0,2); source
+        // (0,0), sink (0,2) has tree distance 6 but graph distance 2.
+        let grid = grid3();
+        let path = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2)];
+        let mut edges = Vec::new();
+        for w in path.windows(2) {
+            let a = grid.node_at(w[0].0, w[0].1).unwrap();
+            let b = grid.node_at(w[1].0, w[1].1).unwrap();
+            edges.push(grid.edge_between(a, b).unwrap());
+        }
+        let tree = RoutingTree::from_edges(grid.graph(), edges).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(0, 2).unwrap()],
+        )
+        .unwrap();
+        assert!(!tree.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+    }
+
+    #[test]
+    fn pruning_removes_dangling_branches() {
+        let grid = grid3();
+        let n00 = grid.node_at(0, 0).unwrap();
+        let n01 = grid.node_at(0, 1).unwrap();
+        let n02 = grid.node_at(0, 2).unwrap();
+        let n11 = grid.node_at(1, 1).unwrap();
+        let n21 = grid.node_at(2, 1).unwrap();
+        let edges = vec![
+            grid.edge_between(n00, n01).unwrap(),
+            grid.edge_between(n01, n02).unwrap(),
+            // dangling branch below n01
+            grid.edge_between(n01, n11).unwrap(),
+            grid.edge_between(n11, n21).unwrap(),
+        ];
+        let tree = RoutingTree::from_edges(grid.graph(), edges).unwrap();
+        let pruned = tree.pruned_to(grid.graph(), &[n00, n02]).unwrap();
+        assert_eq!(pruned.edge_len(), 2);
+        assert_eq!(pruned.cost(), Weight::from_units(2));
+        assert!(!pruned.contains_node(n21));
+        assert!(!pruned.contains_node(n11));
+    }
+
+    #[test]
+    fn pruning_keeps_protected_leaves() {
+        let grid = grid3();
+        let (tree, nodes) = l_tree(&grid);
+        let pruned = tree.pruned_to(grid.graph(), &nodes).unwrap();
+        assert_eq!(pruned.edge_len(), 3);
+    }
+
+    #[test]
+    fn empty_tree_is_valid_but_spans_nothing() {
+        let grid = grid3();
+        let tree = RoutingTree::from_edges(grid.graph(), vec![]).unwrap();
+        assert_eq!(tree.cost(), Weight::ZERO);
+        assert_eq!(tree.node_len(), 0);
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(1, 1).unwrap()],
+        )
+        .unwrap();
+        assert!(!tree.spans(&net));
+    }
+}

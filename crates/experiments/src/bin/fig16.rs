@@ -1,0 +1,15 @@
+//! Regenerates Figure 16 (rendered busc routing, SVG + ASCII).
+use experiments::fig16::run;
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let out = experiments::artifact_dir();
+    let result = run(&WidthExperimentConfig::default(), &out).expect("figure 16 failed");
+    println!(
+        "busc routed at W = {} (total wirelength {:.0}); SVG written to {}",
+        result.channel_width,
+        result.total_wirelength,
+        result.svg_path.display()
+    );
+    println!("{}", result.ascii);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 (four solutions for one 4-pin net) as a table and
+//! a four-panel SVG.
+use experiments::fig4::{render, render_svg, run};
+
+fn main() {
+    let result = run(500).expect("figure 4 search failed");
+    println!("{}", render(&result));
+    let out = experiments::artifact_dir();
+    std::fs::create_dir_all(&out).expect("artifact dir");
+    let path = out.join("fig4_panels.svg");
+    std::fs::write(&path, render_svg(&result).expect("SVG render failed")).expect("write SVG");
+    println!("four-panel SVG written to {}", path.display());
+}

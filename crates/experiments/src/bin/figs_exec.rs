@@ -1,0 +1,7 @@
+//! Regenerates the Figure 6 / Figure 13 execution traces.
+use experiments::figs_exec::{render, run_fig13, run_fig6};
+
+fn main() {
+    println!("{}", render(&run_fig6().expect("figure 6 trace failed")));
+    println!("{}", render(&run_fig13().expect("figure 13 trace failed")));
+}

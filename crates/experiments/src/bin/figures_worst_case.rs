@@ -1,0 +1,50 @@
+//! Regenerates Figures 10, 11 and 14 (worst-case families).
+use experiments::table::TextTable;
+use experiments::worst_case::{run_fig10, run_fig11, run_fig14};
+
+fn main() {
+    let fig10 = run_fig10(&[2, 4, 8, 16, 32]).expect("figure 10 failed");
+    let mut t = TextTable::new(
+        "Figure 10: PFA worst case on weighted graphs (ratio vs optimal)",
+        &["clusters", "sinks", "PFA/opt", "IDOM/opt"],
+    );
+    for p in &fig10 {
+        t.push_row(vec![
+            p.clusters.to_string(),
+            (2 * p.clusters).to_string(),
+            format!("{:.3}", p.pfa_ratio),
+            format!("{:.3}", p.idom_ratio),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let fig11 = run_fig11(&[2, 3, 5, 7, 9, 12]).expect("figure 11 failed");
+    let mut t = TextTable::new(
+        "Figure 11: PFA on the grid staircase (tight bound 2)",
+        &["k", "PFA cost", "Steiner opt (lower bound)", "ratio"],
+    );
+    for p in &fig11 {
+        t.push_row(vec![
+            p.k.to_string(),
+            format!("{:.0}", p.pfa_cost),
+            p.steiner_opt.map_or("-".into(), |o| format!("{o:.0}")),
+            p.ratio_vs_steiner.map_or("-".into(), |r| format!("{r:.3}")),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let fig14 = run_fig14(&[2, 3, 4, 5, 6, 7]).expect("figure 14 failed");
+    let mut t = TextTable::new(
+        "Figure 14: IDOM on the set-cover gadget (Ω(log N) lower bound)",
+        &["m", "sinks", "IDOM/opt", "(m+2)/2"],
+    );
+    for p in &fig14 {
+        t.push_row(vec![
+            p.m.to_string(),
+            p.sinks.to_string(),
+            format!("{:.3}", p.idom_ratio),
+            format!("{:.3}", (p.m as f64 + 2.0) / 2.0),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the multi-weighted jog-minimization sweep.
+use experiments::jogs::{render, run, JogsConfig};
+
+fn main() {
+    let config = JogsConfig::default();
+    let points = run(&config).expect("jogs experiment failed");
+    println!("{}", render(&points, &config));
+}

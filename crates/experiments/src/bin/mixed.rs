@@ -1,0 +1,9 @@
+//! Regenerates the mixed critical/non-critical routing comparison.
+use experiments::mixed::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let config = WidthExperimentConfig::default();
+    let rows = run(&config, "term1", 10, 0.15).expect("mixed experiment failed");
+    println!("{}", render(&rows, "term1", 10));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 1. `--quick` runs 10 nets per cell instead of 50.
+use experiments::table1::{render, run, Table1Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = Table1Config {
+        nets: if quick { 10 } else { 50 },
+        ..Table1Config::default()
+    };
+    let sections = run(&config).expect("table 1 experiment failed");
+    println!("{}", render(&sections));
+}

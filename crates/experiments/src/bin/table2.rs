@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (Xilinx 3000-series channel widths).
+use experiments::table2::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let rows = run(&WidthExperimentConfig::default()).expect("table 2 experiment failed");
+    println!("{}", render(&rows));
+}

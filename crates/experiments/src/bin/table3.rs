@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (Xilinx 4000-series channel widths).
+use experiments::table3::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let rows = run(&WidthExperimentConfig::default()).expect("table 3 experiment failed");
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (channel width: IKMB vs PFA vs IDOM).
+use experiments::table4::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let rows = run(&WidthExperimentConfig::default()).expect("table 4 experiment failed");
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 5 (wirelength/pathlength tradeoff at common width).
+use experiments::table5::{render, run};
+use experiments::widths::WidthExperimentConfig;
+
+fn main() {
+    let rows = run(&WidthExperimentConfig::default()).expect("table 5 experiment failed");
+    println!("{}", render(&rows));
+}

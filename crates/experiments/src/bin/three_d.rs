@@ -1,0 +1,8 @@
+//! Regenerates the §6 3D-FPGA folding comparison.
+use experiments::three_d::{render, run, ThreeDConfig};
+
+fn main() {
+    let config = ThreeDConfig::default();
+    let result = run(&config).expect("3D experiment failed");
+    println!("{}", render(&result, &config));
+}

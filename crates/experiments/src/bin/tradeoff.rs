@@ -1,0 +1,8 @@
+//! Regenerates the §2 radius-cost tradeoff comparison.
+use experiments::tradeoff::{render, run, TradeoffConfig};
+
+fn main() {
+    let config = TradeoffConfig::default();
+    let points = run(&config).expect("tradeoff experiment failed");
+    println!("{}", render(&points, &config));
+}

@@ -1,0 +1,223 @@
+//! **Figure 4** — four routing solutions for one 4-pin net.
+//!
+//! The paper's example shows, on a small grid: (a) a suboptimal KMB tree,
+//! (b) the optimal Steiner tree found by IGMST, (c) a suboptimal DJKA
+//! arborescence, and (d) the optimal arborescence found by IDOM — with KMB
+//! using 12.5% more wirelength than IGMST/IDOM and max-pathlength
+//! improvements of 25% (IGMST) and 50% (IDOM) over KMB.
+//!
+//! The figure's exact pin placement is not recoverable from the scan, so
+//! this experiment *searches* seeded random 4-pin nets on small unit grids
+//! for the instance that best exhibits the same phenomenon: IKMB reaching
+//! the exact Steiner optimum below KMB's cost, and IDOM reaching the
+//! optimal radius below KMB's.
+
+use rand::SeedableRng;
+
+use route_graph::{GridGraph, Weight};
+use steiner_route::metrics::{measure, optimal_max_pathlength};
+use steiner_route::{exact, idom, ikmb, Djka, Kmb, Net, SteinerError, SteinerHeuristic};
+
+use crate::table::TextTable;
+
+/// One algorithm's numbers on the found instance.
+#[derive(Debug, Clone)]
+pub struct Fig4Line {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Tree wirelength.
+    pub wirelength: Weight,
+    /// Maximum source-sink pathlength.
+    pub max_pathlength: Weight,
+}
+
+/// The found instance and its four solutions.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Seed of the found instance.
+    pub seed: u64,
+    /// Terminals (source first) as `(row, col)` grid positions.
+    pub pins: Vec<(usize, usize)>,
+    /// Exact optimal Steiner tree cost.
+    pub optimal_wire: Weight,
+    /// Optimal radius (`max minpath`).
+    pub optimal_path: Weight,
+    /// Lines for KMB, IKMB, DJKA, IDOM.
+    pub lines: Vec<Fig4Line>,
+}
+
+/// Searches seeds for the clearest Figure 4 style instance.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run(max_seeds: u64) -> Result<Fig4Result, SteinerError> {
+    let mut best: Option<(u64, Fig4Result)> = None;
+    for seed in 0..max_seeds {
+        let grid = GridGraph::new(4, 4, Weight::UNIT).expect("valid grid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pins = route_graph::random::random_net(grid.graph(), 4, &mut rng)?;
+        let net = Net::from_terminals(pins)?;
+        let result = evaluate(&grid, &net, seed)?;
+        let kmb = &result.lines[0];
+        let ikmb_line = &result.lines[1];
+        let idom_line = &result.lines[3];
+        // Want: IKMB at the exact optimum, strictly below KMB; IDOM at the
+        // optimal radius, strictly below KMB's radius.
+        if ikmb_line.wirelength != result.optimal_wire
+            || idom_line.max_pathlength != result.optimal_path
+            || kmb.wirelength <= ikmb_line.wirelength
+            || kmb.max_pathlength <= idom_line.max_pathlength
+        {
+            continue;
+        }
+        let gap = kmb.wirelength.as_milli() - ikmb_line.wirelength.as_milli();
+        let path_gap = kmb.max_pathlength.as_milli() - idom_line.max_pathlength.as_milli();
+        let score = gap + path_gap;
+        if best
+            .as_ref()
+            .is_none_or(|(best_score, _)| score > *best_score)
+        {
+            best = Some((score, result));
+        }
+    }
+    best.map(|(_, r)| r).ok_or(SteinerError::EmptyNet)
+}
+
+fn evaluate(grid: &GridGraph, net: &Net, seed: u64) -> Result<Fig4Result, SteinerError> {
+    let g = grid.graph();
+    let algorithms: Vec<(&'static str, Box<dyn SteinerHeuristic>)> = vec![
+        ("KMB", Box::new(Kmb::new())),
+        ("IKMB", Box::new(ikmb())),
+        ("DJKA", Box::new(Djka::new())),
+        ("IDOM", Box::new(idom())),
+    ];
+    let mut lines = Vec::new();
+    for (name, algo) in &algorithms {
+        let tree = algo.construct(g, net)?;
+        let m = measure(&tree, net)?;
+        lines.push(Fig4Line {
+            algorithm: name,
+            wirelength: m.wirelength,
+            max_pathlength: m.max_pathlength,
+        });
+    }
+    Ok(Fig4Result {
+        seed,
+        pins: net
+            .terminals()
+            .iter()
+            .map(|&v| grid.position(v).expect("grid node"))
+            .collect(),
+        optimal_wire: exact::steiner_cost_for_net(g, net)?,
+        optimal_path: optimal_max_pathlength(g, net)?,
+        lines,
+    })
+}
+
+/// Renders the found instance as a four-panel SVG in the layout of the
+/// paper's Figure 4 (trees are reconstructed deterministically from the
+/// recorded pins).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn render_svg(result: &Fig4Result) -> Result<String, SteinerError> {
+    let grid = GridGraph::new(4, 4, Weight::UNIT).expect("valid grid");
+    let terminals = result
+        .pins
+        .iter()
+        .map(|&(r, c)| grid.node_at(r, c).map_err(SteinerError::Graph))
+        .collect::<Result<Vec<_>, _>>()?;
+    let net = Net::from_terminals(terminals)?;
+    let g = grid.graph();
+    let kmb = Kmb::new().construct(g, &net)?;
+    let ikmb_tree = ikmb().construct(g, &net)?;
+    let djka = Djka::new().construct(g, &net)?;
+    let idom_tree = idom().construct(g, &net)?;
+    let caption = |label: &str, tree: &steiner_route::RoutingTree| -> String {
+        format!(
+            "({label}) cost {} / path {}",
+            tree.cost(),
+            tree.max_pathlength(&net).expect("tree spans")
+        )
+    };
+    Ok(crate::gridviz::render_grid_panels(
+        &grid,
+        &net,
+        &[
+            crate::gridviz::GridPanel {
+                caption: caption("a KMB", &kmb),
+                tree: &kmb,
+            },
+            crate::gridviz::GridPanel {
+                caption: caption("b IKMB", &ikmb_tree),
+                tree: &ikmb_tree,
+            },
+            crate::gridviz::GridPanel {
+                caption: caption("c DJKA", &djka),
+                tree: &djka,
+            },
+            crate::gridviz::GridPanel {
+                caption: caption("d IDOM", &idom_tree),
+                tree: &idom_tree,
+            },
+        ],
+    ))
+}
+
+/// Renders the found instance.
+#[must_use]
+pub fn render(result: &Fig4Result) -> String {
+    let mut t = TextTable::new(
+        format!(
+            "Figure 4: four solutions for the 4-pin net {:?} on a 4x4 grid (seed {})",
+            result.pins, result.seed
+        ),
+        &["Algorithm", "Wirelength", "vs opt", "MaxPath", "vs opt"],
+    );
+    for line in &result.lines {
+        t.push_row(vec![
+            line.algorithm.to_string(),
+            line.wirelength.to_string(),
+            format!(
+                "{:+.1}%",
+                (line.wirelength.as_f64() / result.optimal_wire.as_f64() - 1.0) * 100.0
+            ),
+            line.max_pathlength.to_string(),
+            format!(
+                "{:+.1}%",
+                (line.max_pathlength.as_f64() / result.optimal_path.as_f64() - 1.0) * 100.0
+            ),
+        ]);
+    }
+    t.push_separator();
+    t.push_row(vec![
+        "OPT".into(),
+        result.optimal_wire.to_string(),
+        "+0.0%".into(),
+        result.optimal_path.to_string(),
+        "+0.0%".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_figure4_style_instance() {
+        let r = run(200).unwrap();
+        let kmb = &r.lines[0];
+        let ikmb_line = &r.lines[1];
+        let idom_line = &r.lines[3];
+        assert_eq!(ikmb_line.wirelength, r.optimal_wire);
+        assert_eq!(idom_line.max_pathlength, r.optimal_path);
+        assert!(kmb.wirelength > ikmb_line.wirelength);
+        assert!(kmb.max_pathlength > idom_line.max_pathlength);
+        let rendered = render(&r);
+        assert!(rendered.contains("KMB"));
+        assert!(rendered.contains("OPT"));
+    }
+}

@@ -1,0 +1,164 @@
+//! **Figures 6 and 13** — execution traces of IKMB and IDOM.
+//!
+//! Figure 6 walks IKMB from an initial KMB cost of 7 through Steiner
+//! points S2 and S3 to the optimal cost 5; Figure 13 walks IDOM from an
+//! initial DOM distance-graph cost of 8 through S3 and S2 to cost 5. This
+//! experiment replays the same shapes on equivalent instances and prints
+//! the cost after each accepted Steiner point.
+
+use route_graph::{Graph, NodeId, TerminalDistances, Weight};
+use steiner_route::heuristic::IteratedBase;
+use steiner_route::{idom, ikmb, Dom, Kmb, Net, SteinerError, SteinerHeuristic};
+
+use crate::table::TextTable;
+
+/// The trace of one iterated run: costs before/after each acceptance.
+#[derive(Debug, Clone)]
+pub struct ExecTrace {
+    /// Figure label.
+    pub figure: &'static str,
+    /// Base heuristic cost before any Steiner point.
+    pub initial_cost: Weight,
+    /// Cost after each accepted Steiner point, in acceptance order.
+    pub after_each: Vec<Weight>,
+    /// Final tree cost.
+    pub final_cost: Weight,
+}
+
+/// The Figure 6 style instance: terminals A–D, hubs s2/s3 forming the
+/// optimal cost-5 star, direct edges that bait KMB to 6.7.
+fn figure6_instance() -> Result<(Graph, Net), SteinerError> {
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = (0..6).map(|_| g.add_node()).collect();
+    let (a, b, c, d, s2, s3) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5]);
+    let u = Weight::from_units;
+    let m = Weight::from_milli;
+    g.add_edge(a, s2, u(1))?;
+    g.add_edge(b, s2, u(1))?;
+    g.add_edge(s2, s3, u(1))?;
+    g.add_edge(c, s3, u(1))?;
+    g.add_edge(d, s3, u(1))?;
+    g.add_edge(a, b, m(1900))?;
+    g.add_edge(c, d, m(1900))?;
+    g.add_edge(b, c, m(2900))?;
+    Ok((g, Net::new(a, vec![b, c, d])?))
+}
+
+/// The Figure 13 style instance: source A, sinks B–D on the spine
+/// A—s2—s3; DOM's distance-graph cost starts at 8.
+fn figure13_instance() -> Result<(Graph, Net), SteinerError> {
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = (0..6).map(|_| g.add_node()).collect();
+    let (a, b, c, d, s2, s3) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5]);
+    let u = Weight::from_units;
+    g.add_edge(a, s2, u(1))?;
+    g.add_edge(s2, b, u(1))?;
+    g.add_edge(s2, s3, u(1))?;
+    g.add_edge(s3, c, u(1))?;
+    g.add_edge(s3, d, u(1))?;
+    Ok((g, Net::new(a, vec![b, c, d])?))
+}
+
+/// Replays IKMB on the Figure 6 instance.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run_fig6() -> Result<ExecTrace, SteinerError> {
+    let (g, net) = figure6_instance()?;
+    let kmb = Kmb::new();
+    let initial = kmb.construct(&g, &net)?.cost();
+    let outcome = ikmb().construct_traced(&g, &net)?;
+    // Replay costs by re-evaluating KMB over the accepted prefixes.
+    let mut td = TerminalDistances::compute(&g, net.terminals())?;
+    let mut after_each = Vec::new();
+    for &s in &outcome.steiner_points {
+        td.push_terminal(&g, s)?;
+        after_each.push(kmb.cost_with(&g, &td, None)?);
+    }
+    Ok(ExecTrace {
+        figure: "Figure 6 (IKMB)",
+        initial_cost: initial,
+        after_each,
+        final_cost: outcome.tree.cost(),
+    })
+}
+
+/// Replays IDOM on the Figure 13 instance.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run_fig13() -> Result<ExecTrace, SteinerError> {
+    let (g, net) = figure13_instance()?;
+    let dom = Dom::new();
+    let td0 = TerminalDistances::compute(&g, net.terminals())?;
+    let initial = dom.cost_with(&g, &td0, None)?;
+    let outcome = idom().construct_traced(&g, &net)?;
+    let mut td = TerminalDistances::compute(&g, net.terminals())?;
+    let mut after_each = Vec::new();
+    for &s in &outcome.steiner_points {
+        td.push_terminal(&g, s)?;
+        after_each.push(dom.cost_with(&g, &td, None)?);
+    }
+    Ok(ExecTrace {
+        figure: "Figure 13 (IDOM)",
+        initial_cost: initial,
+        after_each,
+        final_cost: outcome.tree.cost(),
+    })
+}
+
+/// Renders one trace.
+#[must_use]
+pub fn render(trace: &ExecTrace) -> String {
+    let mut t = TextTable::new(
+        format!("{} execution trace", trace.figure),
+        &["step", "cost"],
+    );
+    t.push_row(vec!["initial (no Steiner points)".into(), trace.initial_cost.to_string()]);
+    for (i, c) in trace.after_each.iter().enumerate() {
+        t.push_row(vec![format!("after Steiner point #{}", i + 1), c.to_string()]);
+    }
+    t.push_separator();
+    t.push_row(vec!["final tree".into(), trace.final_cost.to_string()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_trace_descends_to_five() {
+        let trace = run_fig6().unwrap();
+        // Paper: initial KMB 7, final 5. Our instance: initial 6.7
+        // (DESIGN.md §3), monotone descent to exactly 5.
+        assert_eq!(trace.initial_cost, Weight::from_milli(6700));
+        assert_eq!(trace.final_cost, Weight::from_units(5));
+        assert!(!trace.after_each.is_empty());
+        let mut prev = trace.initial_cost;
+        for &c in &trace.after_each {
+            assert!(c < prev, "cost must strictly decrease");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn fig13_trace_descends_from_eight_to_five() {
+        let trace = run_fig13().unwrap();
+        // Paper: initial DOM 8, after S3 → 6, after S2 → 5 — identical.
+        assert_eq!(trace.initial_cost, Weight::from_units(8));
+        assert_eq!(trace.after_each.len(), 2);
+        assert_eq!(trace.after_each[0], Weight::from_units(6));
+        assert_eq!(trace.after_each[1], Weight::from_units(5));
+        assert_eq!(trace.final_cost, Weight::from_units(5));
+    }
+
+    #[test]
+    fn renders_human_readable_tables() {
+        let rendered = render(&run_fig13().unwrap());
+        assert!(rendered.contains("Figure 13"));
+        assert!(rendered.contains("final tree"));
+    }
+}

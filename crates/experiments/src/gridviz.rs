@@ -1,0 +1,136 @@
+//! SVG rendering of routing trees on grid graphs (Figure 4 style).
+
+use std::fmt::Write as _;
+
+use route_graph::{GridGraph, NodeId};
+use steiner_route::{Net, RoutingTree};
+
+/// One labelled panel of a grid figure.
+#[derive(Debug, Clone)]
+pub struct GridPanel<'a> {
+    /// Caption under the panel (e.g. `"(a) KMB — cost 9"`).
+    pub caption: String,
+    /// The tree drawn in this panel.
+    pub tree: &'a RoutingTree,
+}
+
+/// Renders a row of panels, each showing the same net and grid with a
+/// different routing tree — the layout of the paper's Figure 4.
+///
+/// The source pin is drawn as a light square, sinks as dark squares, tree
+/// edges as thick lines, and unused grid edges as a faint lattice.
+#[must_use]
+pub fn render_grid_panels(grid: &GridGraph, net: &Net, panels: &[GridPanel<'_>]) -> String {
+    const CELL: f64 = 28.0;
+    const MARGIN: f64 = 22.0;
+    const GAP: f64 = 30.0;
+    let rows = grid.rows() as f64;
+    let cols = grid.cols() as f64;
+    let panel_w = (cols - 1.0) * CELL + 2.0 * MARGIN;
+    let panel_h = (rows - 1.0) * CELL + 2.0 * MARGIN + 18.0;
+    let width = panel_w * panels.len() as f64 + GAP * (panels.len().saturating_sub(1)) as f64;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{panel_h}" viewBox="0 0 {width} {panel_h}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{width}" height="{panel_h}" fill="white"/>"#
+    );
+    let pos = |v: NodeId, ox: f64| -> (f64, f64) {
+        let (r, c) = grid.position(v).expect("tree nodes live on the grid");
+        (ox + MARGIN + c as f64 * CELL, MARGIN + r as f64 * CELL)
+    };
+    for (pi, panel) in panels.iter().enumerate() {
+        let ox = pi as f64 * (panel_w + GAP);
+        // Faint lattice.
+        for e in grid.graph().edge_ids() {
+            let (a, b) = grid.graph().endpoints(e).expect("usable edge");
+            let (x1, y1) = pos(a, ox);
+            let (x2, y2) = pos(b, ox);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" stroke="#dddddd" stroke-width="1"/>"##
+            );
+        }
+        // Tree edges.
+        for &e in panel.tree.edges() {
+            let (a, b) = grid.graph().endpoints(e).expect("usable edge");
+            let (x1, y1) = pos(a, ox);
+            let (x2, y2) = pos(b, ox);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" stroke="#1f6f43" stroke-width="3.2" stroke-linecap="round"/>"##
+            );
+        }
+        // Steiner nodes of the tree (non-terminals of degree ≥ 3).
+        for v in panel.tree.nodes() {
+            if !net.contains(v) && panel.tree.degree(v) >= 3 {
+                let (x, y) = pos(v, ox);
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{x}" cy="{y}" r="4" fill="white" stroke="#1f6f43" stroke-width="1.6"/>"##
+                );
+            }
+        }
+        // Pins: source light, sinks dark.
+        for (i, &t) in net.terminals().iter().enumerate() {
+            let (x, y) = pos(t, ox);
+            let fill = if i == 0 { "#f2c14e" } else { "#333333" };
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="11" height="11" fill="{fill}" stroke="#111"/>"##,
+                x - 5.5,
+                y - 5.5
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle" fill="#222">{}</text>"##,
+            ox + panel_w / 2.0,
+            panel_h - 6.0,
+            panel.caption
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::Weight;
+    use steiner_route::{ikmb, Kmb, SteinerHeuristic};
+
+    #[test]
+    fn renders_panels_for_each_tree() {
+        let grid = GridGraph::new(4, 4, Weight::UNIT).unwrap();
+        let net = Net::new(
+            grid.node_at(0, 0).unwrap(),
+            vec![grid.node_at(3, 1).unwrap(), grid.node_at(1, 3).unwrap()],
+        )
+        .unwrap();
+        let a = Kmb::new().construct(grid.graph(), &net).unwrap();
+        let b = ikmb().construct(grid.graph(), &net).unwrap();
+        let svg = render_grid_panels(
+            &grid,
+            &net,
+            &[
+                GridPanel {
+                    caption: "(a) KMB".into(),
+                    tree: &a,
+                },
+                GridPanel {
+                    caption: "(b) IKMB".into(),
+                    tree: &b,
+                },
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("text-anchor").count(), 2);
+        // 3 pins per panel.
+        assert_eq!(svg.matches("height=\"11\"").count(), 6);
+    }
+}

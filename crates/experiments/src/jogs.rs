@@ -1,0 +1,179 @@
+//! Jog minimization through multi-weighted routing (paper §2, refs \[4, 7\]).
+//!
+//! The paper's companion framework routes on graphs whose edge weights
+//! combine "congestion, wirelength, and jog minimization" objectives.
+//! Here we attach a jog penalty to every direction-changing switch of a
+//! real device, sweep the penalty coefficient, and measure the tradeoff:
+//! bends drop as the coefficient grows, at a modest wirelength premium.
+
+use rand::{Rng, SeedableRng};
+
+use fpga_device::{ArchSpec, Device, EdgeKind, FpgaError, Side};
+use route_graph::multiweight::{Functional, MultiWeightedGraph};
+use route_graph::Weight;
+use steiner_route::{ikmb, Net, SteinerHeuristic};
+
+use crate::table::TextTable;
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct JogsConfig {
+    /// Device rows/cols.
+    pub rows: usize,
+    /// Device columns.
+    pub cols: usize,
+    /// Channel width.
+    pub channel_width: usize,
+    /// Nets to average over.
+    pub nets: usize,
+    /// Pins per net.
+    pub pins: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for JogsConfig {
+    fn default() -> JogsConfig {
+        JogsConfig {
+            rows: 8,
+            cols: 8,
+            channel_width: 6,
+            nets: 20,
+            pins: 4,
+            seed: 1995,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct JogsPoint {
+    /// Jog coefficient in milli (1000 = a bend costs one extra unit).
+    pub jog_coeff_milli: u64,
+    /// Mean bends (turn switches) per routed net.
+    pub mean_jogs: f64,
+    /// Mean physical wirelength per routed net (length component only).
+    pub mean_wirelength: f64,
+}
+
+/// Runs the jog-penalty sweep.
+///
+/// # Errors
+///
+/// Propagates device and routing errors.
+pub fn run(config: &JogsConfig) -> Result<Vec<JogsPoint>, FpgaError> {
+    let device = Device::new(ArchSpec::xilinx4000(
+        config.rows,
+        config.cols,
+        config.channel_width,
+    ))?;
+    // Criteria: every switch edge carries its unit length; turn edges
+    // additionally carry one unit of jog.
+    let mut mw = MultiWeightedGraph::from_graph(device.working_graph());
+    for e in device.graph().edge_ids() {
+        if device.edge_kind(e)? == EdgeKind::Turn {
+            let mut c = mw.criteria(e)?;
+            c.jogs = Weight::UNIT;
+            mw.set_criteria(e, c)?;
+        }
+    }
+    // A fixed workload of random nets over the device's pins.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut nets = Vec::with_capacity(config.nets);
+    while nets.len() < config.nets {
+        let mut pins = Vec::new();
+        while pins.len() < config.pins {
+            let pin = device.pin_node(
+                rng.gen_range(0..config.rows),
+                rng.gen_range(0..config.cols),
+                Side::ALL[rng.gen_range(0..4)],
+                0,
+            )?;
+            if !pins.contains(&pin) {
+                pins.push(pin);
+            }
+        }
+        nets.push(Net::from_terminals(pins).map_err(FpgaError::Steiner)?);
+    }
+    let heuristic = ikmb();
+    let mut out = Vec::new();
+    for jog_coeff_milli in [0u64, 500, 1000, 2000, 4000] {
+        mw.set_functional(Functional {
+            length_milli: 1000,
+            congestion_milli: 0,
+            jogs_milli: jog_coeff_milli,
+        })?;
+        let mut jogs = 0.0;
+        let mut wire = 0.0;
+        for net in &nets {
+            let tree = heuristic
+                .construct(mw.graph(), net)
+                .map_err(FpgaError::Steiner)?;
+            jogs += mw
+                .component_total(tree.edges(), |c| c.jogs)?
+                .as_f64();
+            wire += mw
+                .component_total(tree.edges(), |c| c.length)?
+                .as_f64();
+        }
+        out.push(JogsPoint {
+            jog_coeff_milli,
+            mean_jogs: jogs / config.nets as f64,
+            mean_wirelength: wire / config.nets as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the sweep.
+#[must_use]
+pub fn render(points: &[JogsPoint], config: &JogsConfig) -> String {
+    let mut t = TextTable::new(
+        format!(
+            "Jog minimization via multi-weighted routing ({} nets, {}x{} device, W={})",
+            config.nets, config.rows, config.cols, config.channel_width
+        ),
+        &["jog coefficient", "mean bends/net", "mean wirelength/net"],
+    );
+    for p in points {
+        t.push_row(vec![
+            format!("{:.1}", p.jog_coeff_milli as f64 / 1000.0),
+            format!("{:.2}", p.mean_jogs),
+            format!("{:.2}", p.mean_wirelength),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jog_penalty_reduces_bends_and_costs_some_wire() {
+        let config = JogsConfig {
+            rows: 6,
+            cols: 6,
+            channel_width: 5,
+            nets: 8,
+            pins: 3,
+            seed: 2,
+        };
+        let points = run(&config).unwrap();
+        let free = points.first().unwrap();
+        let heavy = points.last().unwrap();
+        assert!(
+            heavy.mean_jogs < free.mean_jogs,
+            "bends did not drop: {} -> {}",
+            free.mean_jogs,
+            heavy.mean_jogs
+        );
+        assert!(heavy.mean_wirelength >= free.mean_wirelength);
+        // Monotone-ish along the sweep (allow tiny heuristic noise).
+        for w in points.windows(2) {
+            assert!(w[1].mean_jogs <= w[0].mean_jogs + 0.51);
+        }
+        let rendered = render(&points, &config);
+        assert!(rendered.contains("bends"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Regeneration harness for every table and figure in the evaluation
+//! section of *New Performance-Driven FPGA Routing Algorithms* (Alexander
+//! & Robins, DAC 1995).
+//!
+//! Each module regenerates one artifact and has a matching binary in
+//! `src/bin/` plus a `harness = false` bench target in the `bench` crate,
+//! so `cargo bench --workspace` reproduces the full evaluation:
+//!
+//! | Module | Artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — algorithm quality on congested grids |
+//! | [`table2`] | Table 2 — channel width, Xilinx 3000-series |
+//! | [`table3`] | Table 3 — channel width, Xilinx 4000-series |
+//! | [`table4`] | Table 4 — channel width: IKMB vs PFA vs IDOM |
+//! | [`table5`] | Table 5 — wirelength/pathlength tradeoff at common width |
+//! | [`fig4`] | Figure 4 — four solutions for one 4-pin net (incl. SVG) |
+//! | [`figs_exec`] | Figures 6 & 13 — IKMB/IDOM execution traces |
+//! | [`worst_case`] | Figures 10, 11, 14 — worst-case families |
+//! | [`fig16`] | Figure 16 — rendered busc routing |
+//! | [`tradeoff`] | §2's BRBC/AHHK radius-cost sweep vs PFA/IDOM |
+//! | [`mixed`] | §1's mixed critical/non-critical routing policy |
+//! | [`three_d`] | §6's 3D-FPGA folding comparison |
+//! | [`jogs`] | §2's multi-weighted jog-minimization sweep |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig16;
+pub mod fig4;
+pub mod figs_exec;
+pub mod gridviz;
+pub mod jogs;
+pub mod mixed;
+pub mod table;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod three_d;
+pub mod tradeoff;
+pub mod widths;
+pub mod worst_case;
+
+/// Directory experiment binaries write artifacts (SVGs, raw dumps) into:
+/// `$EXPERIMENTS_OUT` when set, else `experiments_out/` at the workspace
+/// root (anchored at compile time, so `cargo bench` and `cargo run` agree
+/// regardless of their working directories).
+#[must_use]
+pub fn artifact_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("EXPERIMENTS_OUT") {
+        return std::path::PathBuf::from(dir);
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("experiments_out")
+}

@@ -1,0 +1,159 @@
+//! Mixed critical/non-critical routing — the paper's intended deployment.
+//!
+//! §1's two-pronged motivation: route non-critical nets for resource usage
+//! (Steiner) and critical nets for delay (arborescence). This experiment
+//! routes a 4000-series circuit three ways at the same channel width —
+//! all-IKMB, all-IDOM, and the mixed policy (top-span nets via IDOM, the
+//! rest via IKMB) — and reports the wirelength spent and the delay quality
+//! *of the critical nets specifically*.
+
+use fpga_device::classify::by_span;
+use fpga_device::synth::xc4000_profiles;
+use fpga_device::{ArchSpec, Device, FpgaError, RouteAlgorithm, Router, RouterConfig};
+use route_graph::Weight;
+use steiner_route::metrics::optimal_max_pathlength;
+use steiner_route::Net;
+
+use crate::table::TextTable;
+use crate::widths::{circuit_for, WidthExperimentConfig};
+
+/// One routing policy's results.
+#[derive(Debug, Clone)]
+pub struct MixedRow {
+    /// Policy label.
+    pub policy: String,
+    /// Total wirelength.
+    pub wirelength: f64,
+    /// Sum of critical nets' max pathlengths.
+    pub critical_pathlength: f64,
+    /// Critical nets achieving the optimal radius on the virgin device.
+    pub critical_optimal: usize,
+    /// Number of critical nets.
+    pub critical_count: usize,
+}
+
+/// Runs the mixed-criticality comparison on one circuit.
+///
+/// # Errors
+///
+/// Propagates routing errors; widths below feasibility are reported as
+/// [`FpgaError::Unroutable`].
+pub fn run(
+    config: &WidthExperimentConfig,
+    circuit_name: &str,
+    channel_width: usize,
+    critical_fraction: f64,
+) -> Result<Vec<MixedRow>, FpgaError> {
+    let profile = xc4000_profiles()
+        .into_iter()
+        .find(|p| p.name == circuit_name)
+        .ok_or_else(|| {
+            FpgaError::CircuitMismatch(format!("unknown circuit {circuit_name}"))
+        })?;
+    let circuit = circuit_for(&profile, config)?;
+    let critical = by_span(&circuit, critical_fraction);
+    let critical_count = critical.iter().filter(|&&c| c).count();
+    let mut arch = ArchSpec::xilinx4000(profile.rows, profile.cols, channel_width);
+    arch.pins_per_side = config.pins_per_side;
+    let device = Device::new(arch)?;
+    // Optimal radii on the virgin device (the lower bound any routing can
+    // reach for each net before congestion commits resources).
+    let mut optimal_radius = Vec::with_capacity(circuit.net_count());
+    for ni in 0..circuit.net_count() {
+        let net = Net::from_terminals(circuit.net_terminals(&device, ni)?)
+            .map_err(FpgaError::Steiner)?;
+        optimal_radius
+            .push(optimal_max_pathlength(device.graph(), &net).map_err(FpgaError::Steiner)?);
+    }
+    let policies: Vec<(String, RouteAlgorithm, Option<RouteAlgorithm>)> = vec![
+        ("all IKMB".into(), RouteAlgorithm::Ikmb, None),
+        ("all IDOM".into(), RouteAlgorithm::Idom, None),
+        (
+            format!("mixed (top {:.0}% span via IDOM)", critical_fraction * 100.0),
+            RouteAlgorithm::Ikmb,
+            Some(RouteAlgorithm::Idom),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (policy, algorithm, critical_algorithm) in policies {
+        let router = Router::new(
+            &device,
+            RouterConfig {
+                algorithm,
+                critical_algorithm,
+                max_passes: config.max_passes,
+                ..RouterConfig::default()
+            },
+        );
+        let outcome = router.route_classified(&circuit, &critical)?;
+        let mut critical_pathlength = Weight::ZERO;
+        let mut critical_optimal = 0usize;
+        for ni in 0..circuit.net_count() {
+            if !critical[ni] {
+                continue;
+            }
+            critical_pathlength += outcome.max_pathlengths[ni];
+            if outcome.max_pathlengths[ni] == optimal_radius[ni] {
+                critical_optimal += 1;
+            }
+        }
+        rows.push(MixedRow {
+            policy,
+            wirelength: outcome.total_wirelength.as_f64(),
+            critical_pathlength: critical_pathlength.as_f64(),
+            critical_optimal,
+            critical_count,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison.
+#[must_use]
+pub fn render(rows: &[MixedRow], circuit_name: &str, channel_width: usize) -> String {
+    let mut t = TextTable::new(
+        format!(
+            "Mixed criticality routing: {circuit_name} at W = {channel_width}"
+        ),
+        &[
+            "policy",
+            "total wirelength",
+            "critical path sum",
+            "critical nets at virgin-optimal radius",
+        ],
+    );
+    for row in rows {
+        t.push_row(vec![
+            row.policy.clone(),
+            format!("{:.0}", row.wirelength),
+            format!("{:.0}", row.critical_pathlength),
+            format!("{}/{}", row.critical_optimal, row.critical_count),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_policy_sits_between_the_extremes() {
+        let config = WidthExperimentConfig {
+            max_passes: 6,
+            ..WidthExperimentConfig::default()
+        };
+        let rows = run(&config, "term1", 10, 0.15).unwrap();
+        assert_eq!(rows.len(), 3);
+        let ikmb = &rows[0];
+        let idom = &rows[1];
+        let mixed = &rows[2];
+        // Mixed wirelength should not exceed the all-arborescence policy's
+        // by much, and its critical-path quality should match or beat the
+        // all-Steiner policy.
+        assert!(mixed.wirelength <= idom.wirelength * 1.05 + 1.0);
+        assert!(mixed.critical_pathlength <= ikmb.critical_pathlength + 1e-9);
+        let rendered = render(&rows, "term1", 10);
+        assert!(rendered.contains("mixed"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal fixed-width text tables for experiment output.
+
+/// A simple text table: a title, a header row, and data rows, rendered
+/// with column-aligned monospace formatting.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a visual separator row.
+    pub fn push_separator(&mut self) {
+        self.rows.push(vec!["---".into()]);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            if row.len() == 1 && row[0] == "---" {
+                continue;
+            }
+            measure(&mut widths, row);
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * cols.saturating_sub(1);
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&"=".repeat(self.title.chars().count().max(total)));
+        out.push('\n');
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.len() == 1 && row[0] == "---" {
+                out.push_str(&"-".repeat(total));
+            } else {
+                out.push_str(&fmt_row(row, &widths));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a signed percentage the way the paper's tables do.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["Algo", "Wire", "Path"]);
+        t.push_row(vec!["KMB".into(), "0.00".into(), "23.51".into()]);
+        t.push_separator();
+        t.push_row(vec!["IDOM".into(), "-5.59".into(), "0.00".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("KMB"));
+        assert!(s.contains("IDOM"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 6);
+    }
+
+    #[test]
+    fn pct_formats_signs() {
+        assert_eq!(pct(5.5), "+5.50");
+        assert_eq!(pct(-3.25), "-3.25");
+        assert_eq!(pct(0.0), "+0.00");
+    }
+}

@@ -1,0 +1,210 @@
+//! **Table 1** — average wirelength % (vs KMB) and maximum pathlength %
+//! (vs optimal) for all eight algorithms on congested 20×20 grid graphs.
+//!
+//! Paper §5: "For each of these three congestion levels and net size (5
+//! and 8 pins), 50 uniformly-distributed nets were routed on a congested
+//! graph (newly-generated for each net), using all eight algorithms."
+
+use rand::SeedableRng;
+
+use route_graph::Weight;
+use steiner_route::congestion::{table1_grid, CongestionLevel};
+use steiner_route::metrics::{measure, optimal_max_pathlength, percent_vs};
+use steiner_route::{
+    idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerError, SteinerHeuristic, Zel,
+};
+
+use crate::table::{pct, TextTable};
+
+/// Net sizes evaluated by the paper's Table 1.
+pub const NET_SIZES: [usize; 2] = [5, 8];
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Config {
+    /// Nets per (congestion level, net size) cell; the paper uses 50.
+    pub nets: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Table1Config {
+        Table1Config { nets: 50, seed: 1995 }
+    }
+}
+
+/// One algorithm's averages within a congestion section.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Per net size: average wirelength % w.r.t. KMB.
+    pub wire_pct: Vec<f64>,
+    /// Per net size: average max pathlength % w.r.t. optimal.
+    pub path_pct: Vec<f64>,
+}
+
+/// One congestion level's block of the table.
+#[derive(Debug, Clone)]
+pub struct Table1Section {
+    /// Congestion level.
+    pub level: CongestionLevel,
+    /// Observed mean routing-graph edge weight `w̄` (averaged over nets).
+    pub mean_edge_weight: f64,
+    /// Rows in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// The algorithm roster in the paper's Table 1 order, in the
+/// paper-faithful configuration (exhaustive Steiner candidates).
+#[must_use]
+pub fn roster() -> Vec<(&'static str, Box<dyn SteinerHeuristic>)> {
+    vec![
+        ("KMB", Box::new(Kmb::new())),
+        ("ZEL", Box::new(Zel::new())),
+        ("IKMB", Box::new(ikmb())),
+        ("IZEL", Box::new(izel())),
+        ("DJKA", Box::new(Djka::new())),
+        ("DOM", Box::new(Dom::new())),
+        ("PFA", Box::new(Pfa::new())),
+        ("IDOM", Box::new(idom())),
+    ]
+}
+
+/// Runs the full Table 1 experiment.
+///
+/// # Errors
+///
+/// Propagates construction errors (a connected grid never produces any).
+pub fn run(config: &Table1Config) -> Result<Vec<Table1Section>, SteinerError> {
+    let algorithms = roster();
+    let mut sections = Vec::new();
+    for level in CongestionLevel::all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ level.preroute_count() as u64);
+        let mut wire_sum = vec![vec![0.0f64; NET_SIZES.len()]; algorithms.len()];
+        let mut path_sum = vec![vec![0.0f64; NET_SIZES.len()]; algorithms.len()];
+        let mut w_bar_sum = 0.0f64;
+        let mut w_bar_count = 0usize;
+        for (si, &size) in NET_SIZES.iter().enumerate() {
+            for _ in 0..config.nets {
+                // Fresh congested grid per net, as in the paper.
+                let grid = table1_grid(level, &mut rng)?;
+                w_bar_sum += grid.graph().mean_edge_weight().expect("grid has edges");
+                w_bar_count += 1;
+                let pins = route_graph::random::random_net(grid.graph(), size, &mut rng)?;
+                let net = Net::from_terminals(pins)?;
+                let opt_path = optimal_max_pathlength(grid.graph(), &net)?;
+                let mut kmb_wire = Weight::ZERO;
+                for (ai, (_, algo)) in algorithms.iter().enumerate() {
+                    let tree = algo.construct(grid.graph(), &net)?;
+                    let m = measure(&tree, &net)?;
+                    if ai == 0 {
+                        kmb_wire = m.wirelength;
+                    }
+                    wire_sum[ai][si] += percent_vs(m.wirelength, kmb_wire);
+                    path_sum[ai][si] += percent_vs(m.max_pathlength, opt_path);
+                }
+            }
+        }
+        let n = config.nets as f64;
+        let rows = algorithms
+            .iter()
+            .enumerate()
+            .map(|(ai, (name, _))| Table1Row {
+                algorithm: name,
+                wire_pct: wire_sum[ai].iter().map(|s| s / n).collect(),
+                path_pct: path_sum[ai].iter().map(|s| s / n).collect(),
+            })
+            .collect();
+        sections.push(Table1Section {
+            level,
+            mean_edge_weight: w_bar_sum / w_bar_count as f64,
+            rows,
+        });
+    }
+    Ok(sections)
+}
+
+/// Renders the sections in the paper's layout.
+#[must_use]
+pub fn render(sections: &[Table1Section]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 1: Average wirelength % (w.r.t. KMB) and max pathlength % (w.r.t. optimal)\n",
+    );
+    out.push_str("Grid: 20x20, 50 nets per cell, net sizes 5 and 8 pins\n\n");
+    for section in sections {
+        let title = format!(
+            "{} (k = {} pre-routed nets, measured w̄ = {:.2})",
+            section.level.label(),
+            section.level.preroute_count(),
+            section.mean_edge_weight
+        );
+        let mut t = TextTable::new(
+            title,
+            &[
+                "Algorithm",
+                "5-pin Wire%",
+                "5-pin MaxPath%",
+                "8-pin Wire%",
+                "8-pin MaxPath%",
+            ],
+        );
+        for row in &section.rows {
+            t.push_row(vec![
+                row.algorithm.to_string(),
+                pct(row.wire_pct[0]),
+                pct(row.path_pct[0]),
+                pct(row.wire_pct[1]),
+                pct(row.path_pct[1]),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Table 1 (3 nets per cell) checking the structural
+    /// invariants the paper reports; the full run is the bench target.
+    #[test]
+    fn miniature_run_has_paper_invariants() {
+        let sections = run(&Table1Config { nets: 3, seed: 7 }).unwrap();
+        assert_eq!(sections.len(), 3);
+        for section in &sections {
+            assert_eq!(section.rows.len(), 8);
+            let by_name = |n: &str| {
+                section
+                    .rows
+                    .iter()
+                    .find(|r| r.algorithm == n)
+                    .unwrap()
+                    .clone()
+            };
+            // KMB is its own reference.
+            for v in &by_name("KMB").wire_pct {
+                assert!(v.abs() < 1e-9);
+            }
+            // Arborescence algorithms achieve optimal max pathlength.
+            for algo in ["DJKA", "DOM", "PFA", "IDOM"] {
+                for v in &by_name(algo).path_pct {
+                    assert!(v.abs() < 1e-9, "{algo} path% = {v}");
+                }
+            }
+            // Iterated constructions never lose to their bases.
+            for si in 0..NET_SIZES.len() {
+                assert!(by_name("IKMB").wire_pct[si] <= by_name("KMB").wire_pct[si] + 1e-9);
+                assert!(by_name("IZEL").wire_pct[si] <= by_name("ZEL").wire_pct[si] + 1e-9);
+                assert!(by_name("IDOM").wire_pct[si] <= by_name("DOM").wire_pct[si] + 1e-9);
+            }
+        }
+        let rendered = render(&sections);
+        assert!(rendered.contains("No Congestion"));
+        assert!(rendered.contains("IDOM"));
+    }
+}

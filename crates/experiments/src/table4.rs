@@ -1,0 +1,114 @@
+//! **Table 4** — minimum channel width of IKMB vs PFA vs IDOM on the
+//! 4000-series circuits.
+//!
+//! PFA and IDOM optimize maximum pathlength *and* wirelength; the paper
+//! shows they pay a modest width premium over IKMB (ratios 1.17 and 1.13)
+//! but stay no worse than SEGA/GBP, which optimize wirelength only.
+
+use fpga_device::synth::xc4000_profiles;
+use fpga_device::{ArchSpec, FpgaError, RouteAlgorithm};
+
+use crate::table::TextTable;
+use crate::widths::{
+    run_width_table, totals_and_ratios, CircuitWidths, Contender, WidthExperimentConfig,
+};
+
+/// Published Table 4 widths `(circuit, IKMB, PFA, IDOM)`, in profile order.
+pub const PUBLISHED: [(&str, usize, usize, usize); 9] = [
+    ("alu4", 11, 14, 13),
+    ("apex7", 10, 11, 11),
+    ("term1", 8, 9, 9),
+    ("example2", 11, 13, 13),
+    ("too_large", 10, 12, 12),
+    ("k2", 15, 17, 17),
+    ("vda", 12, 14, 13),
+    ("9symml", 8, 9, 8),
+    ("alu2", 9, 11, 10),
+];
+
+/// Runs the Table 4 experiment.
+///
+/// # Errors
+///
+/// Propagates routing errors.
+pub fn run(config: &WidthExperimentConfig) -> Result<Vec<CircuitWidths>, FpgaError> {
+    run_width_table(
+        &xc4000_profiles(),
+        ArchSpec::xilinx4000,
+        &[
+            Contender::Steiner(RouteAlgorithm::Pfa),
+            Contender::Steiner(RouteAlgorithm::Idom),
+            Contender::Steiner(RouteAlgorithm::Ikmb),
+        ],
+        config,
+    )
+}
+
+/// Renders the result next to the published numbers.
+#[must_use]
+pub fn render(rows: &[CircuitWidths]) -> String {
+    let mut t = TextTable::new(
+        "Table 4: Minimum channel width by algorithm, Xilinx 4000-series",
+        &[
+            "Circuit",
+            "PFA",
+            "IDOM",
+            "IKMB",
+            "paper PFA",
+            "paper IDOM",
+            "paper IKMB",
+        ],
+    );
+    for (row, published) in rows.iter().zip(PUBLISHED.iter()) {
+        t.push_row(vec![
+            row.profile.name.to_string(),
+            row.widths[0].1.to_string(),
+            row.widths[1].1.to_string(),
+            row.widths[2].1.to_string(),
+            published.2.to_string(),
+            published.3.to_string(),
+            published.1.to_string(),
+        ]);
+    }
+    let (totals, ratios) = totals_and_ratios(rows);
+    let paper: (usize, usize, usize) = PUBLISHED
+        .iter()
+        .fold((0, 0, 0), |acc, p| (acc.0 + p.1, acc.1 + p.2, acc.2 + p.3));
+    t.push_separator();
+    t.push_row(vec![
+        "Totals".into(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        paper.1.to_string(),
+        paper.2.to_string(),
+        paper.0.to_string(),
+    ]);
+    t.push_row(vec![
+        "Ratios".into(),
+        format!("{:.2}", ratios[0]),
+        format!("{:.2}", ratios[1]),
+        format!("{:.2}", ratios[2]),
+        format!("{:.2}", paper.1 as f64 / paper.0 as f64),
+        format!("{:.2}", paper.2 as f64 / paper.0 as f64),
+        "1.00".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_totals_match_the_paper() {
+        let ikmb: usize = PUBLISHED.iter().map(|p| p.1).sum();
+        let pfa: usize = PUBLISHED.iter().map(|p| p.2).sum();
+        let idom: usize = PUBLISHED.iter().map(|p| p.3).sum();
+        assert_eq!(ikmb, 94);
+        assert_eq!(pfa, 110);
+        assert_eq!(idom, 106);
+        assert!((pfa as f64 / ikmb as f64 - 1.17).abs() < 0.01);
+        assert!((idom as f64 / ikmb as f64 - 1.13).abs() < 0.01);
+    }
+}

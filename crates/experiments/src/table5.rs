@@ -1,0 +1,176 @@
+//! **Table 5** — wirelength increase and maximum-pathlength decrease of
+//! PFA and IDOM with respect to IKMB, at a *common* channel width per
+//! circuit.
+//!
+//! "Here the algorithms operate on FPGAs with the same channel width
+//! (i.e., the smallest channel width that results in a successful routing
+//! for all algorithms)… By comparing the various algorithms using the same
+//! channel width, the wirelength usage is not unduly biased by the more
+//! circuitous routes which may be required with small channel widths."
+//! Paper averages: PFA +18.2% wire, −9.5% max path; IDOM +12.8% wire,
+//! −10.2% max path.
+
+use fpga_device::synth::xc4000_profiles;
+use fpga_device::{ArchSpec, Device, FpgaError, RouteAlgorithm, Router, RouterConfig};
+
+use crate::table::{pct, TextTable};
+use crate::widths::{circuit_for, WidthExperimentConfig};
+
+/// Published Table 5 rows `(circuit, width, PFA wire%, IDOM wire%, PFA
+/// path%, IDOM path%)`.
+pub const PUBLISHED: [(&str, usize, f64, f64, f64, f64); 9] = [
+    ("alu4", 14, 20.9, 15.8, -15.2, -16.9),
+    ("apex7", 11, 15.3, 9.2, -4.2, -6.8),
+    ("term1", 9, 11.4, 12.0, -6.2, -2.0),
+    ("example2", 13, 13.1, 8.1, -4.6, -5.6),
+    ("too_large", 12, 17.9, 15.2, -9.7, -9.4),
+    ("k2", 17, 24.5, 17.6, -7.1, -7.2),
+    ("vda", 14, 18.7, 11.9, -9.9, -11.5),
+    ("9symml", 9, 18.3, 11.4, -14.0, -14.4),
+    ("alu2", 11, 23.9, 14.1, -14.7, -18.0),
+];
+
+/// One circuit's comparison.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Common channel width used.
+    pub channel_width: usize,
+    /// PFA wirelength % increase vs IKMB.
+    pub pfa_wire_pct: f64,
+    /// IDOM wirelength % increase vs IKMB.
+    pub idom_wire_pct: f64,
+    /// PFA total max-pathlength % change vs IKMB (negative = improvement).
+    pub pfa_path_pct: f64,
+    /// IDOM total max-pathlength % change vs IKMB.
+    pub idom_path_pct: f64,
+}
+
+/// Runs the Table 5 experiment. For each circuit the common width starts
+/// at the paper's published Table 5 width scaled to our devices: we search
+/// upward from `width_range.0` until IKMB, PFA and IDOM all route.
+///
+/// # Errors
+///
+/// Propagates routing errors; a circuit none of the widths can host is an
+/// [`FpgaError::Unroutable`].
+pub fn run(config: &WidthExperimentConfig) -> Result<Vec<Table5Row>, FpgaError> {
+    let mut rows = Vec::new();
+    for profile in xc4000_profiles() {
+        let circuit = circuit_for(&profile, config)?;
+        let algorithms = [
+            RouteAlgorithm::Ikmb,
+            RouteAlgorithm::Pfa,
+            RouteAlgorithm::Idom,
+        ];
+        let mut found: Option<(usize, Vec<fpga_device::RouteOutcome>)> = None;
+        'width: for w in config.width_range.0..=config.width_range.1 {
+            let mut arch = ArchSpec::xilinx4000(profile.rows, profile.cols, w);
+            arch.pins_per_side = config.pins_per_side;
+            let device = Device::new(arch)?;
+            let mut outcomes = Vec::with_capacity(algorithms.len());
+            for algorithm in algorithms {
+                let router = Router::new(
+                    &device,
+                    RouterConfig {
+                        algorithm,
+                        max_passes: config.max_passes,
+                        ..RouterConfig::default()
+                    },
+                );
+                match router.route(&circuit) {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(FpgaError::Unroutable { .. }) => continue 'width,
+                    Err(e) => return Err(e),
+                }
+            }
+            found = Some((w, outcomes));
+            break;
+        }
+        let Some((w, outcomes)) = found else {
+            return Err(FpgaError::Unroutable {
+                channel_width: config.width_range.1,
+                passes: config.max_passes,
+                failed_net: 0,
+            });
+        };
+        let wire = |i: usize| outcomes[i].total_wirelength.as_f64();
+        let path = |i: usize| outcomes[i].total_max_pathlength().as_f64();
+        rows.push(Table5Row {
+            name: profile.name,
+            channel_width: w,
+            pfa_wire_pct: (wire(1) / wire(0) - 1.0) * 100.0,
+            idom_wire_pct: (wire(2) / wire(0) - 1.0) * 100.0,
+            pfa_path_pct: (path(1) / path(0) - 1.0) * 100.0,
+            idom_path_pct: (path(2) / path(0) - 1.0) * 100.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the result next to the published numbers.
+#[must_use]
+pub fn render(rows: &[Table5Row]) -> String {
+    let mut t = TextTable::new(
+        "Table 5: Wirelength increase / max-pathlength decrease of PFA and IDOM vs IKMB (common width)",
+        &[
+            "Circuit",
+            "W",
+            "PFA Wire%",
+            "IDOM Wire%",
+            "PFA Path%",
+            "IDOM Path%",
+            "paper PFA/IDOM Wire%",
+            "paper PFA/IDOM Path%",
+        ],
+    );
+    let mut sums = [0.0f64; 4];
+    for row in rows {
+        let published = PUBLISHED.iter().find(|p| p.0 == row.name);
+        t.push_row(vec![
+            row.name.to_string(),
+            row.channel_width.to_string(),
+            pct(row.pfa_wire_pct),
+            pct(row.idom_wire_pct),
+            pct(row.pfa_path_pct),
+            pct(row.idom_path_pct),
+            published.map_or(String::new(), |p| format!("{:+.1}/{:+.1}", p.2, p.3)),
+            published.map_or(String::new(), |p| format!("{:+.1}/{:+.1}", p.4, p.5)),
+        ]);
+        sums[0] += row.pfa_wire_pct;
+        sums[1] += row.idom_wire_pct;
+        sums[2] += row.pfa_path_pct;
+        sums[3] += row.idom_path_pct;
+    }
+    let n = rows.len().max(1) as f64;
+    t.push_separator();
+    t.push_row(vec![
+        "Averages".into(),
+        String::new(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        "+18.2/+12.8".into(),
+        "-9.5/-10.2".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_averages_match_the_paper() {
+        let n = PUBLISHED.len() as f64;
+        let avg = |f: fn(&(&str, usize, f64, f64, f64, f64)) -> f64| {
+            PUBLISHED.iter().map(f).sum::<f64>() / n
+        };
+        assert!((avg(|p| p.2) - 18.2).abs() < 0.15);
+        assert!((avg(|p| p.3) - 12.8).abs() < 0.15);
+        assert!((avg(|p| p.4) + 9.5).abs() < 0.15);
+        assert!((avg(|p| p.5) + 10.2).abs() < 0.15);
+    }
+}

@@ -1,0 +1,226 @@
+//! 3D FPGA folding — the paper's §6 future-work direction, measured.
+//!
+//! The 3D-FPGA studies the conclusion cites (\[1, 2\]) motivate stacking:
+//! folding a wide 2D array into layers shortens interconnect. This
+//! experiment routes the *same* logical nets on (a) a flat `R × 2C` array
+//! and (b) a two-layer `R × C` stack (mirror-folded so logical adjacency
+//! survives), using the unchanged graph-based constructions, and reports
+//! the wirelength and radius savings.
+
+use rand::{Rng, SeedableRng};
+
+use fpga_device::three_d::{Arch3d, Device3d};
+use fpga_device::{ArchSpec, Device, FpgaError, Side};
+use route_graph::Weight;
+use steiner_route::{idom, ikmb, Net, SteinerError, SteinerHeuristic};
+
+use crate::table::TextTable;
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeDConfig {
+    /// Logical array rows.
+    pub rows: usize,
+    /// Logical array columns (must be even; the fold splits them).
+    pub cols: usize,
+    /// Channel width of both devices.
+    pub channel_width: usize,
+    /// Nets to route.
+    pub nets: usize,
+    /// Pins per net.
+    pub pins: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ThreeDConfig {
+    fn default() -> ThreeDConfig {
+        ThreeDConfig {
+            rows: 10,
+            cols: 16,
+            channel_width: 6,
+            nets: 25,
+            pins: 5,
+            seed: 1995,
+        }
+    }
+}
+
+/// Aggregate comparison of the two mappings.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeDResult {
+    /// Mean IKMB wirelength on the flat device.
+    pub flat_wirelength: f64,
+    /// Mean IKMB wirelength on the folded 2-layer device.
+    pub folded_wirelength: f64,
+    /// Mean optimal radius (IDOM max pathlength) on the flat device.
+    pub flat_radius: f64,
+    /// Mean optimal radius on the folded device.
+    pub folded_radius: f64,
+}
+
+/// A logical pin: block position plus side/slot.
+#[derive(Debug, Clone, Copy)]
+struct LogicalPin {
+    row: usize,
+    col: usize,
+    side: Side,
+    slot: usize,
+}
+
+/// Runs the folding comparison.
+///
+/// # Errors
+///
+/// Propagates device and routing errors.
+pub fn run(config: &ThreeDConfig) -> Result<ThreeDResult, FpgaError> {
+    assert!(config.cols.is_multiple_of(2), "fold needs an even column count");
+    let flat = Device::new(ArchSpec::xilinx4000(
+        config.rows,
+        config.cols,
+        config.channel_width,
+    ))?;
+    let folded = Device3d::new(Arch3d::new(
+        ArchSpec::xilinx4000(config.rows, config.cols / 2, config.channel_width),
+        2,
+        1,
+    ))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let half = config.cols / 2;
+    let steiner = ikmb();
+    let arbor = idom();
+    let mut result = ThreeDResult {
+        flat_wirelength: 0.0,
+        folded_wirelength: 0.0,
+        flat_radius: 0.0,
+        folded_radius: 0.0,
+    };
+    for _ in 0..config.nets {
+        // Distinct logical blocks, random side/slot.
+        let mut pins: Vec<LogicalPin> = Vec::new();
+        while pins.len() < config.pins {
+            let p = LogicalPin {
+                row: rng.gen_range(0..config.rows),
+                col: rng.gen_range(0..config.cols),
+                side: Side::ALL[rng.gen_range(0..4)],
+                slot: rng.gen_range(0..2),
+            };
+            if !pins.iter().any(|q| q.row == p.row && q.col == p.col) {
+                pins.push(p);
+            }
+        }
+        // Flat mapping.
+        let flat_terminals: Vec<_> = pins
+            .iter()
+            .map(|p| flat.pin_node(p.row, p.col, p.side, p.slot))
+            .collect::<Result<_, _>>()?;
+        // Mirror fold: the right half flips onto layer 1.
+        let folded_terminals: Vec<_> = pins
+            .iter()
+            .map(|p| {
+                let (layer, col) = if p.col < half {
+                    (0, p.col)
+                } else {
+                    (1, config.cols - 1 - p.col)
+                };
+                folded.pin_node(layer, p.row, col, p.side, p.slot)
+            })
+            .collect::<Result<_, _>>()?;
+        let flat_net = Net::from_terminals(flat_terminals).map_err(FpgaError::Steiner)?;
+        let folded_net =
+            Net::from_terminals(folded_terminals).map_err(FpgaError::Steiner)?;
+        result.flat_wirelength += cost(&steiner, flat.graph(), &flat_net)?.as_f64();
+        result.folded_wirelength += cost(&steiner, folded.graph(), &folded_net)?.as_f64();
+        result.flat_radius += radius(&arbor, flat.graph(), &flat_net)?.as_f64();
+        result.folded_radius += radius(&arbor, folded.graph(), &folded_net)?.as_f64();
+    }
+    let n = config.nets as f64;
+    result.flat_wirelength /= n;
+    result.folded_wirelength /= n;
+    result.flat_radius /= n;
+    result.folded_radius /= n;
+    Ok(result)
+}
+
+fn cost(
+    algo: &impl SteinerHeuristic,
+    g: &route_graph::Graph,
+    net: &Net,
+) -> Result<Weight, SteinerError> {
+    Ok(algo.construct(g, net)?.cost())
+}
+
+fn radius(
+    algo: &impl SteinerHeuristic,
+    g: &route_graph::Graph,
+    net: &Net,
+) -> Result<Weight, SteinerError> {
+    algo.construct(g, net)?.max_pathlength(net)
+}
+
+/// Renders the comparison.
+#[must_use]
+pub fn render(result: &ThreeDResult, config: &ThreeDConfig) -> String {
+    let mut t = TextTable::new(
+        format!(
+            "3D folding (§6): {}x{} flat vs 2 layers of {}x{}, {} nets of {} pins",
+            config.rows,
+            config.cols,
+            config.rows,
+            config.cols / 2,
+            config.nets,
+            config.pins
+        ),
+        &["mapping", "mean IKMB wirelength", "mean IDOM radius"],
+    );
+    t.push_row(vec![
+        "flat 2D".into(),
+        format!("{:.1}", result.flat_wirelength),
+        format!("{:.1}", result.flat_radius),
+    ]);
+    t.push_row(vec![
+        "folded 3D".into(),
+        format!("{:.1}", result.folded_wirelength),
+        format!("{:.1}", result.folded_radius),
+    ]);
+    t.push_separator();
+    t.push_row(vec![
+        "savings".into(),
+        format!(
+            "{:.1}%",
+            (1.0 - result.folded_wirelength / result.flat_wirelength) * 100.0
+        ),
+        format!(
+            "{:.1}%",
+            (1.0 - result.folded_radius / result.flat_radius) * 100.0
+        ),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_reduces_wire_and_radius() {
+        let config = ThreeDConfig {
+            rows: 6,
+            cols: 12,
+            channel_width: 5,
+            nets: 8,
+            pins: 4,
+            seed: 3,
+        };
+        let result = run(&config).unwrap();
+        assert!(
+            result.folded_wirelength < result.flat_wirelength,
+            "wire {} vs {}",
+            result.folded_wirelength,
+            result.flat_wirelength
+        );
+        assert!(result.folded_radius <= result.flat_radius);
+        let rendered = render(&result, &config);
+        assert!(rendered.contains("folded 3D"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The radius–cost tradeoff comparison of paper §2.
+//!
+//! The paper dismisses BRBC and AHHK because, even tuned fully towards
+//! pathlength, they "produce the same shortest-paths tree as would
+//! Dijkstra's algorithm" rather than a minimum-wirelength arborescence.
+//! This experiment sweeps both baselines' parameters on Table-1-style
+//! workloads and plots PFA/IDOM as single points: optimal radius at a
+//! wirelength the sweeps cannot reach simultaneously.
+
+use rand::SeedableRng;
+
+use steiner_route::congestion::{table1_grid, CongestionLevel};
+use steiner_route::metrics::{measure, optimal_max_pathlength, percent_vs};
+use steiner_route::{idom, ikmb, Brbc, Kmb, Net, Pfa, PrimDijkstra, SteinerError, SteinerHeuristic};
+
+use crate::table::{pct, TextTable};
+
+/// One point on the tradeoff curve.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Algorithm + parameter label.
+    pub label: String,
+    /// Average wirelength % versus KMB.
+    pub wire_pct: f64,
+    /// Average maximum pathlength % versus optimal.
+    pub path_pct: f64,
+    /// Fraction of nets achieving the exact optimal radius.
+    pub optimal_radius_share: f64,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TradeoffConfig {
+    /// Number of nets to average over.
+    pub nets: usize,
+    /// Pins per net.
+    pub pins: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Congestion level of the grids.
+    pub level: CongestionLevel,
+}
+
+impl Default for TradeoffConfig {
+    fn default() -> TradeoffConfig {
+        TradeoffConfig {
+            nets: 30,
+            pins: 6,
+            seed: 1995,
+            level: CongestionLevel::Low,
+        }
+    }
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run(config: &TradeoffConfig) -> Result<Vec<TradeoffPoint>, SteinerError> {
+    let mut contenders: Vec<(String, Box<dyn SteinerHeuristic>)> = Vec::new();
+    for c in [0u64, 250, 500, 750, 1000] {
+        contenders.push((
+            format!("AHHK c={:.2}", c as f64 / 1000.0),
+            Box::new(PrimDijkstra::new(c)),
+        ));
+    }
+    for eps in [0u64, 250, 500, 1000, 2000, 8000] {
+        contenders.push((
+            format!("BRBC eps={:.2}", eps as f64 / 1000.0),
+            Box::new(Brbc::new(eps)),
+        ));
+    }
+    contenders.push(("IKMB".into(), Box::new(ikmb())));
+    contenders.push(("PFA".into(), Box::new(Pfa::new())));
+    contenders.push(("IDOM".into(), Box::new(idom())));
+
+    let mut wire = vec![0.0f64; contenders.len()];
+    let mut path = vec![0.0f64; contenders.len()];
+    let mut optimal_hits = vec![0usize; contenders.len()];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.nets {
+        let grid = table1_grid(config.level, &mut rng)?;
+        let pins = route_graph::random::random_net(grid.graph(), config.pins, &mut rng)?;
+        let net = Net::from_terminals(pins)?;
+        let kmb_cost = Kmb::new().construct(grid.graph(), &net)?.cost();
+        let opt_radius = optimal_max_pathlength(grid.graph(), &net)?;
+        for (i, (_, algo)) in contenders.iter().enumerate() {
+            let tree = algo.construct(grid.graph(), &net)?;
+            let m = measure(&tree, &net)?;
+            wire[i] += percent_vs(m.wirelength, kmb_cost);
+            path[i] += percent_vs(m.max_pathlength, opt_radius);
+            if m.max_pathlength == opt_radius {
+                optimal_hits[i] += 1;
+            }
+        }
+    }
+    let n = config.nets as f64;
+    Ok(contenders
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, _))| TradeoffPoint {
+            label,
+            wire_pct: wire[i] / n,
+            path_pct: path[i] / n,
+            optimal_radius_share: optimal_hits[i] as f64 / n,
+        })
+        .collect())
+}
+
+/// Renders the sweep as a table.
+#[must_use]
+pub fn render(points: &[TradeoffPoint], config: &TradeoffConfig) -> String {
+    let mut t = TextTable::new(
+        format!(
+            "Radius-cost tradeoff (paper §2): {} nets of {} pins, {}",
+            config.nets,
+            config.pins,
+            config.level.label()
+        ),
+        &[
+            "algorithm",
+            "wire % vs KMB",
+            "max path % vs opt",
+            "optimal-radius nets",
+        ],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.label.clone(),
+            pct(p.wire_pct),
+            pct(p.path_pct),
+            format!("{:.0}%", p.optimal_radius_share * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape_matches_the_papers_argument() {
+        let config = TradeoffConfig {
+            nets: 6,
+            ..TradeoffConfig::default()
+        };
+        let points = run(&config).unwrap();
+        let by = |label: &str| points.iter().find(|p| p.label == label).unwrap();
+        // Fully delay-tuned baselines reach the optimal radius…
+        assert!((by("AHHK c=1.00").path_pct).abs() < 1e-9);
+        assert!((by("BRBC eps=0.00").path_pct).abs() < 1e-9);
+        // …but so do PFA/IDOM, at no worse wirelength than the delay-tuned
+        // AHHK (the paper's point: a *Steiner* arborescence dominates a
+        // spanning shortest-paths tree).
+        assert!((by("IDOM").path_pct).abs() < 1e-9);
+        assert!(by("IDOM").wire_pct <= by("AHHK c=1.00").wire_pct + 1e-9);
+        assert!(by("PFA").wire_pct <= by("AHHK c=1.00").wire_pct + 1e-9);
+        // The cost-tuned ends do not guarantee the optimal radius on every
+        // net (they hit it sometimes by luck, never by construction).
+        assert!(by("IDOM").optimal_radius_share > 0.99);
+        let rendered = render(&points, &config);
+        assert!(rendered.contains("AHHK"));
+        assert!(rendered.contains("BRBC"));
+    }
+}

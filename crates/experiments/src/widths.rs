@@ -1,0 +1,208 @@
+//! Shared runner for the channel-width experiments (Tables 2, 3, 4).
+
+use fpga_device::synth::{synthesize, CircuitProfile};
+use fpga_device::width::{minimum_channel_width, WidthOutcome, WidthSearch};
+use fpga_device::{
+    ArchSpec, BaselineConfig, BaselineRouter, Circuit, FpgaError, RouteAlgorithm, Router,
+    RouterConfig,
+};
+
+/// A router under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contender {
+    /// The paper's router with a given per-net construction.
+    Steiner(RouteAlgorithm),
+    /// The two-pin-decomposition baseline (CGE/SEGA/GBP stand-in).
+    Baseline,
+}
+
+impl Contender {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Contender::Steiner(a) => a.label(),
+            Contender::Baseline => "2PIN",
+        }
+    }
+}
+
+/// Parameters shared by the width experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct WidthExperimentConfig {
+    /// Synthesis seed.
+    pub seed: u64,
+    /// Router pass budget per width probe.
+    pub max_passes: usize,
+    /// Width search range.
+    pub width_range: (usize, usize),
+    /// Netlist pins per block side.
+    pub pins_per_side: usize,
+}
+
+impl Default for WidthExperimentConfig {
+    fn default() -> WidthExperimentConfig {
+        WidthExperimentConfig {
+            seed: 1995,
+            max_passes: 10,
+            width_range: (3, 24),
+            pins_per_side: 2,
+        }
+    }
+}
+
+/// Minimum widths found for one circuit, one entry per contender.
+#[derive(Debug, Clone)]
+pub struct CircuitWidths {
+    /// The circuit's published profile.
+    pub profile: CircuitProfile,
+    /// `(contender label, minimum channel width)` in contender order.
+    pub widths: Vec<(&'static str, usize)>,
+}
+
+/// Synthesizes the profile's circuit deterministically.
+///
+/// # Errors
+///
+/// Propagates synthesis errors.
+pub fn circuit_for(
+    profile: &CircuitProfile,
+    config: &WidthExperimentConfig,
+) -> Result<Circuit, FpgaError> {
+    synthesize(profile, config.pins_per_side, config.seed)
+}
+
+/// Finds the minimum channel width for one contender on one circuit.
+///
+/// # Errors
+///
+/// Propagates routing errors; [`FpgaError::Unroutable`] means even the top
+/// of the width range failed.
+pub fn find_width(
+    profile: &CircuitProfile,
+    circuit: &Circuit,
+    arch: impl Fn(usize, usize, usize) -> ArchSpec,
+    contender: Contender,
+    config: &WidthExperimentConfig,
+) -> Result<WidthOutcome, FpgaError> {
+    let mut base = arch(profile.rows, profile.cols, config.width_range.0);
+    base.pins_per_side = config.pins_per_side;
+    minimum_channel_width(
+        base,
+        config.width_range.0..=config.width_range.1,
+        WidthSearch::Binary,
+        |device| match contender {
+            Contender::Steiner(algorithm) => Router::new(
+                device,
+                RouterConfig {
+                    algorithm,
+                    max_passes: config.max_passes,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(circuit),
+            Contender::Baseline => BaselineRouter::new(
+                device,
+                BaselineConfig {
+                    max_passes: config.max_passes,
+                    ..BaselineConfig::default()
+                },
+            )
+            .route(circuit),
+        },
+    )
+}
+
+/// Runs the width comparison across profiles and contenders.
+///
+/// # Errors
+///
+/// Propagates routing errors.
+pub fn run_width_table(
+    profiles: &[CircuitProfile],
+    arch: impl Fn(usize, usize, usize) -> ArchSpec + Copy,
+    contenders: &[Contender],
+    config: &WidthExperimentConfig,
+) -> Result<Vec<CircuitWidths>, FpgaError> {
+    let mut out = Vec::with_capacity(profiles.len());
+    for profile in profiles {
+        let circuit = circuit_for(profile, config)?;
+        let mut widths = Vec::with_capacity(contenders.len());
+        for &c in contenders {
+            let found = find_width(profile, &circuit, arch, c, config)?;
+            widths.push((c.label(), found.channel_width));
+        }
+        out.push(CircuitWidths {
+            profile: *profile,
+            widths,
+        });
+    }
+    Ok(out)
+}
+
+/// Column totals across circuits for each contender, plus ratios to the
+/// last contender (the paper normalizes to "Our Router").
+#[must_use]
+pub fn totals_and_ratios(rows: &[CircuitWidths]) -> (Vec<usize>, Vec<f64>) {
+    let contenders = rows.first().map_or(0, |r| r.widths.len());
+    let mut totals = vec![0usize; contenders];
+    for row in rows {
+        for (i, &(_, w)) in row.widths.iter().enumerate() {
+            totals[i] += w;
+        }
+    }
+    let reference = *totals.last().unwrap_or(&1) as f64;
+    let ratios = totals.iter().map(|&t| t as f64 / reference).collect();
+    (totals, ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny synthetic profile so tests stay fast.
+    fn tiny_profile() -> CircuitProfile {
+        CircuitProfile {
+            name: "tiny",
+            rows: 4,
+            cols: 4,
+            nets_2_3: 6,
+            nets_4_10: 2,
+            nets_over_10: 0,
+        }
+    }
+
+    #[test]
+    fn steiner_router_beats_or_ties_baseline_width() {
+        let config = WidthExperimentConfig {
+            seed: 3,
+            max_passes: 5,
+            width_range: (2, 16),
+            pins_per_side: 2,
+        };
+        let profiles = [tiny_profile()];
+        let rows = run_width_table(
+            &profiles,
+            ArchSpec::xilinx4000,
+            &[Contender::Baseline, Contender::Steiner(RouteAlgorithm::Ikmb)],
+            &config,
+        )
+        .unwrap();
+        let base_w = rows[0].widths[0].1;
+        let our_w = rows[0].widths[1].1;
+        assert!(
+            our_w <= base_w,
+            "IKMB needed W={our_w}, baseline W={base_w}"
+        );
+        let (totals, ratios) = totals_and_ratios(&rows);
+        assert_eq!(totals.len(), 2);
+        assert!(ratios[0] >= 1.0);
+        assert!((ratios[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Contender::Baseline.label(), "2PIN");
+        assert_eq!(Contender::Steiner(RouteAlgorithm::Pfa).label(), "PFA");
+    }
+}

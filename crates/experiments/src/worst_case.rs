@@ -1,0 +1,305 @@
+//! Worst-case families — **Figures 10, 11, and 14**.
+//!
+//! * Figure 10: a weighted-graph family on which PFA is `Ω(N)` times
+//!   optimal while IDOM solves it (nearly) optimally.
+//! * Figure 11: the grid-graph staircase on which PFA's ratio drifts
+//!   toward its tight bound of 2.
+//! * Figure 14: the set-cover gadget forcing IDOM into an `Ω(log N)`
+//!   ratio — matched by the inapproximability of the GSA problem.
+
+use route_graph::{Graph, GridGraph, NodeId, Weight};
+use steiner_route::{
+    exact, idom_with_config, CandidatePool, IteratedConfig, Net, Pfa, SteinerError,
+    SteinerHeuristic,
+};
+
+/// Small positive weight used to stagger shortest paths without changing
+/// their structure (1/1000 unit).
+const EPS: Weight = Weight::from_milli(1);
+
+/// The Figure 10 gadget: `clusters` sink pairs, each with a private deep
+/// merge node `m_i` (which PFA greedily folds at, killing global sharing)
+/// and a shared shallow spine `B` (which the optimum and IDOM use).
+///
+/// Returns the graph, the net, and the optimal arborescence cost.
+///
+/// Construction (all shortest paths exact by fixed-point arithmetic):
+///
+/// * `n0 —1— B`, `B —ε— u_i`, `u_i —ε— p_i`, `u_i —ε— q_i`;
+/// * `n0 —(1+ε)— m_i`, `m_i —ε— p_i`, `m_i —ε— q_i`.
+///
+/// Both routes give `d0(p_i) = 1 + 2ε`; `m_i` and `u_i` tie at `1 + ε`,
+/// and `MaxDom`'s deterministic tie-break (lower node index) picks the
+/// adversarial `m_i`. The optimum shares the spine: `1 + 3·clusters·ε`.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for `clusters ≥ 1`).
+pub fn pfa_weighted_gadget(clusters: usize) -> Result<(Graph, Net, Weight), SteinerError> {
+    let mut g = Graph::new();
+    let n0 = g.add_node();
+    let b = g.add_node();
+    let m: Vec<NodeId> = (0..clusters).map(|_| g.add_node()).collect();
+    let u: Vec<NodeId> = (0..clusters).map(|_| g.add_node()).collect();
+    let mut sinks = Vec::with_capacity(2 * clusters);
+    for i in 0..clusters {
+        let p = g.add_node();
+        let q = g.add_node();
+        g.add_edge(n0, m[i], Weight::UNIT + EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(m[i], p, EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(m[i], q, EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(b, u[i], EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(u[i], p, EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(u[i], q, EPS).map_err(SteinerError::Graph)?;
+        sinks.push(p);
+        sinks.push(q);
+    }
+    g.add_edge(n0, b, Weight::UNIT).map_err(SteinerError::Graph)?;
+    let net = Net::new(n0, sinks)?;
+    let optimal = Weight::UNIT + EPS.scale(3 * clusters as u64);
+    Ok((g, net, optimal))
+}
+
+/// Figure 10 measurements for one size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Point {
+    /// Number of sink pairs.
+    pub clusters: usize,
+    /// PFA cost / optimal cost.
+    pub pfa_ratio: f64,
+    /// IDOM cost / optimal cost.
+    pub idom_ratio: f64,
+}
+
+/// Runs Figure 10 across gadget sizes.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run_fig10(sizes: &[usize]) -> Result<Vec<Fig10Point>, SteinerError> {
+    let mut out = Vec::new();
+    for &clusters in sizes {
+        let (g, net, optimal) = pfa_weighted_gadget(clusters)?;
+        let pfa = Pfa::new().construct(&g, &net)?;
+        let idom_tree = idom_with_config(IteratedConfig {
+            batched: false,
+            ..IteratedConfig::default()
+        })
+        .construct(&g, &net)?;
+        assert!(pfa.is_shortest_paths_tree(&g, &net)?);
+        assert!(idom_tree.is_shortest_paths_tree(&g, &net)?);
+        out.push(Fig10Point {
+            clusters,
+            pfa_ratio: pfa.cost().as_f64() / optimal.as_f64(),
+            idom_ratio: idom_tree.cost().as_f64() / optimal.as_f64(),
+        });
+    }
+    Ok(out)
+}
+
+/// The Figure 11 staircase pointset on a unit grid: source at `(0, 0)`,
+/// sinks at `(2i, k − i)` for `i = 0..=k` — horizontal interpoint spacing
+/// one unit, vertical spacing two, pairwise non-dominating.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn pfa_staircase(k: usize) -> Result<(GridGraph, Net), SteinerError> {
+    let grid = GridGraph::new(2 * k + 1, k + 1, Weight::UNIT).map_err(SteinerError::Graph)?;
+    let source = grid.node_at(0, 0).map_err(SteinerError::Graph)?;
+    let sinks = (0..=k)
+        .map(|i| grid.node_at(2 * i, k - i).map_err(SteinerError::Graph))
+        .collect::<Result<Vec<_>, _>>()?;
+    let net = Net::new(source, sinks)?;
+    Ok((grid, net))
+}
+
+/// Figure 11 measurements for one size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Point {
+    /// Staircase parameter `k` (`k + 1` sinks).
+    pub k: usize,
+    /// PFA cost in units.
+    pub pfa_cost: f64,
+    /// Exact optimal Steiner *tree* cost (a lower bound on the optimal
+    /// arborescence), where tractable.
+    pub steiner_opt: Option<f64>,
+    /// PFA cost / Steiner lower bound.
+    pub ratio_vs_steiner: Option<f64>,
+}
+
+/// Runs Figure 11 across staircase sizes.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run_fig11(sizes: &[usize]) -> Result<Vec<Fig11Point>, SteinerError> {
+    let mut out = Vec::new();
+    for &k in sizes {
+        let (grid, net) = pfa_staircase(k)?;
+        let pfa = Pfa::new().construct(grid.graph(), &net)?;
+        assert!(pfa.is_shortest_paths_tree(grid.graph(), &net)?);
+        let steiner_opt = if net.pin_count() <= exact::MAX_EXACT_TERMINALS {
+            Some(exact::steiner_cost_for_net(grid.graph(), &net)?.as_f64())
+        } else {
+            None
+        };
+        out.push(Fig11Point {
+            k,
+            pfa_cost: pfa.cost().as_f64(),
+            steiner_opt,
+            ratio_vs_steiner: steiner_opt.map(|o| pfa.cost().as_f64() / o),
+        });
+    }
+    Ok(out)
+}
+
+/// The Figure 14 set-cover gadget: `2 × 2^m` sinks in two rows, "box"
+/// hubs at unit distance from the source with ε edges to their covered
+/// sinks. The two row hubs cover everything (optimal ≈ 2), while the trap
+/// hubs — geometrically shrinking column blocks covering both rows, with
+/// lower node indices — bait greedy ΔDOM into `Ω(log N)` selections.
+///
+/// Returns the graph, the net, the optimal cost, and the hub ids
+/// `(traps, rows)`.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+#[allow(clippy::type_complexity, clippy::needless_range_loop)]
+pub fn idom_setcover_gadget(
+    m: usize,
+) -> Result<(Graph, Net, Weight, (Vec<NodeId>, Vec<NodeId>)), SteinerError> {
+    let cols = 1usize << m;
+    let mut g = Graph::new();
+    let n0 = g.add_node();
+    // Trap hubs first: lower node indices win ΔDOM ties.
+    let traps: Vec<NodeId> = (0..m).map(|_| g.add_node()).collect();
+    let rows: Vec<NodeId> = (0..2).map(|_| g.add_node()).collect();
+    for &hub in traps.iter().chain(rows.iter()) {
+        g.add_edge(n0, hub, Weight::UNIT).map_err(SteinerError::Graph)?;
+    }
+    let mut sinks = Vec::with_capacity(2 * cols);
+    let mut sink_at = vec![vec![NodeId::from_index(0); cols]; 2];
+    for r in 0..2 {
+        for c in 0..cols {
+            let s = g.add_node();
+            sink_at[r][c] = s;
+            sinks.push(s);
+            g.add_edge(rows[r], s, EPS).map_err(SteinerError::Graph)?;
+        }
+    }
+    // Trap k covers the next block of 2^(m-1-k) columns, both rows.
+    let mut start = 0usize;
+    for (k, &trap) in traps.iter().enumerate() {
+        let len = 1usize << (m - 1 - k);
+        for c in start..start + len {
+            for r in 0..2 {
+                g.add_edge(trap, sink_at[r][c], EPS).map_err(SteinerError::Graph)?;
+            }
+        }
+        start += len;
+    }
+    let net = Net::new(n0, sinks)?;
+    // Optimal: the two row hubs (2 units) plus one ε edge per sink.
+    let optimal = Weight::from_units(2) + EPS.scale(2 * cols as u64);
+    Ok((g, net, optimal, (traps, rows)))
+}
+
+/// Figure 14 measurements for one size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14Point {
+    /// Gadget parameter `m` (`N = 2^(m+1)` sinks).
+    pub m: usize,
+    /// Number of sinks.
+    pub sinks: usize,
+    /// IDOM cost / optimal cost.
+    pub idom_ratio: f64,
+}
+
+/// Runs Figure 14 across gadget sizes with the non-batched (purely greedy)
+/// IDOM — the configuration the lower bound targets.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run_fig14(sizes: &[usize]) -> Result<Vec<Fig14Point>, SteinerError> {
+    let mut out = Vec::new();
+    for &m in sizes {
+        let (g, net, optimal, _) = idom_setcover_gadget(m)?;
+        let idom_tree = idom_with_config(IteratedConfig {
+            batched: false,
+            pool: CandidatePool::All,
+            ..IteratedConfig::default()
+        })
+        .construct(&g, &net)?;
+        assert!(idom_tree.is_shortest_paths_tree(&g, &net)?);
+        out.push(Fig14Point {
+            m,
+            sinks: net.pin_count() - 1,
+            idom_ratio: idom_tree.cost().as_f64() / optimal.as_f64(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_ratio_grows_linearly_and_idom_escapes() {
+        let points = run_fig10(&[2, 4, 8]).unwrap();
+        // PFA ratio ≈ clusters (within rounding of the ε terms).
+        for p in &points {
+            assert!(
+                (p.pfa_ratio - p.clusters as f64).abs() < 0.2,
+                "clusters {} ratio {}",
+                p.clusters,
+                p.pfa_ratio
+            );
+            // IDOM solves these instances near-optimally (paper §4.2).
+            assert!(p.idom_ratio < 1.05, "idom ratio {}", p.idom_ratio);
+        }
+        assert!(points[2].pfa_ratio > points[0].pfa_ratio * 2.0);
+    }
+
+    #[test]
+    fn fig11_staircase_ratio_exceeds_one_and_grows() {
+        let points = run_fig11(&[2, 4, 7]).unwrap();
+        let r2 = points[0].ratio_vs_steiner.unwrap();
+        let r7 = points[2].ratio_vs_steiner.unwrap();
+        assert!(r2 >= 1.0);
+        assert!(r7 > r2, "ratio did not grow: {r2} -> {r7}");
+        assert!(r7 <= 2.0 + 1e-9, "PFA exceeded its grid bound: {r7}");
+    }
+
+    #[test]
+    fn fig14_ratio_grows_logarithmically() {
+        let points = run_fig14(&[2, 4, 6]).unwrap();
+        for p in &points {
+            let expected = (p.m as f64 + 2.0) / 2.0;
+            assert!(
+                (p.idom_ratio - expected).abs() < 0.35,
+                "m = {}: ratio {} vs expected ≈ {}",
+                p.m,
+                p.idom_ratio,
+                expected
+            );
+        }
+        assert!(points[2].idom_ratio > points[0].idom_ratio);
+    }
+
+    #[test]
+    fn gadget_shapes() {
+        let (g, net, _, (traps, rows)) = idom_setcover_gadget(3).unwrap();
+        assert_eq!(net.pin_count() - 1, 16); // 2 × 2^3 sinks
+        assert_eq!(traps.len(), 3);
+        assert_eq!(rows.len(), 2);
+        assert!(g.node_count() > 20);
+        let (g10, net10, opt) = pfa_weighted_gadget(3).unwrap();
+        assert_eq!(net10.pin_count() - 1, 6);
+        assert!(opt > Weight::UNIT);
+        assert!(g10.node_count() == 2 + 3 * 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Net criticality classification.
+//!
+//! Paper §2: "Prior to routing, nets may be classified as either critical
+//! or non-critical based on timing information from the higher-level
+//! design stages… To a first approximation, nets through which long
+//! input-to-output paths pass may be designated as critical nets."
+//! Without the upstream timing data, the standard first approximation is
+//! geometric: the nets with the largest placed extent carry the longest
+//! paths. [`by_span`] flags the top fraction of nets by half-perimeter of
+//! their pin bounding box.
+
+use crate::netlist::Circuit;
+
+/// Flags the `fraction` of nets (rounded up, at least one when
+/// `fraction > 0`) with the largest half-perimeter bounding boxes as
+/// critical. Ties break toward higher pin count, then lower index.
+///
+/// Returns one flag per net in circuit order.
+#[must_use]
+pub fn by_span(circuit: &Circuit, fraction: f64) -> Vec<bool> {
+    let n = circuit.net_count();
+    let mut flags = vec![false; n];
+    if n == 0 || fraction <= 0.0 {
+        return flags;
+    }
+    let count = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+    let mut scored: Vec<(usize, usize, usize)> = (0..n)
+        .map(|ni| {
+            let pins = &circuit.nets()[ni].pins;
+            let (mut r0, mut r1, mut c0, mut c1) = (usize::MAX, 0, usize::MAX, 0);
+            for p in pins {
+                r0 = r0.min(p.row);
+                r1 = r1.max(p.row);
+                c0 = c0.min(p.col);
+                c1 = c1.max(p.col);
+            }
+            ((r1 - r0) + (c1 - c0), pins.len(), ni)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+    for &(_, _, ni) in scored.iter().take(count) {
+        flags[ni] = true;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Side;
+    use crate::netlist::{BlockPin, CircuitNet};
+
+    fn pin(row: usize, col: usize, slot: usize) -> BlockPin {
+        BlockPin {
+            row,
+            col,
+            side: Side::North,
+            slot,
+        }
+    }
+
+    fn circuit() -> Circuit {
+        Circuit::new(
+            "c",
+            6,
+            6,
+            vec![
+                // Span 2
+                CircuitNet {
+                    pins: vec![pin(0, 0, 0), pin(1, 1, 0)],
+                },
+                // Span 10 (the critical one)
+                CircuitNet {
+                    pins: vec![pin(0, 0, 1), pin(5, 5, 0)],
+                },
+                // Span 5
+                CircuitNet {
+                    pins: vec![pin(2, 0, 0), pin(2, 5, 0)],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flags_the_longest_net() {
+        let flags = by_span(&circuit(), 0.3);
+        assert_eq!(flags, vec![false, true, false]);
+    }
+
+    #[test]
+    fn fraction_scales_the_count() {
+        let flags = by_span(&circuit(), 0.7);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 3); // ceil(2.1)
+        let all = by_span(&circuit(), 1.0);
+        assert!(all.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn zero_fraction_flags_nothing() {
+        assert!(by_span(&circuit(), 0.0).iter().all(|&f| !f));
+        assert!(by_span(&circuit(), -1.0).iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn small_positive_fraction_flags_at_least_one() {
+        let flags = by_span(&circuit(), 0.01);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for device modelling and routing.
+
+use std::error::Error;
+use std::fmt;
+
+use steiner_route::SteinerError;
+
+/// Errors produced by FPGA device construction and circuit routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// An underlying tree-construction error.
+    Steiner(SteinerError),
+    /// Architecture parameters were inconsistent (zero dimensions, zero
+    /// channel width, flexibility out of range…).
+    InvalidArchitecture(String),
+    /// A block coordinate lies outside the array.
+    BlockOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+    },
+    /// A pin reference named a side/slot the architecture does not provide.
+    InvalidPin(String),
+    /// A circuit does not fit the device (wrong array size, or a pin is
+    /// claimed twice).
+    CircuitMismatch(String),
+    /// The router exhausted its pass budget without completing the circuit
+    /// at the given channel width.
+    Unroutable {
+        /// Channel width that failed.
+        channel_width: usize,
+        /// Passes attempted.
+        passes: usize,
+        /// Index of the net that could not be routed in the final pass.
+        failed_net: usize,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::Steiner(e) => write!(f, "routing construction failed: {e}"),
+            FpgaError::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
+            FpgaError::BlockOutOfBounds { row, col } => {
+                write!(f, "block ({row}, {col}) is outside the array")
+            }
+            FpgaError::InvalidPin(msg) => write!(f, "invalid pin: {msg}"),
+            FpgaError::CircuitMismatch(msg) => write!(f, "circuit does not fit device: {msg}"),
+            FpgaError::Unroutable {
+                channel_width,
+                passes,
+                failed_net,
+            } => write!(
+                f,
+                "unroutable at channel width {channel_width} after {passes} passes (net {failed_net} failed)"
+            ),
+        }
+    }
+}
+
+impl Error for FpgaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FpgaError::Steiner(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SteinerError> for FpgaError {
+    fn from(e: SteinerError) -> FpgaError {
+        FpgaError::Steiner(e)
+    }
+}
+
+impl From<route_graph::GraphError> for FpgaError {
+    fn from(e: route_graph::GraphError) -> FpgaError {
+        FpgaError::Steiner(SteinerError::Graph(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty_and_chain() {
+        let e = FpgaError::from(SteinerError::EmptyNet);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        let u = FpgaError::Unroutable {
+            channel_width: 7,
+            passes: 20,
+            failed_net: 3,
+        };
+        assert!(u.to_string().contains("width 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FpgaError>();
+    }
+}

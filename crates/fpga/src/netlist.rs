@@ -1,0 +1,316 @@
+//! Circuit netlists: nets over placed logic-block pins.
+
+use crate::arch::{ArchSpec, Side};
+use crate::device::Device;
+use crate::FpgaError;
+
+/// A reference to one placed logic-block pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockPin {
+    /// Block row.
+    pub row: usize,
+    /// Block column.
+    pub col: usize,
+    /// Block side.
+    pub side: Side,
+    /// Pin slot on that side.
+    pub slot: usize,
+}
+
+/// One net of a circuit: the driving pin plus its fanout pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitNet {
+    /// Pins; `pins[0]` drives the net.
+    pub pins: Vec<BlockPin>,
+}
+
+impl CircuitNet {
+    /// Number of pins in the net.
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// A placed circuit: a name, the array it targets, and its nets.
+///
+/// # Example
+///
+/// ```
+/// use fpga_device::{ArchSpec, BlockPin, Circuit, CircuitNet, Side};
+///
+/// # fn main() -> Result<(), fpga_device::FpgaError> {
+/// let net = CircuitNet {
+///     pins: vec![
+///         BlockPin { row: 0, col: 0, side: Side::East, slot: 0 },
+///         BlockPin { row: 1, col: 1, side: Side::West, slot: 0 },
+///     ],
+/// };
+/// let circuit = Circuit::new("tiny", 2, 2, vec![net])?;
+/// circuit.validate_against(&ArchSpec::xilinx4000(2, 2, 4))?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    rows: usize,
+    cols: usize,
+    nets: Vec<CircuitNet>,
+}
+
+impl Circuit {
+    /// Creates a circuit, checking basic sanity: every net has at least two
+    /// pins and no physical pin drives or receives two different nets (or
+    /// appears twice in one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::CircuitMismatch`] on violations.
+    pub fn new(
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        nets: Vec<CircuitNet>,
+    ) -> Result<Circuit, FpgaError> {
+        let name = name.into();
+        let mut used = std::collections::HashSet::new();
+        for (i, net) in nets.iter().enumerate() {
+            if net.pins.len() < 2 {
+                return Err(FpgaError::CircuitMismatch(format!(
+                    "net {i} of {name} has fewer than two pins"
+                )));
+            }
+            for pin in &net.pins {
+                if pin.row >= rows || pin.col >= cols {
+                    return Err(FpgaError::CircuitMismatch(format!(
+                        "net {i} of {name} references block ({}, {}) outside {rows}x{cols}",
+                        pin.row, pin.col
+                    )));
+                }
+                if !used.insert(*pin) {
+                    return Err(FpgaError::CircuitMismatch(format!(
+                        "pin {pin:?} used by more than one connection in {name}"
+                    )));
+                }
+            }
+        }
+        Ok(Circuit {
+            name,
+            rows,
+            cols,
+            nets,
+        })
+    }
+
+    /// Circuit name (e.g. `"busc"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Target array rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Target array columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The circuit's nets.
+    #[must_use]
+    pub fn nets(&self) -> &[CircuitNet] {
+        &self.nets
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Histogram of the paper's pin-count buckets:
+    /// `(2–3 pins, 4–10 pins, >10 pins)`.
+    #[must_use]
+    pub fn pin_histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for net in &self.nets {
+            match net.pin_count() {
+                0..=3 => h.0 += 1,
+                4..=10 => h.1 += 1,
+                _ => h.2 += 1,
+            }
+        }
+        h
+    }
+
+    /// Checks that this circuit fits an architecture: array size, sides and
+    /// slots all in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::CircuitMismatch`].
+    pub fn validate_against(&self, arch: &ArchSpec) -> Result<(), FpgaError> {
+        if self.rows != arch.rows || self.cols != arch.cols {
+            return Err(FpgaError::CircuitMismatch(format!(
+                "{} targets a {}x{} array; architecture is {}x{}",
+                self.name, self.rows, self.cols, arch.rows, arch.cols
+            )));
+        }
+        for net in &self.nets {
+            for pin in &net.pins {
+                if pin.slot >= arch.pins_per_side {
+                    return Err(FpgaError::CircuitMismatch(format!(
+                        "pin {pin:?} exceeds {} slots per side",
+                        arch.pins_per_side
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one net's pins to routing-graph node ids on a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns pin-resolution errors if the circuit does not fit.
+    pub fn net_terminals(
+        &self,
+        device: &Device,
+        net_index: usize,
+    ) -> Result<Vec<route_graph::NodeId>, FpgaError> {
+        self.nets[net_index]
+            .pins
+            .iter()
+            .map(|p| device.pin_node(p.row, p.col, p.side, p.slot))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin(row: usize, col: usize, side: Side, slot: usize) -> BlockPin {
+        BlockPin {
+            row,
+            col,
+            side,
+            slot,
+        }
+    }
+
+    #[test]
+    fn builds_and_reports() {
+        let c = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![
+                CircuitNet {
+                    pins: vec![pin(0, 0, Side::East, 0), pin(1, 1, Side::West, 0)],
+                },
+                CircuitNet {
+                    pins: vec![
+                        pin(0, 1, Side::South, 0),
+                        pin(1, 0, Side::North, 0),
+                        pin(1, 1, Side::North, 0),
+                        pin(0, 0, Side::South, 0),
+                    ],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.net_count(), 2);
+        assert_eq!(c.pin_histogram(), (1, 1, 0));
+        assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn rejects_single_pin_nets() {
+        let err = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![CircuitNet {
+                pins: vec![pin(0, 0, Side::East, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FpgaError::CircuitMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_pin_reuse_across_nets() {
+        let shared = pin(0, 0, Side::East, 0);
+        let err = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![
+                CircuitNet {
+                    pins: vec![shared, pin(1, 1, Side::West, 0)],
+                },
+                CircuitNet {
+                    pins: vec![shared, pin(1, 0, Side::North, 0)],
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FpgaError::CircuitMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_array_pins() {
+        let err = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![CircuitNet {
+                pins: vec![pin(2, 0, Side::East, 0), pin(0, 0, Side::West, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FpgaError::CircuitMismatch(_)));
+    }
+
+    #[test]
+    fn validates_against_architecture() {
+        let c = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![CircuitNet {
+                pins: vec![pin(0, 0, Side::East, 1), pin(1, 1, Side::West, 0)],
+            }],
+        )
+        .unwrap();
+        assert!(c.validate_against(&ArchSpec::xilinx4000(2, 2, 4)).is_ok());
+        assert!(c.validate_against(&ArchSpec::xilinx4000(3, 2, 4)).is_err());
+        let mut narrow = ArchSpec::xilinx4000(2, 2, 4);
+        narrow.pins_per_side = 1;
+        assert!(c.validate_against(&narrow).is_err());
+    }
+
+    #[test]
+    fn resolves_terminals_on_a_device() {
+        let c = Circuit::new(
+            "t",
+            2,
+            2,
+            vec![CircuitNet {
+                pins: vec![pin(0, 0, Side::East, 0), pin(1, 1, Side::West, 0)],
+            }],
+        )
+        .unwrap();
+        let d = Device::new(ArchSpec::xilinx4000(2, 2, 3)).unwrap();
+        let terminals = c.net_terminals(&d, 0).unwrap();
+        assert_eq!(terminals.len(), 2);
+        assert_ne!(terminals[0], terminals[1]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Three-dimensional FPGAs — the paper's §6 extension.
+//!
+//! "Moreover, all of our methods generalize to three-dimensional FPGAs
+//! \[1, 2\]." Because every construction in this reproduction operates on
+//! arbitrary weighted graphs, supporting 3D parts is purely a device-model
+//! question: stack identical symmetrical-array layers and join them with
+//! *via* switches at the switch-block junctions, exactly as in Alexander
+//! et al.'s 3D-FPGA architecture studies. The routing algorithms run
+//! unchanged.
+
+use route_graph::{Graph, NodeId, Weight};
+
+use crate::arch::{ArchSpec, Side};
+use crate::device::{Device, NodeKind};
+use crate::FpgaError;
+
+/// Architecture of a 3D FPGA: `layers` copies of a base 2D array joined
+/// by vias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arch3d {
+    /// The per-layer 2D architecture.
+    pub base: ArchSpec,
+    /// Number of stacked layers (≥ 1).
+    pub layers: usize,
+    /// Vias join same-position same-track segments of adjacent layers for
+    /// every track `t` with `t % via_every == 0`; `1` means every track
+    /// has a via (full vertical flexibility), larger values model scarcer
+    /// vertical resources.
+    pub via_every: usize,
+}
+
+impl Arch3d {
+    /// Creates a 3D architecture over a base layer.
+    #[must_use]
+    pub fn new(base: ArchSpec, layers: usize, via_every: usize) -> Arch3d {
+        Arch3d {
+            base,
+            layers,
+            via_every,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidArchitecture`] for a zero layer count or
+    /// via stride, or an invalid base.
+    pub fn validate(&self) -> Result<(), FpgaError> {
+        self.base.validate()?;
+        if self.layers == 0 {
+            return Err(FpgaError::InvalidArchitecture(
+                "a 3D FPGA needs at least one layer".into(),
+            ));
+        }
+        if self.via_every == 0 {
+            return Err(FpgaError::InvalidArchitecture(
+                "via stride must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A stacked 3D FPGA device: per-layer routing fabrics plus inter-layer
+/// vias.
+///
+/// # Example
+///
+/// ```
+/// use fpga_device::three_d::{Arch3d, Device3d};
+/// use fpga_device::{ArchSpec, Side};
+///
+/// # fn main() -> Result<(), fpga_device::FpgaError> {
+/// let arch = Arch3d::new(ArchSpec::xilinx4000(4, 4, 4), 2, 1);
+/// let device = Device3d::new(arch)?;
+/// let a = device.pin_node(0, 0, 0, Side::East, 0)?;
+/// let b = device.pin_node(1, 3, 3, Side::West, 0)?;
+/// assert!(route_graph::dijkstra::minpath(device.graph(), a, b)? > route_graph::Weight::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device3d {
+    arch: Arch3d,
+    graph: Graph,
+    /// Node count of one layer (nodes of layer `l` occupy
+    /// `l·layer_size..(l+1)·layer_size`).
+    layer_size: usize,
+    /// A 2D template device used for per-layer classification.
+    template: Device,
+}
+
+impl Device3d {
+    /// Builds the stacked routing graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidArchitecture`] for invalid parameters.
+    pub fn new(arch: Arch3d) -> Result<Device3d, FpgaError> {
+        arch.validate()?;
+        let template = Device::new(arch.base)?;
+        let layer_size = template.graph().node_count();
+        let mut graph = Graph::with_nodes(layer_size * arch.layers);
+        // Replicate each layer's switches.
+        for layer in 0..arch.layers {
+            let offset = layer * layer_size;
+            for e in template.graph().edge_ids() {
+                let (a, b) = template.graph().endpoints(e)?;
+                let w = template.graph().weight(e)?;
+                graph.add_edge(
+                    NodeId::from_index(a.index() + offset),
+                    NodeId::from_index(b.index() + offset),
+                    w,
+                )?;
+            }
+        }
+        // Vias: join same segment nodes of adjacent layers on the selected
+        // tracks.
+        for v in template.graph().node_ids() {
+            let track = match template.node_kind(v)? {
+                NodeKind::HorizontalSegment { track, .. }
+                | NodeKind::VerticalSegment { track, .. } => track,
+                NodeKind::Pin { .. } => continue,
+            };
+            if track % arch.via_every != 0 {
+                continue;
+            }
+            for layer in 0..arch.layers.saturating_sub(1) {
+                graph.add_edge(
+                    NodeId::from_index(v.index() + layer * layer_size),
+                    NodeId::from_index(v.index() + (layer + 1) * layer_size),
+                    Weight::UNIT,
+                )?;
+            }
+        }
+        Ok(Device3d {
+            arch,
+            graph,
+            layer_size,
+            template,
+        })
+    }
+
+    /// The 3D architecture.
+    #[must_use]
+    pub fn arch(&self) -> &Arch3d {
+        &self.arch
+    }
+
+    /// The stacked routing-resource graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A logic-block pin on a specific layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BlockOutOfBounds`] / [`FpgaError::InvalidPin`]
+    /// for bad coordinates, with the layer treated as a row extension.
+    pub fn pin_node(
+        &self,
+        layer: usize,
+        row: usize,
+        col: usize,
+        side: Side,
+        slot: usize,
+    ) -> Result<NodeId, FpgaError> {
+        if layer >= self.arch.layers {
+            return Err(FpgaError::BlockOutOfBounds { row, col });
+        }
+        let base = self.template.pin_node(row, col, side, slot)?;
+        Ok(NodeId::from_index(base.index() + layer * self.layer_size))
+    }
+
+    /// Decomposes a node into `(layer, within-layer kind)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidPin`] for ids outside the device.
+    pub fn node_kind(&self, v: NodeId) -> Result<(usize, NodeKind), FpgaError> {
+        let layer = v.index() / self.layer_size;
+        if layer >= self.arch.layers {
+            return Err(FpgaError::InvalidPin(format!(
+                "node {v} is not part of this 3D device"
+            )));
+        }
+        let within = NodeId::from_index(v.index() % self.layer_size);
+        Ok((layer, self.template.node_kind(within)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use route_graph::dijkstra::minpath;
+    use route_graph::ShortestPaths;
+
+    fn two_layer() -> Device3d {
+        Device3d::new(Arch3d::new(ArchSpec::xilinx4000(3, 3, 4), 2, 1)).unwrap()
+    }
+
+    #[test]
+    fn node_counts_scale_with_layers() {
+        let single = Device::new(ArchSpec::xilinx4000(3, 3, 4)).unwrap();
+        let stacked = two_layer();
+        assert_eq!(
+            stacked.graph().node_count(),
+            2 * single.graph().node_count()
+        );
+        // Per-layer edges replicate; vias add more.
+        assert!(stacked.graph().edge_count() > 2 * single.graph().edge_count());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Device3d::new(Arch3d::new(ArchSpec::xilinx4000(3, 3, 4), 0, 1)).is_err());
+        assert!(Device3d::new(Arch3d::new(ArchSpec::xilinx4000(3, 3, 4), 2, 0)).is_err());
+        assert!(Device3d::new(Arch3d::new(ArchSpec::xilinx4000(0, 3, 4), 2, 1)).is_err());
+    }
+
+    #[test]
+    fn layers_are_connected_through_vias() {
+        let d = two_layer();
+        let a = d.pin_node(0, 0, 0, Side::East, 0).unwrap();
+        let b = d.pin_node(1, 2, 2, Side::West, 0).unwrap();
+        assert!(minpath(d.graph(), a, b).is_ok());
+        // Everything reachable from one pin.
+        let sp = ShortestPaths::run(d.graph(), a).unwrap();
+        for v in d.graph().node_ids() {
+            assert!(sp.dist(v).is_some(), "{v} unreachable");
+        }
+    }
+
+    #[test]
+    fn scarce_vias_lengthen_interlayer_routes() {
+        let dense = Device3d::new(Arch3d::new(ArchSpec::xilinx4000(3, 3, 4), 2, 1)).unwrap();
+        let sparse = Device3d::new(Arch3d::new(ArchSpec::xilinx4000(3, 3, 4), 2, 4)).unwrap();
+        let d_dense = minpath(
+            dense.graph(),
+            dense.pin_node(0, 1, 1, Side::North, 0).unwrap(),
+            dense.pin_node(1, 1, 1, Side::North, 0).unwrap(),
+        )
+        .unwrap();
+        let d_sparse = minpath(
+            sparse.graph(),
+            sparse.pin_node(0, 1, 1, Side::North, 0).unwrap(),
+            sparse.pin_node(1, 1, 1, Side::North, 0).unwrap(),
+        )
+        .unwrap();
+        assert!(d_sparse >= d_dense);
+    }
+
+    #[test]
+    fn node_kind_reports_layers() {
+        let d = two_layer();
+        let pin = d.pin_node(1, 2, 0, Side::South, 1).unwrap();
+        let (layer, kind) = d.node_kind(pin).unwrap();
+        assert_eq!(layer, 1);
+        assert!(matches!(
+            kind,
+            NodeKind::Pin {
+                row: 2,
+                col: 0,
+                side: Side::South,
+                slot: 1
+            }
+        ));
+        let out = NodeId::from_index(d.graph().node_count());
+        assert!(d.node_kind(out).is_err());
+    }
+
+    #[test]
+    fn pin_lookup_validates_layer() {
+        let d = two_layer();
+        assert!(matches!(
+            d.pin_node(2, 0, 0, Side::East, 0),
+            Err(FpgaError::BlockOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn routing_algorithms_run_unchanged_on_3d_graphs() {
+        use steiner_route::{idom, ikmb, Net, Pfa, SteinerHeuristic};
+        let d = two_layer();
+        let net = Net::new(
+            d.pin_node(0, 0, 0, Side::East, 0).unwrap(),
+            vec![
+                d.pin_node(1, 2, 2, Side::West, 0).unwrap(),
+                d.pin_node(0, 2, 0, Side::North, 1).unwrap(),
+                d.pin_node(1, 0, 2, Side::South, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let steiner = ikmb().construct(d.graph(), &net).unwrap();
+        assert!(steiner.spans(&net));
+        for algo in [Box::new(Pfa::new()) as Box<dyn SteinerHeuristic>, Box::new(idom())] {
+            let tree = algo.construct(d.graph(), &net).unwrap();
+            assert!(tree.is_shortest_paths_tree(d.graph(), &net).unwrap());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Rendering routed circuits (paper Figure 16).
+
+use std::fmt::Write as _;
+
+use crate::device::{Device, NodeKind};
+use crate::netlist::Circuit;
+use crate::router::RouteOutcome;
+use crate::FpgaError;
+
+/// Renders per-channel-position track occupancy as ASCII art: one digit
+/// (or `#` for ≥10) per horizontal-channel segment, with vertical channels
+/// interleaved, blocks drawn as `[]`.
+///
+/// # Errors
+///
+/// Returns classification errors if the outcome does not belong to the
+/// device.
+pub fn render_ascii_occupancy(
+    device: &Device,
+    outcome: &RouteOutcome,
+) -> Result<String, FpgaError> {
+    let arch = *device.arch();
+    let mut usage = vec![0usize; device.position_count()];
+    for tree in &outcome.trees {
+        for v in tree.nodes() {
+            if let Some(pos) = device.segment_position(v) {
+                usage[pos] += 1;
+            }
+        }
+    }
+    let h_positions = (arch.rows + 1) * arch.cols;
+    let digit = |u: usize| -> char {
+        match u {
+            0 => '.',
+            1..=9 => char::from(b'0' + u as u8),
+            _ => '#',
+        }
+    };
+    let mut out = String::new();
+    for hch in 0..=arch.rows {
+        // Horizontal channel row: corner + per-column occupancy.
+        out.push_str("  ");
+        for seg in 0..arch.cols {
+            let u = usage[hch * arch.cols + seg];
+            let _ = write!(out, "+{}", digit(u));
+        }
+        out.push_str("+\n");
+        if hch == arch.rows {
+            break;
+        }
+        // Block row: vertical channel occupancy + blocks.
+        for vch in 0..=arch.cols {
+            let u = usage[h_positions + vch * arch.rows + hch];
+            let _ = write!(out, "{} ", digit(u));
+            if vch < arch.cols {
+                out.push_str("[]");
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Renders the routed circuit as an SVG document: logic blocks as squares,
+/// every used wire segment as a line colored by net (the style of the
+/// paper's Figure 16).
+///
+/// # Errors
+///
+/// Returns classification errors if the outcome does not belong to the
+/// device.
+pub fn render_svg(
+    device: &Device,
+    circuit: &Circuit,
+    outcome: &RouteOutcome,
+) -> Result<String, FpgaError> {
+    let arch = *device.arch();
+    const CHAN: f64 = 16.0;
+    const BLOCK: f64 = 40.0;
+    const PITCH: f64 = CHAN + BLOCK;
+    let width = arch.cols as f64 * PITCH + CHAN;
+    let height = arch.rows as f64 * PITCH + CHAN;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    // Logic blocks.
+    for r in 0..arch.rows {
+        for c in 0..arch.cols {
+            let x = c as f64 * PITCH + CHAN;
+            let y = r as f64 * PITCH + CHAN;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x}" y="{y}" width="{BLOCK}" height="{BLOCK}" fill="#e8e8e8" stroke="#666"/>"##
+            );
+        }
+    }
+    // Routed segments, colored per net.
+    let w = arch.channel_width as f64;
+    for (ni, tree) in outcome.trees.iter().enumerate() {
+        let hue = (ni as f64 * 137.508) % 360.0;
+        let color = format!("hsl({hue:.1},70%,40%)");
+        for v in tree.nodes() {
+            match device.node_kind(v)? {
+                NodeKind::HorizontalSegment { channel, seg, track } => {
+                    let y = channel as f64 * PITCH + 2.0 + (track as f64 + 0.5) * (CHAN - 4.0) / w;
+                    let x0 = seg as f64 * PITCH + CHAN / 2.0;
+                    let x1 = (seg + 1) as f64 * PITCH + CHAN / 2.0;
+                    let _ = writeln!(
+                        svg,
+                        r#"<line x1="{x0:.1}" y1="{y:.1}" x2="{x1:.1}" y2="{y:.1}" stroke="{color}" stroke-width="1.4"/>"#
+                    );
+                }
+                NodeKind::VerticalSegment { channel, seg, track } => {
+                    let x = channel as f64 * PITCH + 2.0 + (track as f64 + 0.5) * (CHAN - 4.0) / w;
+                    let y0 = seg as f64 * PITCH + CHAN / 2.0;
+                    let y1 = (seg + 1) as f64 * PITCH + CHAN / 2.0;
+                    let _ = writeln!(
+                        svg,
+                        r#"<line x1="{x:.1}" y1="{y0:.1}" x2="{x:.1}" y2="{y1:.1}" stroke="{color}" stroke-width="1.4"/>"#
+                    );
+                }
+                NodeKind::Pin { row, col, .. } => {
+                    let x = col as f64 * PITCH + CHAN + BLOCK / 2.0;
+                    let y = row as f64 * PITCH + CHAN + BLOCK / 2.0;
+                    let _ = writeln!(
+                        svg,
+                        r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.2" fill="{color}"/>"#
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="4" y="{:.1}" font-size="10" fill="#333">{} — {} nets, W={}</text>"##,
+        height - 4.0,
+        circuit.name(),
+        circuit.net_count(),
+        arch.channel_width
+    );
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchSpec, Side};
+    use crate::netlist::{BlockPin, CircuitNet};
+    use crate::router::{Router, RouterConfig};
+
+    fn routed() -> (Device, Circuit, RouteOutcome) {
+        let circuit = Circuit::new(
+            "viz",
+            2,
+            2,
+            vec![CircuitNet {
+                pins: vec![
+                    BlockPin {
+                        row: 0,
+                        col: 0,
+                        side: Side::East,
+                        slot: 0,
+                    },
+                    BlockPin {
+                        row: 1,
+                        col: 1,
+                        side: Side::West,
+                        slot: 0,
+                    },
+                ],
+            }],
+        )
+        .unwrap();
+        let device = Device::new(ArchSpec::xilinx4000(2, 2, 4)).unwrap();
+        let outcome = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        (device, circuit, outcome)
+    }
+
+    #[test]
+    fn ascii_renders_every_channel() {
+        let (device, _, outcome) = routed();
+        let art = render_ascii_occupancy(&device, &outcome).unwrap();
+        // 3 horizontal channel lines + 2 block rows.
+        assert_eq!(art.lines().count(), 5);
+        // Some channel is actually used.
+        assert!(art.chars().any(|c| c.is_ascii_digit() && c != '0'));
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_nonempty() {
+        let (device, circuit, outcome) = routed();
+        let svg = render_svg(&device, &circuit, &outcome).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("viz"));
+        assert_eq!(svg.matches("<rect").count(), 5); // canvas + 4 blocks
+    }
+}

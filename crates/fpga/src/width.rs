@@ -1,0 +1,227 @@
+//! Minimum channel-width search (the paper's primary router metric).
+//!
+//! "A common criterion used to evaluate the quality of FPGA routers is the
+//! maximum channel width required to successfully route all nets of a
+//! design" (paper §5). The router takes `W` as an upper-bound input; for
+//! each circuit we find the smallest `W` at which a complete routing
+//! exists within the pass budget.
+
+use std::ops::RangeInclusive;
+
+use crate::arch::ArchSpec;
+use crate::device::Device;
+use crate::router::RouteOutcome;
+use crate::FpgaError;
+
+/// Search strategy over channel widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WidthSearch {
+    /// Ascending linear scan: sound without any monotonicity assumption,
+    /// one full routing attempt per width.
+    Linear,
+    /// Binary search between the bounds, assuming routability is monotone
+    /// in `W` (true in practice for these congestion-driven routers); the
+    /// returned width is always verified routable.
+    #[default]
+    Binary,
+}
+
+/// Result of a minimum-width search.
+#[derive(Debug, Clone)]
+pub struct WidthOutcome {
+    /// Smallest channel width found routable.
+    pub channel_width: usize,
+    /// The successful routing at that width.
+    pub outcome: RouteOutcome,
+    /// Routing attempts performed across all probed widths.
+    pub attempts: usize,
+}
+
+/// Finds the minimum channel width in `range` at which `route` succeeds.
+///
+/// `route` receives a freshly built device per probe (the architecture is
+/// `base` with the probe's channel width) and should run a full multi-pass
+/// routing, returning [`FpgaError::Unroutable`] on failure.
+///
+/// # Errors
+///
+/// * [`FpgaError::Unroutable`] if even the widest width in `range` fails;
+/// * [`FpgaError::InvalidArchitecture`] for an empty range;
+/// * any non-unroutability error from `route`, immediately.
+pub fn minimum_channel_width(
+    base: ArchSpec,
+    range: RangeInclusive<usize>,
+    strategy: WidthSearch,
+    mut route: impl FnMut(&Device) -> Result<RouteOutcome, FpgaError>,
+) -> Result<WidthOutcome, FpgaError> {
+    let (lo, hi) = (*range.start(), *range.end());
+    if lo == 0 || lo > hi {
+        return Err(FpgaError::InvalidArchitecture(format!(
+            "invalid width range {lo}..={hi}"
+        )));
+    }
+    let mut attempts = 0usize;
+    let mut probe = |w: usize,
+                     attempts: &mut usize|
+     -> Result<Result<RouteOutcome, FpgaError>, FpgaError> {
+        *attempts += 1;
+        let device = Device::new(base.with_channel_width(w))?;
+        match route(&device) {
+            Ok(outcome) => Ok(Ok(outcome)),
+            Err(e @ FpgaError::Unroutable { .. }) => Ok(Err(e)),
+            Err(e) => Err(e),
+        }
+    };
+    match strategy {
+        WidthSearch::Linear => {
+            let mut last_err = None;
+            for w in lo..=hi {
+                match probe(w, &mut attempts)? {
+                    Ok(outcome) => {
+                        return Ok(WidthOutcome {
+                            channel_width: w,
+                            outcome,
+                            attempts,
+                        })
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            Err(last_err.expect("nonempty range probed at least once"))
+        }
+        WidthSearch::Binary => {
+            // Establish a routable upper bound first.
+            let mut best = match probe(hi, &mut attempts)? {
+                Ok(outcome) => (hi, outcome),
+                Err(e) => return Err(e),
+            };
+            let mut known_bad = lo.saturating_sub(1);
+            while best.0 > known_bad + 1 {
+                let mid = (best.0 + known_bad) / 2;
+                match probe(mid, &mut attempts)? {
+                    Ok(outcome) => best = (mid, outcome),
+                    Err(_) => known_bad = mid,
+                }
+            }
+            Ok(WidthOutcome {
+                channel_width: best.0,
+                outcome: best.1,
+                attempts,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Side;
+    use crate::netlist::{BlockPin, Circuit, CircuitNet};
+    use crate::router::{Router, RouterConfig};
+
+    fn pin(row: usize, col: usize, side: Side, slot: usize) -> BlockPin {
+        BlockPin {
+            row,
+            col,
+            side,
+            slot,
+        }
+    }
+
+    fn crossing_circuit() -> Circuit {
+        Circuit::new(
+            "cross",
+            2,
+            2,
+            vec![
+                CircuitNet {
+                    pins: vec![pin(0, 0, Side::East, 0), pin(1, 1, Side::West, 0)],
+                },
+                CircuitNet {
+                    pins: vec![pin(0, 1, Side::West, 0), pin(1, 0, Side::East, 0)],
+                },
+                CircuitNet {
+                    pins: vec![pin(0, 0, Side::South, 1), pin(1, 1, Side::North, 1)],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn route_with(config: RouterConfig) -> impl FnMut(&Device) -> Result<RouteOutcome, FpgaError>
+    {
+        let circuit = crossing_circuit();
+        move |device| Router::new(device, config.clone()).route(&circuit)
+    }
+
+    #[test]
+    fn linear_and_binary_agree() {
+        let config = RouterConfig {
+            max_passes: 4,
+            ..RouterConfig::default()
+        };
+        let base = ArchSpec::xilinx4000(2, 2, 1);
+        let linear = minimum_channel_width(
+            base,
+            1..=8,
+            WidthSearch::Linear,
+            route_with(config.clone()),
+        )
+        .unwrap();
+        let binary =
+            minimum_channel_width(base, 1..=8, WidthSearch::Binary, route_with(config))
+                .unwrap();
+        assert_eq!(linear.channel_width, binary.channel_width);
+        assert!(binary.attempts <= linear.attempts + 2);
+    }
+
+    #[test]
+    fn found_width_is_minimal() {
+        let config = RouterConfig {
+            max_passes: 4,
+            ..RouterConfig::default()
+        };
+        let base = ArchSpec::xilinx4000(2, 2, 1);
+        let found = minimum_channel_width(
+            base,
+            1..=8,
+            WidthSearch::Linear,
+            route_with(config.clone()),
+        )
+        .unwrap();
+        assert!(found.channel_width >= 1);
+        if found.channel_width > 1 {
+            // One narrower must fail.
+            let circuit = crossing_circuit();
+            let device =
+                Device::new(base.with_channel_width(found.channel_width - 1)).unwrap();
+            assert!(Router::new(&device, config).route(&circuit).is_err());
+        }
+    }
+
+    #[test]
+    fn unroutable_range_errors() {
+        let config = RouterConfig {
+            max_passes: 2,
+            ..RouterConfig::default()
+        };
+        let base = ArchSpec::xilinx4000(2, 2, 1);
+        // Width 1 cannot route the three crossing nets.
+        let result =
+            minimum_channel_width(base, 1..=1, WidthSearch::Binary, route_with(config));
+        assert!(matches!(result, Err(FpgaError::Unroutable { .. })));
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let base = ArchSpec::xilinx4000(2, 2, 1);
+        assert!(matches!(
+            minimum_channel_width(base, 3..=2, WidthSearch::Binary, |_| unreachable!()),
+            Err(FpgaError::InvalidArchitecture(_))
+        ));
+        assert!(matches!(
+            minimum_channel_width(base, 0..=2, WidthSearch::Binary, |_| unreachable!()),
+            Err(FpgaError::InvalidArchitecture(_))
+        ));
+    }
+}

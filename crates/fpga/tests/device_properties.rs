@@ -1,0 +1,117 @@
+//! Property tests over the device model: counts, flexibilities, and
+//! connectivity for randomized architecture parameters.
+
+use proptest::prelude::*;
+
+use fpga_device::synth::{synthesize, CircuitProfile};
+use fpga_device::{ArchSpec, Device, FcSpec, NodeKind, Side};
+use route_graph::ShortestPaths;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Node counts follow the closed-form formula for any architecture.
+    #[test]
+    fn node_counts_follow_the_formula(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        w in 1usize..7,
+        pins in 1usize..3,
+    ) {
+        let mut arch = ArchSpec::xilinx4000(rows, cols, w);
+        arch.pins_per_side = pins;
+        let device = Device::new(arch).unwrap();
+        let expected = (rows + 1) * cols * w   // horizontal segments
+            + (cols + 1) * rows * w            // vertical segments
+            + rows * cols * 4 * pins;          // pins
+        prop_assert_eq!(device.graph().node_count(), expected);
+    }
+
+    /// Every pin connects to exactly `F_c` tracks of one channel position.
+    #[test]
+    fn pin_fanout_equals_fc(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        w in 2usize..9,
+        frac in 1usize..5,
+    ) {
+        let mut arch = ArchSpec::xilinx4000(rows, cols, w);
+        arch.fc = FcSpec::Fraction { num: frac, den: 4 };
+        let device = Device::new(arch).unwrap();
+        let fc = arch.fc_resolved();
+        for pin in device.pin_nodes() {
+            let neighbors: Vec<_> = device.graph().neighbors(pin).collect();
+            prop_assert_eq!(neighbors.len(), fc);
+            // All on the same channel position.
+            let positions: std::collections::HashSet<_> = neighbors
+                .iter()
+                .map(|&(u, _, _)| device.segment_position(u).unwrap())
+                .collect();
+            prop_assert_eq!(positions.len(), 1);
+        }
+    }
+
+    /// Interior segments have exactly `2·F_s` segment-to-segment fanout
+    /// for the supported flexibilities.
+    #[test]
+    fn interior_segment_fanout_is_two_fs(
+        w in 3usize..8,
+        fs_choice in 0usize..3,
+    ) {
+        let fs = [3usize, 4, 6][fs_choice];
+        let mut arch = ArchSpec::xilinx4000(4, 4, w);
+        arch.fs = fs;
+        let device = Device::new(arch).unwrap();
+        // An interior horizontal segment: channel 2 (between rows), seg 1.
+        let interior = device
+            .graph()
+            .node_ids()
+            .find(|&v| {
+                matches!(
+                    device.node_kind(v),
+                    Ok(NodeKind::HorizontalSegment { channel: 2, seg: 1, track: 1 })
+                )
+            })
+            .unwrap();
+        let seg_neighbors = device
+            .graph()
+            .neighbors(interior)
+            .filter(|&(u, _, _)| !device.is_pin(u))
+            .count();
+        prop_assert_eq!(seg_neighbors, 2 * fs);
+    }
+
+    /// Devices are always fully connected.
+    #[test]
+    fn device_is_connected(rows in 1usize..6, cols in 1usize..6, w in 1usize..6) {
+        let device = Device::new(ArchSpec::xilinx4000(rows, cols, w)).unwrap();
+        let start = device.pin_node(0, 0, Side::North, 0).unwrap();
+        let sp = ShortestPaths::run(device.graph(), start).unwrap();
+        for v in device.graph().node_ids() {
+            prop_assert!(sp.dist(v).is_some());
+        }
+    }
+
+    /// Synthetic circuits always match their profile histogram exactly and
+    /// never double-book a pin.
+    #[test]
+    fn synthesis_honours_profiles(seed in 0u64..5_000, small in 2usize..12, big in 0usize..3) {
+        let profile = CircuitProfile {
+            name: "prop",
+            rows: 6,
+            cols: 6,
+            nets_2_3: small,
+            nets_4_10: 2,
+            nets_over_10: big,
+        };
+        let circuit = synthesize(&profile, 2, seed).unwrap();
+        let (s, m, l) = circuit.pin_histogram();
+        prop_assert_eq!((s, m, l), (small, 2, big));
+        let mut seen = std::collections::HashSet::new();
+        for net in circuit.nets() {
+            for pin in &net.pins {
+                prop_assert!(seen.insert(*pin), "pin double-booked");
+            }
+        }
+    }
+}

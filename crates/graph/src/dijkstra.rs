@@ -1,0 +1,327 @@
+//! Dijkstra single-source shortest paths.
+
+use crate::heap::IndexedBinaryHeap;
+use crate::{EdgeId, Graph, GraphError, NodeId, Path, Weight};
+
+/// The result of a Dijkstra run from one source: distances and parent links
+/// for every reachable live node.
+///
+/// This is the workhorse of every heuristic in the paper — `minpath_G(u, v)`
+/// queries, distance-graph construction (KMB/ZEL/DOM), shortest-path trees
+/// (DJKA), and the dominance relation of Definition 4.1 are all answered
+/// from `ShortestPaths` instances.
+///
+/// Removed nodes and removed edges are ignored, so the same API serves both
+/// virgin routing graphs and graphs with resources already committed to
+/// earlier nets.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{Graph, ShortestPaths, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let mut g = Graph::with_nodes(4);
+/// let n: Vec<_> = g.node_ids().collect();
+/// g.add_edge(n[0], n[1], Weight::from_units(1))?;
+/// g.add_edge(n[1], n[3], Weight::from_units(1))?;
+/// g.add_edge(n[0], n[2], Weight::from_units(5))?;
+/// g.add_edge(n[2], n[3], Weight::from_units(5))?;
+/// let sp = ShortestPaths::run(&g, n[0])?;
+/// assert_eq!(sp.dist(n[3]), Some(Weight::from_units(2)));
+/// assert_eq!(sp.path_to(n[3])?.nodes(), &[n[0], n[1], n[3]]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Option<Weight>>,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra from `source` over the live part of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
+    /// if the source is invalid.
+    pub fn run(g: &Graph, source: NodeId) -> Result<ShortestPaths, GraphError> {
+        Self::run_until(g, source, |_| false)
+    }
+
+    /// Runs Dijkstra from `source`, stopping early once every node in
+    /// `targets` has been settled. Distances to unsettled nodes are absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
+    /// if the source is invalid.
+    pub fn run_to_targets(
+        g: &Graph,
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> Result<ShortestPaths, GraphError> {
+        let mut remaining: Vec<bool> = vec![false; g.node_count()];
+        let mut missing = 0usize;
+        for &t in targets {
+            if t.index() < remaining.len() && !remaining[t.index()] {
+                remaining[t.index()] = true;
+                missing += 1;
+            }
+        }
+        Self::run_until(g, source, move |settled: NodeId| {
+            if remaining[settled.index()] {
+                remaining[settled.index()] = false;
+                missing -= 1;
+            }
+            missing == 0
+        })
+    }
+
+    fn run_until(
+        g: &Graph,
+        source: NodeId,
+        mut done: impl FnMut(NodeId) -> bool,
+    ) -> Result<ShortestPaths, GraphError> {
+        g.require_live_node(source)?;
+        let n = g.node_count();
+        let mut dist: Vec<Option<Weight>> = vec![None; n];
+        let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut heap = IndexedBinaryHeap::new(n);
+        heap.push(source.index(), Weight::ZERO);
+        while let Some((vi, d)) = heap.pop() {
+            let v = NodeId::from_index(vi);
+            dist[vi] = Some(d);
+            if done(v) {
+                break;
+            }
+            for (u, e, w) in g.neighbors(v) {
+                if dist[u.index()].is_some() {
+                    continue; // settled
+                }
+                let nd = d + w;
+                if heap.push(u.index(), nd) {
+                    parent[u.index()] = Some((v, e));
+                }
+            }
+        }
+        Ok(ShortestPaths {
+            source,
+            dist,
+            parent,
+        })
+    }
+
+    /// The source this run started from.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest-path distance to `v`, or `None` if `v` was unreachable (or
+    /// not settled under early termination).
+    #[must_use]
+    pub fn dist(&self, v: NodeId) -> Option<Weight> {
+        self.dist.get(v.index()).copied().flatten()
+    }
+
+    /// The parent `(node, edge)` of `v` in the shortest-path tree.
+    ///
+    /// `None` for the source and for unreached nodes.
+    #[must_use]
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent.get(v.index()).copied().flatten()
+    }
+
+    /// Extracts the shortest path from the source to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if `target` was not reached.
+    pub fn path_to(&self, target: NodeId) -> Result<Path, GraphError> {
+        let cost = self.dist(target).ok_or(GraphError::Disconnected {
+            from: self.source,
+            to: target,
+        })?;
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((p, e)) = self.parent(cur) {
+            nodes.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Ok(Path::from_raw(nodes, edges, cost))
+    }
+
+    /// Iterates over all `(node, distance)` pairs that were settled.
+    pub fn reached(&self) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|d| (NodeId::from_index(i), d)))
+    }
+}
+
+/// Computes `minpath_G(u, v)` — the cost of a shortest path between two
+/// nodes — with an early-terminating Dijkstra.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeRemoved`] / [`GraphError::NodeOutOfBounds`] for
+/// an invalid endpoint, or [`GraphError::Disconnected`] if no path exists.
+pub fn minpath(g: &Graph, u: NodeId, v: NodeId) -> Result<Weight, GraphError> {
+    g.require_live_node(v)?;
+    let sp = ShortestPaths::run_to_targets(g, u, &[v])?;
+    sp.dist(v)
+        .ok_or(GraphError::Disconnected { from: u, to: v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 6-node example commonly used to exercise Dijkstra.
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_nodes(6);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let w = Weight::from_units;
+        g.add_edge(n[0], n[1], w(7)).unwrap();
+        g.add_edge(n[0], n[2], w(9)).unwrap();
+        g.add_edge(n[0], n[5], w(14)).unwrap();
+        g.add_edge(n[1], n[2], w(10)).unwrap();
+        g.add_edge(n[1], n[3], w(15)).unwrap();
+        g.add_edge(n[2], n[3], w(11)).unwrap();
+        g.add_edge(n[2], n[5], w(2)).unwrap();
+        g.add_edge(n[3], n[4], w(6)).unwrap();
+        g.add_edge(n[4], n[5], w(9)).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn classic_distances() {
+        let (g, n) = diamond();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        let d = |i: usize| sp.dist(n[i]).unwrap().as_milli() / 1000;
+        assert_eq!(d(0), 0);
+        assert_eq!(d(1), 7);
+        assert_eq!(d(2), 9);
+        assert_eq!(d(3), 20);
+        assert_eq!(d(4), 20);
+        assert_eq!(d(5), 11);
+    }
+
+    #[test]
+    fn path_extraction_matches_distance() {
+        let (g, n) = diamond();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        for &t in &n {
+            let p = sp.path_to(t).unwrap();
+            assert_eq!(p.cost(), sp.dist(t).unwrap());
+            assert_eq!(p.source(), n[0]);
+            assert_eq!(p.target(), t);
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Graph::with_nodes(2);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        assert_eq!(sp.dist(n[1]), None);
+        assert!(matches!(
+            sp.path_to(n[1]),
+            Err(GraphError::Disconnected { .. })
+        ));
+        assert!(matches!(
+            minpath(&g, n[0], n[1]),
+            Err(GraphError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn respects_removed_edges() {
+        let (mut g, n) = diamond();
+        // Remove the cheap 0-2-5 corridor; 0→5 must fall back to the direct
+        // 14-weight edge.
+        let e = g
+            .edge_ids()
+            .find(|&e| {
+                let (a, b) = g.endpoints(e).unwrap();
+                (a == n[2] && b == n[5]) || (a == n[5] && b == n[2])
+            })
+            .unwrap();
+        g.remove_edge(e).unwrap();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        assert_eq!(sp.dist(n[5]), Some(Weight::from_units(14)));
+    }
+
+    #[test]
+    fn respects_removed_nodes() {
+        let (mut g, n) = diamond();
+        g.remove_node(n[2]).unwrap();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        assert_eq!(sp.dist(n[5]), Some(Weight::from_units(14)));
+        assert_eq!(sp.dist(n[2]), None);
+    }
+
+    #[test]
+    fn removed_source_is_an_error() {
+        let (mut g, n) = diamond();
+        g.remove_node(n[0]).unwrap();
+        assert!(matches!(
+            ShortestPaths::run(&g, n[0]),
+            Err(GraphError::NodeRemoved(_))
+        ));
+    }
+
+    #[test]
+    fn early_termination_settles_targets() {
+        let (g, n) = diamond();
+        let sp = ShortestPaths::run_to_targets(&g, n[0], &[n[1], n[2]]).unwrap();
+        assert_eq!(sp.dist(n[1]), Some(Weight::from_units(7)));
+        assert_eq!(sp.dist(n[2]), Some(Weight::from_units(9)));
+        // Distant node 3 (distance 20) must not have been settled.
+        assert_eq!(sp.dist(n[3]), None);
+    }
+
+    #[test]
+    fn minpath_is_symmetric() {
+        let (g, n) = diamond();
+        for &u in &n {
+            for &v in &n {
+                assert_eq!(
+                    minpath(&g, u, v).unwrap(),
+                    minpath(&g, v, u).unwrap(),
+                    "minpath({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_are_handled() {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::ZERO).unwrap();
+        g.add_edge(n[1], n[2], Weight::ZERO).unwrap();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        assert_eq!(sp.dist(n[2]), Some(Weight::ZERO));
+        assert_eq!(sp.path_to(n[2]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_pick_cheaper() {
+        let mut g = Graph::with_nodes(2);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::from_units(5)).unwrap();
+        let cheap = g.add_edge(n[0], n[1], Weight::from_units(2)).unwrap();
+        let sp = ShortestPaths::run(&g, n[0]).unwrap();
+        assert_eq!(sp.dist(n[1]), Some(Weight::from_units(2)));
+        assert_eq!(sp.path_to(n[1]).unwrap().edges(), &[cheap]);
+    }
+}

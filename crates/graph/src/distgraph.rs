@@ -1,0 +1,346 @@
+//! The *distance graph* over a terminal set, and a shortest-paths cache.
+//!
+//! The KMB and ZEL heuristics, the DOM arborescence construction, and both
+//! iterated templates (IGMST, IDOM) all start from the complete graph `G'`
+//! over a net `N` whose edge weights are shortest-path costs in `G` (paper
+//! Appendix). Since the iterated constructions repeatedly re-evaluate their
+//! base heuristic on `N ∪ S ∪ {t}` for thousands of candidates `t`, the
+//! expensive part — one Dijkstra per terminal — must be shared across calls;
+//! [`TerminalDistances`] provides exactly that factoring (paper §3:
+//! "factoring out of H common computations, such as computing
+//! shortest-paths").
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::{Graph, GraphError, NodeId, Path, ShortestPaths, Weight};
+
+/// Shortest-path distances (and paths) from every terminal of a net to
+/// everywhere in the graph.
+///
+/// Conceptually this is the distance graph `G'` of the paper plus, for each
+/// terminal, the full distance vector to all of `V` — which is what lets an
+/// iterated construction price a Steiner candidate `t` against every
+/// terminal without running any additional Dijkstra (the graph is
+/// undirected, so `dist(t, n_i) = dist(n_i, t)`).
+///
+/// Terminals can be appended with [`push_terminal`], which is how accepted
+/// Steiner points enter the working set of IGMST/IDOM.
+///
+/// [`push_terminal`]: TerminalDistances::push_terminal
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{Graph, TerminalDistances, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let mut g = Graph::with_nodes(3);
+/// let n: Vec<_> = g.node_ids().collect();
+/// g.add_edge(n[0], n[1], Weight::from_units(2))?;
+/// g.add_edge(n[1], n[2], Weight::from_units(2))?;
+/// let td = TerminalDistances::compute(&g, &[n[0], n[2]])?;
+/// assert_eq!(td.dist(0, 1), Some(Weight::from_units(4)));
+/// assert_eq!(td.dist_to_node(0, n[1]), Some(Weight::from_units(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TerminalDistances {
+    terminals: Vec<NodeId>,
+    sp: Vec<Rc<ShortestPaths>>,
+}
+
+impl TerminalDistances {
+    /// Runs one full Dijkstra per terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyTerminalSet`] for an empty list,
+    /// [`GraphError::DuplicateTerminal`] for repeats, and node-validity
+    /// errors for removed/unknown terminals.
+    pub fn compute(g: &Graph, terminals: &[NodeId]) -> Result<TerminalDistances, GraphError> {
+        if terminals.is_empty() {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        let mut seen = vec![false; g.node_count()];
+        for &t in terminals {
+            g.require_live_node(t)?;
+            if seen[t.index()] {
+                return Err(GraphError::DuplicateTerminal(t));
+            }
+            seen[t.index()] = true;
+        }
+        let sp = terminals
+            .iter()
+            .map(|&t| ShortestPaths::run(g, t).map(Rc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TerminalDistances {
+            terminals: terminals.to_vec(),
+            sp,
+        })
+    }
+
+    /// The terminal list, in index order.
+    #[must_use]
+    pub fn terminals(&self) -> &[NodeId] {
+        &self.terminals
+    }
+
+    /// Number of terminals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Returns `true` if there are no terminals (never, post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terminals.is_empty()
+    }
+
+    /// Index of `v` within the terminal list, if it is a terminal.
+    #[must_use]
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.terminals.iter().position(|&t| t == v)
+    }
+
+    /// Distance-graph edge weight between terminals `i` and `j`, or `None`
+    /// if they are disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is not a valid terminal index.
+    #[must_use]
+    pub fn dist(&self, i: usize, j: usize) -> Option<Weight> {
+        self.sp[i].dist(self.terminals[j])
+    }
+
+    /// Distance from terminal `i` to an arbitrary node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid terminal index.
+    #[must_use]
+    pub fn dist_to_node(&self, i: usize, v: NodeId) -> Option<Weight> {
+        self.sp[i].dist(v)
+    }
+
+    /// Concrete shortest path between terminals `i` and `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if no path exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is not a valid terminal index.
+    pub fn path(&self, i: usize, j: usize) -> Result<Path, GraphError> {
+        self.sp[i].path_to(self.terminals[j])
+    }
+
+    /// Concrete shortest path from terminal `i` to an arbitrary node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if no path exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid terminal index.
+    pub fn path_to_node(&self, i: usize, v: NodeId) -> Result<Path, GraphError> {
+        self.sp[i].path_to(v)
+    }
+
+    /// The full single-source run for terminal `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid terminal index.
+    #[must_use]
+    pub fn shortest_paths(&self, i: usize) -> &ShortestPaths {
+        &self.sp[i]
+    }
+
+    /// Like [`shortest_paths`](Self::shortest_paths) but returns the shared
+    /// handle, letting callers retain runs beyond the lifetime of this
+    /// structure (PFA keeps runs for its merge bookkeeping).
+    #[must_use]
+    pub fn shared_shortest_paths(&self, i: usize) -> Rc<ShortestPaths> {
+        Rc::clone(&self.sp[i])
+    }
+
+    /// Appends a new terminal (e.g. an accepted Steiner point), running one
+    /// more Dijkstra. Returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateTerminal`] if `v` is already a
+    /// terminal, plus node-validity errors.
+    pub fn push_terminal(&mut self, g: &Graph, v: NodeId) -> Result<usize, GraphError> {
+        if self.index_of(v).is_some() {
+            return Err(GraphError::DuplicateTerminal(v));
+        }
+        g.require_live_node(v)?;
+        self.sp.push(Rc::new(ShortestPaths::run(g, v)?));
+        self.terminals.push(v);
+        Ok(self.terminals.len() - 1)
+    }
+
+    /// Returns `true` if every terminal can reach every other terminal.
+    #[must_use]
+    pub fn all_connected(&self) -> bool {
+        (0..self.len()).all(|j| self.dist(0, j).is_some())
+    }
+}
+
+/// A lazy, memoizing cache of [`ShortestPaths`] runs keyed by source node.
+///
+/// Useful when an algorithm discovers which sources it needs on the fly —
+/// the PFA heuristic runs Dijkstra from every `MaxDom` merge point it
+/// creates, and reuses runs when merge points repeat.
+///
+/// The oracle borrows the graph immutably, so it is valid only while the
+/// graph is unchanged; create a fresh oracle after mutating weights or
+/// removing resources.
+#[derive(Debug)]
+pub struct DistanceOracle<'g> {
+    g: &'g Graph,
+    cache: HashMap<NodeId, Rc<ShortestPaths>>,
+}
+
+impl<'g> DistanceOracle<'g> {
+    /// Creates an empty oracle over `g`.
+    #[must_use]
+    pub fn new(g: &'g Graph) -> DistanceOracle<'g> {
+        DistanceOracle {
+            g,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The graph this oracle answers for.
+    #[must_use]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Returns (computing and caching on first use) the shortest-paths run
+    /// from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns node-validity errors for an invalid source.
+    pub fn paths(&mut self, source: NodeId) -> Result<Rc<ShortestPaths>, GraphError> {
+        if let Some(sp) = self.cache.get(&source) {
+            return Ok(Rc::clone(sp));
+        }
+        let sp = Rc::new(ShortestPaths::run(self.g, source)?);
+        self.cache.insert(source, Rc::clone(&sp));
+        Ok(sp)
+    }
+
+    /// Number of distinct sources computed so far.
+    #[must_use]
+    pub fn cached_sources(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_nodes(n);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        for i in 1..n {
+            g.add_edge(ids[i - 1], ids[i], Weight::UNIT).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn pairwise_distances_on_a_path() {
+        let (g, n) = path_graph(5);
+        let td = TerminalDistances::compute(&g, &[n[0], n[2], n[4]]).unwrap();
+        assert_eq!(td.dist(0, 1), Some(Weight::from_units(2)));
+        assert_eq!(td.dist(0, 2), Some(Weight::from_units(4)));
+        assert_eq!(td.dist(1, 2), Some(Weight::from_units(2)));
+        assert!(td.all_connected());
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let (g, n) = path_graph(6);
+        let td = TerminalDistances::compute(&g, &[n[1], n[4], n[5]]).unwrap();
+        for i in 0..td.len() {
+            for j in 0..td.len() {
+                assert_eq!(td.dist(i, j), td.dist(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_terminals() {
+        let (g, n) = path_graph(3);
+        assert_eq!(
+            TerminalDistances::compute(&g, &[]).unwrap_err(),
+            GraphError::EmptyTerminalSet
+        );
+        assert_eq!(
+            TerminalDistances::compute(&g, &[n[0], n[0]]).unwrap_err(),
+            GraphError::DuplicateTerminal(n[0])
+        );
+    }
+
+    #[test]
+    fn push_terminal_extends() {
+        let (g, n) = path_graph(4);
+        let mut td = TerminalDistances::compute(&g, &[n[0], n[3]]).unwrap();
+        let idx = td.push_terminal(&g, n[1]).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(td.dist(2, 1), Some(Weight::from_units(2)));
+        assert_eq!(
+            td.push_terminal(&g, n[1]).unwrap_err(),
+            GraphError::DuplicateTerminal(n[1])
+        );
+    }
+
+    #[test]
+    fn dist_to_arbitrary_node_and_paths() {
+        let (g, n) = path_graph(5);
+        let td = TerminalDistances::compute(&g, &[n[0], n[4]]).unwrap();
+        assert_eq!(td.dist_to_node(1, n[2]), Some(Weight::from_units(2)));
+        let p = td.path(0, 1).unwrap();
+        assert_eq!(p.nodes(), &[n[0], n[1], n[2], n[3], n[4]]);
+        let q = td.path_to_node(1, n[3]).unwrap();
+        assert_eq!(q.nodes(), &[n[4], n[3]]);
+    }
+
+    #[test]
+    fn disconnection_is_visible() {
+        let (mut g, n) = path_graph(4);
+        // Break the path between n1 and n2.
+        let e = g
+            .edge_ids()
+            .find(|&e| g.endpoints(e).unwrap() == (n[1], n[2]))
+            .unwrap();
+        g.remove_edge(e).unwrap();
+        let td = TerminalDistances::compute(&g, &[n[0], n[3]]).unwrap();
+        assert_eq!(td.dist(0, 1), None);
+        assert!(!td.all_connected());
+    }
+
+    #[test]
+    fn oracle_caches_runs() {
+        let (g, n) = path_graph(4);
+        let mut oracle = DistanceOracle::new(&g);
+        let a = oracle.paths(n[0]).unwrap();
+        let b = oracle.paths(n[0]).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(oracle.cached_sources(), 1);
+        oracle.paths(n[2]).unwrap();
+        assert_eq!(oracle.cached_sources(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by all graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced by graph construction, mutation, and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referred to an index the graph has never allocated.
+    NodeOutOfBounds(NodeId),
+    /// An edge id referred to an index the graph has never allocated.
+    EdgeOutOfBounds(EdgeId),
+    /// An operation required a live node, but the node has been removed.
+    NodeRemoved(NodeId),
+    /// An operation required a usable edge, but the edge (or one of its
+    /// endpoints) has been removed.
+    EdgeRemoved(EdgeId),
+    /// Self-loop edges are rejected; routing graphs never need them.
+    SelfLoop(NodeId),
+    /// A terminal set was empty where at least one terminal is required.
+    EmptyTerminalSet,
+    /// Two nodes that an algorithm must connect are in different components
+    /// of the (live part of the) graph.
+    Disconnected {
+        /// Source side of the failed connection.
+        from: NodeId,
+        /// Unreachable target.
+        to: NodeId,
+    },
+    /// A terminal list contained the same node twice.
+    DuplicateTerminal(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds(n) => write!(f, "node {n} is out of bounds"),
+            GraphError::EdgeOutOfBounds(e) => write!(f, "edge {e} is out of bounds"),
+            GraphError::NodeRemoved(n) => write!(f, "node {n} has been removed"),
+            GraphError::EdgeRemoved(e) => write!(f, "edge {e} is unusable (removed)"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            GraphError::EmptyTerminalSet => write!(f, "terminal set is empty"),
+            GraphError::Disconnected { from, to } => {
+                write!(f, "no path from {from} to {to} in the live graph")
+            }
+            GraphError::DuplicateTerminal(n) => {
+                write!(f, "terminal {n} appears more than once")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            GraphError::NodeOutOfBounds(NodeId::from_index(1)).to_string(),
+            GraphError::EdgeOutOfBounds(EdgeId::from_index(2)).to_string(),
+            GraphError::NodeRemoved(NodeId::from_index(3)).to_string(),
+            GraphError::EdgeRemoved(EdgeId::from_index(4)).to_string(),
+            GraphError::SelfLoop(NodeId::from_index(5)).to_string(),
+            GraphError::EmptyTerminalSet.to_string(),
+            GraphError::Disconnected {
+                from: NodeId::from_index(0),
+                to: NodeId::from_index(9),
+            }
+            .to_string(),
+            GraphError::DuplicateTerminal(NodeId::from_index(6)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with('n'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

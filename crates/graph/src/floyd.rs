@@ -1,0 +1,125 @@
+//! Floyd–Warshall all-pairs shortest paths (test oracle).
+//!
+//! An `O(|V|^3)` reference implementation used to validate Dijkstra and the
+//! distance-graph machinery on small instances. Not intended for production
+//! routing graphs.
+
+use crate::{Graph, NodeId, Weight};
+
+/// All-pairs shortest-path distances, indexed by dense node indices.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    n: usize,
+    dist: Vec<Option<Weight>>,
+}
+
+impl AllPairs {
+    /// Runs Floyd–Warshall over the live part of `g`.
+    #[must_use]
+    pub fn run(g: &Graph) -> AllPairs {
+        let n = g.node_count();
+        let mut dist: Vec<Option<Weight>> = vec![None; n * n];
+        for v in g.node_ids() {
+            dist[v.index() * n + v.index()] = Some(Weight::ZERO);
+        }
+        for e in g.edge_ids() {
+            let (a, b) = g.endpoints(e).expect("usable edge");
+            let w = g.weight(e).expect("usable edge");
+            for (i, j) in [(a.index(), b.index()), (b.index(), a.index())] {
+                let slot = &mut dist[i * n + j];
+                if slot.is_none_or(|d| w < d) {
+                    *slot = Some(w);
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let Some(dik) = dist[i * n + k] else {
+                    continue;
+                };
+                for j in 0..n {
+                    let Some(dkj) = dist[k * n + j] else {
+                        continue;
+                    };
+                    let via = dik + dkj;
+                    let slot = &mut dist[i * n + j];
+                    if slot.is_none_or(|d| via < d) {
+                        *slot = Some(via);
+                    }
+                }
+            }
+        }
+        AllPairs { n, dist }
+    }
+
+    /// Distance from `a` to `b`, or `None` if disconnected (or either node
+    /// is removed).
+    #[must_use]
+    pub fn dist(&self, a: NodeId, b: NodeId) -> Option<Weight> {
+        if a.index() < self.n && b.index() < self.n {
+            self.dist[a.index() * self.n + b.index()]
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridGraph, ShortestPaths};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let mut g = Graph::with_nodes(n);
+            let ids: Vec<NodeId> = g.node_ids().collect();
+            let m = rng.gen_range(0..n * 2);
+            for _ in 0..m {
+                let a = ids[rng.gen_range(0..n)];
+                let b = ids[rng.gen_range(0..n)];
+                if a != b {
+                    g.add_edge(a, b, Weight::from_units(rng.gen_range(0..10)))
+                        .unwrap();
+                }
+            }
+            let ap = AllPairs::run(&g);
+            for &s in &ids {
+                let sp = ShortestPaths::run(&g, s).unwrap();
+                for &t in &ids {
+                    assert_eq!(sp.dist(t), ap.dist(s, t), "source {s}, target {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let grid = GridGraph::new(4, 4, Weight::UNIT).unwrap();
+        let ap = AllPairs::run(grid.graph());
+        for a in grid.graph().node_ids() {
+            for b in grid.graph().node_ids() {
+                assert_eq!(
+                    ap.dist(a, b),
+                    Some(Weight::from_units(grid.manhattan(a, b) as u64))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removed_nodes_are_invisible() {
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(ids[0], ids[1], Weight::UNIT).unwrap();
+        g.add_edge(ids[1], ids[2], Weight::UNIT).unwrap();
+        g.remove_node(ids[1]).unwrap();
+        let ap = AllPairs::run(&g);
+        assert_eq!(ap.dist(ids[0], ids[2]), None);
+        assert_eq!(ap.dist(ids[1], ids[1]), None);
+        assert_eq!(ap.dist(ids[0], ids[0]), Some(Weight::ZERO));
+    }
+}

@@ -1,0 +1,229 @@
+//! Grid graphs with Manhattan coordinates.
+//!
+//! The paper's Table 1 experiments route random nets on `20 × 20` weighted
+//! grid graphs, and Figure 3 observes that a virgin routing graph "resembles
+//! a grid-graph with shortest paths between nodes reflecting rectilinear
+//! distance". [`GridGraph`] provides that substrate, keeping the coordinate
+//! map so workloads and renderers can reason geometrically.
+
+use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+/// A `rows × cols` four-connected grid graph.
+///
+/// Node `(r, c)` is adjacent to its N/S/E/W neighbours; all edges are
+/// created with a uniform initial weight (the paper uses `w = 1.00`).
+/// The underlying [`Graph`] is exposed mutably so congestion modelling can
+/// reweight edges in place.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{GridGraph, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let grid = GridGraph::new(3, 4, Weight::UNIT)?;
+/// assert_eq!(grid.graph().node_count(), 12);
+/// assert_eq!(grid.graph().edge_count(), 3 * 3 + 2 * 4);
+/// let a = grid.node_at(0, 0)?;
+/// let b = grid.node_at(2, 3)?;
+/// assert_eq!(grid.manhattan(a, b), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridGraph {
+    graph: Graph,
+    rows: usize,
+    cols: usize,
+}
+
+impl GridGraph {
+    /// Builds the grid with every edge at `unit_weight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyTerminalSet`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, unit_weight: Weight) -> Result<GridGraph, GraphError> {
+        if rows == 0 || cols == 0 {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        let mut graph = Graph::with_nodes(rows * cols);
+        let id = |r: usize, c: usize| NodeId::from_index(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    graph.add_edge(id(r, c), id(r, c + 1), unit_weight)?;
+                }
+                if r + 1 < rows {
+                    graph.add_edge(id(r, c), id(r + 1, c), unit_weight)?;
+                }
+            }
+        }
+        Ok(GridGraph { graph, rows, cols })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph (congestion reweighting,
+    /// resource removal).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Consumes the grid, returning the underlying graph.
+    #[must_use]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// The node at grid position `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if the position is outside
+    /// the grid.
+    pub fn node_at(&self, row: usize, col: usize) -> Result<NodeId, GraphError> {
+        if row < self.rows && col < self.cols {
+            Ok(NodeId::from_index(row * self.cols + col))
+        } else {
+            Err(GraphError::NodeOutOfBounds(NodeId::from_index(
+                row * self.cols + col,
+            )))
+        }
+    }
+
+    /// The `(row, col)` position of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for a node not in this grid.
+    pub fn position(&self, v: NodeId) -> Result<(usize, usize), GraphError> {
+        if v.index() < self.rows * self.cols {
+            Ok((v.index() / self.cols, v.index() % self.cols))
+        } else {
+            Err(GraphError::NodeOutOfBounds(v))
+        }
+    }
+
+    /// Manhattan (rectilinear) distance between two grid nodes, in grid
+    /// hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not part of this grid.
+    #[must_use]
+    pub fn manhattan(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = self.position(a).expect("node in grid");
+        let (rb, cb) = self.position(b).expect("node in grid");
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+
+    /// The edge joining two adjacent grid positions, if present.
+    #[must_use]
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.graph
+            .neighbors(a)
+            .find(|&(u, _, _)| u == b)
+            .map(|(_, e, _)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShortestPaths;
+
+    #[test]
+    fn dimensions_and_counts() {
+        let g = GridGraph::new(4, 5, Weight::UNIT).unwrap();
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.cols(), 5);
+        assert_eq!(g.graph().node_count(), 20);
+        // 4 rows × 4 horizontal edges + 3 vertical gaps × 5 columns
+        assert_eq!(g.graph().edge_count(), 4 * 4 + 3 * 5);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(GridGraph::new(0, 3, Weight::UNIT).is_err());
+        assert!(GridGraph::new(3, 0, Weight::UNIT).is_err());
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let g = GridGraph::new(3, 7, Weight::UNIT).unwrap();
+        for r in 0..3 {
+            for c in 0..7 {
+                let v = g.node_at(r, c).unwrap();
+                assert_eq!(g.position(v).unwrap(), (r, c));
+            }
+        }
+        assert!(g.node_at(3, 0).is_err());
+        assert!(g.position(NodeId::from_index(21)).is_err());
+    }
+
+    #[test]
+    fn shortest_paths_reflect_rectilinear_distance() {
+        // Paper Figure 3(a): on a virgin unit grid, shortest paths equal
+        // Manhattan distance.
+        let g = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let src = g.node_at(2, 3).unwrap();
+        let sp = ShortestPaths::run(g.graph(), src).unwrap();
+        for r in 0..6 {
+            for c in 0..6 {
+                let v = g.node_at(r, c).unwrap();
+                assert_eq!(
+                    sp.dist(v).unwrap(),
+                    Weight::from_units(g.manhattan(src, v) as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detours_after_removal() {
+        // Paper Figure 3(b): removing resources forces detours.
+        let mut g = GridGraph::new(3, 3, Weight::UNIT).unwrap();
+        let a = g.node_at(1, 0).unwrap();
+        let mid = g.node_at(1, 1).unwrap();
+        let b = g.node_at(1, 2).unwrap();
+        g.graph_mut().remove_node(mid).unwrap();
+        let sp = ShortestPaths::run(g.graph(), a).unwrap();
+        assert_eq!(sp.dist(b), Some(Weight::from_units(4)));
+    }
+
+    #[test]
+    fn edge_between_adjacent_nodes() {
+        let g = GridGraph::new(2, 2, Weight::UNIT).unwrap();
+        let a = g.node_at(0, 0).unwrap();
+        let b = g.node_at(0, 1).unwrap();
+        let d = g.node_at(1, 1).unwrap();
+        assert!(g.edge_between(a, b).is_some());
+        assert!(g.edge_between(a, d).is_none());
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let g = GridGraph::new(10, 10, Weight::UNIT).unwrap();
+        let a = g.node_at(1, 8).unwrap();
+        let b = g.node_at(4, 2).unwrap();
+        assert_eq!(g.manhattan(a, b), 9);
+        assert_eq!(g.manhattan(a, a), 0);
+    }
+}

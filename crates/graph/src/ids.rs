@@ -1,0 +1,86 @@
+//! Typed node and edge identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices assigned in insertion order; they remain valid
+/// for the lifetime of the graph even when the node is
+/// [removed](crate::Graph::remove_node) (removal is a reversible *mask*, not
+/// a deletion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an edge in a [`Graph`](crate::Graph).
+///
+/// Edge ids are dense indices assigned in insertion order and, like node
+/// ids, survive removal of the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw dense index.
+    ///
+    /// Callers are responsible for the index being meaningful for the graph
+    /// it is used with; out-of-range ids are rejected by graph methods with
+    /// [`GraphError::NodeOutOfBounds`](crate::GraphError::NodeOutOfBounds).
+    #[must_use]
+    pub const fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge id from a raw dense index.
+    #[must_use]
+    pub const fn from_index(index: usize) -> EdgeId {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_indices() {
+        assert_eq!(NodeId::from_index(42).index(), 42);
+        assert_eq!(EdgeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(EdgeId::from_index(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(1));
+    }
+}

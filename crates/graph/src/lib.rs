@@ -1,0 +1,74 @@
+//! # route-graph
+//!
+//! Weighted-graph substrate for performance-driven FPGA routing, built for the
+//! reproduction of *New Performance-Driven FPGA Routing Algorithms*
+//! (Alexander & Robins, DAC 1995).
+//!
+//! The paper's algorithms (KMB, ZEL, IGMST, DJKA, DOM, PFA, IDOM) all operate
+//! on arbitrary weighted undirected graphs whose topology mirrors an FPGA's
+//! programmable interconnect. This crate provides that foundation:
+//!
+//! * [`Graph`] — an undirected weighted graph with *removable* nodes and
+//!   edges, so a router can commit resources to a net and make them
+//!   unavailable to subsequent nets (paper §5), and *mutable* edge weights,
+//!   so congestion can be folded into the metric (paper §2, Figure 3).
+//! * [`Weight`] — an exact fixed-point weight type. Exactness matters: the
+//!   graph-dominance relation of the paper's arborescence heuristics
+//!   (Definition 4.1) tests `minpath(n0, p) == minpath(n0, s) + minpath(s, p)`
+//!   and would be meaningless under floating-point drift.
+//! * [`ShortestPaths`] — Dijkstra single-source shortest paths with parent
+//!   links and path extraction, backed by the [`heap::IndexedBinaryHeap`]
+//!   decrease-key priority queue.
+//! * [`TerminalDistances`] — the *distance graph* over a net's terminals
+//!   (the complete graph whose edge weights are shortest-path costs in `G`),
+//!   the shared primitive of KMB, ZEL, DOM and the iterated constructions.
+//! * [`mst`] — Prim over complete distance matrices and Kruskal over edge
+//!   subsets (with [`dsu::UnionFind`]).
+//! * [`grid`] — the `n × m` grid graphs used throughout the paper's Table 1
+//!   experiments, with Manhattan coordinates.
+//! * [`random`] — seeded random graph / net workload generators.
+//! * [`floyd`] — Floyd–Warshall all-pairs shortest paths, used as a test
+//!   oracle against Dijkstra.
+//!
+//! ## Example
+//!
+//! ```
+//! use route_graph::{Graph, Weight, ShortestPaths};
+//!
+//! # fn main() -> Result<(), route_graph::GraphError> {
+//! let mut g = Graph::with_nodes(3);
+//! let n = g.node_ids().collect::<Vec<_>>();
+//! g.add_edge(n[0], n[1], Weight::from_units(2))?;
+//! g.add_edge(n[1], n[2], Weight::from_units(3))?;
+//! let sp = ShortestPaths::run(&g, n[0])?;
+//! assert_eq!(sp.dist(n[2]), Some(Weight::from_units(5)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dijkstra;
+pub mod distgraph;
+pub mod dsu;
+mod error;
+pub mod floyd;
+pub mod graph;
+pub mod grid;
+pub mod heap;
+mod ids;
+pub mod mst;
+pub mod multiweight;
+pub mod path;
+pub mod random;
+mod weight;
+
+pub use dijkstra::ShortestPaths;
+pub use distgraph::{DistanceOracle, TerminalDistances};
+pub use error::GraphError;
+pub use graph::Graph;
+pub use grid::GridGraph;
+pub use ids::{EdgeId, NodeId};
+pub use path::Path;
+pub use weight::{Weight, MILLI_PER_UNIT};

@@ -1,0 +1,363 @@
+//! Multi-weighted graphs: simultaneous optimization of competing criteria.
+//!
+//! Paper §2: edge weights "typically correspond to the wirelength of the
+//! associated FPGA routing wire segment (weights may also reflect
+//! parasitics, congestion, jog penalties, etc.)", and the framework of the
+//! authors' companion work (\[4, 7\]) optimizes such "mutually competing
+//! objectives… simultaneously" by carrying a weight *vector* per edge and
+//! scalarizing it through a tunable linear functional. Every algorithm in
+//! this reproduction then runs unchanged on the scalarized graph.
+
+use crate::{EdgeId, Graph, GraphError, Weight};
+
+/// A per-edge criteria vector: wirelength, congestion pressure, and jog
+/// (direction-change) penalty.
+///
+/// All components are exact [`Weight`]s; extend by convention (unused
+/// criteria stay zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultiWeight {
+    /// Physical wirelength of the resource.
+    pub length: Weight,
+    /// Congestion pressure on the resource.
+    pub congestion: Weight,
+    /// Jog penalty (nonzero for direction-changing switches).
+    pub jogs: Weight,
+}
+
+impl MultiWeight {
+    /// A pure-wirelength vector.
+    #[must_use]
+    pub fn from_length(length: Weight) -> MultiWeight {
+        MultiWeight {
+            length,
+            ..MultiWeight::default()
+        }
+    }
+}
+
+/// A linear functional over [`MultiWeight`]s: coefficients in milli-units
+/// (1000 = 1.0).
+///
+/// # Example
+///
+/// ```
+/// use route_graph::multiweight::{Functional, MultiWeight};
+/// use route_graph::Weight;
+///
+/// let w = MultiWeight {
+///     length: Weight::from_units(2),
+///     congestion: Weight::from_units(1),
+///     jogs: Weight::from_units(1),
+/// };
+/// // length + 0.5·congestion, jogs ignored:
+/// let f = Functional { length_milli: 1000, congestion_milli: 500, jogs_milli: 0 };
+/// assert_eq!(f.evaluate(&w), Weight::from_milli(2500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Functional {
+    /// Coefficient on [`MultiWeight::length`], in milli.
+    pub length_milli: u64,
+    /// Coefficient on [`MultiWeight::congestion`], in milli.
+    pub congestion_milli: u64,
+    /// Coefficient on [`MultiWeight::jogs`], in milli.
+    pub jogs_milli: u64,
+}
+
+impl Default for Functional {
+    /// Pure wirelength: `1·length + 0·congestion + 0·jogs`.
+    fn default() -> Functional {
+        Functional {
+            length_milli: 1000,
+            congestion_milli: 0,
+            jogs_milli: 0,
+        }
+    }
+}
+
+impl Functional {
+    /// Scalarizes a criteria vector.
+    #[must_use]
+    pub fn evaluate(&self, w: &MultiWeight) -> Weight {
+        let term = |coeff_milli: u64, value: Weight| -> u128 {
+            u128::from(coeff_milli) * u128::from(value.as_milli()) / 1000
+        };
+        let total = term(self.length_milli, w.length)
+            + term(self.congestion_milli, w.congestion)
+            + term(self.jogs_milli, w.jogs);
+        Weight::from_milli(u64::try_from(total).expect("functional overflow"))
+    }
+}
+
+/// A graph whose scalar edge weights are derived from per-edge criteria
+/// vectors through a [`Functional`].
+///
+/// Changing the functional (or any criteria vector) re-scalarizes the
+/// affected weights; the inner [`Graph`] is what the routing algorithms
+/// consume.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::multiweight::{Functional, MultiWeight, MultiWeightedGraph};
+/// use route_graph::{Graph, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let mut base = Graph::with_nodes(2);
+/// let n: Vec<_> = base.node_ids().collect();
+/// let e = base.add_edge(n[0], n[1], Weight::UNIT)?;
+/// let mut mw = MultiWeightedGraph::from_graph(base);
+/// mw.set_criteria(e, MultiWeight {
+///     length: Weight::UNIT,
+///     congestion: Weight::from_units(2),
+///     jogs: Weight::ZERO,
+/// })?;
+/// mw.set_functional(Functional { length_milli: 1000, congestion_milli: 1000, jogs_milli: 0 })?;
+/// assert_eq!(mw.graph().weight(e)?, Weight::from_units(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiWeightedGraph {
+    graph: Graph,
+    criteria: Vec<MultiWeight>,
+    functional: Functional,
+}
+
+impl MultiWeightedGraph {
+    /// Wraps an existing graph; every edge's criteria vector starts as
+    /// pure length equal to its current scalar weight.
+    #[must_use]
+    pub fn from_graph(graph: Graph) -> MultiWeightedGraph {
+        let criteria = (0..graph.edge_count())
+            .map(|i| {
+                let w = graph
+                    .weight(EdgeId::from_index(i))
+                    .expect("edge ids are dense");
+                MultiWeight::from_length(w)
+            })
+            .collect();
+        MultiWeightedGraph {
+            graph,
+            criteria,
+            functional: Functional::default(),
+        }
+    }
+
+    /// The scalarized graph the algorithms route on.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the scalarized graph (resource removal etc.).
+    /// Scalar weight edits made here are overwritten by the next
+    /// re-scalarization; use [`set_criteria`](Self::set_criteria) instead.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// The current functional.
+    #[must_use]
+    pub fn functional(&self) -> Functional {
+        self.functional
+    }
+
+    /// The criteria vector of an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] for an unknown edge.
+    pub fn criteria(&self, e: EdgeId) -> Result<MultiWeight, GraphError> {
+        self.criteria
+            .get(e.index())
+            .copied()
+            .ok_or(GraphError::EdgeOutOfBounds(e))
+    }
+
+    /// Sets an edge's criteria vector and re-scalarizes its weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] for an unknown edge.
+    pub fn set_criteria(&mut self, e: EdgeId, w: MultiWeight) -> Result<(), GraphError> {
+        let slot = self
+            .criteria
+            .get_mut(e.index())
+            .ok_or(GraphError::EdgeOutOfBounds(e))?;
+        *slot = w;
+        let scalar = self.functional.evaluate(&w);
+        self.graph.set_weight(e, scalar)
+    }
+
+    /// Adds `delta` to one edge's congestion component and re-scalarizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] for an unknown edge.
+    pub fn add_congestion(&mut self, e: EdgeId, delta: Weight) -> Result<(), GraphError> {
+        let mut w = self.criteria(e)?;
+        w.congestion += delta;
+        self.set_criteria(e, w)
+    }
+
+    /// Installs a new functional and re-scalarizes every edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-update errors (cannot occur for dense ids).
+    pub fn set_functional(&mut self, functional: Functional) -> Result<(), GraphError> {
+        self.functional = functional;
+        for (i, w) in self.criteria.iter().enumerate() {
+            let scalar = functional.evaluate(w);
+            self.graph.set_weight(EdgeId::from_index(i), scalar)?;
+        }
+        Ok(())
+    }
+
+    /// Sums one criteria component over a set of edges — e.g. the true
+    /// wirelength or jog count of a routing tree, independent of the
+    /// functional used to construct it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] for an unknown edge.
+    pub fn component_total(
+        &self,
+        edges: &[EdgeId],
+        component: impl Fn(&MultiWeight) -> Weight,
+    ) -> Result<Weight, GraphError> {
+        let mut total = Weight::ZERO;
+        for &e in edges {
+            total += component(&self.criteria(e)?);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn line() -> (MultiWeightedGraph, Vec<EdgeId>) {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let e0 = g.add_edge(n[0], n[1], Weight::from_units(2)).unwrap();
+        let e1 = g.add_edge(n[1], n[2], Weight::from_units(3)).unwrap();
+        (MultiWeightedGraph::from_graph(g), vec![e0, e1])
+    }
+
+    #[test]
+    fn wrapping_preserves_scalar_weights() {
+        let (mw, e) = line();
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::from_units(2));
+        assert_eq!(
+            mw.criteria(e[0]).unwrap().length,
+            Weight::from_units(2)
+        );
+        assert_eq!(mw.criteria(e[0]).unwrap().congestion, Weight::ZERO);
+    }
+
+    #[test]
+    fn functional_scalarizes_linearly() {
+        let f = Functional {
+            length_milli: 2000,
+            congestion_milli: 500,
+            jogs_milli: 100,
+        };
+        let w = MultiWeight {
+            length: Weight::from_units(1),
+            congestion: Weight::from_units(4),
+            jogs: Weight::from_units(10),
+        };
+        assert_eq!(f.evaluate(&w), Weight::from_milli(2000 + 2000 + 1000));
+    }
+
+    #[test]
+    fn congestion_updates_re_scalarize() {
+        let (mut mw, e) = line();
+        mw.set_functional(Functional {
+            length_milli: 1000,
+            congestion_milli: 2000,
+            jogs_milli: 0,
+        })
+        .unwrap();
+        mw.add_congestion(e[0], Weight::from_units(1)).unwrap();
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::from_units(4)); // 2 + 2·1
+        mw.add_congestion(e[0], Weight::from_units(1)).unwrap();
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::from_units(6));
+    }
+
+    #[test]
+    fn switching_functionals_rescalarizes_everything() {
+        let (mut mw, e) = line();
+        for edge in &e {
+            mw.add_congestion(*edge, Weight::from_units(5)).unwrap();
+        }
+        // Pure-length view: weights unchanged.
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::from_units(2));
+        // Congestion-only view.
+        mw.set_functional(Functional {
+            length_milli: 0,
+            congestion_milli: 1000,
+            jogs_milli: 0,
+        })
+        .unwrap();
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::from_units(5));
+        assert_eq!(mw.graph().weight(e[1]).unwrap(), Weight::from_units(5));
+    }
+
+    #[test]
+    fn component_totals_are_functional_independent() {
+        let (mut mw, e) = line();
+        mw.add_congestion(e[1], Weight::from_units(7)).unwrap();
+        let wire = mw
+            .component_total(&e, |w| w.length)
+            .unwrap();
+        let cong = mw
+            .component_total(&e, |w| w.congestion)
+            .unwrap();
+        assert_eq!(wire, Weight::from_units(5));
+        assert_eq!(cong, Weight::from_units(7));
+    }
+
+    #[test]
+    fn out_of_bounds_edges_are_rejected() {
+        let (mut mw, _) = line();
+        let ghost = EdgeId::from_index(9);
+        assert!(mw.criteria(ghost).is_err());
+        assert!(mw.set_criteria(ghost, MultiWeight::default()).is_err());
+        assert!(mw.add_congestion(ghost, Weight::UNIT).is_err());
+    }
+
+    #[test]
+    fn algorithms_route_on_the_scalarized_view() {
+        // Two routes from a to c: direct (long, no jogs) vs via b (short
+        // but jogged). The functional decides which one Dijkstra picks.
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let direct = g.add_edge(n[0], n[2], Weight::from_units(4)).unwrap();
+        let hop1 = g.add_edge(n[0], n[1], Weight::from_units(1)).unwrap();
+        let hop2 = g.add_edge(n[1], n[2], Weight::from_units(1)).unwrap();
+        let mut mw = MultiWeightedGraph::from_graph(g);
+        for e in [hop1, hop2] {
+            let mut c = mw.criteria(e).unwrap();
+            c.jogs = Weight::from_units(1);
+            mw.set_criteria(e, c).unwrap();
+        }
+        // Jogs free: the two-hop route (cost 2) wins.
+        let d = crate::dijkstra::minpath(mw.graph(), n[0], n[2]).unwrap();
+        assert_eq!(d, Weight::from_units(2));
+        // Heavy jog penalty: the direct edge (cost 4) wins.
+        mw.set_functional(Functional {
+            length_milli: 1000,
+            congestion_milli: 0,
+            jogs_milli: 3000,
+        })
+        .unwrap();
+        let d = crate::dijkstra::minpath(mw.graph(), n[0], n[2]).unwrap();
+        assert_eq!(d, Weight::from_units(4));
+        let _ = direct;
+    }
+}

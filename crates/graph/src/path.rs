@@ -1,0 +1,196 @@
+//! Concrete node/edge paths through a graph.
+
+use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+/// A walk through a [`Graph`]: a node sequence plus the edge used for each
+/// hop, with its total cost.
+///
+/// Invariant: `nodes.len() == edges.len() + 1`; the path may consist of a
+/// single node and no edges.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::{Graph, ShortestPaths, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let mut g = Graph::with_nodes(3);
+/// let n: Vec<_> = g.node_ids().collect();
+/// g.add_edge(n[0], n[1], Weight::UNIT)?;
+/// g.add_edge(n[1], n[2], Weight::UNIT)?;
+/// let sp = ShortestPaths::run(&g, n[0])?;
+/// let path = sp.path_to(n[2])?;
+/// assert_eq!(path.len(), 2);
+/// assert_eq!(path.cost(), Weight::from_units(2));
+/// assert_eq!(path.source(), n[0]);
+/// assert_eq!(path.target(), n[2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    cost: Weight,
+}
+
+impl Path {
+    /// Creates the trivial single-node path.
+    #[must_use]
+    pub fn trivial(node: NodeId) -> Path {
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+            cost: Weight::ZERO,
+        }
+    }
+
+    /// Builds a path from its parts, validating the walk against `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequences are inconsistent with each other or
+    /// with the graph (wrong arity, an edge not joining consecutive nodes,
+    /// or an unusable edge).
+    pub fn from_parts(
+        g: &Graph,
+        nodes: Vec<NodeId>,
+        edges: Vec<EdgeId>,
+    ) -> Result<Path, GraphError> {
+        if nodes.is_empty() {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        if nodes.len() != edges.len() + 1 {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        let mut cost = Weight::ZERO;
+        for (i, &e) in edges.iter().enumerate() {
+            if !g.is_edge_usable(e) {
+                return Err(GraphError::EdgeRemoved(e));
+            }
+            let (a, b) = g.endpoints(e)?;
+            let (u, v) = (nodes[i], nodes[i + 1]);
+            if !((a == u && b == v) || (a == v && b == u)) {
+                return Err(GraphError::EdgeOutOfBounds(e));
+            }
+            cost += g.weight(e)?;
+        }
+        Ok(Path { nodes, edges, cost })
+    }
+
+    /// The node sequence, source first.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edge sequence, one per hop.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of hops (edges).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for the trivial single-node path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Total weight of the walk.
+    #[must_use]
+    pub fn cost(&self) -> Weight {
+        self.cost
+    }
+
+    /// First node of the walk.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the walk.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are never empty")
+    }
+
+    /// Reverses the walk in place.
+    pub fn reverse(&mut self) {
+        self.nodes.reverse();
+        self.edges.reverse();
+    }
+
+    pub(crate) fn from_raw(nodes: Vec<NodeId>, edges: Vec<EdgeId>, cost: Weight) -> Path {
+        debug_assert_eq!(nodes.len(), edges.len() + 1);
+        Path { nodes, edges, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let e0 = g.add_edge(n[0], n[1], Weight::from_units(2)).unwrap();
+        let e1 = g.add_edge(n[1], n[2], Weight::from_units(3)).unwrap();
+        (g, n, vec![e0, e1])
+    }
+
+    #[test]
+    fn from_parts_computes_cost() {
+        let (g, n, e) = line();
+        let p = Path::from_parts(&g, n.clone(), e).unwrap();
+        assert_eq!(p.cost(), Weight::from_units(5));
+        assert_eq!(p.source(), n[0]);
+        assert_eq!(p.target(), n[2]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_arity() {
+        let (g, n, e) = line();
+        assert!(Path::from_parts(&g, n[..2].to_vec(), e).is_err());
+        assert!(Path::from_parts(&g, Vec::new(), Vec::new()).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_edge() {
+        let (g, n, e) = line();
+        // e[1] does not join n0 and n1
+        assert!(Path::from_parts(&g, vec![n[0], n[1]], vec![e[1]]).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_removed_edge() {
+        let (mut g, n, e) = line();
+        g.remove_edge(e[0]).unwrap();
+        assert!(Path::from_parts(&g, n, e).is_err());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let (_, n, _) = line();
+        let p = Path::trivial(n[1]);
+        assert!(p.is_empty());
+        assert_eq!(p.cost(), Weight::ZERO);
+        assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    fn reverse_flips_endpoints() {
+        let (g, n, e) = line();
+        let mut p = Path::from_parts(&g, n.clone(), e).unwrap();
+        p.reverse();
+        assert_eq!(p.source(), n[2]);
+        assert_eq!(p.target(), n[0]);
+        assert_eq!(p.cost(), Weight::from_units(5));
+    }
+}

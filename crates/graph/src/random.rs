@@ -1,0 +1,157 @@
+//! Seeded random workload generators.
+//!
+//! The paper evaluates on "random nets, uniformly distributed in 20×20
+//! weighted grid graphs" (Table 1) and reports CPU times on "random graphs
+//! with |V| = 50, |E| = 1000" (§5). These generators reproduce those
+//! workloads deterministically from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, GraphError, NodeId, Weight};
+
+/// Samples `k` distinct live nodes of `g` uniformly at random.
+///
+/// The first sampled node is conventionally treated as the net's source.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyTerminalSet`] if `k == 0` or if the graph has
+/// fewer than `k` live nodes.
+pub fn random_net<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Result<Vec<NodeId>, GraphError> {
+    let live: Vec<NodeId> = g.node_ids().collect();
+    if k == 0 || live.len() < k {
+        return Err(GraphError::EmptyTerminalSet);
+    }
+    Ok(live.choose_multiple(rng, k).copied().collect())
+}
+
+/// Generates a random connected multigraph with `n` nodes and exactly `m`
+/// edges (`m >= n - 1`), with integer-unit edge weights drawn uniformly from
+/// `weight_range`.
+///
+/// A random spanning tree guarantees connectivity; the remaining edges are
+/// sampled uniformly from all node pairs (parallel edges permitted, matching
+/// the paper's dense `|V| = 50, |E| = 1000` timing graphs).
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyTerminalSet`] if `n == 0`, if `m < n - 1`, or
+/// if `n == 1 && m > 0` (no self-loops exist to absorb extra edges).
+pub fn random_connected_graph<R: Rng>(
+    n: usize,
+    m: usize,
+    weight_range: std::ops::Range<u64>,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 || m + 1 < n || (n == 1 && m > 0) {
+        return Err(GraphError::EmptyTerminalSet);
+    }
+    let mut g = Graph::with_nodes(n);
+    let ids: Vec<NodeId> = g.node_ids().collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let weight = |rng: &mut R| Weight::from_units(rng.gen_range(weight_range.clone()).max(1));
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        let w = weight(rng);
+        g.add_edge(ids[order[i]], ids[parent], w)?;
+    }
+    let mut extra = m + 1 - n;
+    while extra > 0 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let w = weight(rng);
+        g.add_edge(ids[a], ids[b], w)?;
+        extra -= 1;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShortestPaths;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_net_is_distinct_and_sized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = Graph::with_nodes(30);
+        for _ in 0..20 {
+            let net = random_net(&g, 5, &mut rng).unwrap();
+            assert_eq!(net.len(), 5);
+            let mut sorted = net.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+        }
+    }
+
+    #[test]
+    fn random_net_rejects_oversized_requests() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = Graph::with_nodes(3);
+        assert!(random_net(&g, 4, &mut rng).is_err());
+        assert!(random_net(&g, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_net_skips_removed_nodes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut g = Graph::with_nodes(10);
+        let dead: Vec<NodeId> = g.node_ids().take(5).collect();
+        for v in &dead {
+            g.remove_node(*v).unwrap();
+        }
+        for _ in 0..10 {
+            let net = random_net(&g, 3, &mut rng).unwrap();
+            assert!(net.iter().all(|v| !dead.contains(v)));
+        }
+    }
+
+    #[test]
+    fn random_graph_is_connected_with_exact_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = random_connected_graph(50, 1000, 1..20, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 1000);
+        let src = g.node_ids().next().unwrap();
+        let sp = ShortestPaths::run(&g, src).unwrap();
+        for v in g.node_ids() {
+            assert!(sp.dist(v).is_some(), "{v} unreachable");
+        }
+    }
+
+    #[test]
+    fn random_graph_rejects_impossible_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(random_connected_graph(0, 0, 1..2, &mut rng).is_err());
+        assert!(random_connected_graph(5, 3, 1..2, &mut rng).is_err());
+        assert!(random_connected_graph(1, 1, 1..2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g1 = random_connected_graph(
+            20,
+            40,
+            1..9,
+            &mut rand::rngs::StdRng::seed_from_u64(42),
+        )
+        .unwrap();
+        let g2 = random_connected_graph(
+            20,
+            40,
+            1..9,
+            &mut rand::rngs::StdRng::seed_from_u64(42),
+        )
+        .unwrap();
+        let weights1: Vec<_> = g1.edge_ids().map(|e| g1.weight(e).unwrap()).collect();
+        let weights2: Vec<_> = g2.edge_ids().map(|e| g2.weight(e).unwrap()).collect();
+        assert_eq!(weights1, weights2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Exact fixed-point edge weights.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Number of fixed-point subdivisions per whole weight unit.
+///
+/// Edge weights in the paper start at `w = 1.00` on virgin routing graphs and
+/// grow fractionally under congestion (e.g. the Table 1 congestion levels
+/// raise the *average* edge weight to `w̄ = 1.28` and `w̄ = 1.55`). Storing
+/// weights as integer multiples of `1/1000` keeps every sum exact, which the
+/// graph-dominance tests of the arborescence heuristics require.
+pub const MILLI_PER_UNIT: u64 = 1000;
+
+/// An exact, non-negative edge/path weight.
+///
+/// `Weight` is a fixed-point quantity with [`MILLI_PER_UNIT`] subdivisions
+/// per unit. All arithmetic is exact integer arithmetic, so equalities such
+/// as the dominance relation
+/// `minpath(n0, p) == minpath(n0, s) + minpath(s, p)` (paper Definition 4.1)
+/// are decidable without tolerance fudging.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::Weight;
+///
+/// let a = Weight::from_units(2);
+/// let b = Weight::from_milli(500); // 0.5
+/// assert_eq!((a + b).as_f64(), 2.5);
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Weight(u64);
+
+impl Weight {
+    /// The zero weight.
+    pub const ZERO: Weight = Weight(0);
+
+    /// One whole unit (the weight of a virgin routing-graph edge).
+    pub const UNIT: Weight = Weight(MILLI_PER_UNIT);
+
+    /// The largest representable weight; useful as an "infinity" sentinel.
+    pub const MAX: Weight = Weight(u64::MAX);
+
+    /// Creates a weight of `units` whole units.
+    #[must_use]
+    pub const fn from_units(units: u64) -> Weight {
+        Weight(units * MILLI_PER_UNIT)
+    }
+
+    /// Creates a weight from raw fixed-point `milli` subdivisions.
+    #[must_use]
+    pub const fn from_milli(milli: u64) -> Weight {
+        Weight(milli)
+    }
+
+    /// Returns the raw fixed-point value in `milli` subdivisions.
+    #[must_use]
+    pub const fn as_milli(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the weight as a floating-point number of units.
+    ///
+    /// Intended for reporting only; algorithmic comparisons should use the
+    /// exact integer representation.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / MILLI_PER_UNIT as f64
+    }
+
+    /// Returns `true` if this is the zero weight.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Weight) -> Option<Weight> {
+        self.0.checked_add(rhs.0).map(Weight)
+    }
+
+    /// Saturating addition, clamping at [`Weight::MAX`].
+    #[must_use]
+    pub fn saturating_add(self, rhs: Weight) -> Weight {
+        Weight(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction, clamping at [`Weight::ZERO`].
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Weight) -> Weight {
+        Weight(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies this weight by an integer scale factor.
+    #[must_use]
+    pub fn scale(self, factor: u64) -> Weight {
+        Weight(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+
+    fn add(self, rhs: Weight) -> Weight {
+        Weight(
+            self.0
+                .checked_add(rhs.0)
+                .expect("weight addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Weight {
+    fn add_assign(&mut self, rhs: Weight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Weight {
+    type Output = Weight;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; weights are non-negative.
+    fn sub(self, rhs: Weight) -> Weight {
+        Weight(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("weight subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Weight {
+    fn sub_assign(&mut self, rhs: Weight) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Weight {
+    type Output = Weight;
+
+    fn mul(self, rhs: u64) -> Weight {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Weight {
+    fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
+        iter.fold(Weight::ZERO, |acc, w| acc + w)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(MILLI_PER_UNIT) {
+            write!(f, "{}", self.0 / MILLI_PER_UNIT)
+        } else {
+            write!(f, "{:.3}", self.as_f64())
+        }
+    }
+}
+
+impl From<u64> for Weight {
+    /// Converts whole units into a `Weight` (`3u64` becomes `3.000`).
+    fn from(units: u64) -> Weight {
+        Weight::from_units(units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_construction_round_trips() {
+        assert_eq!(Weight::from_units(7).as_milli(), 7 * MILLI_PER_UNIT);
+        assert_eq!(Weight::from_milli(1234).as_f64(), 1.234);
+        assert_eq!(Weight::from(3u64), Weight::from_units(3));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let w = Weight::from_milli(1);
+        let mut acc = Weight::ZERO;
+        for _ in 0..10_000 {
+            acc += w;
+        }
+        assert_eq!(acc, Weight::from_units(10));
+    }
+
+    #[test]
+    fn ordering_matches_magnitude() {
+        assert!(Weight::from_units(2) < Weight::from_units(3));
+        assert!(Weight::from_milli(999) < Weight::UNIT);
+        assert_eq!(Weight::ZERO.min(Weight::UNIT), Weight::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Weight = (1..=4u64).map(Weight::from_units).sum();
+        assert_eq!(total, Weight::from_units(10));
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(Weight::MAX.saturating_add(Weight::UNIT), Weight::MAX);
+        assert_eq!(Weight::ZERO.saturating_sub(Weight::UNIT), Weight::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Weight::ZERO - Weight::UNIT;
+    }
+
+    #[test]
+    fn display_formats_units_and_fractions() {
+        assert_eq!(Weight::from_units(5).to_string(), "5");
+        assert_eq!(Weight::from_milli(1280).to_string(), "1.280");
+    }
+
+    #[test]
+    fn is_zero_and_scale() {
+        assert!(Weight::ZERO.is_zero());
+        assert!(!Weight::UNIT.is_zero());
+        assert_eq!(Weight::UNIT.scale(4), Weight::from_units(4));
+        assert_eq!(Weight::UNIT * 4, Weight::from_units(4));
+    }
+}

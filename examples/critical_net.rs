@@ -1,0 +1,70 @@
+//! Critical-net routing: the wirelength vs pathlength tradeoff.
+//!
+//! The paper's motivation (§1): Steiner trees minimize wirelength but let
+//! source-sink paths wander (bad for critical nets); arborescences pin
+//! every source-sink path to the graph-optimal length at a small
+//! wirelength premium. This example quantifies that tradeoff over a batch
+//! of random nets on congested grids — a miniature of Table 1's headline
+//! finding that PFA/IDOM buy optimal delay for almost no wire.
+//!
+//! Run with: `cargo run --release --example critical_net`
+
+use rand::SeedableRng;
+
+use fpga_route::graph::random::random_net;
+use fpga_route::steiner::congestion::{table1_grid, CongestionLevel};
+use fpga_route::steiner::metrics::{measure, optimal_max_pathlength, percent_vs};
+use fpga_route::steiner::{idom, ikmb, Net, Pfa, SteinerHeuristic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nets = 20;
+    let mut rows: Vec<(&str, f64, f64, usize)> = Vec::new();
+    let algorithms: Vec<(&str, Box<dyn SteinerHeuristic>)> = vec![
+        ("IKMB (wirelength-first)", Box::new(ikmb())),
+        ("PFA  (delay-first)", Box::new(Pfa::new())),
+        ("IDOM (delay-first)", Box::new(idom())),
+    ];
+    for (name, algo) in &algorithms {
+        let mut rng_local = rand::rngs::StdRng::seed_from_u64(7);
+        let mut wire_pct = 0.0;
+        let mut path_pct = 0.0;
+        let mut optimal_radius_hits = 0usize;
+        for _ in 0..nets {
+            let grid = table1_grid(CongestionLevel::Medium, &mut rng_local)?;
+            let pins = random_net(grid.graph(), 6, &mut rng_local)?;
+            let net = Net::from_terminals(pins)?;
+            // Reference: the wirelength-optimized IKMB tree.
+            let reference = ikmb().construct(grid.graph(), &net)?;
+            let tree = algo.construct(grid.graph(), &net)?;
+            let m = measure(&tree, &net)?;
+            let opt = optimal_max_pathlength(grid.graph(), &net)?;
+            wire_pct += percent_vs(m.wirelength, reference.cost());
+            path_pct += percent_vs(m.max_pathlength, opt);
+            if m.max_pathlength == opt {
+                optimal_radius_hits += 1;
+            }
+        }
+        rows.push((
+            name,
+            wire_pct / nets as f64,
+            path_pct / nets as f64,
+            optimal_radius_hits,
+        ));
+    }
+    println!(
+        "{:<28} {:>12} {:>14} {:>16}",
+        "algorithm", "wire vs IKMB", "path vs optimal", "optimal radius"
+    );
+    for (name, wire, path, hits) in rows {
+        println!(
+            "{name:<28} {:>11.2}% {:>13.2}% {:>12}/{nets}",
+            wire, path, hits
+        );
+    }
+    println!(
+        "\nThe arborescence constructions reach the optimal radius on every net,\n\
+         paying only a modest wirelength premium over the Steiner router —\n\
+         the paper's case for using them on timing-critical nets."
+    );
+    Ok(())
+}

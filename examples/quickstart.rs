@@ -1,0 +1,63 @@
+//! Quickstart: route one net with every algorithm of the paper.
+//!
+//! Builds a congested 20×20 routing grid (the paper's Table 1 substrate),
+//! drops a 5-pin net on it, and routes it with all eight constructions —
+//! the Steiner family (wirelength first) and the arborescence family
+//! (source-sink delay first) — printing wirelength and maximum pathlength
+//! for each.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::SeedableRng;
+
+use fpga_route::graph::random::random_net;
+use fpga_route::steiner::congestion::{table1_grid, CongestionLevel};
+use fpga_route::steiner::metrics::{measure, optimal_max_pathlength};
+use fpga_route::steiner::{
+    idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // A 20×20 grid pre-congested by 10 routed nets (w̄ ≈ 1.28).
+    let grid = table1_grid(CongestionLevel::Low, &mut rng)?;
+    println!(
+        "routing grid: 20x20, mean edge weight {:.2}",
+        grid.graph().mean_edge_weight().unwrap_or(1.0)
+    );
+
+    let pins = random_net(grid.graph(), 5, &mut rng)?;
+    let net = Net::from_terminals(pins)?;
+    println!(
+        "net: source {} with {} sinks",
+        net.source(),
+        net.sinks().len()
+    );
+    let optimal_radius = optimal_max_pathlength(grid.graph(), &net)?;
+    println!("optimal source-sink radius: {optimal_radius}\n");
+
+    let algorithms: Vec<(&str, Box<dyn SteinerHeuristic>)> = vec![
+        ("KMB   (Steiner)", Box::new(Kmb::new())),
+        ("ZEL   (Steiner)", Box::new(Zel::new())),
+        ("IKMB  (Steiner, iterated)", Box::new(ikmb())),
+        ("IZEL  (Steiner, iterated)", Box::new(izel())),
+        ("DJKA  (arborescence)", Box::new(Djka::new())),
+        ("DOM   (arborescence)", Box::new(Dom::new())),
+        ("PFA   (arborescence)", Box::new(Pfa::new())),
+        ("IDOM  (arborescence, iterated)", Box::new(idom())),
+    ];
+    println!("{:<32} {:>10} {:>10}", "algorithm", "wirelength", "max path");
+    for (name, algo) in algorithms {
+        let tree = algo.construct(grid.graph(), &net)?;
+        let m = measure(&tree, &net)?;
+        let spt = tree.is_shortest_paths_tree(grid.graph(), &net)?;
+        println!(
+            "{:<32} {:>10} {:>10}{}",
+            name,
+            m.wirelength.to_string(),
+            m.max_pathlength.to_string(),
+            if spt { "  (optimal radius)" } else { "" }
+        );
+    }
+    Ok(())
+}

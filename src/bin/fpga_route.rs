@@ -1,0 +1,353 @@
+//! `fpga-route` — command-line front end to the router.
+//!
+//! ```text
+//! fpga-route profiles
+//! fpga-route route --circuit term1 --arch 4000 --width 9 [--algorithm ikmb]
+//!                  [--seed 1995] [--passes 10] [--svg out.svg]
+//! fpga-route width --circuit term1 --arch 4000 [--min 3] [--max 24]
+//!                  [--algorithm ikmb] [--baseline]
+//! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+use fpga_route::fpga::synth::{synthesize, xc3000_profiles, xc4000_profiles, CircuitProfile};
+use fpga_route::fpga::width::{minimum_channel_width, WidthSearch};
+use fpga_route::fpga::{
+    viz, ArchSpec, BaselineConfig, BaselineRouter, Device, RouteAlgorithm, Router, RouterConfig,
+};
+use fpga_route::graph::{GridGraph, Weight};
+use fpga_route::steiner::metrics::{measure, optimal_max_pathlength};
+use fpga_route::steiner::{
+    idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  fpga-route profiles
+  fpga-route route --circuit <name> --arch <3000|4000> --width <W>
+                   [--algorithm <name>] [--seed <n>] [--passes <n>] [--svg <file>]
+  fpga-route width --circuit <name> --arch <3000|4000>
+                   [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
+  fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
+
+algorithms: kmb zel ikmb izel djka dom pfa idom";
+
+fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "profiles" => cmd_profiles(),
+        "route" => cmd_route(&flags),
+        "width" => cmd_width(&flags),
+        "net" => cmd_net(&flags),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{arg}`").into());
+        };
+        // Boolean flags take no value.
+        if key == "baseline" {
+            flags.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{key} needs a value").into());
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_usize(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<usize>,
+) -> Result<usize, Box<dyn Error>> {
+    match (flags.get(key), default) {
+        (Some(v), _) => Ok(v.parse()?),
+        (None, Some(d)) => Ok(d),
+        (None, None) => Err(format!("missing required flag --{key}").into()),
+    }
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, Box<dyn Error>> {
+    flags.get(key).map_or(Ok(default), |v| Ok(v.parse()?))
+}
+
+fn algorithm(flags: &HashMap<String, String>) -> Result<RouteAlgorithm, Box<dyn Error>> {
+    match flags.get("algorithm").map(String::as_str).unwrap_or("ikmb") {
+        "kmb" => Ok(RouteAlgorithm::Kmb),
+        "zel" => Ok(RouteAlgorithm::Zel),
+        "ikmb" => Ok(RouteAlgorithm::Ikmb),
+        "izel" => Ok(RouteAlgorithm::Izel),
+        "djka" => Ok(RouteAlgorithm::Djka),
+        "dom" => Ok(RouteAlgorithm::Dom),
+        "pfa" => Ok(RouteAlgorithm::Pfa),
+        "idom" => Ok(RouteAlgorithm::Idom),
+        other => Err(format!("unknown algorithm `{other}`").into()),
+    }
+}
+
+fn find_profile(name: &str) -> Result<CircuitProfile, Box<dyn Error>> {
+    xc3000_profiles()
+        .into_iter()
+        .chain(xc4000_profiles())
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown circuit `{name}` (see `fpga-route profiles`)").into())
+}
+
+fn arch_for(
+    flags: &HashMap<String, String>,
+    profile: &CircuitProfile,
+    width: usize,
+) -> Result<ArchSpec, Box<dyn Error>> {
+    match flags.get("arch").map(String::as_str).unwrap_or("4000") {
+        "3000" => Ok(ArchSpec::xilinx3000(profile.rows, profile.cols, width)),
+        "4000" => Ok(ArchSpec::xilinx4000(profile.rows, profile.cols, width)),
+        other => Err(format!("unknown architecture `{other}` (use 3000 or 4000)").into()),
+    }
+}
+
+fn cmd_profiles() -> Result<(), Box<dyn Error>> {
+    println!("{:<10} {:>6} {:>6} {:>6} {:>7} {:>8}  family", "name", "rows", "cols", "nets", "2-3", "4-10/>10");
+    for (family, profiles) in [("3000", xc3000_profiles()), ("4000", xc4000_profiles())] {
+        for p in profiles {
+            println!(
+                "{:<10} {:>6} {:>6} {:>6} {:>7} {:>5}/{:<3} {family}",
+                p.name,
+                p.rows,
+                p.cols,
+                p.net_count(),
+                p.nets_2_3,
+                p.nets_4_10,
+                p.nets_over_10
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let name = flags
+        .get("circuit")
+        .ok_or("missing required flag --circuit")?;
+    let profile = find_profile(name)?;
+    let width = get_usize(flags, "width", None)?;
+    let seed = get_u64(flags, "seed", 1995)?;
+    let passes = get_usize(flags, "passes", Some(10))?;
+    let circuit = synthesize(&profile, 2, seed)?;
+    let device = Device::new(arch_for(flags, &profile, width)?)?;
+    let config = RouterConfig {
+        algorithm: algorithm(flags)?,
+        max_passes: passes,
+        ..RouterConfig::default()
+    };
+    let outcome = Router::new(&device, config.clone()).route(&circuit)?;
+    println!(
+        "{name}: routed {} nets at W = {width} with {} in {} pass(es)",
+        circuit.net_count(),
+        config.algorithm.label(),
+        outcome.passes
+    );
+    println!(
+        "total wirelength {}, critical pathlength {}",
+        outcome.total_wirelength,
+        outcome.critical_pathlength()
+    );
+    if let Some(svg_path) = flags.get("svg") {
+        std::fs::write(svg_path, viz::render_svg(&device, &circuit, &outcome)?)?;
+        println!("rendering written to {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let name = flags
+        .get("circuit")
+        .ok_or("missing required flag --circuit")?;
+    let profile = find_profile(name)?;
+    let min = get_usize(flags, "min", Some(3))?;
+    let max = get_usize(flags, "max", Some(24))?;
+    let seed = get_u64(flags, "seed", 1995)?;
+    let passes = get_usize(flags, "passes", Some(10))?;
+    let circuit = synthesize(&profile, 2, seed)?;
+    let base = arch_for(flags, &profile, min)?;
+    let use_baseline = flags.contains_key("baseline");
+    let algo = algorithm(flags)?;
+    let found = minimum_channel_width(base, min..=max, WidthSearch::Binary, |device| {
+        if use_baseline {
+            BaselineRouter::new(
+                device,
+                BaselineConfig {
+                    max_passes: passes,
+                    ..BaselineConfig::default()
+                },
+            )
+            .route(&circuit)
+        } else {
+            Router::new(
+                device,
+                RouterConfig {
+                    algorithm: algo,
+                    max_passes: passes,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+        }
+    })?;
+    println!(
+        "{name}: minimum channel width {} with {} ({} routing attempts, wirelength {})",
+        found.channel_width,
+        if use_baseline { "2PIN baseline" } else { algo.label() },
+        found.attempts,
+        found.outcome.total_wirelength
+    );
+    Ok(())
+}
+
+fn cmd_net(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let rows = get_usize(flags, "rows", Some(20))?;
+    let cols = get_usize(flags, "cols", Some(20))?;
+    let pins = get_usize(flags, "pins", Some(5))?;
+    let seed = get_u64(flags, "seed", 7)?;
+    let grid = GridGraph::new(rows, cols, Weight::UNIT)?;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let terminals = fpga_route::graph::random::random_net(grid.graph(), pins, &mut rng)?;
+    let net = Net::from_terminals(terminals)?;
+    let opt_radius = optimal_max_pathlength(grid.graph(), &net)?;
+    let contenders: Vec<(&str, Box<dyn SteinerHeuristic>)> = match flags.get("algorithm") {
+        None => vec![
+            ("KMB", Box::new(Kmb::new())),
+            ("ZEL", Box::new(Zel::new())),
+            ("IKMB", Box::new(ikmb())),
+            ("IZEL", Box::new(izel())),
+            ("DJKA", Box::new(Djka::new())),
+            ("DOM", Box::new(Dom::new())),
+            ("PFA", Box::new(Pfa::new())),
+            ("IDOM", Box::new(idom())),
+        ],
+        Some(_) => {
+            let algo = algorithm(flags)?;
+            vec![(
+                algo.label(),
+                fpga_route::fpga::RouteAlgorithm::heuristic(
+                    algo,
+                    fpga_route::steiner::CandidatePool::All,
+                ),
+            )]
+        }
+    };
+    println!(
+        "net: {pins} pins on a {rows}x{cols} grid (seed {seed}), optimal radius {opt_radius}"
+    );
+    println!("{:<8} {:>10} {:>10}", "algo", "wirelength", "max path");
+    for (label, algo) in contenders {
+        let tree = algo.construct(grid.graph(), &net)?;
+        let m = measure(&tree, &net)?;
+        println!(
+            "{label:<8} {:>10} {:>10}",
+            m.wirelength.to_string(),
+            m.max_pathlength.to_string()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn flag_parser_round_trips() {
+        let parsed = parse_flags(&[
+            "--circuit".into(),
+            "term1".into(),
+            "--width".into(),
+            "9".into(),
+            "--baseline".into(),
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("circuit").unwrap(), "term1");
+        assert_eq!(parsed.get("width").unwrap(), "9");
+        assert_eq!(parsed.get("baseline").unwrap(), "true");
+    }
+
+    #[test]
+    fn flag_parser_rejects_malformed_input() {
+        assert!(parse_flags(&["circuit".into()]).is_err());
+        assert!(parse_flags(&["--width".into()]).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        for (name, expect) in [
+            ("kmb", RouteAlgorithm::Kmb),
+            ("ikmb", RouteAlgorithm::Ikmb),
+            ("pfa", RouteAlgorithm::Pfa),
+            ("idom", RouteAlgorithm::Idom),
+        ] {
+            assert_eq!(algorithm(&flags(&[("algorithm", name)])).unwrap(), expect);
+        }
+        assert_eq!(algorithm(&flags(&[])).unwrap(), RouteAlgorithm::Ikmb);
+        assert!(algorithm(&flags(&[("algorithm", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn profiles_resolve_and_unknowns_error() {
+        assert_eq!(find_profile("busc").unwrap().rows, 12);
+        assert_eq!(find_profile("term1").unwrap().cols, 9);
+        assert!(find_profile("nonesuch").is_err());
+    }
+
+    #[test]
+    fn numeric_flags_parse_with_defaults() {
+        let f = flags(&[("width", "11")]);
+        assert_eq!(get_usize(&f, "width", None).unwrap(), 11);
+        assert_eq!(get_usize(&f, "passes", Some(10)).unwrap(), 10);
+        assert!(get_usize(&f, "missing", None).is_err());
+        assert_eq!(get_u64(&f, "seed", 1995).unwrap(), 1995);
+    }
+
+    #[test]
+    fn net_command_runs_end_to_end() {
+        cmd_net(&flags(&[
+            ("rows", "6"),
+            ("cols", "6"),
+            ("pins", "4"),
+            ("algorithm", "idom"),
+        ]))
+        .unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! # fpga-route
+//!
+//! Facade crate for the reproduction of *New Performance-Driven FPGA
+//! Routing Algorithms* (Alexander & Robins, DAC 1995).
+//!
+//! Re-exports the three library layers:
+//!
+//! * [`graph`] ([`route-graph`](route_graph)) — weighted routing graphs,
+//!   Dijkstra, MSTs, distance graphs, grid generators.
+//! * [`steiner`] ([`steiner-route`](steiner_route)) — the paper's
+//!   algorithms: KMB, ZEL, the IGMST iterated template (IKMB/IZEL), DJKA,
+//!   DOM, PFA, and IDOM, plus exact oracles and the congestion workload
+//!   model.
+//! * [`fpga`] ([`fpga-device`](fpga_device)) — the symmetrical-array FPGA
+//!   device model, synthetic benchmark circuits, and the detailed router.
+//!
+//! See the `examples/` directory for runnable walkthroughs, starting with
+//! `quickstart.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use fpga_device as fpga;
+pub use route_graph as graph;
+pub use steiner_route as steiner;

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: every construction, driven uniformly
+//! over randomized workloads, upholding the paper's structural claims.
+
+use rand::{Rng, SeedableRng};
+
+use fpga_route::graph::random::{random_connected_graph, random_net};
+use fpga_route::graph::{GridGraph, Weight};
+use fpga_route::steiner::metrics::optimal_max_pathlength;
+use fpga_route::steiner::{
+    exact, idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel,
+};
+
+fn full_roster() -> Vec<(&'static str, Box<dyn SteinerHeuristic>)> {
+    vec![
+        ("KMB", Box::new(Kmb::new())),
+        ("ZEL", Box::new(Zel::new())),
+        ("IKMB", Box::new(ikmb())),
+        ("IZEL", Box::new(izel())),
+        ("DJKA", Box::new(Djka::new())),
+        ("DOM", Box::new(Dom::new())),
+        ("PFA", Box::new(Pfa::new())),
+        ("IDOM", Box::new(idom())),
+    ]
+}
+
+#[test]
+fn every_algorithm_spans_random_weighted_graphs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    for trial in 0..15 {
+        let n = rng.gen_range(8..30);
+        let m = rng.gen_range(n..3 * n);
+        let g = random_connected_graph(n, m, 1..10, &mut rng).unwrap();
+        let pins = random_net(&g, rng.gen_range(2..6).min(n), &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        for (name, algo) in full_roster() {
+            let tree = algo
+                .construct(&g, &net)
+                .unwrap_or_else(|e| panic!("trial {trial} {name}: {e}"));
+            assert!(tree.spans(&net), "trial {trial} {name} does not span");
+        }
+    }
+}
+
+#[test]
+fn arborescence_family_always_has_optimal_radius() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    for trial in 0..15 {
+        let n = rng.gen_range(8..30);
+        let m = rng.gen_range(n..3 * n);
+        let g = random_connected_graph(n, m, 1..10, &mut rng).unwrap();
+        let pins = random_net(&g, rng.gen_range(3..6).min(n), &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        for (name, algo) in [
+            ("DJKA", Box::new(Djka::new()) as Box<dyn SteinerHeuristic>),
+            ("DOM", Box::new(Dom::new())),
+            ("PFA", Box::new(Pfa::new())),
+            ("IDOM", Box::new(idom())),
+        ] {
+            let tree = algo.construct(&g, &net).unwrap();
+            assert!(
+                tree.is_shortest_paths_tree(&g, &net).unwrap(),
+                "trial {trial}: {name} violated the shortest-paths property"
+            );
+        }
+    }
+}
+
+#[test]
+fn iterated_constructions_never_lose_to_their_bases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    for _ in 0..10 {
+        let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
+        let pins = random_net(grid.graph(), 5, &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        let g = grid.graph();
+        assert!(ikmb().construct(g, &net).unwrap().cost() <= Kmb::new().construct(g, &net).unwrap().cost());
+        assert!(izel().construct(g, &net).unwrap().cost() <= Zel::new().construct(g, &net).unwrap().cost());
+        assert!(idom().construct(g, &net).unwrap().cost() <= Dom::new().construct(g, &net).unwrap().cost());
+    }
+}
+
+#[test]
+fn performance_bounds_hold_against_the_exact_optimum() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    for _ in 0..8 {
+        let n = rng.gen_range(8..20);
+        let m = rng.gen_range(n..2 * n + 5);
+        let g = random_connected_graph(n, m, 1..8, &mut rng).unwrap();
+        let pins = random_net(&g, 4, &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        let opt = exact::steiner_cost_for_net(&g, &net).unwrap();
+        // KMB ≤ 2·opt, ZEL/IZEL/IKMB ≤ 11/6·opt ≤ 2·opt, and all ≥ opt.
+        for (name, algo) in [
+            ("KMB", Box::new(Kmb::new()) as Box<dyn SteinerHeuristic>),
+            ("ZEL", Box::new(Zel::new())),
+            ("IKMB", Box::new(ikmb())),
+            ("IZEL", Box::new(izel())),
+        ] {
+            let cost = algo.construct(&g, &net).unwrap().cost();
+            assert!(cost >= opt, "{name} beat the optimum?!");
+            assert!(
+                cost.as_milli() <= 2 * opt.as_milli(),
+                "{name} broke its performance bound: {cost} vs opt {opt}"
+            );
+        }
+        // ZEL's stronger 11/6 bound.
+        let zel = Zel::new().construct(&g, &net).unwrap().cost();
+        assert!(6 * zel.as_milli() <= 11 * opt.as_milli());
+    }
+}
+
+#[test]
+fn steiner_trees_trade_radius_for_wire_and_arborescences_do_the_reverse() {
+    // Aggregate Table-1-style shape check on uncongested grids: the
+    // Steiner family uses at most as much wire as the arborescence family,
+    // while only the arborescence family guarantees the optimal radius.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let mut steiner_wire = 0u64;
+    let mut arbor_wire = 0u64;
+    for _ in 0..12 {
+        let grid = GridGraph::new(10, 10, Weight::UNIT).unwrap();
+        let pins = random_net(grid.graph(), 6, &mut rng).unwrap();
+        let net = Net::from_terminals(pins).unwrap();
+        let ik = ikmb().construct(grid.graph(), &net).unwrap();
+        let id = idom().construct(grid.graph(), &net).unwrap();
+        steiner_wire += ik.cost().as_milli();
+        arbor_wire += id.cost().as_milli();
+        let opt_radius = optimal_max_pathlength(grid.graph(), &net).unwrap();
+        assert_eq!(id.max_pathlength(&net).unwrap(), opt_radius);
+        assert!(ik.max_pathlength(&net).unwrap() >= opt_radius);
+    }
+    assert!(steiner_wire <= arbor_wire);
+}
+
+#[test]
+fn identical_inputs_give_identical_outputs() {
+    // Determinism across runs: the whole pipeline is seeded and
+    // tie-breaking is explicit.
+    let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
+    let mut rng1 = rand::rngs::StdRng::seed_from_u64(105);
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(105);
+    let pins1 = random_net(grid.graph(), 5, &mut rng1).unwrap();
+    let pins2 = random_net(grid.graph(), 5, &mut rng2).unwrap();
+    assert_eq!(pins1, pins2);
+    let net = Net::from_terminals(pins1).unwrap();
+    for (_, algo) in full_roster() {
+        let a = algo.construct(grid.graph(), &net).unwrap();
+        let b = algo.construct(grid.graph(), &net).unwrap();
+        assert_eq!(a.cost(), b.cost());
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use fpga_route::graph::floyd::AllPairs;
+use fpga_route::graph::random::{random_connected_graph, random_net};
+use fpga_route::graph::{GridGraph, ShortestPaths, TerminalDistances, Weight};
+use fpga_route::steiner::{idom, ikmb, Dom, Kmb, Net, Pfa, SteinerHeuristic};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dijkstra agrees with Floyd–Warshall on arbitrary random graphs.
+    #[test]
+    fn dijkstra_matches_floyd_warshall(seed in 0u64..5000, n in 2usize..16, extra in 0usize..20) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = random_connected_graph(n, n - 1 + extra, 1..9, &mut rng).unwrap();
+        let ap = AllPairs::run(&g);
+        let src = g.node_ids().next().unwrap();
+        let sp = ShortestPaths::run(&g, src).unwrap();
+        for v in g.node_ids() {
+            prop_assert_eq!(sp.dist(v), ap.dist(src, v));
+        }
+    }
+
+    /// Triangle inequality holds in every distance graph.
+    #[test]
+    fn distance_graph_satisfies_triangle_inequality(seed in 0u64..5000, n in 4usize..14) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = random_connected_graph(n, n + 4, 1..9, &mut rng).unwrap();
+        let pins = random_net(&g, 4, &mut rng).unwrap();
+        let td = TerminalDistances::compute(&g, &pins).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let (Some(ij), Some(ik), Some(kj)) =
+                        (td.dist(i, j), td.dist(i, k), td.dist(k, j)) else { continue };
+                    prop_assert!(ij <= ik + kj);
+                }
+            }
+        }
+    }
+
+    /// Every heuristic returns a *valid tree spanning the net*, with cost
+    /// equal to the sum of its edge weights.
+    #[test]
+    fn heuristics_return_valid_spanning_trees(seed in 0u64..5000, n in 6usize..22, pins in 2usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = random_connected_graph(n, 2 * n, 1..9, &mut rng).unwrap();
+        let terminals = random_net(&g, pins.min(n), &mut rng).unwrap();
+        let net = Net::from_terminals(terminals).unwrap();
+        for algo in [
+            Box::new(Kmb::new()) as Box<dyn SteinerHeuristic>,
+            Box::new(ikmb()),
+            Box::new(Dom::new()),
+            Box::new(Pfa::new()),
+            Box::new(idom()),
+        ] {
+            let tree = algo.construct(&g, &net).unwrap();
+            prop_assert!(tree.spans(&net));
+            let recomputed: Weight = tree
+                .edges()
+                .iter()
+                .map(|&e| g.weight(e).unwrap())
+                .sum();
+            prop_assert_eq!(recomputed, tree.cost());
+            // A tree: |E| = |V| - 1 over its own node set.
+            prop_assert_eq!(tree.edge_len() + 1, tree.node_len());
+        }
+    }
+
+    /// The arborescence property survives arbitrary congestion reweighting.
+    #[test]
+    fn arborescences_respect_congested_metrics(seed in 0u64..5000, bumps in 0usize..40) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let edges: Vec<_> = grid.graph().edge_ids().collect();
+        for _ in 0..bumps {
+            use rand::Rng;
+            let e = edges[rng.gen_range(0..edges.len())];
+            grid.graph_mut().add_weight(e, Weight::UNIT).unwrap();
+        }
+        let terminals = random_net(grid.graph(), 4, &mut rng).unwrap();
+        let net = Net::from_terminals(terminals).unwrap();
+        for algo in [
+            Box::new(Pfa::new()) as Box<dyn SteinerHeuristic>,
+            Box::new(Dom::new()),
+            Box::new(idom()),
+        ] {
+            let tree = algo.construct(grid.graph(), &net).unwrap();
+            prop_assert!(tree.is_shortest_paths_tree(grid.graph(), &net).unwrap());
+        }
+    }
+
+    /// Removal then restoration of arbitrary resources is an exact no-op
+    /// for shortest paths.
+    #[test]
+    fn removal_is_exactly_reversible(seed in 0u64..5000, kill in 1usize..8) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut grid = GridGraph::new(5, 5, Weight::UNIT).unwrap();
+        let src = grid.node_at(0, 0).unwrap();
+        let before = ShortestPaths::run(grid.graph(), src).unwrap();
+        use rand::Rng;
+        let victims: Vec<_> = (0..kill)
+            .map(|_| {
+                fpga_route::graph::NodeId::from_index(rng.gen_range(1..25))
+            })
+            .collect();
+        for &v in &victims {
+            grid.graph_mut().remove_node(v).unwrap();
+        }
+        for &v in &victims {
+            grid.graph_mut().restore_node(v).unwrap();
+        }
+        let after = ShortestPaths::run(grid.graph(), src).unwrap();
+        for v in grid.graph().node_ids() {
+            prop_assert_eq!(before.dist(v), after.dist(v));
+        }
+    }
+
+    /// IKMB's cost is monotone under candidate-pool growth: more
+    /// candidates never hurt.
+    #[test]
+    fn bigger_candidate_pools_never_hurt(seed in 0u64..2000) {
+        use fpga_route::steiner::{CandidatePool, Iterated, IteratedConfig};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let terminals = random_net(grid.graph(), 5, &mut rng).unwrap();
+        let net = Net::from_terminals(terminals).unwrap();
+        let no_pool = Iterated::with_config(
+            Kmb::new(),
+            IteratedConfig { pool: CandidatePool::Explicit(vec![]), ..IteratedConfig::default() },
+        );
+        let all = ikmb();
+        let restricted = no_pool.construct(grid.graph(), &net).unwrap();
+        let free = all.construct(grid.graph(), &net).unwrap();
+        prop_assert!(free.cost() <= restricted.cost());
+    }
+}
