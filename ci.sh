@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI gate: the tier-1 verification plus lint. Run before every PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use rand::SeedableRng;
+
 
 use experiments::table::TextTable;
 use fpga_device::synth::{synthesize, CircuitProfile};
@@ -78,7 +78,7 @@ fn ablate_igmst(nets: usize) {
     );
     for (label, config) in configs {
         let heuristic = Iterated::with_config(Kmb::new(), config);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(2024);
         let mut wire_pct = 0.0;
         let mut rounds = 0usize;
         let start = Instant::now();

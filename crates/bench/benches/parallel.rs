@@ -1,0 +1,91 @@
+//! Sequential-versus-parallel routing speedup on the Table 5 circuits.
+//!
+//! Routes each circuit once with the strictly-sequential engine
+//! (`threads = 1`) and once with the speculative batched engine, at the
+//! same channel width, and reports per-pass wall-clock times from the
+//! router's [`PassTiming`](fpga_device::PassTiming) counters alongside
+//! batching statistics. Both runs produce identical trees by
+//! construction, so the comparison is purely about time.
+
+use fpga_device::synth::{synthesize, xc4000_profiles, CircuitProfile};
+use fpga_device::{ArchSpec, Device, PassTiming, RouteOutcome, Router, RouterConfig};
+
+/// Generous channel width: keeps every circuit routable in few passes so
+/// the comparison measures routing throughput, not width-search luck.
+const WIDTH: usize = 14;
+
+fn route(circuit_profile: &CircuitProfile, threads: usize) -> RouteOutcome {
+    let circuit = synthesize(circuit_profile, 2, 1995).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(
+        circuit_profile.rows,
+        circuit_profile.cols,
+        WIDTH,
+    ))
+    .expect("valid arch");
+    Router::new(
+        &device,
+        RouterConfig {
+            threads,
+            ..RouterConfig::default()
+        },
+    )
+    .route(&circuit)
+    .unwrap_or_else(|e| panic!("{} at W={WIDTH}: {e}", circuit_profile.name))
+}
+
+fn total_micros(timings: &[PassTiming]) -> f64 {
+    timings.iter().map(|t| t.elapsed.as_micros() as f64).sum()
+}
+
+fn main() {
+    // Floor at 2 so the speculative engine engages even on one core
+    // (there the interesting numbers are the batching counters, not the
+    // speedup); cap at 8 where extra workers stop paying for themselves.
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .clamp(2, 8);
+    let profiles = xc4000_profiles();
+    let profiles: Vec<_> = if bench::quick_mode() {
+        profiles
+            .into_iter()
+            .filter(|p| matches!(p.name, "9symml" | "term1"))
+            .collect()
+    } else {
+        profiles
+    };
+    println!("## sequential vs parallel routing (threads = {threads}, W = {WIDTH})");
+    println!(
+        "{:>10} {:>7} {:>12} {:>12} {:>8} {:>8} {:>9} {:>9}",
+        "circuit", "passes", "seq us", "par us", "speedup", "batches", "spec", "accept%"
+    );
+    for profile in &profiles {
+        let sequential = route(profile, 1);
+        let parallel = route(profile, threads);
+        assert_eq!(
+            sequential.trees, parallel.trees,
+            "{}: engines must agree",
+            profile.name
+        );
+        let seq_us = total_micros(&sequential.timings);
+        let par_us = total_micros(&parallel.timings);
+        let batches: usize = parallel.timings.iter().map(|t| t.batches).sum();
+        let speculated: usize = parallel.timings.iter().map(|t| t.speculated).sum();
+        let accepted: usize = parallel.timings.iter().map(|t| t.accepted).sum();
+        let accept = if speculated == 0 {
+            100.0
+        } else {
+            100.0 * accepted as f64 / speculated as f64
+        };
+        println!(
+            "{:>10} {:>7} {:>12.0} {:>12.0} {:>8.2} {:>8} {:>9} {:>9.1}",
+            profile.name,
+            parallel.passes,
+            seq_us,
+            par_us,
+            seq_us / par_us.max(1.0),
+            batches,
+            speculated,
+            accept
+        );
+    }
+}

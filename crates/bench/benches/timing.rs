@@ -1,13 +1,15 @@
-//! Criterion timing benches — the paper's §5 CPU-time claims.
+//! Timing benches — the paper's §5 CPU-time claims.
 //!
 //! "CPU times for IKMB, PFA and IDOM on random graphs with |V| = 50,
 //! |E| = 1000 and |N| = 5 are in the range of several dozen milliseconds
 //! on a Sun/4 workstation." Absolute numbers on this machine will be far
 //! faster; the *relative* ordering across algorithms is the comparable
 //! signal.
+//!
+//! Harness-free (`std::time::Instant`) so the workspace carries no
+//! external bench dependencies; medians over repeated runs are reported.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use std::time::Instant;
 
 use fpga_device::synth::{synthesize, CircuitProfile};
 use fpga_device::{ArchSpec, Device, RouteAlgorithm, Router, RouterConfig};
@@ -16,7 +18,7 @@ use route_graph::Graph;
 use steiner_route::{idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel};
 
 fn paper_graph() -> (Graph, Vec<Net>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1995);
+    let mut rng = route_graph::rng::SplitMix64::seed_from_u64(1995);
     let g = random_connected_graph(50, 1000, 1..10, &mut rng).expect("valid shape");
     let nets = (0..8)
         .map(|_| {
@@ -40,25 +42,36 @@ fn roster() -> Vec<(&'static str, Box<dyn SteinerHeuristic>)> {
     ]
 }
 
+/// Runs `f` `runs` times and returns the median duration in microseconds.
+fn median_micros(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<u128> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_micros()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
 /// One construction per algorithm on the paper's timing graph.
-fn bench_constructions(c: &mut Criterion) {
+fn bench_constructions(runs: usize) {
     let (g, nets) = paper_graph();
-    let mut group = c.benchmark_group("construct_v50_e1000_n5");
+    println!("## construct_v50_e1000_n5 (median of {runs} runs, per net)");
     for (name, algo) in roster() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &nets, |b, nets| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let net = &nets[i % nets.len()];
-                i += 1;
-                algo.construct(&g, net).expect("routable")
-            });
+        let mut i = 0usize;
+        let us = median_micros(runs, || {
+            let net = &nets[i % nets.len()];
+            i += 1;
+            algo.construct(&g, net).expect("routable");
         });
+        println!("{name:>6}: {us:>10.0} us");
     }
-    group.finish();
 }
 
 /// Whole-circuit routing time on a small real device.
-fn bench_circuit_routing(c: &mut Criterion) {
+fn bench_circuit_routing(runs: usize) {
     let profile = CircuitProfile {
         name: "bench",
         rows: 8,
@@ -69,42 +82,40 @@ fn bench_circuit_routing(c: &mut Criterion) {
     };
     let circuit = synthesize(&profile, 2, 7).expect("synthesizable");
     let device = Device::new(ArchSpec::xilinx4000(8, 8, 9)).expect("valid arch");
-    let mut group = c.benchmark_group("route_8x8_circuit");
-    group.sample_size(10);
+    println!("## route_8x8_circuit (median of {runs} runs)");
     for algo in [
         RouteAlgorithm::Ikmb,
         RouteAlgorithm::Pfa,
         RouteAlgorithm::Idom,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
-            b.iter(|| {
-                Router::new(&device, RouterConfig::with_algorithm(algo))
-                    .route(&circuit)
-                    .expect("routable at W=9")
-            });
+        let us = median_micros(runs, || {
+            Router::new(&device, RouterConfig::with_algorithm(algo))
+                .route(&circuit)
+                .expect("routable at W=9");
         });
+        println!("{:>6}: {us:>10.0} us", algo.label());
     }
-    group.finish();
 }
 
 /// Substrate primitives: Dijkstra and the distance graph.
-fn bench_substrate(c: &mut Criterion) {
+fn bench_substrate(runs: usize) {
     let (g, nets) = paper_graph();
-    c.bench_function("dijkstra_v50_e1000", |b| {
-        let src = nets[0].source();
-        b.iter(|| route_graph::ShortestPaths::run(&g, src).expect("live source"));
+    println!("## substrate (median of {runs} runs)");
+    let src = nets[0].source();
+    let us = median_micros(runs, || {
+        route_graph::ShortestPaths::run(&g, src).expect("live source");
     });
-    c.bench_function("terminal_distances_n5", |b| {
-        b.iter(|| {
-            route_graph::TerminalDistances::compute(&g, nets[0].terminals())
-                .expect("valid terminals")
-        });
+    println!("dijkstra_v50_e1000    : {us:>10.0} us");
+    let us = median_micros(runs, || {
+        route_graph::TerminalDistances::compute(&g, nets[0].terminals())
+            .expect("valid terminals");
     });
+    println!("terminal_distances_n5 : {us:>10.0} us");
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_constructions, bench_circuit_routing, bench_substrate
+fn main() {
+    let runs = if bench::quick_mode() { 3 } else { 15 };
+    bench_constructions(runs);
+    bench_circuit_routing(runs);
+    bench_substrate(runs);
 }
-criterion_main!(benches);

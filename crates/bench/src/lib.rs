@@ -1,11 +1,13 @@
-//! Bench support crate: shared helpers for the Criterion timing benches
-//! and the table/figure regeneration targets.
+//! Bench support crate: shared helpers for the harness-free timing
+//! benches and the table/figure regeneration targets.
 //!
 //! `cargo bench --workspace` runs, in this crate:
 //!
-//! * `timing` — Criterion micro-benchmarks matching the paper's §5 CPU
-//!   time claims (all eight constructions on the `|V| = 50, |E| = 1000,
+//! * `timing` — micro-benchmarks matching the paper's §5 CPU time
+//!   claims (all eight constructions on the `|V| = 50, |E| = 1000,
 //!   |N| = 5` random graphs, plus per-net routing on a real device);
+//! * `parallel` — sequential-versus-parallel routing speedup on the
+//!   Table 5 circuits, from the router's per-pass timing counters;
 //! * `table1`–`table5` — `harness = false` targets that regenerate the
 //!   paper's tables (quality metrics, not timings);
 //! * `figures` — Figures 4, 10, 11, 14, 16;

@@ -7,7 +7,7 @@
 //! routing-graph edge weight to w̄ > 1.00." Three levels: none (k = 0,
 //! w̄ = 1.00), low (k = 10, w̄ ≈ 1.28), medium (k = 20, w̄ ≈ 1.55).
 
-use rand::Rng;
+use route_graph::rng::Rng;
 
 use route_graph::{GridGraph, Weight};
 
@@ -72,7 +72,7 @@ pub fn congest_grid<R: Rng>(
 ) -> Result<f64, SteinerError> {
     let kmb = Kmb::new();
     for _ in 0..k {
-        let pins = rng.gen_range(2..=5);
+        let pins = rng.gen_range(2..=5usize);
         let terminals = route_graph::random::random_net(grid.graph(), pins, rng)?;
         let net = Net::from_terminals(terminals)?;
         let tree = kmb.construct(grid.graph(), &net)?;
@@ -105,18 +105,18 @@ pub fn table1_grid<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    
 
     #[test]
     fn no_congestion_leaves_unit_weights() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(71);
         let grid = table1_grid(CongestionLevel::None, &mut rng).unwrap();
         assert!((grid.graph().mean_edge_weight().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn mean_weight_rises_with_level() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(72);
         let low = table1_grid(CongestionLevel::Low, &mut rng).unwrap();
         let medium = table1_grid(CongestionLevel::Medium, &mut rng).unwrap();
         let w_low = low.graph().mean_edge_weight().unwrap();
@@ -129,7 +129,7 @@ mod tests {
     fn levels_match_paper_ballpark() {
         // Paper: w̄ ≈ 1.28 at k = 10 and ≈ 1.55 at k = 20 on a 20×20 grid.
         // Averaged over seeds our generator must land in the same regime.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(73);
         let mut w_low = 0.0;
         let mut w_med = 0.0;
         let runs = 10;
@@ -149,6 +149,20 @@ mod tests {
         w_med /= runs as f64;
         assert!((1.1..1.5).contains(&w_low), "w_low = {w_low}");
         assert!((1.3..1.9).contains(&w_med), "w_med = {w_med}");
+    }
+
+    #[test]
+    fn near_max_weights_saturate_instead_of_panicking() {
+        // A grid already at Weight::MAX must absorb further congestion
+        // increments by saturating, not by overflowing the u64 milli
+        // representation mid-route.
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(74);
+        let mut grid = GridGraph::new(5, 5, Weight::MAX).unwrap();
+        let mean = congest_grid(&mut grid, 3, &mut rng).unwrap();
+        assert!(mean >= Weight::MAX.as_f64() * 0.99);
+        for e in grid.graph().edge_ids() {
+            assert_eq!(grid.graph().weight(e).unwrap(), Weight::MAX);
+        }
     }
 
     #[test]

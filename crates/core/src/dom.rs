@@ -269,8 +269,8 @@ mod tests {
 
     #[test]
     fn cheap_cost_upper_bounds_built_tree() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(17);
         let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
         for _ in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -284,8 +284,8 @@ mod tests {
     #[test]
     fn dom_beats_djka_or_ties_on_grids() {
         use crate::Djka;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(18);
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         let mut dom_total = Weight::ZERO;
         let mut djka_total = Weight::ZERO;

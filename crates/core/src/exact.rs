@@ -132,7 +132,7 @@ fn relax(g: &Graph, layer: &mut [Option<Weight>]) {
             if settled[u.index()] {
                 continue;
             }
-            let nd = d + w;
+            let nd = d.saturating_add(w);
             if layer[u.index()].is_none_or(|cur| nd < cur) {
                 heap.push(u.index(), nd);
             }
@@ -216,8 +216,8 @@ mod tests {
 
     #[test]
     fn kmb_respects_its_performance_bound() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(51);
         let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
         for trial in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -237,8 +237,8 @@ mod tests {
 
     #[test]
     fn zel_respects_eleven_sixths() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(52);
         let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
         for trial in 0..8 {
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -257,10 +257,10 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_small_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        use route_graph::rng::Rng;
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(53);
         for _ in 0..6 {
-            let n = rng.gen_range(4..8);
+            let n = rng.gen_range(4..8usize);
             let g = route_graph::random::random_connected_graph(n, n + 3, 1..6, &mut rng)
                 .unwrap();
             let ids: Vec<NodeId> = g.node_ids().collect();

@@ -63,8 +63,8 @@ mod tests {
 
     #[test]
     fn output_is_always_an_arborescence() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(41);
         let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
         for trial in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -105,8 +105,8 @@ mod tests {
 
     #[test]
     fn never_worse_than_dom_in_aggregate() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(42);
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         for trial in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();

@@ -342,8 +342,8 @@ mod tests {
 
     #[test]
     fn ikmb_never_worse_than_kmb() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(99);
         for trial in 0..15 {
             let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -428,8 +428,8 @@ mod tests {
     fn rounds_stay_small() {
         // Paper §3: "the number of such rounds tends to be very small (≤ 3
         // for typical instances)" — plus the final no-improvement round.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(4);
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         for _ in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();

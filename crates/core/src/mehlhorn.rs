@@ -81,7 +81,7 @@ impl Voronoi {
                 if dist[u.index()].is_some() {
                     continue;
                 }
-                let nd = d + w;
+                let nd = d.saturating_add(w);
                 if heap.push(u.index(), nd) {
                     pending_owner[u.index()] = owner[vi];
                     parent[u.index()] = Some((NodeId::from_index(vi), e));
@@ -128,9 +128,10 @@ impl SteinerHeuristic for MehlhornKmb {
             if oa == ob {
                 continue;
             }
-            let w = voronoi.dist[a.index()].expect("owned nodes have distances")
-                + g.weight(e)?
-                + voronoi.dist[b.index()].expect("owned nodes have distances");
+            let w = voronoi.dist[a.index()]
+                .expect("owned nodes have distances")
+                .saturating_add(g.weight(e)?)
+                .saturating_add(voronoi.dist[b.index()].expect("owned nodes have distances"));
             bridges.push((w, oa.min(ob), oa.max(ob), a, e, b));
         }
         // Kruskal over the candidate edges gives MST(G') directly.
@@ -183,8 +184,8 @@ mod tests {
 
     #[test]
     fn cost_is_competitive_with_classic_kmb() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(71);
         let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
         let mut fast_total = 0u64;
         let mut classic_total = 0u64;
@@ -204,8 +205,8 @@ mod tests {
 
     #[test]
     fn respects_the_two_approximation_bound() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(72);
         for _ in 0..8 {
             let g =
                 route_graph::random::random_connected_graph(15, 30, 1..8, &mut rng).unwrap();
@@ -233,8 +234,8 @@ mod tests {
 
     #[test]
     fn works_on_congested_weights() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(73);
         let mut grid = crate::congestion::table1_grid(
             crate::congestion::CongestionLevel::Medium,
             &mut rng,

@@ -259,8 +259,8 @@ mod tests {
 
     #[test]
     fn always_an_arborescence_on_random_nets() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(31);
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         for trial in 0..20 {
             let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
@@ -280,8 +280,8 @@ mod tests {
         // net. Table 1 ranks PFA ≤ DOM in wirelength on average; check the
         // aggregate over a seeded batch.
         use crate::Dom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(32);
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         let mut pfa_total = Weight::ZERO;
         let mut dom_total = Weight::ZERO;

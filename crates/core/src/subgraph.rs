@@ -58,7 +58,7 @@ pub(crate) fn spt_over_edges(
             if dist.contains_key(&u) {
                 continue;
             }
-            let nd = d + w;
+            let nd = d.saturating_add(w);
             if best.get(&u).is_none_or(|&cur| nd < cur) {
                 best.insert(u, nd);
                 parent_edge.insert(u, e);

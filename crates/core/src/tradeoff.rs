@@ -249,11 +249,11 @@ mod tests {
     use super::*;
     use crate::metrics::optimal_max_pathlength;
     use crate::Kmb;
-    use rand::SeedableRng;
+    
     use route_graph::GridGraph;
 
     fn random_instance(seed: u64) -> (GridGraph, Net) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(seed);
         let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
         let pins = route_graph::random::random_net(grid.graph(), 6, &mut rng).unwrap();
         (grid, Net::from_terminals(pins).unwrap())

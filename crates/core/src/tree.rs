@@ -68,7 +68,7 @@ impl RoutingTree {
             }
             let (a, b) = g.endpoints(e)?;
             let w = g.weight(e)?;
-            cost += w;
+            cost = cost.saturating_add(w);
             adjacency.entry(a).or_default().push((b, e, w));
             adjacency.entry(b).or_default().push((a, e, w));
             let next = index_of.len();
@@ -163,7 +163,7 @@ impl RoutingTree {
             let dv = dist[&v];
             for &(u, _, w) in &self.adjacency[&v] {
                 if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
-                    e.insert(dv + w);
+                    e.insert(dv.saturating_add(w));
                     stack.push(u);
                 }
             }

@@ -251,8 +251,8 @@ mod tests {
 
     #[test]
     fn never_worse_than_kmb_on_random_nets() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(21);
         let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
         for trial in 0..10 {
             let pins = route_graph::random::random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -266,8 +266,8 @@ mod tests {
 
     #[test]
     fn izel_never_worse_than_zel() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(22);
         let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
         let izel = crate::igmst::izel();
         for trial in 0..5 {

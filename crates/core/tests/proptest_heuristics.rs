@@ -1,23 +1,25 @@
 //! Property tests over the Steiner/arborescence constructions.
-
-use proptest::prelude::*;
-use rand::SeedableRng;
+//!
+//! Cases are generated from the vendored [`route_graph::rng`] PRNG rather
+//! than `proptest` so the suite builds with no network access.
 
 use route_graph::random::{random_connected_graph, random_net};
+use route_graph::rng::{Rng, SplitMix64};
 use route_graph::{GridGraph, TerminalDistances, Weight};
 use steiner_route::heuristic::IteratedBase;
 use steiner_route::{
-    exact, idom, ikmb, Dom, Djka, Kmb, MehlhornKmb, Net, Pfa, SteinerHeuristic, Zel,
+    exact, idom, ikmb, Djka, Dom, Kmb, MehlhornKmb, Net, Pfa, SteinerHeuristic, Zel,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+const CASES: u64 = 20;
 
-    /// Steiner family: cost sandwiched between the exact optimum and twice
-    /// the optimum.
-    #[test]
-    fn steiner_costs_bracket_the_optimum(seed in 0u64..10_000, n in 6usize..16) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Steiner family: cost sandwiched between the exact optimum and twice
+/// the optimum.
+#[test]
+fn steiner_costs_bracket_the_optimum() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range(6..16usize);
         let g = random_connected_graph(n, 2 * n, 1..8, &mut rng).unwrap();
         let pins = random_net(&g, 4.min(n), &mut rng).unwrap();
         let net = Net::from_terminals(pins).unwrap();
@@ -29,22 +31,24 @@ proptest! {
             Box::new(ikmb()),
         ] {
             let cost = algo.construct(&g, &net).unwrap().cost();
-            prop_assert!(cost >= opt, "{} beat the optimum", algo.name());
-            prop_assert!(
+            assert!(cost >= opt, "seed {seed}: {} beat the optimum", algo.name());
+            assert!(
                 cost.as_milli() <= 2 * opt.as_milli(),
-                "{} broke the 2x bound",
+                "seed {seed}: {} broke the 2x bound",
                 algo.name()
             );
         }
     }
+}
 
-    /// Arborescence family: exact shortest-path property on random graphs
-    /// with zero-weight edges mixed in.
-    #[test]
-    fn arborescences_survive_zero_weight_edges(seed in 0u64..10_000, zeros in 0usize..6) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Arborescence family: exact shortest-path property on random graphs
+/// with zero-weight edges mixed in.
+#[test]
+fn arborescences_survive_zero_weight_edges() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let zeros = rng.gen_range(0..6usize);
         let mut g = random_connected_graph(12, 24, 1..6, &mut rng).unwrap();
-        use rand::Rng;
         let edge_count = g.edge_count();
         for _ in 0..zeros {
             let e = route_graph::EdgeId::from_index(rng.gen_range(0..edge_count));
@@ -59,72 +63,82 @@ proptest! {
             Box::new(idom()),
         ] {
             let tree = algo.construct(&g, &net).unwrap();
-            prop_assert!(
+            assert!(
                 tree.is_shortest_paths_tree(&g, &net).unwrap(),
-                "{} violated the SPT property",
+                "seed {seed}: {} violated the SPT property",
                 algo.name()
             );
         }
     }
+}
 
-    /// Pruning is idempotent and never adds cost.
-    #[test]
-    fn pruning_is_idempotent(seed in 0u64..10_000) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Pruning is idempotent and never adds cost.
+#[test]
+fn pruning_is_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
         let pins = random_net(grid.graph(), 5, &mut rng).unwrap();
         let net = Net::from_terminals(pins).unwrap();
         let tree = Kmb::new().construct(grid.graph(), &net).unwrap();
         let once = tree.pruned_to(grid.graph(), net.terminals()).unwrap();
         let twice = once.pruned_to(grid.graph(), net.terminals()).unwrap();
-        prop_assert_eq!(once.cost(), twice.cost());
-        prop_assert!(once.cost() <= tree.cost());
-        prop_assert!(once.spans(&net));
+        assert_eq!(once.cost(), twice.cost(), "seed {seed}");
+        assert!(once.cost() <= tree.cost(), "seed {seed}");
+        assert!(once.spans(&net), "seed {seed}");
     }
+}
 
-    /// The IteratedBase contract: the screening bound really is an upper
-    /// bound of the exact cost, for both KMB and DOM.
-    #[test]
-    fn screening_upper_bounds_exact_costs(seed in 0u64..10_000) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The IteratedBase contract: the screening bound really is an upper
+/// bound of the exact cost, for both KMB and DOM.
+#[test]
+fn screening_upper_bounds_exact_costs() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let grid = GridGraph::new(7, 7, Weight::UNIT).unwrap();
         let pins = random_net(grid.graph(), 5, &mut rng).unwrap();
         let td = TerminalDistances::compute(grid.graph(), &pins).unwrap();
-        use rand::Rng;
         let candidate = loop {
-            let v = route_graph::NodeId::from_index(rng.gen_range(0..49));
+            let v = route_graph::NodeId::from_index(rng.gen_range(0..49usize));
             if td.index_of(v).is_none() {
                 break v;
             }
         };
         for candidate in [None, Some(candidate)] {
             let kmb = Kmb::new();
-            prop_assert!(
+            assert!(
                 kmb.cost_with(grid.graph(), &td, candidate).unwrap()
-                    <= kmb.screen_with(grid.graph(), &td, candidate).unwrap()
+                    <= kmb.screen_with(grid.graph(), &td, candidate).unwrap(),
+                "seed {seed}"
             );
             let dom = Dom::new();
             // DOM's screen defaults to its cheap exact cost — equal.
-            prop_assert_eq!(
+            assert_eq!(
                 dom.cost_with(grid.graph(), &td, candidate).unwrap(),
-                dom.screen_with(grid.graph(), &td, candidate).unwrap()
+                dom.screen_with(grid.graph(), &td, candidate).unwrap(),
+                "seed {seed}"
             );
         }
     }
+}
 
-    /// Mehlhorn and classic KMB rarely diverge; when they do, both stay
-    /// within the same bound envelope.
-    #[test]
-    fn mehlhorn_tracks_classic_kmb(seed in 0u64..10_000) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Mehlhorn and classic KMB rarely diverge; when they do, both stay
+/// within the same bound envelope.
+#[test]
+fn mehlhorn_tracks_classic_kmb() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let g = random_connected_graph(14, 30, 1..8, &mut rng).unwrap();
         let pins = random_net(&g, 4, &mut rng).unwrap();
         let net = Net::from_terminals(pins).unwrap();
         let fast = MehlhornKmb::new().construct(&g, &net).unwrap();
         let classic = Kmb::new().construct(&g, &net).unwrap();
         let opt = exact::steiner_cost_for_net(&g, &net).unwrap();
-        prop_assert!(fast.cost().as_milli() <= 2 * opt.as_milli());
-        prop_assert!(classic.cost().as_milli() <= 2 * opt.as_milli());
+        assert!(fast.cost().as_milli() <= 2 * opt.as_milli(), "seed {seed}");
+        assert!(
+            classic.cost().as_milli() <= 2 * opt.as_milli(),
+            "seed {seed}"
+        );
     }
 }
 

@@ -12,7 +12,7 @@
 //! the exact Steiner optimum below KMB's cost, and IDOM reaching the
 //! optimal radius below KMB's.
 
-use rand::SeedableRng;
+
 
 use route_graph::{GridGraph, Weight};
 use steiner_route::metrics::{measure, optimal_max_pathlength};
@@ -55,7 +55,7 @@ pub fn run(max_seeds: u64) -> Result<Fig4Result, SteinerError> {
     let mut best: Option<(u64, Fig4Result)> = None;
     for seed in 0..max_seeds {
         let grid = GridGraph::new(4, 4, Weight::UNIT).expect("valid grid");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(seed);
         let pins = route_graph::random::random_net(grid.graph(), 4, &mut rng)?;
         let net = Net::from_terminals(pins)?;
         let result = evaluate(&grid, &net, seed)?;

@@ -6,7 +6,7 @@
 //! real device, sweep the penalty coefficient, and measure the tradeoff:
 //! bends drop as the coefficient grows, at a modest wirelength premium.
 
-use rand::{Rng, SeedableRng};
+use route_graph::rng::Rng;
 
 use fpga_device::{ArchSpec, Device, EdgeKind, FpgaError, Side};
 use route_graph::multiweight::{Functional, MultiWeightedGraph};
@@ -78,7 +78,7 @@ pub fn run(config: &JogsConfig) -> Result<Vec<JogsPoint>, FpgaError> {
         }
     }
     // A fixed workload of random nets over the device's pins.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = route_graph::rng::SplitMix64::seed_from_u64(config.seed);
     let mut nets = Vec::with_capacity(config.nets);
     while nets.len() < config.nets {
         let mut pins = Vec::new();
@@ -86,7 +86,7 @@ pub fn run(config: &JogsConfig) -> Result<Vec<JogsPoint>, FpgaError> {
             let pin = device.pin_node(
                 rng.gen_range(0..config.rows),
                 rng.gen_range(0..config.cols),
-                Side::ALL[rng.gen_range(0..4)],
+                Side::ALL[rng.gen_range(0..4usize)],
                 0,
             )?;
             if !pins.contains(&pin) {

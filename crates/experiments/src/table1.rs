@@ -5,7 +5,7 @@
 //! and 8 pins), 50 uniformly-distributed nets were routed on a congested
 //! graph (newly-generated for each net), using all eight algorithms."
 
-use rand::SeedableRng;
+
 
 use route_graph::Weight;
 use steiner_route::congestion::{table1_grid, CongestionLevel};
@@ -81,7 +81,7 @@ pub fn run(config: &Table1Config) -> Result<Vec<Table1Section>, SteinerError> {
     let algorithms = roster();
     let mut sections = Vec::new();
     for level in CongestionLevel::all() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ level.preroute_count() as u64);
+        let mut rng = route_graph::rng::SplitMix64::seed_from_u64(config.seed ^ level.preroute_count() as u64);
         let mut wire_sum = vec![vec![0.0f64; NET_SIZES.len()]; algorithms.len()];
         let mut path_sum = vec![vec![0.0f64; NET_SIZES.len()]; algorithms.len()];
         let mut w_bar_sum = 0.0f64;

@@ -7,7 +7,7 @@
 //! survives), using the unchanged graph-based constructions, and reports
 //! the wirelength and radius savings.
 
-use rand::{Rng, SeedableRng};
+use route_graph::rng::Rng;
 
 use fpga_device::three_d::{Arch3d, Device3d};
 use fpga_device::{ArchSpec, Device, FpgaError, Side};
@@ -85,7 +85,7 @@ pub fn run(config: &ThreeDConfig) -> Result<ThreeDResult, FpgaError> {
         2,
         1,
     ))?;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = route_graph::rng::SplitMix64::seed_from_u64(config.seed);
     let half = config.cols / 2;
     let steiner = ikmb();
     let arbor = idom();
@@ -102,8 +102,8 @@ pub fn run(config: &ThreeDConfig) -> Result<ThreeDResult, FpgaError> {
             let p = LogicalPin {
                 row: rng.gen_range(0..config.rows),
                 col: rng.gen_range(0..config.cols),
-                side: Side::ALL[rng.gen_range(0..4)],
-                slot: rng.gen_range(0..2),
+                side: Side::ALL[rng.gen_range(0..4usize)],
+                slot: rng.gen_range(0..2usize),
             };
             if !pins.iter().any(|q| q.row == p.row && q.col == p.col) {
                 pins.push(p);

@@ -7,7 +7,7 @@
 //! workloads and plots PFA/IDOM as single points: optimal radius at a
 //! wirelength the sweeps cannot reach simultaneously.
 
-use rand::SeedableRng;
+
 
 use steiner_route::congestion::{table1_grid, CongestionLevel};
 use steiner_route::metrics::{measure, optimal_max_pathlength, percent_vs};
@@ -78,7 +78,7 @@ pub fn run(config: &TradeoffConfig) -> Result<Vec<TradeoffPoint>, SteinerError> 
     let mut wire = vec![0.0f64; contenders.len()];
     let mut path = vec![0.0f64; contenders.len()];
     let mut optimal_hits = vec![0usize; contenders.len()];
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = route_graph::rng::SplitMix64::seed_from_u64(config.seed);
     for _ in 0..config.nets {
         let grid = table1_grid(config.level, &mut rng)?;
         let pins = route_graph::random::random_net(grid.graph(), config.pins, &mut rng)?;

@@ -174,6 +174,7 @@ impl<'d> BaselineRouter<'d> {
             passes: 0,
             total_wirelength,
             max_pathlengths,
+            timings: Vec::new(),
         }))
     }
 
@@ -187,7 +188,7 @@ impl<'d> BaselineRouter<'d> {
         let mut touched: Vec<usize> = Vec::new();
         for &v in nodes {
             if let Some(pos) = self.device.segment_position(v) {
-                usage[pos] += 1;
+                usage[pos] = usage[pos].saturating_add(1);
                 touched.push(pos);
             }
         }
@@ -208,7 +209,8 @@ impl<'d> BaselineRouter<'d> {
                             .map_or(0, |p| usage[p]) as u64
                     };
                     let u = occ(a).max(occ(b));
-                    g.set_weight(e, Weight::UNIT + Weight::from_milli(alpha * u / w))?;
+                    let pressure = Weight::from_milli(alpha.saturating_mul(u) / w.max(1));
+                    g.set_weight(e, Weight::UNIT.saturating_add(pressure))?;
                 }
             }
         }

@@ -17,6 +17,8 @@
 //! * [`Router`] — the paper's router: whole-net Steiner/arborescence
 //!   constructions, congestion-updated weights, resource removal for
 //!   electrical disjointness, move-to-front ordering, pass budget;
+//! * [`parallel`] — speculative batched routing on scoped threads
+//!   (`RouterConfig::threads`), bit-for-bit identical to sequential;
 //! * [`BaselineRouter`] — the two-pin-decomposition stand-in for
 //!   CGE/SEGA/GBP;
 //! * [`width`] — minimum channel-width search;
@@ -48,6 +50,7 @@ pub mod classify;
 pub mod device;
 mod error;
 pub mod netlist;
+pub mod parallel;
 pub mod router;
 pub mod synth;
 pub mod three_d;
@@ -59,5 +62,6 @@ pub use baseline::{BaselineConfig, BaselineRouter};
 pub use device::{Device, EdgeKind, NodeKind};
 pub use error::FpgaError;
 pub use netlist::{BlockPin, Circuit, CircuitNet};
+pub use parallel::PassTiming;
 pub use router::{RouteAlgorithm, RouteOutcome, Router, RouterConfig};
 pub use synth::CircuitProfile;

@@ -1,0 +1,302 @@
+//! Parallel batched net routing.
+//!
+//! The sequential router commits one net at a time because each commit
+//! removes the net's resources and inflates congestion weights — later
+//! nets must see those effects. Most nets, however, occupy disjoint
+//! regions of the chip and cannot interact within a single pass. This
+//! module exploits that: each pass's remaining order is split into
+//! contiguous batches of nets whose expanded terminal bounding boxes do
+//! not overlap, every net in a batch is routed *speculatively* on worker
+//! threads against a read-only snapshot of the pass graph, and the
+//! results are then committed strictly in order. A speculative tree is
+//! accepted only if nothing it depends on changed since the snapshot;
+//! otherwise the net is re-routed sequentially on the spot.
+//!
+//! Two properties make speculation sound:
+//!
+//! * **Within a pass the graph evolves monotonically** — commits only
+//!   remove nodes and only raise weights. A net that is disconnected on
+//!   the snapshot is therefore also disconnected on every later graph of
+//!   the same pass, so a speculative routing *failure* can be reported
+//!   immediately without re-checking.
+//! * **Conflicts are detectable.** Every commit records the set of nodes
+//!   it invalidated (removed tree nodes plus weight-refreshed segment
+//!   nodes). A speculative tree is stale only if that set intersects the
+//!   tree's nodes or the net's interaction region; stale nets fall back
+//!   to the sequential path, so the committed result is always one the
+//!   sequential router could have produced at that point in the order.
+//!
+//! Because every speculative route runs against the same per-batch
+//! snapshot (each worker restores its graph clone after each net), the
+//! outcome is independent of worker count and scheduling: `threads = 4`
+//! and `threads = 1` produce identical trees and channel widths.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use route_graph::{Graph, NodeId};
+use steiner_route::RoutingTree;
+
+use crate::netlist::Circuit;
+use crate::router::{PassResult, Router};
+use crate::FpgaError;
+
+/// Per-pass instrumentation for the parallel engine.
+///
+/// Returned (one entry per executed pass) in
+/// [`RouteOutcome::timings`](crate::RouteOutcome::timings) so benches can
+/// report sequential-versus-parallel speedup alongside acceptance rates.
+/// The sequential path fills only `pass` and `elapsed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassTiming {
+    /// 1-based pass number within the routing attempt.
+    pub pass: usize,
+    /// Batches the pass order was split into (sequential path: 0).
+    pub batches: usize,
+    /// Nets routed speculatively on worker threads.
+    pub speculated: usize,
+    /// Speculative results committed without re-routing.
+    pub accepted: usize,
+    /// Speculative results discarded and re-routed sequentially.
+    pub rerouted: usize,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+}
+
+impl PassTiming {
+    /// Fraction of speculated nets whose results were committed as-is,
+    /// or `None` if nothing was speculated.
+    #[must_use]
+    pub fn acceptance(&self) -> Option<f64> {
+        if self.speculated == 0 {
+            None
+        } else {
+            Some(self.accepted as f64 / self.speculated as f64)
+        }
+    }
+}
+
+/// Expanded terminal bounding box used for batching and conflict regions.
+#[derive(Clone, Copy)]
+struct Bbox {
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+}
+
+impl Bbox {
+    fn overlaps(&self, other: &Bbox) -> bool {
+        self.r0 <= other.r1 && other.r0 <= self.r1 && self.c0 <= other.c1 && other.c0 <= self.c1
+    }
+}
+
+/// Margin added on top of the Steiner candidate margin when computing a
+/// net's interaction region: one extra block ring covers the congestion
+/// weight refresh around committed trees.
+const REGION_SLACK: usize = 1;
+
+fn net_bbox(router: &Router<'_>, circuit: &Circuit, ni: usize, margin: usize) -> Bbox {
+    let arch = router.device().arch();
+    let pins = &circuit.nets()[ni].pins;
+    let (mut r0, mut r1, mut c0, mut c1) = (usize::MAX, 0usize, usize::MAX, 0usize);
+    for p in pins {
+        r0 = r0.min(p.row);
+        r1 = r1.max(p.row);
+        c0 = c0.min(p.col);
+        c1 = c1.max(p.col);
+    }
+    Bbox {
+        r0: r0.saturating_sub(margin),
+        r1: (r1 + margin).min(arch.rows - 1),
+        c0: c0.saturating_sub(margin),
+        c1: (c1 + margin).min(arch.cols - 1),
+    }
+}
+
+/// Splits `order[start..]` into a contiguous batch of nets whose expanded
+/// bounding boxes are pairwise disjoint. Always yields at least one net.
+fn take_batch(
+    router: &Router<'_>,
+    circuit: &Circuit,
+    order: &[usize],
+    start: usize,
+    margin: usize,
+    max_len: usize,
+) -> usize {
+    let mut boxes: Vec<Bbox> = vec![net_bbox(router, circuit, order[start], margin)];
+    let mut len = 1;
+    while start + len < order.len() && len < max_len {
+        let candidate = net_bbox(router, circuit, order[start + len], margin);
+        if boxes.iter().any(|b| b.overlaps(&candidate)) {
+            break;
+        }
+        boxes.push(candidate);
+        len += 1;
+    }
+    len
+}
+
+/// One net's speculative result, tagged with its index within the batch.
+type Speculation = (usize, Result<Option<RoutingTree>, FpgaError>);
+
+/// Routes every net of `batch` against read-only clones of `snapshot` on
+/// up to `threads` scoped worker threads. Results come back in batch
+/// order. Each worker restores its clone after every net (routing masks
+/// and unmasks pins but never commits), so all speculation observes the
+/// identical snapshot regardless of how nets land on workers.
+fn speculate(
+    router: &Router<'_>,
+    circuit: &Circuit,
+    critical: &[bool],
+    snapshot: &Graph,
+    batch: &[usize],
+    threads: usize,
+) -> Vec<Result<Option<RoutingTree>, FpgaError>> {
+    let workers = threads.min(batch.len()).max(1);
+    let mut collected: Vec<Option<Result<Option<RoutingTree>, FpgaError>>> =
+        (0..batch.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || -> Vec<Speculation> {
+                    let mut g = snapshot.clone();
+                    batch
+                        .iter()
+                        .enumerate()
+                        .skip(worker)
+                        .step_by(workers)
+                        .map(|(bi, &ni)| (bi, router.route_net(&mut g, circuit, ni, critical)))
+                        .collect()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (bi, result) in handle.join().expect("routing worker panicked") {
+                collected[bi] = Some(result);
+            }
+        }
+    });
+    collected
+        .into_iter()
+        .map(|slot| slot.expect("every batch slot speculated"))
+        .collect()
+}
+
+/// Parallel analogue of the router's sequential pass: identical
+/// semantics (net order, congestion updates, failure reporting, final
+/// outcome) with intra-batch routing fanned out across worker threads.
+pub(crate) fn route_pass_parallel(
+    router: &Router<'_>,
+    circuit: &Circuit,
+    order: &[usize],
+    critical: &[bool],
+) -> Result<(PassResult, PassTiming), FpgaError> {
+    let device = router.device();
+    let config = router.config();
+    let threads = config.threads.max(2);
+    let margin = config.candidate_margin + REGION_SLACK;
+
+    let mut g = device.working_graph();
+    let w = device.arch().channel_width as u64;
+    let mut usage: Vec<u32> = vec![0; device.position_count()];
+    let mut trees: Vec<Option<RoutingTree>> = vec![None; circuit.net_count()];
+    let mut timing = PassTiming::default();
+
+    let mut start = 0usize;
+    while start < order.len() {
+        let len = take_batch(router, circuit, order, start, margin, threads * 4);
+        let batch = &order[start..start + len];
+        timing.batches += 1;
+
+        if len == 1 {
+            // Nothing to overlap with — take the sequential path directly.
+            let ni = batch[0];
+            match router.route_net(&mut g, circuit, ni, critical)? {
+                Some(tree) => commit_one(router, &mut g, &mut usage, w, &mut trees, ni, tree, None)?,
+                None => return Ok((PassResult::Failed(ni), timing)),
+            }
+            start += len;
+            continue;
+        }
+
+        timing.speculated += len;
+        let speculated = speculate(router, circuit, critical, &g, batch, threads);
+
+        // Commit strictly in order; `changed` accumulates every node the
+        // batch's commits invalidated so later nets can detect staleness.
+        let mut changed: HashSet<NodeId> = HashSet::new();
+        for (bi, result) in speculated.into_iter().enumerate() {
+            let ni = batch[bi];
+            match result? {
+                // Disconnected on the snapshot stays disconnected on every
+                // later graph of this pass (monotone evolution), so the
+                // failure is sound without re-routing.
+                None => return Ok((PassResult::Failed(ni), timing)),
+                Some(tree) => {
+                    let fresh = changed.is_empty() || {
+                        let region = router.region_nodes(circuit, ni, margin);
+                        !tree.nodes().any(|v| changed.contains(&v))
+                            && !region.iter().any(|v| changed.contains(v))
+                    };
+                    if fresh {
+                        timing.accepted += 1;
+                        commit_one(
+                            router,
+                            &mut g,
+                            &mut usage,
+                            w,
+                            &mut trees,
+                            ni,
+                            tree,
+                            Some(&mut changed),
+                        )?;
+                    } else {
+                        // Stale speculation: replay this net sequentially
+                        // against the live graph, exactly as the
+                        // sequential pass would have.
+                        timing.rerouted += 1;
+                        match router.route_net(&mut g, circuit, ni, critical)? {
+                            Some(tree) => commit_one(
+                                router,
+                                &mut g,
+                                &mut usage,
+                                w,
+                                &mut trees,
+                                ni,
+                                tree,
+                                Some(&mut changed),
+                            )?,
+                            None => return Ok((PassResult::Failed(ni), timing)),
+                        }
+                    }
+                }
+            }
+        }
+        start += len;
+    }
+
+    Ok((
+        PassResult::Complete(router.finalize(circuit, trees)?),
+        timing,
+    ))
+}
+
+/// Commits one routed tree and records it (re-derived against the
+/// pristine device graph, matching the sequential pass) in `trees`.
+#[allow(clippy::too_many_arguments)]
+fn commit_one(
+    router: &Router<'_>,
+    g: &mut Graph,
+    usage: &mut [u32],
+    w: u64,
+    trees: &mut [Option<RoutingTree>],
+    ni: usize,
+    tree: RoutingTree,
+    changed: Option<&mut HashSet<NodeId>>,
+) -> Result<(), FpgaError> {
+    router.commit(g, usage, w, &tree, changed)?;
+    let pristine = RoutingTree::from_edges(router.device().graph(), tree.edges().to_vec())?;
+    trees[ni] = Some(pristine);
+    Ok(())
+}

@@ -129,6 +129,13 @@ pub struct RouterConfig {
     /// intended deployment is a Steiner construction here (IKMB) with an
     /// arborescence (PFA/IDOM) for the critical nets.
     pub critical_algorithm: Option<RouteAlgorithm>,
+    /// Worker threads for the batched parallel routing engine
+    /// ([`parallel`](crate::parallel)). `1` (the default) takes the
+    /// original strictly-sequential path; `>= 2` speculatively routes
+    /// batches of spatially disjoint nets concurrently and repairs
+    /// conflicts at commit time, producing identical routed trees and
+    /// channel widths under a fixed seed.
+    pub threads: usize,
 }
 
 impl Default for RouterConfig {
@@ -140,6 +147,7 @@ impl Default for RouterConfig {
             candidate_margin: 1,
             move_to_front: true,
             critical_algorithm: None,
+            threads: 1,
         }
     }
 }
@@ -166,6 +174,10 @@ pub struct RouteOutcome {
     pub total_wirelength: Weight,
     /// Per-net maximum source-sink pathlength within the tree.
     pub max_pathlengths: Vec<Weight>,
+    /// Wall-clock and batching counters, one entry per executed pass
+    /// (failed passes included), so benches can compare the sequential
+    /// and parallel engines on equal footing.
+    pub timings: Vec<crate::parallel::PassTiming>,
 }
 
 impl RouteOutcome {
@@ -270,10 +282,21 @@ impl<'d> Router<'d> {
             )
         });
         let mut last_failure = 0usize;
+        let mut timings: Vec<crate::parallel::PassTiming> = Vec::new();
         for pass in 1..=self.config.max_passes.max(1) {
-            match self.route_pass(circuit, &order, critical)? {
+            let started = std::time::Instant::now();
+            let (result, mut timing) = if self.config.threads > 1 {
+                crate::parallel::route_pass_parallel(self, circuit, &order, critical)?
+            } else {
+                self.route_pass(circuit, &order, critical)?
+            };
+            timing.pass = pass;
+            timing.elapsed = started.elapsed();
+            timings.push(timing);
+            match result {
                 PassResult::Complete(mut outcome) => {
                     outcome.passes = pass;
+                    outcome.timings = timings;
                     return Ok(outcome);
                 }
                 PassResult::Failed(ni) => {
@@ -296,30 +319,26 @@ impl<'d> Router<'d> {
         })
     }
 
+    /// The device this router is bound to.
+    pub(crate) fn device(&self) -> &Device {
+        self.device
+    }
+
     fn route_pass(
         &self,
         circuit: &Circuit,
         order: &[usize],
         critical: &[bool],
-    ) -> Result<PassResult, FpgaError> {
+    ) -> Result<(PassResult, crate::parallel::PassTiming), FpgaError> {
         let mut g = self.device.working_graph();
         let w = self.device.arch().channel_width as u64;
         let mut usage: Vec<u32> = vec![0; self.device.position_count()];
         let mut trees: Vec<Option<RoutingTree>> = vec![None; circuit.net_count()];
+        let timing = crate::parallel::PassTiming::default();
         for &ni in order {
-            let terminals = circuit.net_terminals(self.device, ni)?;
-            let masked = mask_foreign_pins(&mut g, self.device, &terminals)?;
-            let net = Net::from_terminals(terminals)?;
-            let algorithm = match (critical[ni], self.config.critical_algorithm) {
-                (true, Some(algo)) => algo,
-                _ => self.config.algorithm,
-            };
-            let heuristic = algorithm.heuristic(self.candidate_pool(circuit, ni));
-            let result = heuristic.construct(&g, &net);
-            unmask_pins(&mut g, &masked)?;
-            match result {
-                Ok(tree) => {
-                    self.commit(&mut g, &mut usage, w, &tree)?;
+            match self.route_net(&mut g, circuit, ni, critical)? {
+                Some(tree) => {
+                    self.commit(&mut g, &mut usage, w, &tree, None)?;
                     // Report against the pristine device graph so costs
                     // measure physical wire, not congestion-inflated
                     // weights.
@@ -327,12 +346,46 @@ impl<'d> Router<'d> {
                         RoutingTree::from_edges(self.device.graph(), tree.edges().to_vec())?;
                     trees[ni] = Some(tree);
                 }
-                Err(SteinerError::Graph(GraphError::Disconnected { .. })) => {
-                    return Ok(PassResult::Failed(ni));
-                }
-                Err(e) => return Err(e.into()),
+                None => return Ok((PassResult::Failed(ni), timing)),
             }
         }
+        Ok((PassResult::Complete(self.finalize(circuit, trees)?), timing))
+    }
+
+    /// Routes a single net against the current pass graph: masks foreign
+    /// pins, runs the configured construction, and restores the masked
+    /// pins. `Ok(None)` reports an unroutable (disconnected) net; the
+    /// graph is left exactly as it was on entry either way.
+    pub(crate) fn route_net(
+        &self,
+        g: &mut Graph,
+        circuit: &Circuit,
+        ni: usize,
+        critical: &[bool],
+    ) -> Result<Option<RoutingTree>, FpgaError> {
+        let terminals = circuit.net_terminals(self.device, ni)?;
+        let masked = mask_foreign_pins(g, self.device, &terminals)?;
+        let net = Net::from_terminals(terminals)?;
+        let algorithm = match (critical[ni], self.config.critical_algorithm) {
+            (true, Some(algo)) => algo,
+            _ => self.config.algorithm,
+        };
+        let heuristic = algorithm.heuristic(self.candidate_pool(circuit, ni));
+        let result = heuristic.construct(g, &net);
+        unmask_pins(g, &masked)?;
+        match result {
+            Ok(tree) => Ok(Some(tree)),
+            Err(SteinerError::Graph(GraphError::Disconnected { .. })) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Assembles the final [`RouteOutcome`] once every net has a tree.
+    pub(crate) fn finalize(
+        &self,
+        circuit: &Circuit,
+        trees: Vec<Option<RoutingTree>>,
+    ) -> Result<RouteOutcome, FpgaError> {
         let trees: Vec<RoutingTree> = trees
             .into_iter()
             .map(|t| t.expect("all nets routed"))
@@ -344,34 +397,49 @@ impl<'d> Router<'d> {
             max_pathlengths.push(tree.max_pathlength(&net)?);
         }
         let total_wirelength = trees.iter().map(RoutingTree::cost).sum();
-        Ok(PassResult::Complete(RouteOutcome {
+        Ok(RouteOutcome {
             trees,
             passes: 0, // filled by route()
             total_wirelength,
             max_pathlengths,
-        }))
+            timings: Vec::new(), // filled by route()
+        })
     }
 
     /// Commits a routed tree: bumps channel occupancy, removes the tree's
     /// resources, and refreshes congestion weights around the touched
     /// channel positions.
-    fn commit(
+    ///
+    /// When `changed` is given, every node the commit invalidates for
+    /// concurrent speculation — removed tree nodes plus the segment nodes
+    /// whose incident edge weights were refreshed — is recorded there, so
+    /// the parallel engine can detect stale speculative routes.
+    ///
+    /// Occupancy counters and congestion weights use saturating
+    /// arithmetic: pathological `congestion_alpha_milli` values or
+    /// long-running usage can otherwise overflow `alpha · u` and panic
+    /// mid-pass.
+    pub(crate) fn commit(
         &self,
         g: &mut Graph,
         usage: &mut [u32],
         w: u64,
         tree: &RoutingTree,
+        mut changed: Option<&mut std::collections::HashSet<NodeId>>,
     ) -> Result<(), FpgaError> {
         let mut touched: Vec<usize> = Vec::new();
         let nodes: Vec<NodeId> = tree.nodes().collect();
         for &v in &nodes {
             if let Some(pos) = self.device.segment_position(v) {
-                usage[pos] += 1;
+                usage[pos] = usage[pos].saturating_add(1);
                 touched.push(pos);
             }
         }
         for &v in &nodes {
             g.remove_node(v)?;
+            if let Some(set) = changed.as_deref_mut() {
+                set.insert(v);
+            }
         }
         // Refresh weights of live edges around congested positions.
         touched.sort_unstable();
@@ -382,6 +450,9 @@ impl<'d> Router<'d> {
                 if !g.is_node_live(v) {
                     continue;
                 }
+                if let Some(set) = changed.as_deref_mut() {
+                    set.insert(v);
+                }
                 let edges: Vec<_> = g.neighbors(v).map(|(_, e, _)| e).collect();
                 for e in edges {
                     let (a, b) = g.endpoints(e)?;
@@ -391,7 +462,8 @@ impl<'d> Router<'d> {
                             .map_or(0, |p| usage[p]) as u64
                     };
                     let u = occ(a).max(occ(b));
-                    g.set_weight(e, Weight::UNIT + Weight::from_milli(alpha * u / w))?;
+                    let pressure = Weight::from_milli(alpha.saturating_mul(u) / w.max(1));
+                    g.set_weight(e, Weight::UNIT.saturating_add(pressure))?;
                 }
             }
         }
@@ -401,8 +473,20 @@ impl<'d> Router<'d> {
     /// Candidate pool for iterated algorithms: every segment within the
     /// net's block bounding box, expanded by the configured margin.
     fn candidate_pool(&self, circuit: &Circuit, ni: usize) -> CandidatePool {
+        CandidatePool::Explicit(self.region_nodes(circuit, ni, self.config.candidate_margin))
+    }
+
+    /// Every segment node within the net's block bounding box expanded by
+    /// `margin` blocks — the net's spatial footprint. Used both as the
+    /// Steiner candidate pool and (with a wider margin) as the parallel
+    /// engine's interaction region for batching and conflict detection.
+    pub(crate) fn region_nodes(
+        &self,
+        circuit: &Circuit,
+        ni: usize,
+        margin: usize,
+    ) -> Vec<NodeId> {
         let arch = self.device.arch();
-        let m = self.config.candidate_margin;
         let pins = &circuit.nets()[ni].pins;
         let (mut r0, mut r1, mut c0, mut c1) = (usize::MAX, 0usize, usize::MAX, 0usize);
         for p in pins {
@@ -411,10 +495,10 @@ impl<'d> Router<'d> {
             c0 = c0.min(p.col);
             c1 = c1.max(p.col);
         }
-        let r0 = r0.saturating_sub(m);
-        let c0 = c0.saturating_sub(m);
-        let r1 = (r1 + m).min(arch.rows - 1);
-        let c1 = (c1 + m).min(arch.cols - 1);
+        let r0 = r0.saturating_sub(margin);
+        let c0 = c0.saturating_sub(margin);
+        let r1 = (r1 + margin).min(arch.rows - 1);
+        let c1 = (c1 + margin).min(arch.cols - 1);
         let mut nodes: Vec<NodeId> = Vec::new();
         // Horizontal channels r0..=r1+1, segments c0..=c1.
         let h_positions = (arch.rows + 1) * arch.cols;
@@ -432,11 +516,11 @@ impl<'d> Router<'d> {
                 );
             }
         }
-        CandidatePool::Explicit(nodes)
+        nodes
     }
 }
 
-enum PassResult {
+pub(crate) enum PassResult {
     Complete(RouteOutcome),
     Failed(usize),
 }
@@ -601,6 +685,24 @@ mod tests {
         assert_eq!(outcome.max_pathlengths.len(), 3);
         assert!(outcome.critical_pathlength() >= *outcome.max_pathlengths.iter().min().unwrap());
         assert!(outcome.total_max_pathlength() >= outcome.critical_pathlength());
+    }
+
+    #[test]
+    fn extreme_congestion_pressure_saturates_instead_of_panicking() {
+        // `alpha · u` overflows u64 at this setting; the commit path must
+        // saturate (weights pinned at Weight::MAX) and keep routing.
+        let circuit = small_circuit();
+        let device = Device::new(ArchSpec::xilinx4000(3, 3, 6)).unwrap();
+        let router = Router::new(
+            &device,
+            RouterConfig {
+                congestion_alpha_milli: u64::MAX,
+                ..RouterConfig::default()
+            },
+        );
+        let outcome = router.route(&circuit).unwrap();
+        assert_eq!(outcome.trees.len(), 3);
+        assert!(outcome.total_wirelength > Weight::ZERO);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! preserving the structural property (multi-pin net mix against device
 //! capacity) that drives the channel-width comparisons.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use route_graph::rng::SliceRandom;
+use route_graph::rng::Rng;
+
 
 use crate::arch::Side;
 use crate::netlist::{BlockPin, Circuit, CircuitNet};
@@ -109,20 +109,20 @@ pub fn synthesize(
     pins_per_side: usize,
     seed: u64,
 ) -> Result<Circuit, FpgaError> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = route_graph::rng::SplitMix64::seed_from_u64(seed);
     let mut free = PinAllocator::new(profile.rows, profile.cols, pins_per_side);
     let mut pin_counts: Vec<usize> = Vec::with_capacity(profile.net_count());
     for _ in 0..profile.nets_2_3 {
-        pin_counts.push(rng.gen_range(2..=3));
+        pin_counts.push(rng.gen_range(2..=3usize));
     }
     for _ in 0..profile.nets_4_10 {
         // Skew towards small fanout: min of two uniform draws.
-        let a = rng.gen_range(4..=10);
-        let b = rng.gen_range(4..=10);
+        let a = rng.gen_range(4..=10usize);
+        let b = rng.gen_range(4..=10usize);
         pin_counts.push(a.min(b));
     }
     for _ in 0..profile.nets_over_10 {
-        pin_counts.push(rng.gen_range(11..=18));
+        pin_counts.push(rng.gen_range(11..=18usize));
     }
     let total_pins: usize = pin_counts.iter().sum();
     let capacity = profile.rows * profile.cols * 4 * pins_per_side;

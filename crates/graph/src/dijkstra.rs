@@ -101,7 +101,9 @@ impl ShortestPaths {
                 if dist[u.index()].is_some() {
                     continue; // settled
                 }
-                let nd = d + w;
+                // Saturate: near-`Weight::MAX` congestion weights must rank
+                // as "infinitely far", not panic the relaxation.
+                let nd = d.saturating_add(w);
                 if heap.push(u.index(), nd) {
                     parent[u.index()] = Some((v, e));
                 }

@@ -68,13 +68,13 @@ impl AllPairs {
 mod tests {
     use super::*;
     use crate::{GridGraph, ShortestPaths};
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng;
 
     #[test]
     fn agrees_with_dijkstra_on_random_graphs() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(3);
         for _ in 0..10 {
-            let n = rng.gen_range(2..20);
+            let n = rng.gen_range(2..20usize);
             let mut g = Graph::with_nodes(n);
             let ids: Vec<NodeId> = g.node_ids().collect();
             let m = rng.gen_range(0..n * 2);
@@ -82,7 +82,7 @@ mod tests {
                 let a = ids[rng.gen_range(0..n)];
                 let b = ids[rng.gen_range(0..n)];
                 if a != b {
-                    g.add_edge(a, b, Weight::from_units(rng.gen_range(0..10)))
+                    g.add_edge(a, b, Weight::from_units(rng.gen_range(0..10u64)))
                         .unwrap();
                 }
             }

@@ -220,6 +220,9 @@ impl Graph {
     }
 
     /// Adds `delta` to the weight of edge `e` (congestion feedback).
+    /// Saturates at [`Weight::MAX`]: congestion feedback loops run for
+    /// thousands of increments and must degrade to "infinitely expensive"
+    /// rather than panic when an edge's weight tops out.
     ///
     /// # Errors
     ///
@@ -229,7 +232,7 @@ impl Graph {
             .edges
             .get_mut(e.index())
             .ok_or(GraphError::EdgeOutOfBounds(e))?;
-        rec.weight += delta;
+        rec.weight = rec.weight.saturating_add(delta);
         Ok(())
     }
 
@@ -354,12 +357,12 @@ impl Graph {
     #[must_use]
     pub fn mean_edge_weight(&self) -> Option<f64> {
         let mut count = 0u64;
-        let mut total = Weight::ZERO;
+        let mut total = 0f64;
         for e in self.edge_ids() {
-            total += self.edges[e.index()].weight;
+            total += self.edges[e.index()].weight.as_f64();
             count += 1;
         }
-        (count > 0).then(|| total.as_f64() / count as f64)
+        (count > 0).then(|| total / count as f64)
     }
 
     fn check_node(&self, v: NodeId) -> Result<(), GraphError> {

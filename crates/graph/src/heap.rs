@@ -202,8 +202,8 @@ mod tests {
 
     #[test]
     fn randomized_against_sort() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use crate::rng::Rng;
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(7);
         for _ in 0..20 {
             let n = 64;
             let mut h = IndexedBinaryHeap::new(n);

@@ -27,6 +27,8 @@
 //! * [`grid`] — the `n × m` grid graphs used throughout the paper's Table 1
 //!   experiments, with Manhattan coordinates.
 //! * [`random`] — seeded random graph / net workload generators.
+//! * [`rng`] — a vendored SplitMix64 PRNG so the workspace builds with no
+//!   network access (no crates.io dependencies).
 //! * [`floyd`] — Floyd–Warshall all-pairs shortest paths, used as a test
 //!   oracle against Dijkstra.
 //!
@@ -62,6 +64,7 @@ pub mod mst;
 pub mod multiweight;
 pub mod path;
 pub mod random;
+pub mod rng;
 mod weight;
 
 pub use dijkstra::ShortestPaths;

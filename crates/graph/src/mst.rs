@@ -75,7 +75,7 @@ pub fn prim_complete(
         let (_, parent) = best[j].expect("picked node has a best edge");
         in_tree[j] = true;
         edges.push((parent.min(j), parent.max(j)));
-        cost += w;
+        cost = cost.saturating_add(w);
         for (k, entry) in best.iter_mut().enumerate() {
             if in_tree[k] {
                 continue;
@@ -162,7 +162,7 @@ pub fn kruskal_subgraph(g: &Graph, edges: &[EdgeId]) -> SubgraphMst {
         let (a, b) = g.endpoints(e).expect("usable edge has endpoints");
         if uf.union(compact[a.index()], compact[b.index()]) {
             chosen.push(e);
-            cost += w;
+            cost = cost.saturating_add(w);
         }
     }
     let connected = uf.set_count() <= 1;
@@ -212,17 +212,17 @@ mod tests {
 
     #[test]
     fn prim_vs_kruskal_on_random_complete_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use crate::rng::Rng;
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(11);
         for _ in 0..10 {
-            let n = rng.gen_range(2..9);
+            let n = rng.gen_range(2..9usize);
             let mut g = Graph::with_nodes(n);
             let ids: Vec<NodeId> = g.node_ids().collect();
             let mut w = vec![vec![Weight::ZERO; n]; n];
             let mut all_edges = Vec::new();
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let wt = Weight::from_units(rng.gen_range(1..50));
+                    let wt = Weight::from_units(rng.gen_range(1..50u64));
                     w[i][j] = wt;
                     w[j][i] = wt;
                     all_edges.push(g.add_edge(ids[i], ids[j], wt).unwrap());

@@ -73,7 +73,7 @@ impl Path {
             if !((a == u && b == v) || (a == v && b == u)) {
                 return Err(GraphError::EdgeOutOfBounds(e));
             }
-            cost += g.weight(e)?;
+            cost = cost.saturating_add(g.weight(e)?);
         }
         Ok(Path { nodes, edges, cost })
     }

@@ -5,8 +5,8 @@
 //! with |V| = 50, |E| = 1000" (§5). These generators reproduce those
 //! workloads deterministically from a seed.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 
 use crate::{Graph, GraphError, NodeId, Weight};
 
@@ -75,11 +75,10 @@ pub fn random_connected_graph<R: Rng>(
 mod tests {
     use super::*;
     use crate::ShortestPaths;
-    use rand::SeedableRng;
 
     #[test]
     fn random_net_is_distinct_and_sized() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(1);
         let g = Graph::with_nodes(30);
         for _ in 0..20 {
             let net = random_net(&g, 5, &mut rng).unwrap();
@@ -93,7 +92,7 @@ mod tests {
 
     #[test]
     fn random_net_rejects_oversized_requests() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(1);
         let g = Graph::with_nodes(3);
         assert!(random_net(&g, 4, &mut rng).is_err());
         assert!(random_net(&g, 0, &mut rng).is_err());
@@ -101,7 +100,7 @@ mod tests {
 
     #[test]
     fn random_net_skips_removed_nodes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(2);
         let mut g = Graph::with_nodes(10);
         let dead: Vec<NodeId> = g.node_ids().take(5).collect();
         for v in &dead {
@@ -115,7 +114,7 @@ mod tests {
 
     #[test]
     fn random_graph_is_connected_with_exact_counts() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(5);
         let g = random_connected_graph(50, 1000, 1..20, &mut rng).unwrap();
         assert_eq!(g.node_count(), 50);
         assert_eq!(g.edge_count(), 1000);
@@ -128,7 +127,7 @@ mod tests {
 
     #[test]
     fn random_graph_rejects_impossible_shapes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(5);
         assert!(random_connected_graph(0, 0, 1..2, &mut rng).is_err());
         assert!(random_connected_graph(5, 3, 1..2, &mut rng).is_err());
         assert!(random_connected_graph(1, 1, 1..2, &mut rng).is_err());
@@ -140,14 +139,14 @@ mod tests {
             20,
             40,
             1..9,
-            &mut rand::rngs::StdRng::seed_from_u64(42),
+            &mut crate::rng::SplitMix64::seed_from_u64(42),
         )
         .unwrap();
         let g2 = random_connected_graph(
             20,
             40,
             1..9,
-            &mut rand::rngs::StdRng::seed_from_u64(42),
+            &mut crate::rng::SplitMix64::seed_from_u64(42),
         )
         .unwrap();
         let weights1: Vec<_> = g1.edge_ids().map(|e| g1.weight(e).unwrap()).collect();

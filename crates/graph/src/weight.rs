@@ -150,8 +150,11 @@ impl Mul<u64> for Weight {
 }
 
 impl Sum for Weight {
+    /// Saturating at [`Weight::MAX`]: aggregate costs over saturated
+    /// congestion weights must report "as expensive as representable", not
+    /// panic.
     fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
-        iter.fold(Weight::ZERO, |acc, w| acc + w)
+        iter.fold(Weight::ZERO, |acc, w| acc.saturating_add(w))
     }
 }
 

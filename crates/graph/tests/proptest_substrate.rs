@@ -1,43 +1,56 @@
 //! Property tests for the graph substrate, checked against model
 //! implementations.
-
-use proptest::prelude::*;
-use rand::SeedableRng;
+//!
+//! Cases are generated from the vendored [`route_graph::rng`] PRNG rather
+//! than `proptest` so the suite builds with no network access; each test
+//! sweeps a fixed number of seeded cases and reports the failing seed on
+//! assertion failure.
 
 use route_graph::dsu::UnionFind;
 use route_graph::heap::IndexedBinaryHeap;
 use route_graph::random::random_connected_graph;
+use route_graph::rng::{Rng, SplitMix64};
 use route_graph::{Graph, GraphError, NodeId, Path, ShortestPaths, Weight};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The indexed heap behaves like a sorted map under push/decrease/pop.
-    #[test]
-    fn heap_matches_model(ops in prop::collection::vec((0usize..24, 0u64..500), 1..120)) {
+/// The indexed heap behaves like a sorted map under push/decrease/pop.
+#[test]
+fn heap_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let op_count = rng.gen_range(1..120usize);
         let mut heap = IndexedBinaryHeap::new(24);
         let mut model: std::collections::BTreeMap<usize, u64> = Default::default();
-        for (key, priority) in ops {
+        for _ in 0..op_count {
+            let key = rng.gen_range(0..24usize);
+            let priority = rng.gen_range(0..500u64);
             heap.push(key, priority);
             let entry = model.entry(key).or_insert(u64::MAX);
             *entry = (*entry).min(priority);
         }
-        prop_assert_eq!(heap.len(), model.len());
+        assert_eq!(heap.len(), model.len(), "seed {seed}");
         let mut last = 0u64;
         while let Some((key, priority)) = heap.pop() {
-            prop_assert!(priority >= last, "heap violated ordering");
+            assert!(priority >= last, "seed {seed}: heap violated ordering");
             last = priority;
-            prop_assert_eq!(model.remove(&key), Some(priority));
+            assert_eq!(model.remove(&key), Some(priority), "seed {seed}");
         }
-        prop_assert!(model.is_empty());
+        assert!(model.is_empty(), "seed {seed}");
     }
+}
 
-    /// Union-find agrees with naive component labelling.
-    #[test]
-    fn dsu_matches_model(unions in prop::collection::vec((0usize..16, 0usize..16), 0..40)) {
+/// Union-find agrees with naive component labelling.
+#[test]
+fn dsu_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let union_count = rng.gen_range(0..40usize);
         let mut uf = UnionFind::new(16);
         let mut label: Vec<usize> = (0..16).collect();
-        for (a, b) in unions {
+        for _ in 0..union_count {
+            let a = rng.gen_range(0..16usize);
+            let b = rng.gen_range(0..16usize);
             uf.union(a, b);
             let (la, lb) = (label[a], label[b]);
             if la != lb {
@@ -50,25 +63,26 @@ proptest! {
         }
         for a in 0..16 {
             for b in 0..16 {
-                prop_assert_eq!(uf.connected(a, b), label[a] == label[b]);
+                assert_eq!(uf.connected(a, b), label[a] == label[b], "seed {seed}");
             }
         }
         let distinct: std::collections::HashSet<usize> = label.iter().copied().collect();
-        prop_assert_eq!(uf.set_count(), distinct.len());
+        assert_eq!(uf.set_count(), distinct.len(), "seed {seed}");
     }
+}
 
-    /// Arbitrary interleavings of edge removal/restoration keep the live
-    /// counters and usability predicates consistent.
-    #[test]
-    fn removal_counters_stay_consistent(
-        seed in 0u64..10_000,
-        ops in prop::collection::vec((any::<bool>(), 0usize..40), 0..60),
-    ) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Arbitrary interleavings of edge removal/restoration keep the live
+/// counters and usability predicates consistent.
+#[test]
+fn removal_counters_stay_consistent() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut g = random_connected_graph(10, 20, 1..5, &mut rng).unwrap();
         let mut removed = std::collections::HashSet::new();
-        for (remove, raw) in ops {
-            let e = route_graph::EdgeId::from_index(raw % g.edge_count());
+        let op_count = rng.gen_range(0..60usize);
+        for _ in 0..op_count {
+            let remove = rng.gen_ratio(1, 2);
+            let e = route_graph::EdgeId::from_index(rng.gen_range(0..g.edge_count()));
             if remove {
                 g.remove_edge(e).unwrap();
                 removed.insert(e);
@@ -77,17 +91,25 @@ proptest! {
                 removed.remove(&e);
             }
         }
-        prop_assert_eq!(g.live_edge_count(), g.edge_count() - removed.len());
+        assert_eq!(
+            g.live_edge_count(),
+            g.edge_count() - removed.len(),
+            "seed {seed}"
+        );
         for e in (0..g.edge_count()).map(route_graph::EdgeId::from_index) {
-            prop_assert_eq!(g.is_edge_usable(e), !removed.contains(&e));
+            assert_eq!(g.is_edge_usable(e), !removed.contains(&e), "seed {seed}");
         }
     }
+}
 
-    /// Dijkstra distances satisfy the relaxation inequality on every edge
-    /// (certificate of optimality) and the parent decomposition is exact.
-    #[test]
-    fn dijkstra_certificate(seed in 0u64..10_000, n in 2usize..20, extra in 0usize..25) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Dijkstra distances satisfy the relaxation inequality on every edge
+/// (certificate of optimality) and the parent decomposition is exact.
+#[test]
+fn dijkstra_certificate() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range(2..20usize);
+        let extra = rng.gen_range(0..25usize);
         let g = random_connected_graph(n, n - 1 + extra, 1..9, &mut rng).unwrap();
         let src = g.node_ids().next().unwrap();
         let sp = ShortestPaths::run(&g, src).unwrap();
@@ -95,33 +117,36 @@ proptest! {
             let (a, b) = g.endpoints(e).unwrap();
             let w = g.weight(e).unwrap();
             if let (Some(da), Some(db)) = (sp.dist(a), sp.dist(b)) {
-                prop_assert!(db <= da + w);
-                prop_assert!(da <= db + w);
+                assert!(db <= da + w, "seed {seed}");
+                assert!(da <= db + w, "seed {seed}");
             }
         }
         for v in g.node_ids() {
             if let Some((p, e)) = sp.parent(v) {
-                prop_assert_eq!(
+                assert_eq!(
                     sp.dist(v).unwrap(),
-                    sp.dist(p).unwrap() + g.weight(e).unwrap()
+                    sp.dist(p).unwrap() + g.weight(e).unwrap(),
+                    "seed {seed}"
                 );
             }
         }
     }
+}
 
-    /// Extracted paths validate through the public `Path::from_parts`
-    /// checker.
-    #[test]
-    fn extracted_paths_are_valid_walks(seed in 0u64..10_000, n in 2usize..16) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Extracted paths validate through the public `Path::from_parts` checker.
+#[test]
+fn extracted_paths_are_valid_walks() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range(2..16usize);
         let g = random_connected_graph(n, 2 * n, 1..9, &mut rng).unwrap();
         let ids: Vec<NodeId> = g.node_ids().collect();
         let sp = ShortestPaths::run(&g, ids[0]).unwrap();
         for &t in &ids {
             let path = sp.path_to(t).unwrap();
-            let rebuilt = Path::from_parts(&g, path.nodes().to_vec(), path.edges().to_vec())
-                .unwrap();
-            prop_assert_eq!(rebuilt.cost(), path.cost());
+            let rebuilt =
+                Path::from_parts(&g, path.nodes().to_vec(), path.edges().to_vec()).unwrap();
+            assert_eq!(rebuilt.cost(), path.cost(), "seed {seed}");
         }
     }
 }

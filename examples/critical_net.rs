@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example critical_net`
 
-use rand::SeedableRng;
 
 use fpga_route::graph::random::random_net;
 use fpga_route::steiner::congestion::{table1_grid, CongestionLevel};
@@ -25,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("IDOM (delay-first)", Box::new(idom())),
     ];
     for (name, algo) in &algorithms {
-        let mut rng_local = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng_local = fpga_route::graph::rng::SplitMix64::seed_from_u64(7);
         let mut wire_pct = 0.0;
         let mut path_pct = 0.0;
         let mut optimal_radius_hits = 0usize;

@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rand::SeedableRng;
 
 use fpga_route::graph::random::random_net;
 use fpga_route::steiner::congestion::{table1_grid, CongestionLevel};
@@ -18,7 +17,7 @@ use fpga_route::steiner::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(42);
     // A 20×20 grid pre-congested by 10 routed nets (w̄ ≈ 1.28).
     let grid = table1_grid(CongestionLevel::Low, &mut rng)?;
     println!(

@@ -236,7 +236,7 @@ fn cmd_net(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let pins = get_usize(flags, "pins", Some(5))?;
     let seed = get_u64(flags, "seed", 7)?;
     let grid = GridGraph::new(rows, cols, Weight::UNIT)?;
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(seed);
     let terminals = fpga_route::graph::random::random_net(grid.graph(), pins, &mut rng)?;
     let net = Net::from_terminals(terminals)?;
     let opt_radius = optimal_max_pathlength(grid.graph(), &net)?;

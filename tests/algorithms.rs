@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: every construction, driven uniformly
 //! over randomized workloads, upholding the paper's structural claims.
 
-use rand::{Rng, SeedableRng};
+use fpga_route::graph::rng::Rng;
 
 use fpga_route::graph::random::{random_connected_graph, random_net};
 use fpga_route::graph::{GridGraph, Weight};
@@ -25,12 +25,12 @@ fn full_roster() -> Vec<(&'static str, Box<dyn SteinerHeuristic>)> {
 
 #[test]
 fn every_algorithm_spans_random_weighted_graphs() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(100);
     for trial in 0..15 {
-        let n = rng.gen_range(8..30);
+        let n = rng.gen_range(8..30usize);
         let m = rng.gen_range(n..3 * n);
         let g = random_connected_graph(n, m, 1..10, &mut rng).unwrap();
-        let pins = random_net(&g, rng.gen_range(2..6).min(n), &mut rng).unwrap();
+        let pins = random_net(&g, rng.gen_range(2..6usize).min(n), &mut rng).unwrap();
         let net = Net::from_terminals(pins).unwrap();
         for (name, algo) in full_roster() {
             let tree = algo
@@ -43,12 +43,12 @@ fn every_algorithm_spans_random_weighted_graphs() {
 
 #[test]
 fn arborescence_family_always_has_optimal_radius() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(101);
     for trial in 0..15 {
-        let n = rng.gen_range(8..30);
+        let n = rng.gen_range(8..30usize);
         let m = rng.gen_range(n..3 * n);
         let g = random_connected_graph(n, m, 1..10, &mut rng).unwrap();
-        let pins = random_net(&g, rng.gen_range(3..6).min(n), &mut rng).unwrap();
+        let pins = random_net(&g, rng.gen_range(3..6usize).min(n), &mut rng).unwrap();
         let net = Net::from_terminals(pins).unwrap();
         for (name, algo) in [
             ("DJKA", Box::new(Djka::new()) as Box<dyn SteinerHeuristic>),
@@ -67,7 +67,7 @@ fn arborescence_family_always_has_optimal_radius() {
 
 #[test]
 fn iterated_constructions_never_lose_to_their_bases() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(102);
     for _ in 0..10 {
         let grid = GridGraph::new(8, 8, Weight::UNIT).unwrap();
         let pins = random_net(grid.graph(), 5, &mut rng).unwrap();
@@ -81,9 +81,9 @@ fn iterated_constructions_never_lose_to_their_bases() {
 
 #[test]
 fn performance_bounds_hold_against_the_exact_optimum() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(103);
     for _ in 0..8 {
-        let n = rng.gen_range(8..20);
+        let n = rng.gen_range(8..20usize);
         let m = rng.gen_range(n..2 * n + 5);
         let g = random_connected_graph(n, m, 1..8, &mut rng).unwrap();
         let pins = random_net(&g, 4, &mut rng).unwrap();
@@ -114,7 +114,7 @@ fn steiner_trees_trade_radius_for_wire_and_arborescences_do_the_reverse() {
     // Aggregate Table-1-style shape check on uncongested grids: the
     // Steiner family uses at most as much wire as the arborescence family,
     // while only the arborescence family guarantees the optimal radius.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let mut rng = fpga_route::graph::rng::SplitMix64::seed_from_u64(104);
     let mut steiner_wire = 0u64;
     let mut arbor_wire = 0u64;
     for _ in 0..12 {
@@ -137,8 +137,8 @@ fn identical_inputs_give_identical_outputs() {
     // Determinism across runs: the whole pipeline is seeded and
     // tie-breaking is explicit.
     let grid = GridGraph::new(9, 9, Weight::UNIT).unwrap();
-    let mut rng1 = rand::rngs::StdRng::seed_from_u64(105);
-    let mut rng2 = rand::rngs::StdRng::seed_from_u64(105);
+    let mut rng1 = fpga_route::graph::rng::SplitMix64::seed_from_u64(105);
+    let mut rng2 = fpga_route::graph::rng::SplitMix64::seed_from_u64(105);
     let pins1 = random_net(grid.graph(), 5, &mut rng1).unwrap();
     let pins2 = random_net(grid.graph(), 5, &mut rng2).unwrap();
     assert_eq!(pins1, pins2);

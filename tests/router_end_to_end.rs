@@ -129,6 +129,66 @@ fn steiner_router_needs_no_more_width_than_the_baseline() {
 }
 
 #[test]
+fn parallel_routing_is_deterministic_and_matches_sequential() {
+    // The parallel engine speculates against per-batch snapshots and
+    // falls back to the sequential path on conflict, so `threads = 4`
+    // must reproduce the sequential result bit-for-bit: same trees, same
+    // pass count, same wirelength.
+    let profile = test_profile();
+    for (seed, arch) in [
+        (9u64, ArchSpec::xilinx4000(6, 6, 9)),
+        (11u64, ArchSpec::xilinx4000(6, 6, 9)),
+        (9u64, ArchSpec::xilinx3000(6, 6, 10)),
+    ] {
+        let circuit = synthesize(&profile, 2, seed).unwrap();
+        let device = Device::new(arch).unwrap();
+        let sequential = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        let parallel = Router::new(
+            &device,
+            RouterConfig {
+                threads: 4,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&circuit)
+        .unwrap();
+        assert_eq!(parallel.trees, sequential.trees, "seed {seed}");
+        assert_eq!(parallel.passes, sequential.passes, "seed {seed}");
+        assert_eq!(
+            parallel.total_wirelength, sequential.total_wirelength,
+            "seed {seed}"
+        );
+        // The parallel run records per-pass batching statistics.
+        assert_eq!(parallel.timings.len(), parallel.passes);
+        assert!(parallel.timings.iter().all(|t| t.batches > 0));
+    }
+}
+
+#[test]
+fn parallel_width_search_matches_sequential() {
+    use fpga_route::fpga::width::minimum_channel_width_parallel;
+    let profile = test_profile();
+    let circuit = synthesize(&profile, 2, 9).unwrap();
+    let base = ArchSpec::xilinx4000(6, 6, 4);
+    let config = RouterConfig {
+        max_passes: 6,
+        threads: 2,
+        ..RouterConfig::default()
+    };
+    let linear = minimum_channel_width(base, 3..=16, WidthSearch::Linear, |device| {
+        Router::new(device, config.clone()).route(&circuit)
+    })
+    .unwrap();
+    let parallel = minimum_channel_width_parallel(base, 3..=16, 4, |device| {
+        Router::new(device, config.clone()).route(&circuit)
+    })
+    .unwrap();
+    assert_eq!(parallel.channel_width, linear.channel_width);
+}
+
+#[test]
 fn unroutable_reports_are_accurate() {
     let profile = test_profile();
     let circuit = synthesize(&profile, 2, 9).unwrap();
