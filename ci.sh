@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: the tier-1 verification plus lint. Run before every PR.
+# Local CI gate: the tier-1 verification plus lint and a telemetry smoke
+# test. Run before every PR.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,5 +12,15 @@ cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> telemetry smoke: width --threads 0 --trace"
+trace_file="$(mktemp /tmp/fpga_route_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+./target/release/fpga_route width --circuit term1 --arch 4000 \
+    --threads 0 --trace "$trace_file" --metrics
+./target/release/fpga_route trace-check "$trace_file"
+grep -q '"type":"span"' "$trace_file"
+grep -q '"kind":"pass"' "$trace_file"
+grep -q '"name":"dijkstra_runs"' "$trace_file"
 
 echo "==> ci.sh: all green"

@@ -3,12 +3,12 @@
 //! Routes each circuit once with the strictly-sequential engine
 //! (`threads = 1`) and once with the speculative batched engine, at the
 //! same channel width, and reports per-pass wall-clock times from the
-//! router's [`PassTiming`](fpga_device::PassTiming) counters alongside
-//! batching statistics. Both runs produce identical trees by
+//! router's [`PassTelemetry`](fpga_device::PassTelemetry) records
+//! alongside batching statistics. Both runs produce identical trees by
 //! construction, so the comparison is purely about time.
 
 use fpga_device::synth::{synthesize, xc4000_profiles, CircuitProfile};
-use fpga_device::{ArchSpec, Device, PassTiming, RouteOutcome, Router, RouterConfig};
+use fpga_device::{ArchSpec, Device, PassTelemetry, RouteOutcome, Router, RouterConfig};
 
 /// Generous channel width: keeps every circuit routable in few passes so
 /// the comparison measures routing throughput, not width-search luck.
@@ -33,8 +33,8 @@ fn route(circuit_profile: &CircuitProfile, threads: usize) -> RouteOutcome {
     .unwrap_or_else(|e| panic!("{} at W={WIDTH}: {e}", circuit_profile.name))
 }
 
-fn total_micros(timings: &[PassTiming]) -> f64 {
-    timings.iter().map(|t| t.elapsed.as_micros() as f64).sum()
+fn total_micros(passes: &[PassTelemetry]) -> f64 {
+    passes.iter().map(|t| t.elapsed.as_micros() as f64).sum()
 }
 
 fn main() {
@@ -66,11 +66,11 @@ fn main() {
             "{}: engines must agree",
             profile.name
         );
-        let seq_us = total_micros(&sequential.timings);
-        let par_us = total_micros(&parallel.timings);
-        let batches: usize = parallel.timings.iter().map(|t| t.batches).sum();
-        let speculated: usize = parallel.timings.iter().map(|t| t.speculated).sum();
-        let accepted: usize = parallel.timings.iter().map(|t| t.accepted).sum();
+        let seq_us = total_micros(&sequential.telemetry.passes);
+        let par_us = total_micros(&parallel.telemetry.passes);
+        let batches: usize = parallel.telemetry.passes.iter().map(|t| t.batches).sum();
+        let speculated: usize = parallel.telemetry.passes.iter().map(|t| t.speculated).sum();
+        let accepted: usize = parallel.telemetry.passes.iter().map(|t| t.accepted).sum();
         let accept = if speculated == 0 {
             100.0
         } else {

@@ -157,6 +157,9 @@ impl Members<'_> {
             let (dsp, _, s) = best.expect("the source is always a dominated option");
             out.push((s, dsp));
         }
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::DomConnections, out.len() as u64);
+        }
         Ok(out)
     }
 }

@@ -89,6 +89,22 @@ pub trait IteratedBase {
     ) -> Result<Weight, SteinerError> {
         self.cost_with(g, td, candidate)
     }
+
+    /// Whether this base only ever queries `td` for distances and paths
+    /// between members of the terminal set and the candidate — never to
+    /// arbitrary graph nodes.
+    ///
+    /// Bases that return `true` (KMB: distance-graph MST plus path
+    /// expansion between members) can be driven by a
+    /// [`TerminalDistances::compute_to_targets`] instance restricted to
+    /// `terminals ∪ candidate pool`, turning each per-terminal Dijkstra
+    /// from a whole-graph flood into an early-terminating neighborhood
+    /// search with bit-identical results. Bases that scan distances to
+    /// all of `V` (ZEL's meeting-point search, DOM's dominance tests)
+    /// must leave this `false` and receive full runs.
+    fn supports_target_restricted_distances(&self) -> bool {
+        false
+    }
 }
 
 /// Verifies that all of `td`'s terminals (plus the optional candidate) are
@@ -128,7 +144,14 @@ pub(crate) fn construct_via_base<H: IteratedBase>(
     net: &Net,
 ) -> Result<RoutingTree, SteinerError> {
     net.validate_in(g)?;
-    let td = TerminalDistances::compute(g, net.terminals())?;
+    // A base whose queries stay within the terminal set needs distances
+    // between terminals only — stop each Dijkstra as soon as the last
+    // terminal settles.
+    let td = if base.supports_target_restricted_distances() {
+        TerminalDistances::compute_to_targets(g, net.terminals(), &[])?
+    } else {
+        TerminalDistances::compute(g, net.terminals())?
+    };
     base.build_with(g, &td, None)
 }
 

@@ -146,11 +146,26 @@ impl<H: IteratedBase> Iterated<H> {
         net: &Net,
     ) -> Result<IteratedOutcome, SteinerError> {
         net.validate_in(g)?;
-        let mut td = TerminalDistances::compute(g, net.terminals())?;
+        // With an explicit candidate pool and a base whose queries stay
+        // within `terminals ∪ pool`, each Dijkstra can stop once that set
+        // is settled: accepted Steiner points come from the pool, so
+        // every future member-pair query hits a settled node. Results
+        // are bit-identical to full runs; only the flooded area shrinks
+        // (and with it the speculative read set under parallel routing).
+        let mut td = match &self.config.pool {
+            CandidatePool::Explicit(nodes)
+                if self.base.supports_target_restricted_distances() =>
+            {
+                TerminalDistances::compute_to_targets(g, net.terminals(), nodes)?
+            }
+            _ => TerminalDistances::compute(g, net.terminals())?,
+        };
         let mut current = self.base.cost_with(g, &td, None)?;
         let pool = self.candidate_pool(g, &td);
         let mut steiner_points: Vec<NodeId> = Vec::new();
         let mut rounds = 0usize;
+        let traced = route_trace::enabled();
+        let mut evaluated = 0u64;
         loop {
             rounds += 1;
             // Price every remaining candidate against the current set —
@@ -166,6 +181,7 @@ impl<H: IteratedBase> Iterated<H> {
                 if td.index_of(t).is_some() {
                     continue;
                 }
+                evaluated += 1;
                 let priced = if self.config.screened {
                     self.base.screen_with(g, &td, Some(t))
                 } else {
@@ -221,6 +237,12 @@ impl<H: IteratedBase> Iterated<H> {
             {
                 break;
             }
+        }
+        if traced {
+            use route_trace::Counter;
+            route_trace::count(Counter::SteinerCandidatesEvaluated, evaluated);
+            route_trace::count(Counter::SteinerCandidatesAccepted, steiner_points.len() as u64);
+            route_trace::count(Counter::SteinerRounds, rounds as u64);
         }
         let tree = self
             .base

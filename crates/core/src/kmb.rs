@@ -64,6 +64,15 @@ impl IteratedBase for Kmb {
         "KMB"
     }
 
+    /// KMB queries `td` only between members and the candidate: the
+    /// distance-graph MST reads member-pair distances, and the expansion
+    /// extracts member-to-member paths (whose interior nodes Dijkstra
+    /// settled before the endpoints). Target-restricted runs are
+    /// therefore exact for it.
+    fn supports_target_restricted_distances(&self) -> bool {
+        true
+    }
+
     /// Distance-graph MST cost: an upper bound on the full KMB cost (steps
     /// 2–3 can only shed weight), computable in `O(k²)` with no path
     /// expansion.
@@ -101,6 +110,9 @@ impl IteratedBase for Kmb {
         candidate: Option<NodeId>,
     ) -> Result<RoutingTree, SteinerError> {
         require_connected(td, candidate)?;
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::KmbConstructions, 1);
+        }
         let base = td.len();
         let k = base + usize::from(candidate.is_some());
         // Step 1+2: MST over the (extended) distance graph.

@@ -135,7 +135,9 @@ impl<'g> FoldState<'g> {
     /// `MaxDom(p, q)`: the farthest-from-source node dominated by both.
     fn max_dom(&self, p: NodeId, q: NodeId) -> Option<(NodeId, Weight)> {
         let mut best: Option<(Weight, std::cmp::Reverse<usize>, NodeId)> = None;
+        let mut checks = 0u64;
         for m in self.g.node_ids() {
+            checks += 1;
             if !self.dominated_by(m, p) || !self.dominated_by(m, q) {
                 continue;
             }
@@ -144,6 +146,9 @@ impl<'g> FoldState<'g> {
             if best.is_none_or(|b| entry > b) {
                 best = Some(entry);
             }
+        }
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::PfaDominanceChecks, checks);
         }
         best.map(|(key, _, m)| (m, key))
     }
@@ -176,6 +181,9 @@ impl<'g> FoldState<'g> {
             };
             if p == q || !self.is_active(p) || !self.is_active(q) {
                 continue; // stale entry
+            }
+            if route_trace::enabled() {
+                route_trace::count(route_trace::Counter::PfaFolds, 1);
             }
             self.active.retain(|&v| v != p && v != q);
             if !self.sp.contains_key(&m) {

@@ -106,6 +106,7 @@ impl IteratedBase for Zel {
             }
         }
         // Best Steiner meeting point per triple.
+        let traced = route_trace::enabled();
         let mut triples: Vec<Triple> = Vec::new();
         for i in 0..k {
             for j in (i + 1)..k {
@@ -159,6 +160,16 @@ impl IteratedBase for Zel {
                 w[b][a] = Weight::ZERO;
             }
             meeting_points.push(t.v_z);
+        }
+        if traced {
+            route_trace::count(
+                route_trace::Counter::ZelTriplesEvaluated,
+                triples.len() as u64,
+            );
+            route_trace::count(
+                route_trace::Counter::ZelTriplesContracted,
+                meeting_points.len() as u64,
+            );
         }
         // Finish with KMB over N ∪ {v_z…} (∪ candidate).
         let mut extended = td.clone();

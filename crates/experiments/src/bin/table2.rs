@@ -1,8 +1,14 @@
 //! Regenerates Table 2 (Xilinx 3000-series channel widths).
 use experiments::table2::{render, run};
+use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;
 
 fn main() {
-    let rows = run(&WidthExperimentConfig::default()).expect("table 2 experiment failed");
+    let (rows, archive, summary) = with_archived_telemetry("table2", || {
+        run(&WidthExperimentConfig::default()).expect("table 2 experiment failed")
+    })
+    .expect("archiving table 2 telemetry failed");
     println!("{}", render(&rows));
+    println!("{summary}");
+    println!("telemetry archived to {}", archive.display());
 }

@@ -1,8 +1,14 @@
 //! Regenerates Table 3 (Xilinx 4000-series channel widths).
 use experiments::table3::{render, run};
+use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;
 
 fn main() {
-    let rows = run(&WidthExperimentConfig::default()).expect("table 3 experiment failed");
+    let (rows, archive, summary) = with_archived_telemetry("table3", || {
+        run(&WidthExperimentConfig::default()).expect("table 3 experiment failed")
+    })
+    .expect("archiving table 3 telemetry failed");
     println!("{}", render(&rows));
+    println!("{summary}");
+    println!("telemetry archived to {}", archive.display());
 }

@@ -1,8 +1,14 @@
 //! Regenerates Table 4 (channel width: IKMB vs PFA vs IDOM).
 use experiments::table4::{render, run};
+use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;
 
 fn main() {
-    let rows = run(&WidthExperimentConfig::default()).expect("table 4 experiment failed");
+    let (rows, archive, summary) = with_archived_telemetry("table4", || {
+        run(&WidthExperimentConfig::default()).expect("table 4 experiment failed")
+    })
+    .expect("archiving table 4 telemetry failed");
     println!("{}", render(&rows));
+    println!("{summary}");
+    println!("telemetry archived to {}", archive.display());
 }

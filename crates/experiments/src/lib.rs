@@ -37,6 +37,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod telemetry;
 pub mod three_d;
 pub mod tradeoff;
 pub mod widths;

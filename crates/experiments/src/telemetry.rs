@@ -1,0 +1,101 @@
+//! Telemetry archiving for experiment regeneration runs.
+//!
+//! Every table binary wraps its experiment in [`with_archived_telemetry`]
+//! so a regeneration run leaves the routing trace (spans, counters,
+//! congestion snapshots) next to the rendered table, in the same JSONL
+//! format the CLI's `--trace` flag emits. That makes a published table
+//! auditable after the fact: the archived trace says how many passes each
+//! width probe took, how much Dijkstra/Steiner work was spent, and how
+//! congestion evolved — without re-running anything.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use route_trace::{Collector, JsonlSink, Trace, TraceSink};
+
+/// Runs `experiment` under a freshly installed trace collector and
+/// archives the captured telemetry as JSONL at
+/// `artifact_dir()/telemetry/<name>.jsonl`.
+///
+/// Returns the experiment's result, the archive path, and the trace's
+/// human-readable summary (suitable for printing after the table).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the archive file.
+pub fn with_archived_telemetry<T>(
+    name: &str,
+    experiment: impl FnOnce() -> T,
+) -> io::Result<(T, PathBuf, String)> {
+    let collector = Collector::install();
+    let result = experiment();
+    let trace = collector.finish();
+    let dir = crate::artifact_dir().join("telemetry");
+    let path = archive_trace(&dir, name, &trace)?;
+    Ok((result, path, trace.summary()))
+}
+
+/// Writes `trace` as `<dir>/<name>.jsonl`, creating `dir` as needed.
+fn archive_trace(dir: &Path, name: &str, trace: &Trace) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut file = fs::File::create(&path)?;
+    JsonlSink.emit(trace, &mut file)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_device::{
+        ArchSpec, BlockPin, Circuit, CircuitNet, Device, Router, RouterConfig, Side,
+    };
+
+    #[test]
+    fn archives_valid_jsonl_with_routing_activity() {
+        let net = CircuitNet {
+            pins: vec![
+                BlockPin {
+                    row: 0,
+                    col: 0,
+                    side: Side::East,
+                    slot: 0,
+                },
+                BlockPin {
+                    row: 3,
+                    col: 3,
+                    side: Side::West,
+                    slot: 0,
+                },
+            ],
+        };
+        let circuit = Circuit::new("telemetry-unit", 4, 4, vec![net]).unwrap();
+        let device = Device::new(ArchSpec::xilinx4000(4, 4, 6)).unwrap();
+
+        let collector = Collector::install();
+        let outcome = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        let trace = collector.finish();
+        assert!(!outcome.trees.is_empty());
+
+        let dir = std::env::temp_dir().join(format!(
+            "route_telemetry_test_{}",
+            std::process::id()
+        ));
+        let path = archive_trace(&dir, "unit", &trace).unwrap();
+        let contents = fs::read_to_string(&path).unwrap();
+        fs::remove_dir_all(&dir).ok();
+
+        assert!(
+            contents.lines().count() > 1,
+            "expected spans/counters beyond the meta header"
+        );
+        for line in contents.lines() {
+            route_trace::json::validate(line).unwrap();
+        }
+        assert!(contents.contains("dijkstra_runs"));
+        assert!(trace.summary().contains("telemetry summary"));
+    }
+}

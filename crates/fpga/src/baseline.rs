@@ -174,7 +174,7 @@ impl<'d> BaselineRouter<'d> {
             passes: 0,
             total_wirelength,
             max_pathlengths,
-            timings: Vec::new(),
+            telemetry: crate::telemetry::RouteTelemetry::default(),
         }))
     }
 

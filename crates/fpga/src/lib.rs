@@ -53,6 +53,7 @@ pub mod netlist;
 pub mod parallel;
 pub mod router;
 pub mod synth;
+pub mod telemetry;
 pub mod three_d;
 pub mod viz;
 pub mod width;
@@ -62,6 +63,6 @@ pub use baseline::{BaselineConfig, BaselineRouter};
 pub use device::{Device, EdgeKind, NodeKind};
 pub use error::FpgaError;
 pub use netlist::{BlockPin, Circuit, CircuitNet};
-pub use parallel::PassTiming;
 pub use router::{RouteAlgorithm, RouteOutcome, Router, RouterConfig};
+pub use telemetry::{CongestionSnapshot, PassTelemetry, RouteTelemetry};
 pub use synth::CircuitProfile;

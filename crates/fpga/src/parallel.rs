@@ -21,10 +21,37 @@
 //!   immediately without re-checking.
 //! * **Conflicts are detectable.** Every commit records the set of nodes
 //!   it invalidated (removed tree nodes plus weight-refreshed segment
-//!   nodes). A speculative tree is stale only if that set intersects the
-//!   tree's nodes or the net's interaction region; stale nets fall back
-//!   to the sequential path, so the committed result is always one the
-//!   sequential router could have produced at that point in the order.
+//!   nodes), and every speculation records its **read set** — each node
+//!   whose liveness or incident edge weights its shortest-path runs
+//!   examined ([`route_graph::readset`]). A speculation is accepted only
+//!   if the invalidated set is disjoint from its read set, its tree, and
+//!   its candidate region (the region covers the pool-liveness reads the
+//!   Steiner template makes outside Dijkstra). Disjointness means the
+//!   entire subgraph the construction observed — weights, liveness,
+//!   adjacency order (removal is tombstone-based and never reorders) —
+//!   is bit-identical on the live graph, so the deterministic
+//!   construction would replay identically there; stale nets instead
+//!   fall back to the sequential path. Either way the committed result
+//!   is exactly what the sequential router would have produced at that
+//!   point in the order.
+//!
+//! The read-set check is what makes acceptance *sound* rather than
+//! merely plausible: congestion-weighted constructions consult distances
+//! well outside their final tree, so a batch-mate's commit can redirect
+//! a net's choices without ever touching the tree or its region. How
+//! often speculation survives the check depends on the algorithm's
+//! footprint — IKMB/KMB run target-restricted Dijkstras whose reads stay
+//! near the net, while constructions that flood the whole component
+//! (ZEL, DJKA, PFA, DOM) conflict with any batch-mate's commit and
+//! degrade to the sequential path, trading speed for exactness.
+//!
+//! One read is deliberately absent from the read set: masking reads the
+//! liveness of every logic-block pin, and a batch-mate's commit removes
+//! the pins of its own net. That difference is invisible to the
+//! construction — a foreign pin is dead during routing either way
+//! (masked on the snapshot, already removed on the live graph), pins
+//! are unique per net, and a pin's removal refreshes no channel
+//! weights — so it cannot change the result.
 //!
 //! Because every speculative route runs against the same per-batch
 //! snapshot (each worker restores its graph clone after each net), the
@@ -32,49 +59,14 @@
 //! and `threads = 1` produce identical trees and channel widths.
 
 use std::collections::HashSet;
-use std::time::Duration;
 
 use route_graph::{Graph, NodeId};
 use steiner_route::RoutingTree;
 
 use crate::netlist::Circuit;
 use crate::router::{PassResult, Router};
+use crate::telemetry::{CongestionSnapshot, PassTelemetry};
 use crate::FpgaError;
-
-/// Per-pass instrumentation for the parallel engine.
-///
-/// Returned (one entry per executed pass) in
-/// [`RouteOutcome::timings`](crate::RouteOutcome::timings) so benches can
-/// report sequential-versus-parallel speedup alongside acceptance rates.
-/// The sequential path fills only `pass` and `elapsed`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct PassTiming {
-    /// 1-based pass number within the routing attempt.
-    pub pass: usize,
-    /// Batches the pass order was split into (sequential path: 0).
-    pub batches: usize,
-    /// Nets routed speculatively on worker threads.
-    pub speculated: usize,
-    /// Speculative results committed without re-routing.
-    pub accepted: usize,
-    /// Speculative results discarded and re-routed sequentially.
-    pub rerouted: usize,
-    /// Wall-clock time of the whole pass.
-    pub elapsed: Duration,
-}
-
-impl PassTiming {
-    /// Fraction of speculated nets whose results were committed as-is,
-    /// or `None` if nothing was speculated.
-    #[must_use]
-    pub fn acceptance(&self) -> Option<f64> {
-        if self.speculated == 0 {
-            None
-        } else {
-            Some(self.accepted as f64 / self.speculated as f64)
-        }
-    }
-}
 
 /// Expanded terminal bounding box used for batching and conflict regions.
 #[derive(Clone, Copy)]
@@ -137,8 +129,12 @@ fn take_batch(
     len
 }
 
-/// One net's speculative result, tagged with its index within the batch.
-type Speculation = (usize, Result<Option<RoutingTree>, FpgaError>);
+/// One net's speculative outcome: the routing result plus the read set
+/// its constructions touched (sorted, deduplicated).
+type NetSpeculation = (Result<Option<RoutingTree>, FpgaError>, Vec<NodeId>);
+
+/// A [`NetSpeculation`] tagged with its index within the batch.
+type Speculation = (usize, NetSpeculation);
 
 /// Routes every net of `batch` against read-only clones of `snapshot` on
 /// up to `threads` scoped worker threads. Results come back in batch
@@ -152,28 +148,40 @@ fn speculate(
     snapshot: &Graph,
     batch: &[usize],
     threads: usize,
-) -> Vec<Result<Option<RoutingTree>, FpgaError>> {
+) -> Vec<NetSpeculation> {
     let workers = threads.min(batch.len()).max(1);
-    let mut collected: Vec<Option<Result<Option<RoutingTree>, FpgaError>>> =
-        (0..batch.len()).map(|_| None).collect();
+    let mut collected: Vec<Option<NetSpeculation>> = (0..batch.len()).map(|_| None).collect();
+    // Workers record into per-thread trace buffers that merge into the
+    // collector when the scope joins (thread exit), so speculation adds
+    // no per-event contention; adopting the caller's span keeps worker-
+    // side net spans nested under the pass span.
+    let parent_span = route_trace::current_span();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 scope.spawn(move || -> Vec<Speculation> {
+                    route_trace::adopt_parent(parent_span);
                     let mut g = snapshot.clone();
+                    if route_trace::enabled() {
+                        route_trace::count(route_trace::Counter::GraphSnapshotClones, 1);
+                    }
                     batch
                         .iter()
                         .enumerate()
                         .skip(worker)
                         .step_by(workers)
-                        .map(|(bi, &ni)| (bi, router.route_net(&mut g, circuit, ni, critical)))
+                        .map(|(bi, &ni)| {
+                            route_graph::readset::begin();
+                            let result = router.route_net(&mut g, circuit, ni, critical);
+                            (bi, (result, route_graph::readset::take()))
+                        })
                         .collect()
                 })
             })
             .collect();
         for handle in handles {
-            for (bi, result) in handle.join().expect("routing worker panicked") {
-                collected[bi] = Some(result);
+            for (bi, outcome) in handle.join().expect("routing worker panicked") {
+                collected[bi] = Some(outcome);
             }
         }
     });
@@ -191,17 +199,28 @@ pub(crate) fn route_pass_parallel(
     circuit: &Circuit,
     order: &[usize],
     critical: &[bool],
-) -> Result<(PassResult, PassTiming), FpgaError> {
+) -> Result<(PassResult, PassTelemetry), FpgaError> {
     let device = router.device();
     let config = router.config();
     let threads = config.threads.max(2);
     let margin = config.candidate_margin + REGION_SLACK;
 
     let mut g = device.working_graph();
+    if route_trace::enabled() {
+        route_trace::count(route_trace::Counter::GraphSnapshotClones, 1);
+    }
     let w = device.arch().channel_width as u64;
     let mut usage: Vec<u32> = vec![0; device.position_count()];
     let mut trees: Vec<Option<RoutingTree>> = vec![None; circuit.net_count()];
-    let mut timing = PassTiming::default();
+    let mut timing = PassTelemetry::default();
+    // Taken at every pass exit, success or failure, so each executed pass
+    // ships an end-state occupancy snapshot.
+    macro_rules! finish_pass {
+        ($result:expr) => {{
+            timing.congestion = CongestionSnapshot::from_usage(0, w as usize, &usage);
+            return Ok(($result, timing));
+        }};
+    }
 
     let mut start = 0usize;
     while start < order.len() {
@@ -214,7 +233,7 @@ pub(crate) fn route_pass_parallel(
             let ni = batch[0];
             match router.route_net(&mut g, circuit, ni, critical)? {
                 Some(tree) => commit_one(router, &mut g, &mut usage, w, &mut trees, ni, tree, None)?,
-                None => return Ok((PassResult::Failed(ni), timing)),
+                None => finish_pass!(PassResult::Failed(ni)),
             }
             start += len;
             continue;
@@ -226,21 +245,30 @@ pub(crate) fn route_pass_parallel(
         // Commit strictly in order; `changed` accumulates every node the
         // batch's commits invalidated so later nets can detect staleness.
         let mut changed: HashSet<NodeId> = HashSet::new();
-        for (bi, result) in speculated.into_iter().enumerate() {
+        for (bi, (result, reads)) in speculated.into_iter().enumerate() {
             let ni = batch[bi];
             match result? {
                 // Disconnected on the snapshot stays disconnected on every
                 // later graph of this pass (monotone evolution), so the
                 // failure is sound without re-routing.
-                None => return Ok((PassResult::Failed(ni), timing)),
+                None => finish_pass!(PassResult::Failed(ni)),
                 Some(tree) => {
+                    // Fresh ⇔ nothing the construction observed changed:
+                    // its Dijkstra read set (which contains the tree, but
+                    // the tree check is kept as cheap defense in depth)
+                    // and the candidate region whose pool liveness the
+                    // Steiner template scanned.
                     let fresh = changed.is_empty() || {
                         let region = router.region_nodes(circuit, ni, margin);
-                        !tree.nodes().any(|v| changed.contains(&v))
+                        !reads.iter().any(|v| changed.contains(v))
+                            && !tree.nodes().any(|v| changed.contains(&v))
                             && !region.iter().any(|v| changed.contains(v))
                     };
                     if fresh {
                         timing.accepted += 1;
+                        if route_trace::enabled() {
+                            route_trace::count(route_trace::Counter::ConflictAccepts, 1);
+                        }
                         commit_one(
                             router,
                             &mut g,
@@ -256,6 +284,9 @@ pub(crate) fn route_pass_parallel(
                         // against the live graph, exactly as the
                         // sequential pass would have.
                         timing.rerouted += 1;
+                        if route_trace::enabled() {
+                            route_trace::count(route_trace::Counter::ConflictReroutes, 1);
+                        }
                         match router.route_net(&mut g, circuit, ni, critical)? {
                             Some(tree) => commit_one(
                                 router,
@@ -267,7 +298,7 @@ pub(crate) fn route_pass_parallel(
                                 tree,
                                 Some(&mut changed),
                             )?,
-                            None => return Ok((PassResult::Failed(ni), timing)),
+                            None => finish_pass!(PassResult::Failed(ni)),
                         }
                     }
                 }
@@ -276,10 +307,7 @@ pub(crate) fn route_pass_parallel(
         start += len;
     }
 
-    Ok((
-        PassResult::Complete(router.finalize(circuit, trees)?),
-        timing,
-    ))
+    finish_pass!(PassResult::Complete(router.finalize(circuit, trees)?))
 }
 
 /// Commits one routed tree and records it (re-derived against the

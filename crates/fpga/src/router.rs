@@ -174,10 +174,11 @@ pub struct RouteOutcome {
     pub total_wirelength: Weight,
     /// Per-net maximum source-sink pathlength within the tree.
     pub max_pathlengths: Vec<Weight>,
-    /// Wall-clock and batching counters, one entry per executed pass
-    /// (failed passes included), so benches can compare the sequential
-    /// and parallel engines on equal footing.
-    pub timings: Vec<crate::parallel::PassTiming>,
+    /// Per-pass telemetry — wall-clock, parallel-engine batching
+    /// counters, and end-of-pass congestion snapshots; one entry per
+    /// executed pass (failed passes included), so benches can compare the
+    /// sequential and parallel engines on equal footing.
+    pub telemetry: crate::telemetry::RouteTelemetry,
 }
 
 impl RouteOutcome {
@@ -282,21 +283,27 @@ impl<'d> Router<'d> {
             )
         });
         let mut last_failure = 0usize;
-        let mut timings: Vec<crate::parallel::PassTiming> = Vec::new();
+        let mut passes_telemetry: Vec<crate::telemetry::PassTelemetry> = Vec::new();
         for pass in 1..=self.config.max_passes.max(1) {
             let started = std::time::Instant::now();
-            let (result, mut timing) = if self.config.threads > 1 {
-                crate::parallel::route_pass_parallel(self, circuit, &order, critical)?
-            } else {
-                self.route_pass(circuit, &order, critical)?
+            let (result, mut timing) = {
+                let _pass_span = route_trace::span(route_trace::SpanKind::Pass, "pass", pass as u64);
+                if self.config.threads > 1 {
+                    crate::parallel::route_pass_parallel(self, circuit, &order, critical)?
+                } else {
+                    self.route_pass(circuit, &order, critical)?
+                }
             };
             timing.pass = pass;
             timing.elapsed = started.elapsed();
-            timings.push(timing);
+            timing.congestion.pass = pass;
+            route_trace::record_snapshot(timing.congestion.clone());
+            passes_telemetry.push(timing);
             match result {
                 PassResult::Complete(mut outcome) => {
                     outcome.passes = pass;
-                    outcome.timings = timings;
+                    outcome.telemetry =
+                        crate::telemetry::RouteTelemetry { passes: passes_telemetry };
                     return Ok(outcome);
                 }
                 PassResult::Failed(ni) => {
@@ -329,12 +336,15 @@ impl<'d> Router<'d> {
         circuit: &Circuit,
         order: &[usize],
         critical: &[bool],
-    ) -> Result<(PassResult, crate::parallel::PassTiming), FpgaError> {
+    ) -> Result<(PassResult, crate::telemetry::PassTelemetry), FpgaError> {
         let mut g = self.device.working_graph();
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::GraphSnapshotClones, 1);
+        }
         let w = self.device.arch().channel_width as u64;
         let mut usage: Vec<u32> = vec![0; self.device.position_count()];
         let mut trees: Vec<Option<RoutingTree>> = vec![None; circuit.net_count()];
-        let timing = crate::parallel::PassTiming::default();
+        let mut timing = crate::telemetry::PassTelemetry::default();
         for &ni in order {
             match self.route_net(&mut g, circuit, ni, critical)? {
                 Some(tree) => {
@@ -346,9 +356,15 @@ impl<'d> Router<'d> {
                         RoutingTree::from_edges(self.device.graph(), tree.edges().to_vec())?;
                     trees[ni] = Some(tree);
                 }
-                None => return Ok((PassResult::Failed(ni), timing)),
+                None => {
+                    timing.congestion =
+                        crate::telemetry::CongestionSnapshot::from_usage(0, w as usize, &usage);
+                    return Ok((PassResult::Failed(ni), timing));
+                }
             }
         }
+        timing.congestion =
+            crate::telemetry::CongestionSnapshot::from_usage(0, w as usize, &usage);
         Ok((PassResult::Complete(self.finalize(circuit, trees)?), timing))
     }
 
@@ -363,6 +379,7 @@ impl<'d> Router<'d> {
         ni: usize,
         critical: &[bool],
     ) -> Result<Option<RoutingTree>, FpgaError> {
+        let _net_span = route_trace::span(route_trace::SpanKind::Net, "net", ni as u64);
         let terminals = circuit.net_terminals(self.device, ni)?;
         let masked = mask_foreign_pins(g, self.device, &terminals)?;
         let net = Net::from_terminals(terminals)?;
@@ -371,7 +388,14 @@ impl<'d> Router<'d> {
             _ => self.config.algorithm,
         };
         let heuristic = algorithm.heuristic(self.candidate_pool(circuit, ni));
-        let result = heuristic.construct(g, &net);
+        let result = {
+            let _phase_span =
+                route_trace::span(route_trace::SpanKind::Phase, algorithm.label(), 0);
+            heuristic.construct(g, &net)
+        };
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::NetsRouted, 1);
+        }
         unmask_pins(g, &masked)?;
         match result {
             Ok(tree) => Ok(Some(tree)),
@@ -402,7 +426,7 @@ impl<'d> Router<'d> {
             passes: 0, // filled by route()
             total_wirelength,
             max_pathlengths,
-            timings: Vec::new(), // filled by route()
+            telemetry: crate::telemetry::RouteTelemetry::default(), // filled by route()
         })
     }
 

@@ -1,0 +1,126 @@
+//! Per-pass routing telemetry surfaced on [`RouteOutcome`].
+//!
+//! Every routing attempt records one [`PassTelemetry`] per executed pass
+//! — wall-clock, the parallel engine's batching/acceptance counters, and
+//! a [`CongestionSnapshot`] of channel occupancy at the end of the pass.
+//! The same snapshots are mirrored into the global `route_trace`
+//! collector (when one is installed), so CLI traces and in-process
+//! consumers see identical data.
+
+use std::time::Duration;
+
+pub use route_trace::CongestionSnapshot;
+
+/// Instrumentation for one executed routing pass.
+///
+/// The sequential engine fills `pass`, `elapsed`, and `congestion`; the
+/// parallel engine additionally fills the batching counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassTelemetry {
+    /// 1-based pass number within the routing attempt.
+    pub pass: usize,
+    /// Batches the pass order was split into (sequential engine: 0).
+    pub batches: usize,
+    /// Nets routed speculatively on worker threads.
+    pub speculated: usize,
+    /// Speculative results committed without re-routing.
+    pub accepted: usize,
+    /// Speculative results discarded and re-routed sequentially.
+    pub rerouted: usize,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+    /// Channel occupancy at the end of the pass (or at the failing net,
+    /// for passes that end early).
+    pub congestion: CongestionSnapshot,
+}
+
+impl PassTelemetry {
+    /// Fraction of speculated nets whose results were committed as-is,
+    /// or `None` if nothing was speculated.
+    #[must_use]
+    pub fn acceptance(&self) -> Option<f64> {
+        if self.speculated == 0 {
+            None
+        } else {
+            Some(self.accepted as f64 / self.speculated as f64)
+        }
+    }
+}
+
+/// Telemetry for a whole routing attempt: one entry per executed pass
+/// (failed passes included), in pass order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteTelemetry {
+    /// Per-pass records, `passes[i].pass == i + 1`.
+    pub passes: Vec<PassTelemetry>,
+}
+
+impl RouteTelemetry {
+    /// Total wall-clock across all passes.
+    #[must_use]
+    pub fn total_elapsed(&self) -> Duration {
+        self.passes.iter().map(|p| p.elapsed).sum()
+    }
+
+    /// Overall speculation acceptance across all passes, or `None` if
+    /// nothing was ever speculated (sequential engine).
+    #[must_use]
+    pub fn acceptance(&self) -> Option<f64> {
+        let speculated: usize = self.passes.iter().map(|p| p.speculated).sum();
+        if speculated == 0 {
+            None
+        } else {
+            let accepted: usize = self.passes.iter().map(|p| p.accepted).sum();
+            Some(accepted as f64 / speculated as f64)
+        }
+    }
+
+    /// The final pass's congestion snapshot, if any pass ran.
+    #[must_use]
+    pub fn final_congestion(&self) -> Option<&CongestionSnapshot> {
+        self.passes.last().map(|p| &p.congestion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_ratios() {
+        let mut t = PassTelemetry::default();
+        assert_eq!(t.acceptance(), None);
+        t.speculated = 4;
+        t.accepted = 3;
+        assert_eq!(t.acceptance(), Some(0.75));
+
+        let route = RouteTelemetry {
+            passes: vec![
+                t,
+                PassTelemetry {
+                    speculated: 4,
+                    accepted: 1,
+                    ..PassTelemetry::default()
+                },
+            ],
+        };
+        assert_eq!(route.acceptance(), Some(0.5));
+    }
+
+    #[test]
+    fn totals_and_final_snapshot() {
+        let mk = |pass: usize, ms: u64| PassTelemetry {
+            pass,
+            elapsed: Duration::from_millis(ms),
+            congestion: CongestionSnapshot::from_usage(pass, 4, &[1, 2]),
+            ..PassTelemetry::default()
+        };
+        let route = RouteTelemetry {
+            passes: vec![mk(1, 5), mk(2, 7)],
+        };
+        assert_eq!(route.total_elapsed(), Duration::from_millis(12));
+        assert_eq!(route.final_congestion().unwrap().pass, 2);
+        assert_eq!(RouteTelemetry::default().final_congestion(), None);
+        assert_eq!(RouteTelemetry::default().acceptance(), None);
+    }
+}

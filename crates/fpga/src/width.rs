@@ -60,11 +60,15 @@ pub fn minimum_channel_width(
             "invalid width range {lo}..={hi}"
         )));
     }
+    let _search_span =
+        route_trace::span(route_trace::SpanKind::WidthSearch, "width_search", 0);
     let mut attempts = 0usize;
     let mut probe = |w: usize,
                      attempts: &mut usize|
      -> Result<Result<RouteOutcome, FpgaError>, FpgaError> {
         *attempts += 1;
+        let _attempt_span =
+            route_trace::span(route_trace::SpanKind::Attempt, "attempt", w as u64);
         let device = Device::new(base.with_channel_width(w))?;
         match route(&device) {
             Ok(outcome) => Ok(Ok(outcome)),
@@ -146,7 +150,11 @@ pub fn minimum_channel_width_parallel(
     if threads <= 1 {
         return minimum_channel_width(base, range, WidthSearch::Linear, |device| route(device));
     }
+    let _search_span =
+        route_trace::span(route_trace::SpanKind::WidthSearch, "width_search", 0);
     let probe = |w: usize| -> Result<RouteOutcome, FpgaError> {
+        let _attempt_span =
+            route_trace::span(route_trace::SpanKind::Attempt, "attempt", w as u64);
         let device = Device::new(base.with_channel_width(w))?;
         route(&device)
     };
@@ -159,10 +167,17 @@ pub fn minimum_channel_width_parallel(
         attempts += widths.len();
         let mut results: Vec<Option<Result<RouteOutcome, FpgaError>>> =
             (0..widths.len()).map(|_| None).collect();
+        // Probe workers adopt the search span so their attempt spans (and
+        // everything beneath) nest correctly; their trace buffers merge
+        // into the collector when the wave's scope joins.
+        let parent_span = route_trace::current_span();
         std::thread::scope(|scope| {
             let probe = &probe;
             for (slot, &w) in results.iter_mut().zip(&widths) {
-                scope.spawn(move || *slot = Some(probe(w)));
+                scope.spawn(move || {
+                    route_trace::adopt_parent(parent_span);
+                    *slot = Some(probe(w));
+                });
             }
         });
         for (result, &w) in results.into_iter().zip(&widths) {

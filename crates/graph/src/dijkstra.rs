@@ -83,21 +83,60 @@ impl ShortestPaths {
     fn run_until(
         g: &Graph,
         source: NodeId,
+        done: impl FnMut(NodeId) -> bool,
+    ) -> Result<ShortestPaths, GraphError> {
+        // Monomorphize the hot loop on the two instrumentation flags so
+        // the common disabled/disabled case carries no tally counters, no
+        // read buffer, and no branches — the relaxation loop is the
+        // router's hottest path and even well-predicted branches there
+        // are measurable in the timing bench.
+        match (route_trace::enabled(), crate::readset::is_active()) {
+            (false, false) => Self::run_until_impl::<false, false>(g, source, done),
+            (false, true) => Self::run_until_impl::<false, true>(g, source, done),
+            (true, false) => Self::run_until_impl::<true, false>(g, source, done),
+            (true, true) => Self::run_until_impl::<true, true>(g, source, done),
+        }
+    }
+
+    fn run_until_impl<const TRACED: bool, const RECORDING: bool>(
+        g: &Graph,
+        source: NodeId,
         mut done: impl FnMut(NodeId) -> bool,
     ) -> Result<ShortestPaths, GraphError> {
         g.require_live_node(source)?;
+        // Tally locally and flush once at the end: a thread-local lookup
+        // per edge would be measurable.
+        let mut pops = 0u64;
+        let mut relaxations = 0u64;
+        // Read-set recording for speculative routing: every settled node
+        // and every relaxed neighbor is a node whose liveness or incident
+        // edge weights this run observed. Same local-buffer discipline as
+        // the counters above.
+        let mut reads: Vec<NodeId> = Vec::new();
         let n = g.node_count();
         let mut dist: Vec<Option<Weight>> = vec![None; n];
         let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
         let mut heap = IndexedBinaryHeap::new(n);
         heap.push(source.index(), Weight::ZERO);
         while let Some((vi, d)) = heap.pop() {
+            if TRACED {
+                pops += 1;
+            }
             let v = NodeId::from_index(vi);
             dist[vi] = Some(d);
+            if RECORDING {
+                reads.push(v);
+            }
             if done(v) {
                 break;
             }
             for (u, e, w) in g.neighbors(v) {
+                if TRACED {
+                    relaxations += 1;
+                }
+                if RECORDING {
+                    reads.push(u);
+                }
                 if dist[u.index()].is_some() {
                     continue; // settled
                 }
@@ -108,6 +147,14 @@ impl ShortestPaths {
                     parent[u.index()] = Some((v, e));
                 }
             }
+        }
+        if TRACED {
+            route_trace::count(route_trace::Counter::DijkstraRuns, 1);
+            route_trace::count(route_trace::Counter::DijkstraHeapPops, pops);
+            route_trace::count(route_trace::Counter::DijkstraRelaxations, relaxations);
+        }
+        if RECORDING {
+            crate::readset::extend(&reads);
         }
         Ok(ShortestPaths {
             source,

@@ -49,6 +49,10 @@ use crate::{Graph, GraphError, NodeId, Path, ShortestPaths, Weight};
 pub struct TerminalDistances {
     terminals: Vec<NodeId>,
     sp: Vec<Rc<ShortestPaths>>,
+    /// When `Some`, every run was early-terminated once these nodes were
+    /// settled; distances outside the set may be absent. `None` means
+    /// full runs — distances to the whole live component are available.
+    targets: Option<Vec<NodeId>>,
 }
 
 impl TerminalDistances {
@@ -60,6 +64,49 @@ impl TerminalDistances {
     /// [`GraphError::DuplicateTerminal`] for repeats, and node-validity
     /// errors for removed/unknown terminals.
     pub fn compute(g: &Graph, terminals: &[NodeId]) -> Result<TerminalDistances, GraphError> {
+        Self::compute_inner(g, terminals, None)
+    }
+
+    /// Like [`compute`](Self::compute), but each per-terminal Dijkstra
+    /// stops as soon as every terminal and every **live** node of
+    /// `extra_targets` is settled, instead of settling the whole
+    /// component.
+    ///
+    /// For the target set, queried distances and paths are *exactly*
+    /// those a full run would report (Dijkstra settles in nondecreasing
+    /// distance order, so truncation never changes the settled prefix);
+    /// distances to nodes outside the target set may be absent even when
+    /// the node is reachable. Callers must therefore confine their
+    /// queries — including [`push_terminal`](Self::push_terminal), whose
+    /// new source must itself be a target — to
+    /// `terminals ∪ extra_targets`. On chip-scale routing graphs this
+    /// turns the per-net distance computation from whole-graph into a
+    /// neighborhood-sized search, and (because only examined nodes enter
+    /// the speculative [read set](crate::readset)) is what lets the
+    /// parallel router accept speculation on spatially disjoint nets.
+    ///
+    /// # Errors
+    ///
+    /// As [`compute`](Self::compute).
+    pub fn compute_to_targets(
+        g: &Graph,
+        terminals: &[NodeId],
+        extra_targets: &[NodeId],
+    ) -> Result<TerminalDistances, GraphError> {
+        let mut targets: Vec<NodeId> = terminals.to_vec();
+        // Dead extras can never settle and would defeat early
+        // termination, silently degrading to a full-component run.
+        targets.extend(extra_targets.iter().copied().filter(|&v| g.is_node_live(v)));
+        targets.sort_unstable();
+        targets.dedup();
+        Self::compute_inner(g, terminals, Some(targets))
+    }
+
+    fn compute_inner(
+        g: &Graph,
+        terminals: &[NodeId],
+        targets: Option<Vec<NodeId>>,
+    ) -> Result<TerminalDistances, GraphError> {
         if terminals.is_empty() {
             return Err(GraphError::EmptyTerminalSet);
         }
@@ -71,13 +118,18 @@ impl TerminalDistances {
             }
             seen[t.index()] = true;
         }
+        let run = |t: NodeId| match &targets {
+            Some(set) => ShortestPaths::run_to_targets(g, t, set),
+            None => ShortestPaths::run(g, t),
+        };
         let sp = terminals
             .iter()
-            .map(|&t| ShortestPaths::run(g, t).map(Rc::new))
+            .map(|&t| run(t).map(Rc::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(TerminalDistances {
             terminals: terminals.to_vec(),
             sp,
+            targets,
         })
     }
 
@@ -182,7 +234,14 @@ impl TerminalDistances {
             return Err(GraphError::DuplicateTerminal(v));
         }
         g.require_live_node(v)?;
-        self.sp.push(Rc::new(ShortestPaths::run(g, v)?));
+        // A target-restricted instance keeps the restriction: the new
+        // run stops at the same target set, so cross-queries between any
+        // two members (all members are targets) remain exact.
+        let run = match &self.targets {
+            Some(set) => ShortestPaths::run_to_targets(g, v, set)?,
+            None => ShortestPaths::run(g, v)?,
+        };
+        self.sp.push(Rc::new(run));
         self.terminals.push(v);
         Ok(self.terminals.len() - 1)
     }
@@ -330,6 +389,56 @@ mod tests {
         let td = TerminalDistances::compute(&g, &[n[0], n[3]]).unwrap();
         assert_eq!(td.dist(0, 1), None);
         assert!(!td.all_connected());
+    }
+
+    #[test]
+    fn target_restricted_distances_match_full_runs_on_targets() {
+        let (g, n) = path_graph(8);
+        let terminals = [n[0], n[4]];
+        let pool = [n[1], n[2], n[3]];
+        let full = TerminalDistances::compute(&g, &terminals).unwrap();
+        let local = TerminalDistances::compute_to_targets(&g, &terminals, &pool).unwrap();
+        for i in 0..terminals.len() {
+            for j in 0..terminals.len() {
+                assert_eq!(local.dist(i, j), full.dist(i, j));
+            }
+            for &v in &pool {
+                assert_eq!(local.dist_to_node(i, v), full.dist_to_node(i, v));
+                assert_eq!(
+                    local.path_to_node(i, v).unwrap().nodes(),
+                    full.path_to_node(i, v).unwrap().nodes()
+                );
+            }
+        }
+        // Far nodes beyond the target set are not settled...
+        assert_eq!(local.dist_to_node(0, n[7]), None);
+        // ...but the full computation still reaches them.
+        assert_eq!(full.dist_to_node(0, n[7]), Some(Weight::from_units(7)));
+    }
+
+    #[test]
+    fn target_restriction_survives_push_terminal() {
+        let (g, n) = path_graph(8);
+        let mut local =
+            TerminalDistances::compute_to_targets(&g, &[n[0], n[4]], &[n[2]]).unwrap();
+        let idx = local.push_terminal(&g, n[2]).unwrap();
+        // The new member's run covers the target set exactly...
+        assert_eq!(local.dist(idx, 0), Some(Weight::from_units(2)));
+        assert_eq!(local.dist(idx, 1), Some(Weight::from_units(2)));
+        // ...and still stops early.
+        assert_eq!(local.dist_to_node(idx, n[7]), None);
+    }
+
+    #[test]
+    fn dead_extra_targets_do_not_block_early_termination() {
+        let (mut g, n) = path_graph(8);
+        g.remove_node(n[6]).unwrap();
+        let local =
+            TerminalDistances::compute_to_targets(&g, &[n[0], n[2]], &[n[1], n[6]]).unwrap();
+        assert_eq!(local.dist(0, 1), Some(Weight::from_units(2)));
+        // The dead extra was dropped from the target set, so the run
+        // terminated at n2 instead of flooding to the end of the path.
+        assert_eq!(local.dist_to_node(0, n[5]), None);
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! * [`random`] — seeded random graph / net workload generators.
 //! * [`rng`] — a vendored SplitMix64 PRNG so the workspace builds with no
 //!   network access (no crates.io dependencies).
+//! * [`readset`] — thread-local recording of the nodes a shortest-path
+//!   run examined, the conflict-detection primitive of the speculative
+//!   parallel router.
 //! * [`floyd`] — Floyd–Warshall all-pairs shortest paths, used as a test
 //!   oracle against Dijkstra.
 //!
@@ -64,6 +67,7 @@ pub mod mst;
 pub mod multiweight;
 pub mod path;
 pub mod random;
+pub mod readset;
 pub mod rng;
 mod weight;
 

@@ -76,16 +76,18 @@ impl Default for Functional {
 }
 
 impl Functional {
-    /// Scalarizes a criteria vector.
+    /// Scalarizes a criteria vector, saturating at [`Weight::MAX`] — a
+    /// functional applied to near-infinite criteria (congestion sentinels)
+    /// must stay an "infinity", not wrap or panic.
     #[must_use]
     pub fn evaluate(&self, w: &MultiWeight) -> Weight {
         let term = |coeff_milli: u64, value: Weight| -> u128 {
             u128::from(coeff_milli) * u128::from(value.as_milli()) / 1000
         };
         let total = term(self.length_milli, w.length)
-            + term(self.congestion_milli, w.congestion)
-            + term(self.jogs_milli, w.jogs);
-        Weight::from_milli(u64::try_from(total).expect("functional overflow"))
+            .saturating_add(term(self.congestion_milli, w.congestion))
+            .saturating_add(term(self.jogs_milli, w.jogs));
+        u64::try_from(total).map_or(Weight::MAX, Weight::from_milli)
     }
 }
 
@@ -190,14 +192,15 @@ impl MultiWeightedGraph {
         self.graph.set_weight(e, scalar)
     }
 
-    /// Adds `delta` to one edge's congestion component and re-scalarizes.
+    /// Adds `delta` to one edge's congestion component and re-scalarizes,
+    /// saturating at [`Weight::MAX`].
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::EdgeOutOfBounds`] for an unknown edge.
     pub fn add_congestion(&mut self, e: EdgeId, delta: Weight) -> Result<(), GraphError> {
         let mut w = self.criteria(e)?;
-        w.congestion += delta;
+        w.congestion = w.congestion.saturating_add(delta);
         self.set_criteria(e, w)
     }
 
@@ -229,7 +232,7 @@ impl MultiWeightedGraph {
     ) -> Result<Weight, GraphError> {
         let mut total = Weight::ZERO;
         for &e in edges {
-            total += component(&self.criteria(e)?);
+            total = total.saturating_add(component(&self.criteria(e)?));
         }
         Ok(total)
     }
@@ -320,6 +323,55 @@ mod tests {
             .unwrap();
         assert_eq!(wire, Weight::from_units(5));
         assert_eq!(cong, Weight::from_units(7));
+    }
+
+    #[test]
+    fn evaluation_saturates_instead_of_overflowing() {
+        // A unit coefficient on a MAX component reproduces MAX exactly.
+        let f = Functional::default();
+        let w = MultiWeight::from_length(Weight::MAX);
+        assert_eq!(f.evaluate(&w), Weight::MAX);
+        // Amplifying coefficients push past MAX: clamp, don't panic.
+        let f = Functional {
+            length_milli: u64::MAX,
+            congestion_milli: u64::MAX,
+            jogs_milli: u64::MAX,
+        };
+        let w = MultiWeight {
+            length: Weight::MAX,
+            congestion: Weight::MAX,
+            jogs: Weight::MAX,
+        };
+        assert_eq!(f.evaluate(&w), Weight::MAX);
+    }
+
+    #[test]
+    fn congestion_accumulation_saturates_at_max() {
+        let (mut mw, e) = line();
+        mw.add_congestion(e[0], Weight::MAX).unwrap();
+        mw.add_congestion(e[0], Weight::MAX).unwrap();
+        assert_eq!(mw.criteria(e[0]).unwrap().congestion, Weight::MAX);
+        // The scalarized weight stays pinned at the sentinel too once the
+        // functional looks at congestion.
+        mw.set_functional(Functional {
+            length_milli: 0,
+            congestion_milli: 1000,
+            jogs_milli: 0,
+        })
+        .unwrap();
+        assert_eq!(mw.graph().weight(e[0]).unwrap(), Weight::MAX);
+    }
+
+    #[test]
+    fn component_totals_saturate_at_max() {
+        let (mut mw, e) = line();
+        for edge in &e {
+            let mut c = mw.criteria(*edge).unwrap();
+            c.jogs = Weight::MAX;
+            mw.set_criteria(*edge, c).unwrap();
+        }
+        let total = mw.component_total(&e, |w| w.jogs).unwrap();
+        assert_eq!(total, Weight::MAX);
     }
 
     #[test]

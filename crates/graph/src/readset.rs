@@ -1,0 +1,149 @@
+//! Thread-local *read-set* recording for speculative routing.
+//!
+//! The parallel batched router speculatively routes nets against a
+//! snapshot of the pass graph and must decide at commit time whether a
+//! speculative result is still what a sequential router would produce on
+//! the live graph. Checking the result's own nodes is not enough: a
+//! shortest-path-based construction's choices depend on every node and
+//! edge its Dijkstra runs *examined*, and a batch-mate's commit can
+//! perturb those (removing nodes, inflating congestion weights) without
+//! ever touching the final tree. The sound test is therefore over the
+//! construction's **read set** — every node whose liveness or incident
+//! edge weights the algorithm observed. If no read node changed, the
+//! examined subgraph is bit-identical on the live graph, the
+//! deterministic algorithms replay identically, and the speculation can
+//! be accepted; otherwise it must be re-routed.
+//!
+//! Recording mirrors the telemetry counters' design: the hot Dijkstra
+//! loop samples the active flag once per run, accumulates into a plain
+//! local buffer, and flushes once at the end, so a disabled recorder
+//! costs one thread-local read per run and an enabled one costs a `Vec`
+//! push per examined node — no per-event synchronization anywhere.
+//!
+//! The recorder is scoped to the current thread: the speculative engine
+//! calls [`begin`] before routing a net on a worker and [`take`] after,
+//! and anything the net's constructions read through
+//! [`ShortestPaths`](crate::ShortestPaths) in between is captured.
+//! Sequential routing never activates it and pays nothing.
+
+use std::cell::{Cell, RefCell};
+
+use crate::NodeId;
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static READS: RefCell<Vec<NodeId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Starts recording graph reads on the current thread, clearing any
+/// previously accumulated nodes.
+pub fn begin() {
+    ACTIVE.with(|a| a.set(true));
+    READS.with(|r| r.borrow_mut().clear());
+}
+
+/// Stops recording and returns the accumulated read set, sorted and
+/// deduplicated. Returns an empty vector if [`begin`] was never called.
+pub fn take() -> Vec<NodeId> {
+    ACTIVE.with(|a| a.set(false));
+    let mut reads = READS.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    reads.sort_unstable();
+    reads.dedup();
+    reads
+}
+
+/// Whether the current thread is recording. Instrumented algorithms
+/// sample this once per run, not once per read.
+#[inline]
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Appends a batch of observed nodes to the current thread's read set.
+/// A no-op unless recording is active — callers that tallied into a
+/// local buffer may flush unconditionally.
+pub fn extend(nodes: &[NodeId]) {
+    if is_active() {
+        READS.with(|r| r.borrow_mut().extend_from_slice(nodes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_recorder_collects_nothing() {
+        assert!(!is_active());
+        extend(&[NodeId::from_index(1)]);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn begin_take_roundtrip_sorts_and_dedups() {
+        begin();
+        assert!(is_active());
+        extend(&[NodeId::from_index(3), NodeId::from_index(1)]);
+        extend(&[NodeId::from_index(3), NodeId::from_index(2)]);
+        let reads = take();
+        assert!(!is_active());
+        assert_eq!(
+            reads,
+            vec![
+                NodeId::from_index(1),
+                NodeId::from_index(2),
+                NodeId::from_index(3)
+            ]
+        );
+        // The recorder is cleared after take().
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn begin_clears_previous_recording() {
+        begin();
+        extend(&[NodeId::from_index(9)]);
+        begin();
+        extend(&[NodeId::from_index(4)]);
+        assert_eq!(take(), vec![NodeId::from_index(4)]);
+    }
+
+    #[test]
+    fn dijkstra_runs_are_recorded_only_while_active() {
+        use crate::{Graph, ShortestPaths, Weight};
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::UNIT).unwrap();
+        g.add_edge(n[1], n[2], Weight::UNIT).unwrap();
+        g.add_edge(n[2], n[3], Weight::UNIT).unwrap();
+
+        ShortestPaths::run(&g, n[0]).unwrap();
+        assert!(take().is_empty(), "no recording without begin()");
+
+        begin();
+        ShortestPaths::run(&g, n[0]).unwrap();
+        let reads = take();
+        // A full run from n0 settles (and therefore reads) every node.
+        assert_eq!(reads, n);
+
+        // An early-terminating run stops the moment its last target
+        // settles, before examining that target's own neighborhood —
+        // nothing past the frontier is read.
+        begin();
+        ShortestPaths::run_to_targets(&g, n[0], &[n[1]]).unwrap();
+        assert_eq!(take(), vec![n[0], n[1]]);
+
+        // Relaxed-but-unsettled frontier nodes are reads: with a direct
+        // but expensive n0–n3 edge, settling n1 has already examined n3.
+        g.add_edge(n[0], n[3], Weight::from_units(9)).unwrap();
+        begin();
+        ShortestPaths::run_to_targets(&g, n[0], &[n[1]]).unwrap();
+        let reads = take();
+        assert_eq!(reads, vec![n[0], n[1], n[3]]);
+        assert!(
+            !reads.contains(&n[2]),
+            "n2 is past the frontier and was never examined"
+        );
+    }
+}

@@ -1,0 +1,531 @@
+//! The in-memory trace collector and its per-thread buffers.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Near-zero cost when disabled.** Every instrumentation entry point
+//!    first reads one relaxed atomic ([`enabled`]); with no collector
+//!    installed that load is the *entire* cost, so instrumented hot loops
+//!    (Dijkstra relaxations) stay at hardware speed.
+//! 2. **No contention when enabled.** Spans and counters land in a
+//!    per-thread buffer ([`LocalBuf`]); the shared state is touched only
+//!    when a buffer flushes — at thread exit for the parallel engine's
+//!    scoped workers (i.e. at batch commit, when the scope joins) and at
+//!    [`Collector::finish`] for the installing thread. Congestion
+//!    snapshots are once-per-pass, so they go straight to the shared side.
+//! 3. **Sound under worker churn.** The parallel engine spawns fresh
+//!    scoped threads per batch. Buffers attach lazily (first event) and
+//!    carry a generation stamp, so a stale buffer from a previous
+//!    collector session can never pollute the current one.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::congestion::CongestionSnapshot;
+use crate::counter::{Counter, CounterSet};
+use crate::sink::Trace;
+use crate::span::{SpanId, SpanKind, SpanRecord};
+
+/// Fast path gate: `true` while a collector is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Bumped on every install/finish; invalidates stale thread-local buffers.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The currently installed collector's shared state.
+fn registry() -> &'static Mutex<Option<Arc<Shared>>> {
+    static REGISTRY: OnceLock<Mutex<Option<Arc<Shared>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+/// State shared by all threads feeding one collector session.
+struct Shared {
+    epoch: Instant,
+    next_span: AtomicU64,
+    next_thread: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    snapshots: Mutex<Vec<CongestionSnapshot>>,
+    counters: Mutex<CounterSet>,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            next_thread: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+            snapshots: Mutex::new(Vec::new()),
+            counters: Mutex::new(CounterSet::new()),
+        }
+    }
+}
+
+/// One thread's private buffer; merged into [`Shared`] on flush.
+struct LocalBuf {
+    generation: u64,
+    shared: Option<Arc<Shared>>,
+    thread: u64,
+    counters: CounterSet,
+    spans: Vec<SpanRecord>,
+    stack: Vec<SpanId>,
+    /// Parent adopted from the spawning thread (worker threads): roots
+    /// recorded on this thread nest under the adopter's span.
+    adopted_parent: Option<SpanId>,
+}
+
+impl LocalBuf {
+    fn new() -> LocalBuf {
+        LocalBuf {
+            generation: 0,
+            shared: None,
+            thread: 0,
+            counters: CounterSet::new(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+            adopted_parent: None,
+        }
+    }
+
+    /// Re-attaches to the current collector if the generation moved on,
+    /// flushing anything buffered for the previous session first.
+    fn ensure_attached(&mut self) -> bool {
+        let current = GENERATION.load(Ordering::Acquire);
+        if self.generation != current {
+            self.flush();
+            self.generation = current;
+            self.stack.clear();
+            self.adopted_parent = None;
+            self.shared = registry().lock().expect("trace registry poisoned").clone();
+            if let Some(shared) = &self.shared {
+                self.thread = shared.next_thread.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared.is_some()
+    }
+
+    /// Merges buffered spans and counters into the shared state.
+    fn flush(&mut self) {
+        let Some(shared) = &self.shared else {
+            self.spans.clear();
+            self.counters = CounterSet::new();
+            return;
+        };
+        if !self.spans.is_empty() {
+            shared
+                .spans
+                .lock()
+                .expect("trace span store poisoned")
+                .append(&mut self.spans);
+        }
+        if !self.counters.is_empty() {
+            shared
+                .counters
+                .lock()
+                .expect("trace counter store poisoned")
+                .merge(&self.counters);
+            self.counters = CounterSet::new();
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    /// Worker threads (the parallel engine's scoped workers) exit when
+    /// their batch scope joins — right at commit time — and this drop is
+    /// what merges their buffers into the shared collector.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// `true` while a collector is installed.
+///
+/// This is the instrumentation fast path: one relaxed atomic load. Every
+/// other entry point checks it first and returns immediately when `false`.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to a counter in the current thread's buffer. No-op when no
+/// collector is installed.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.ensure_attached() {
+            buf.counters.add(c, n);
+        }
+    });
+}
+
+/// Opens a span at the given hierarchy level. The returned guard records
+/// the span into the thread's buffer when dropped; when no collector is
+/// installed the guard is inert and the call costs one atomic load.
+///
+/// `index` is a free numeric payload (pass number, net index, probed
+/// width); pass 0 when unused.
+#[inline]
+#[must_use = "the span closes when the guard drops; binding it to _ records a zero-length span"]
+pub fn span(kind: SpanKind, label: &'static str, index: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if !buf.ensure_attached() {
+            return SpanGuard(None);
+        }
+        let shared = buf.shared.as_ref().expect("attached implies shared").clone();
+        let id = SpanId(shared.next_span.fetch_add(1, Ordering::Relaxed));
+        let parent = buf.stack.last().copied().or(buf.adopted_parent);
+        buf.stack.push(id);
+        SpanGuard(Some(ActiveSpan {
+            generation: buf.generation,
+            epoch: shared.epoch,
+            start_ns: elapsed_ns(shared.epoch),
+            id,
+            parent,
+            kind,
+            label,
+            index,
+        }))
+    })
+}
+
+/// The innermost span currently open on this thread (if any), for handing
+/// to [`adopt_parent`] on freshly spawned worker threads.
+#[must_use]
+pub fn current_span() -> Option<SpanId> {
+    if !enabled() {
+        return None;
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if !buf.ensure_attached() {
+            return None;
+        }
+        buf.stack.last().copied().or(buf.adopted_parent)
+    })
+}
+
+/// Declares `parent` the enclosing span for roots recorded on *this*
+/// thread. Call first thing in a worker closure, passing the spawning
+/// thread's [`current_span`], so worker-side net spans nest under the
+/// pass span instead of floating free.
+pub fn adopt_parent(parent: Option<SpanId>) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.ensure_attached() {
+            buf.adopted_parent = parent;
+        }
+    });
+}
+
+/// Records a per-pass congestion snapshot. Snapshots are rare (one per
+/// pass), so they go straight to the shared store.
+pub fn record_snapshot(snapshot: CongestionSnapshot) {
+    if !enabled() {
+        return;
+    }
+    let shared = registry().lock().expect("trace registry poisoned").clone();
+    if let Some(shared) = shared {
+        shared
+            .snapshots
+            .lock()
+            .expect("trace snapshot store poisoned")
+            .push(snapshot);
+    }
+}
+
+/// Flushes the current thread's buffer into the shared collector.
+///
+/// Worker threads flush automatically at exit; long-lived threads that
+/// outlive a routing call can flush explicitly so a subsequent
+/// [`Collector::finish`] on another thread sees their events.
+pub fn flush_thread() {
+    LOCAL.with(|cell| cell.borrow_mut().flush());
+}
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Guard for an open span; records the span on drop.
+#[must_use = "dropping the guard closes the span"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    generation: u64,
+    epoch: Instant,
+    start_ns: u64,
+    id: SpanId,
+    parent: Option<SpanId>,
+    kind: SpanKind,
+    label: &'static str,
+    index: u64,
+}
+
+impl SpanGuard {
+    /// The id of the open span, or `None` for an inert guard.
+    #[must_use]
+    pub fn id(&self) -> Option<SpanId> {
+        self.0.as_ref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let end_ns = elapsed_ns(active.epoch);
+        LOCAL.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            // If the collector changed under us, the session this span
+            // belongs to is over: discard rather than misfile it.
+            if buf.generation != active.generation || buf.shared.is_none() {
+                return;
+            }
+            if buf.stack.last() == Some(&active.id) {
+                buf.stack.pop();
+            } else {
+                // Out-of-order drop (shouldn't happen with guard scoping);
+                // drop the id wherever it is to keep the stack sane.
+                buf.stack.retain(|&id| id != active.id);
+            }
+            let thread = buf.thread;
+            buf.spans.push(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                kind: active.kind,
+                label: active.label,
+                index: active.index,
+                start_ns: active.start_ns,
+                end_ns,
+                thread,
+            });
+        });
+    }
+}
+
+/// An installed trace collector session.
+///
+/// Exactly one collector is active at a time; installing a new one ends
+/// the previous session (its unflushed thread buffers are discarded).
+///
+/// # Example
+///
+/// ```
+/// use route_trace::{Collector, Counter, SpanKind};
+///
+/// let collector = Collector::install();
+/// {
+///     let _pass = route_trace::span(SpanKind::Pass, "pass", 1);
+///     route_trace::count(Counter::NetsRouted, 3);
+/// }
+/// let trace = collector.finish();
+/// assert_eq!(trace.spans.len(), 1);
+/// assert_eq!(trace.counters.get(Counter::NetsRouted), 3);
+/// ```
+pub struct Collector {
+    shared: Arc<Shared>,
+    generation: u64,
+}
+
+impl Collector {
+    /// Installs a fresh collector and enables tracing globally.
+    pub fn install() -> Collector {
+        let shared = Arc::new(Shared::new());
+        let mut slot = registry().lock().expect("trace registry poisoned");
+        *slot = Some(shared.clone());
+        let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
+        ENABLED.store(true, Ordering::Release);
+        drop(slot);
+        Collector { shared, generation }
+    }
+
+    /// Ends the session and returns everything recorded.
+    ///
+    /// Flushes the calling thread's buffer first; worker threads flushed
+    /// when they exited. If a newer collector was installed meanwhile,
+    /// tracing stays enabled for it and this returns only this session's
+    /// data.
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        flush_thread();
+        {
+            let mut slot = registry().lock().expect("trace registry poisoned");
+            let still_current = GENERATION.load(Ordering::Acquire) == self.generation;
+            if still_current {
+                ENABLED.store(false, Ordering::Release);
+                GENERATION.fetch_add(1, Ordering::AcqRel);
+                *slot = None;
+            }
+        }
+        let spans = {
+            let mut spans = self
+                .shared
+                .spans
+                .lock()
+                .expect("trace span store poisoned");
+            std::mem::take(&mut *spans)
+        };
+        let mut spans = spans;
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let snapshots = {
+            let mut snaps = self
+                .shared
+                .snapshots
+                .lock()
+                .expect("trace snapshot store poisoned");
+            std::mem::take(&mut *snaps)
+        };
+        let counters = {
+            let counters = self
+                .shared
+                .counters
+                .lock()
+                .expect("trace counter store poisoned");
+            counters.clone()
+        };
+        Trace {
+            spans,
+            counters,
+            snapshots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Collector state is process-global; serialize the tests that install
+    // one so `cargo test`'s parallel runner cannot interleave sessions.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _gate = serial();
+        assert!(!enabled());
+        count(Counter::NetsRouted, 5); // must not panic or leak anywhere
+        let guard = span(SpanKind::Net, "net", 0);
+        assert!(guard.id().is_none());
+        drop(guard);
+        assert!(current_span().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_counters_accumulate() {
+        let _gate = serial();
+        let collector = Collector::install();
+        {
+            let pass = span(SpanKind::Pass, "pass", 1);
+            let pass_id = pass.id().unwrap();
+            assert_eq!(current_span(), Some(pass_id));
+            {
+                let net = span(SpanKind::Net, "net", 7);
+                assert_eq!(
+                    net.id().map(|i| i.0 > pass_id.0),
+                    Some(true),
+                    "ids are issued in order"
+                );
+                count(Counter::DijkstraRuns, 2);
+            }
+            count(Counter::DijkstraRuns, 1);
+        }
+        let trace = collector.finish();
+        assert!(!enabled());
+        assert_eq!(trace.spans.len(), 2);
+        let pass = trace
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Pass)
+            .unwrap();
+        let net = trace.spans.iter().find(|s| s.kind == SpanKind::Net).unwrap();
+        assert_eq!(pass.parent, None);
+        assert_eq!(net.parent, Some(pass.id));
+        assert_eq!(net.index, 7);
+        assert!(net.start_ns >= pass.start_ns);
+        assert!(net.end_ns <= pass.end_ns);
+        assert_eq!(trace.counters.get(Counter::DijkstraRuns), 3);
+    }
+
+    #[test]
+    fn worker_threads_merge_at_exit_and_adopt_parents() {
+        let _gate = serial();
+        let collector = Collector::install();
+        let pass = span(SpanKind::Pass, "pass", 1);
+        let parent = pass.id();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let parent = current_span();
+                scope.spawn(move || {
+                    adopt_parent(parent);
+                    let _net = span(SpanKind::Net, "net", worker);
+                    count(Counter::NetsRouted, 1);
+                });
+            }
+        });
+        drop(pass);
+        let trace = collector.finish();
+        assert_eq!(trace.counters.get(Counter::NetsRouted), 4);
+        let nets: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Net)
+            .collect();
+        assert_eq!(nets.len(), 4);
+        for net in nets {
+            assert_eq!(net.parent, parent);
+        }
+        // 1 pass + 4 nets, each from a distinct worker thread.
+        let threads: std::collections::HashSet<u64> =
+            trace.spans.iter().map(|s| s.thread).collect();
+        assert!(threads.len() >= 2);
+    }
+
+    #[test]
+    fn snapshots_are_collected() {
+        let _gate = serial();
+        let collector = Collector::install();
+        record_snapshot(CongestionSnapshot::from_usage(1, 4, &[1, 2, 0]));
+        record_snapshot(CongestionSnapshot::from_usage(2, 4, &[3, 4, 4]));
+        let trace = collector.finish();
+        assert_eq!(trace.snapshots.len(), 2);
+        assert_eq!(trace.snapshots[1].pass, 2);
+    }
+
+    #[test]
+    fn reinstall_discards_stale_session_events() {
+        let _gate = serial();
+        let first = Collector::install();
+        count(Counter::NetsRouted, 1);
+        let second = Collector::install();
+        // This lands in the second session.
+        count(Counter::NetsRouted, 10);
+        let second_trace = second.finish();
+        let first_trace = first.finish();
+        assert_eq!(second_trace.counters.get(Counter::NetsRouted), 10);
+        // The first session kept what was flushed into it before the
+        // takeover (the re-attach flush routed the `1` to it).
+        assert!(first_trace.counters.get(Counter::NetsRouted) <= 1);
+        assert!(!enabled());
+    }
+}

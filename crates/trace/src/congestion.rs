@@ -1,0 +1,124 @@
+//! Per-pass congestion snapshots: channel occupancy histograms.
+//!
+//! A failed width probe is only explainable if we can see *how full* the
+//! channels were when the pass gave up. The router tracks per-channel-
+//! position occupancy anyway (for congestion weighting); a snapshot folds
+//! that vector into a compact histogram with max/mean/saturation stats,
+//! cheap enough to take every pass.
+
+/// Channel occupancy statistics at the end of one routing pass.
+///
+/// All fields are integers (mean is fixed-point milli) so snapshots are
+/// exactly comparable across runs — `Eq` matters for the determinism
+/// tests that assert parallel and sequential routing agree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CongestionSnapshot {
+    /// 1-based pass number the snapshot was taken after.
+    pub pass: usize,
+    /// Channel width `W` of the device being routed.
+    pub channel_width: usize,
+    /// Total channel positions on the device.
+    pub positions: usize,
+    /// Positions with at least one track occupied.
+    pub used_positions: usize,
+    /// `histogram[o]` = number of positions with occupancy exactly `o`;
+    /// occupancies above `channel_width` are clamped into the last bucket.
+    pub histogram: Vec<usize>,
+    /// Highest occupancy observed at any position.
+    pub max_occupancy: u32,
+    /// Mean occupancy over all positions, in milli-tracks (1000 = 1.0).
+    pub mean_occupancy_milli: u64,
+    /// Positions at full capacity (`occupancy >= channel_width`).
+    pub saturated_positions: usize,
+    /// Positions *beyond* capacity. The router removes committed
+    /// resources, so this is 0 unless an engine bug double-books a track.
+    pub overused_positions: usize,
+    /// Largest `occupancy - channel_width` excess (0 when none).
+    pub max_overuse: u32,
+}
+
+impl CongestionSnapshot {
+    /// Folds a raw per-position occupancy vector into a snapshot.
+    #[must_use]
+    pub fn from_usage(pass: usize, channel_width: usize, usage: &[u32]) -> CongestionSnapshot {
+        let w = u32::try_from(channel_width).unwrap_or(u32::MAX);
+        let mut histogram = vec![0usize; channel_width + 1];
+        let mut used_positions = 0usize;
+        let mut saturated_positions = 0usize;
+        let mut overused_positions = 0usize;
+        let mut max_occupancy = 0u32;
+        let mut max_overuse = 0u32;
+        let mut total = 0u64;
+        for &occ in usage {
+            let bucket = (occ as usize).min(channel_width);
+            histogram[bucket] += 1;
+            if occ > 0 {
+                used_positions += 1;
+            }
+            if occ >= w {
+                saturated_positions += 1;
+            }
+            if occ > w {
+                overused_positions += 1;
+                max_overuse = max_overuse.max(occ - w);
+            }
+            max_occupancy = max_occupancy.max(occ);
+            total += u64::from(occ);
+        }
+        let mean_occupancy_milli = if usage.is_empty() {
+            0
+        } else {
+            total.saturating_mul(1000) / usage.len() as u64
+        };
+        CongestionSnapshot {
+            pass,
+            channel_width,
+            positions: usage.len(),
+            used_positions,
+            histogram,
+            max_occupancy,
+            mean_occupancy_milli,
+            saturated_positions,
+            overused_positions,
+            max_overuse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_usage_into_histogram() {
+        let snap = CongestionSnapshot::from_usage(2, 3, &[0, 0, 1, 3, 2, 3]);
+        assert_eq!(snap.pass, 2);
+        assert_eq!(snap.positions, 6);
+        assert_eq!(snap.used_positions, 4);
+        assert_eq!(snap.histogram, vec![2, 1, 1, 2]);
+        assert_eq!(snap.max_occupancy, 3);
+        assert_eq!(snap.saturated_positions, 2);
+        assert_eq!(snap.overused_positions, 0);
+        assert_eq!(snap.max_overuse, 0);
+        // (0+0+1+3+2+3)/6 = 1.5
+        assert_eq!(snap.mean_occupancy_milli, 1500);
+    }
+
+    #[test]
+    fn overuse_is_detected_and_clamped_into_last_bucket() {
+        let snap = CongestionSnapshot::from_usage(1, 2, &[5, 1]);
+        assert_eq!(snap.histogram, vec![0, 1, 1]);
+        assert_eq!(snap.max_occupancy, 5);
+        assert_eq!(snap.overused_positions, 1);
+        assert_eq!(snap.max_overuse, 3);
+        assert_eq!(snap.saturated_positions, 1);
+    }
+
+    #[test]
+    fn empty_usage_is_well_defined() {
+        let snap = CongestionSnapshot::from_usage(1, 4, &[]);
+        assert_eq!(snap.positions, 0);
+        assert_eq!(snap.mean_occupancy_milli, 0);
+        assert_eq!(snap.histogram.len(), 5);
+    }
+}

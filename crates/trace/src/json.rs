@@ -1,0 +1,362 @@
+//! Minimal JSON support: an escaping writer and a validating parser.
+//!
+//! The crate is zero-dependency by design, so both directions are
+//! hand-rolled. The writer emits exactly the subset the sinks need
+//! (objects, arrays, strings, unsigned integers). The parser does *not*
+//! build a document — it only checks well-formedness — which is all the
+//! `trace-check` CLI subcommand and the CI smoke test require.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (quotes included) with escaping.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for one JSON object, emitted as a single line (no spaces).
+pub struct ObjectWriter {
+    out: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Starts an object: `{`.
+    #[must_use]
+    pub fn new() -> ObjectWriter {
+        ObjectWriter {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Adds `"key":"value"` with escaping.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut ObjectWriter {
+        self.key(key);
+        write_str(&mut self.out, value);
+        self
+    }
+
+    /// Adds `"key":value` for an unsigned integer.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut ObjectWriter {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Adds `"key":[v0,v1,...]` for a slice of unsigned integers.
+    pub fn u64_array(&mut self, key: &str, values: impl IntoIterator<Item = u64>) -> &mut ObjectWriter {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{v}");
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Adds `"key":<raw>` where `raw` is already-valid JSON.
+    pub fn raw(&mut self, key: &str, raw: &str) -> &mut ObjectWriter {
+        self.key(key);
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the line.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for ObjectWriter {
+    fn default() -> ObjectWriter {
+        ObjectWriter::new()
+    }
+}
+
+/// Checks that `input` is exactly one well-formed JSON value.
+///
+/// Validates structure only (no document is built): object/array nesting,
+/// string escapes, number syntax, literals, and that nothing trails the
+/// value. Errors carry a byte offset and a short description.
+pub fn validate(input: &str) -> Result<(), JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::new(pos, "trailing characters after value"));
+    }
+    Ok(())
+}
+
+/// A well-formedness violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the violation within the input.
+    pub offset: usize,
+    /// Short description of what was expected or found.
+    pub message: &'static str,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: &'static str) -> JsonError {
+        JsonError { offset, message }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(JsonError::new(*pos, "unexpected character")),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError::new(*pos, "expected object key string"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError::new(*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(JsonError::new(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(JsonError::new(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume opening '"'
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(JsonError::new(
+                                        *pos,
+                                        "invalid \\u escape (need 4 hex digits)",
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(JsonError::new(*pos, "invalid escape sequence")),
+                }
+            }
+            0x00..=0x1f => {
+                return Err(JsonError::new(*pos, "unescaped control character in string"))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(JsonError::new(*pos, "unterminated string"))
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), JsonError> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError::new(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(JsonError::new(*pos, "expected digit in number")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(JsonError::new(*pos, "expected digit after decimal point"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(JsonError::new(*pos, "expected digit in exponent"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_writer_builds_flat_objects() {
+        let mut o = ObjectWriter::new();
+        o.str("type", "span").u64("id", 3).u64_array("h", [1, 0, 2]);
+        let line = o.finish();
+        assert_eq!(line, r#"{"type":"span","id":3,"h":[1,0,2]}"#);
+        validate(&line).unwrap();
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        validate(&out).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_values() {
+        for ok in [
+            r#"{}"#,
+            r#"[]"#,
+            r#"{"a":1,"b":[true,false,null],"c":{"d":"e"}}"#,
+            r#"-12.5e+3"#,
+            r#""é\n""#,
+            " { \"a\" : 1 } ",
+        ] {
+            assert!(validate(ok).is_ok(), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{'a':1}"#,
+            "[1,2",
+            r#""unterminated"#,
+            "01",
+            "1.",
+            "{} extra",
+            "tru",
+            r#""bad \q escape""#,
+        ] {
+            assert!(validate(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = validate(r#"{"a" 1}"#).unwrap_err();
+        assert_eq!(err.offset, 5);
+        assert!(err.to_string().contains("byte 5"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Zero-dependency routing telemetry.
+//!
+//! The routing pipeline is a hierarchy — a minimum-channel-width search
+//! probes widths, each attempt runs passes, each pass routes nets, each
+//! net runs a Steiner heuristic — and questions about its behaviour
+//! ("why did width 9 fail?", "where do the relaxations go?") need
+//! visibility at every level. This crate provides that visibility with
+//! three primitives:
+//!
+//! * **Spans** ([`span`]): timed, nested intervals mirroring the
+//!   hierarchy (`width_search > attempt > pass > net > phase`), safe to
+//!   record from the parallel engine's worker threads.
+//! * **Counters** ([`count`], [`Counter`]): dense tallies of algorithm
+//!   events — Dijkstra relaxations, Steiner candidate evaluations,
+//!   conflict-detector accepts — merged across threads.
+//! * **Congestion snapshots** ([`record_snapshot`]): per-pass channel
+//!   occupancy histograms.
+//!
+//! # Cost model
+//!
+//! With no collector installed every entry point is one relaxed atomic
+//! load; instrumented hot loops keep local tallies and flush once, so
+//! routing with tracing disabled measures within noise of untraced code.
+//! With a collector installed, events buffer in thread-local storage
+//! ([`flush_thread`] / thread exit merges them), so worker threads never
+//! contend on a shared lock per event.
+//!
+//! # Usage
+//!
+//! ```
+//! use route_trace::{Collector, Counter, JsonlSink, SpanKind, TraceSink};
+//!
+//! let collector = Collector::install();
+//! {
+//!     let _pass = route_trace::span(SpanKind::Pass, "pass", 1);
+//!     route_trace::count(Counter::NetsRouted, 1);
+//! }
+//! let trace = collector.finish();
+//! let mut jsonl = Vec::new();
+//! JsonlSink.emit(&trace, &mut jsonl).unwrap();
+//! assert!(std::str::from_utf8(&jsonl).unwrap().lines().count() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod congestion;
+mod counter;
+pub mod json;
+mod sink;
+mod span;
+
+pub use collector::{
+    adopt_parent, count, current_span, enabled, flush_thread, record_snapshot, span, Collector,
+    SpanGuard,
+};
+pub use congestion::CongestionSnapshot;
+pub use counter::{Counter, CounterSet};
+pub use sink::{JsonSink, JsonlSink, Trace, TraceSink};
+pub use span::{SpanId, SpanKind, SpanRecord};

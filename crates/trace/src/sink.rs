@@ -1,0 +1,269 @@
+//! Trace results and emission sinks.
+//!
+//! [`Collector::finish`](crate::Collector::finish) returns a [`Trace`];
+//! a [`TraceSink`] turns it into bytes. Two sinks ship with the crate:
+//! [`JsonlSink`] (one JSON object per line — streams well, greps well)
+//! and [`JsonSink`] (a single document for tools that want one value).
+
+use std::io::{self, Write};
+
+use crate::congestion::CongestionSnapshot;
+use crate::counter::CounterSet;
+use crate::json::ObjectWriter;
+use crate::span::{SpanKind, SpanRecord};
+
+/// Everything one collector session recorded.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed spans, sorted by start time.
+    pub spans: Vec<SpanRecord>,
+    /// Merged algorithm counters from every participating thread.
+    pub counters: CounterSet,
+    /// Per-pass congestion snapshots, in recording order.
+    pub snapshots: Vec<CongestionSnapshot>,
+}
+
+impl Trace {
+    /// `true` when nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.snapshots.is_empty()
+    }
+
+    /// Spans of one kind, in start order.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Renders a human-readable counter/congestion summary (the CLI's
+    /// `--metrics` output).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n");
+        out.push_str(&format!(
+            "  spans: {} ({} passes, {} nets)\n",
+            self.spans.len(),
+            self.spans_of(SpanKind::Pass).count(),
+            self.spans_of(SpanKind::Net).count(),
+        ));
+        for (c, v) in self.counters.iter_nonzero() {
+            out.push_str(&format!("  {:<30} {v}\n", c.name()));
+        }
+        for snap in &self.snapshots {
+            out.push_str(&format!(
+                "  pass {:>2} congestion: max {} / width {}, mean {}.{:03}, saturated {}/{}\n",
+                snap.pass,
+                snap.max_occupancy,
+                snap.channel_width,
+                snap.mean_occupancy_milli / 1000,
+                snap.mean_occupancy_milli % 1000,
+                snap.saturated_positions,
+                snap.positions,
+            ));
+        }
+        out
+    }
+}
+
+/// Something that can serialize a [`Trace`] to a writer.
+pub trait TraceSink {
+    /// Writes the trace to `out`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    fn emit(&self, trace: &Trace, out: &mut dyn Write) -> io::Result<()>;
+}
+
+fn span_object(span: &SpanRecord) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "span")
+        .u64("id", span.id.0)
+        .u64("parent", span.parent.map_or(0, |p| p.0))
+        .str("kind", span.kind.name())
+        .str("label", span.label)
+        .u64("index", span.index)
+        .u64("start_ns", span.start_ns)
+        .u64("end_ns", span.end_ns)
+        .u64("thread", span.thread);
+    o.finish()
+}
+
+fn snapshot_object(snap: &CongestionSnapshot) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "congestion")
+        .u64("pass", snap.pass as u64)
+        .u64("channel_width", snap.channel_width as u64)
+        .u64("positions", snap.positions as u64)
+        .u64("used_positions", snap.used_positions as u64)
+        .u64_array("histogram", snap.histogram.iter().map(|&v| v as u64))
+        .u64("max_occupancy", u64::from(snap.max_occupancy))
+        .u64("mean_occupancy_milli", snap.mean_occupancy_milli)
+        .u64("saturated_positions", snap.saturated_positions as u64)
+        .u64("overused_positions", snap.overused_positions as u64)
+        .u64("max_overuse", u64::from(snap.max_overuse));
+    o.finish()
+}
+
+fn meta_object(trace: &Trace) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "meta")
+        .str("format", "route-trace")
+        .u64("version", 1)
+        .u64("spans", trace.spans.len() as u64)
+        .u64("snapshots", trace.snapshots.len() as u64);
+    o.finish()
+}
+
+/// Emits one JSON object per line: a `meta` header, then every span,
+/// every nonzero counter, and every congestion snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonlSink;
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, trace: &Trace, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(out, "{}", meta_object(trace))?;
+        for span in &trace.spans {
+            writeln!(out, "{}", span_object(span))?;
+        }
+        for (c, v) in trace.counters.iter_nonzero() {
+            let mut o = ObjectWriter::new();
+            o.str("type", "counter").str("name", c.name()).u64("value", v);
+            writeln!(out, "{}", o.finish())?;
+        }
+        for snap in &trace.snapshots {
+            writeln!(out, "{}", snapshot_object(snap))?;
+        }
+        Ok(())
+    }
+}
+
+/// Emits the whole trace as one JSON document
+/// (`{"meta":…,"spans":[…],"counters":{…},"congestion":[…]}`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSink;
+
+impl TraceSink for JsonSink {
+    fn emit(&self, trace: &Trace, out: &mut dyn Write) -> io::Result<()> {
+        let mut doc = String::from("{\"meta\":");
+        doc.push_str(&meta_object(trace));
+        doc.push_str(",\"spans\":[");
+        for (i, span) in trace.spans.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&span_object(span));
+        }
+        doc.push_str("],\"counters\":{");
+        for (i, (c, v)) in trace.counters.iter_nonzero().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            let mut pair = String::new();
+            crate::json::write_str(&mut pair, c.name());
+            doc.push_str(&pair);
+            doc.push(':');
+            doc.push_str(&v.to_string());
+        }
+        doc.push_str("},\"congestion\":[");
+        for (i, snap) in trace.snapshots.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&snapshot_object(snap));
+        }
+        doc.push_str("]}");
+        out.write_all(doc.as_bytes())?;
+        out.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Counter;
+    use crate::json::validate;
+    use crate::span::SpanId;
+
+    fn sample_trace() -> Trace {
+        let mut counters = CounterSet::new();
+        counters.add(Counter::DijkstraRelaxations, 42);
+        counters.add(Counter::NetsRouted, 3);
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: SpanId(1),
+                    parent: None,
+                    kind: SpanKind::Pass,
+                    label: "pass",
+                    index: 1,
+                    start_ns: 0,
+                    end_ns: 900,
+                    thread: 0,
+                },
+                SpanRecord {
+                    id: SpanId(2),
+                    parent: Some(SpanId(1)),
+                    kind: SpanKind::Net,
+                    label: "net \"a\"",
+                    index: 0,
+                    start_ns: 10,
+                    end_ns: 500,
+                    thread: 1,
+                },
+            ],
+            counters,
+            snapshots: vec![CongestionSnapshot::from_usage(1, 2, &[1, 2, 0])],
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let mut buf = Vec::new();
+        JsonlSink.emit(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 2 spans + 2 counters + 1 snapshot
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            validate(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        }
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[1].contains("\"parent\":0"));
+        assert!(lines[2].contains("\"parent\":1"));
+        assert!(text.contains("\"dijkstra_relaxations\""));
+        assert!(text.contains("\"max_occupancy\":2"));
+    }
+
+    #[test]
+    fn json_document_is_one_valid_value() {
+        let mut buf = Vec::new();
+        JsonSink.emit(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(text.trim_end()).unwrap();
+        assert!(text.contains("\"spans\":["));
+        assert!(text.contains("\"nets_routed\":3"));
+    }
+
+    #[test]
+    fn empty_trace_emits_valid_output() {
+        let trace = Trace::default();
+        assert!(trace.is_empty());
+        let mut buf = Vec::new();
+        JsonlSink.emit(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1); // meta only
+        validate(text.trim_end()).unwrap();
+        let mut buf = Vec::new();
+        JsonSink.emit(&trace, &mut buf).unwrap();
+        validate(String::from_utf8(buf).unwrap().trim_end()).unwrap();
+    }
+
+    #[test]
+    fn summary_mentions_nonzero_counters() {
+        let s = sample_trace().summary();
+        assert!(s.contains("dijkstra_relaxations"));
+        assert!(s.contains("pass  1 congestion"));
+        assert!(!s.contains("pfa_folds"));
+    }
+}

@@ -59,10 +59,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             assert_eq!(sequential.trees, parallel.trees);
             println!("routed trees are identical: true");
-            for t in &parallel.timings {
+            for t in &parallel.telemetry.passes {
                 println!(
-                    "  pass {}: {:>4} batches, {:>3} speculated, {:>3} accepted, {:>3} rerouted, {:.1?}",
-                    t.pass, t.batches, t.speculated, t.accepted, t.rerouted, t.elapsed
+                    "  pass {}: {:>4} batches, {:>3} speculated, {:>3} accepted, {:>3} rerouted, {:.1?}, max occupancy {}/{}",
+                    t.pass,
+                    t.batches,
+                    t.speculated,
+                    t.accepted,
+                    t.rerouted,
+                    t.elapsed,
+                    t.congestion.max_occupancy,
+                    t.congestion.channel_width
                 );
             }
         }

@@ -3,10 +3,13 @@
 //! ```text
 //! fpga-route profiles
 //! fpga-route route --circuit term1 --arch 4000 --width 9 [--algorithm ikmb]
-//!                  [--seed 1995] [--passes 10] [--svg out.svg]
+//!                  [--seed 1995] [--passes 10] [--threads 0] [--svg out.svg]
+//!                  [--trace out.jsonl] [--metrics]
 //! fpga-route width --circuit term1 --arch 4000 [--min 3] [--max 24]
-//!                  [--algorithm ikmb] [--baseline]
+//!                  [--algorithm ikmb] [--baseline] [--threads 0]
+//!                  [--probe-threads 0] [--trace out.jsonl] [--metrics]
 //! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
+//! fpga-route trace-check <file.jsonl>
 //! ```
 
 use std::collections::HashMap;
@@ -14,7 +17,9 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use fpga_route::fpga::synth::{synthesize, xc3000_profiles, xc4000_profiles, CircuitProfile};
-use fpga_route::fpga::width::{minimum_channel_width, WidthSearch};
+use fpga_route::fpga::width::{
+    minimum_channel_width, minimum_channel_width_parallel, WidthSearch,
+};
 use fpga_route::fpga::{
     viz, ArchSpec, BaselineConfig, BaselineRouter, Device, RouteAlgorithm, Router, RouterConfig,
 };
@@ -23,6 +28,7 @@ use fpga_route::steiner::metrics::{measure, optimal_max_pathlength};
 use fpga_route::steiner::{
     idom, ikmb, izel, Djka, Dom, Kmb, Net, Pfa, SteinerHeuristic, Zel,
 };
+use fpga_route::trace::{Collector, JsonSink, JsonlSink, Trace, TraceSink};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,37 +46,101 @@ const USAGE: &str = "\
 usage:
   fpga-route profiles
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
-                   [--algorithm <name>] [--seed <n>] [--passes <n>] [--svg <file>]
+                   [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
+                   [--svg <file>] [--trace <file>] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
+                   [--threads <n>] [--probe-threads <n>] [--trace <file>] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
+  fpga-route trace-check <file.jsonl>
 
+--threads / --probe-threads: 0 = one worker per available core
+--trace: telemetry as JSONL (or a single JSON document for .json paths)
 algorithms: kmb zel ikmb izel djka dom pfa idom";
+
+/// A flag a command accepts: name and whether it consumes a value
+/// (`false` marks boolean presence flags like `--baseline`).
+type FlagSpec = &'static [(&'static str, bool)];
+
+const PROFILES_FLAGS: FlagSpec = &[];
+const ROUTE_FLAGS: FlagSpec = &[
+    ("circuit", true),
+    ("arch", true),
+    ("width", true),
+    ("algorithm", true),
+    ("seed", true),
+    ("passes", true),
+    ("threads", true),
+    ("svg", true),
+    ("trace", true),
+    ("metrics", false),
+];
+const WIDTH_FLAGS: FlagSpec = &[
+    ("circuit", true),
+    ("arch", true),
+    ("min", true),
+    ("max", true),
+    ("algorithm", true),
+    ("seed", true),
+    ("passes", true),
+    ("baseline", false),
+    ("threads", true),
+    ("probe-threads", true),
+    ("trace", true),
+    ("metrics", false),
+];
+const NET_FLAGS: FlagSpec = &[
+    ("rows", true),
+    ("cols", true),
+    ("pins", true),
+    ("algorithm", true),
+    ("seed", true),
+];
 
 fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let Some(command) = args.first() else {
         return Err("no command given".into());
     };
-    let flags = parse_flags(&args[1..])?;
     match command.as_str() {
-        "profiles" => cmd_profiles(),
-        "route" => cmd_route(&flags),
-        "width" => cmd_width(&flags),
-        "net" => cmd_net(&flags),
+        "profiles" => {
+            parse_flags(&args[1..], "profiles", PROFILES_FLAGS)?;
+            cmd_profiles()
+        }
+        "route" => cmd_route(&parse_flags(&args[1..], "route", ROUTE_FLAGS)?),
+        "width" => cmd_width(&parse_flags(&args[1..], "width", WIDTH_FLAGS)?),
+        "net" => cmd_net(&parse_flags(&args[1..], "net", NET_FLAGS)?),
+        "trace-check" => cmd_trace_check(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
 
-/// Parses `--key value` pairs.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+/// Parses `--key [value]` pairs against the command's accepted flags,
+/// rejecting anything the command does not understand by name.
+fn parse_flags(
+    args: &[String],
+    command: &str,
+    spec: FlagSpec,
+) -> Result<HashMap<String, String>, Box<dyn Error>> {
     let mut flags = HashMap::new();
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, found `{arg}`").into());
         };
-        // Boolean flags take no value.
-        if key == "baseline" {
+        let Some(&(_, takes_value)) = spec.iter().find(|(name, _)| *name == key) else {
+            let allowed: Vec<String> =
+                spec.iter().map(|(name, _)| format!("--{name}")).collect();
+            return Err(format!(
+                "unknown flag `--{key}` for `{command}` (accepted: {})",
+                if allowed.is_empty() {
+                    "none".to_string()
+                } else {
+                    allowed.join(" ")
+                }
+            )
+            .into());
+        };
+        if !takes_value {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -96,6 +166,17 @@ fn get_usize(
 
 fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, Box<dyn Error>> {
     flags.get(key).map_or(Ok(default), |v| Ok(v.parse()?))
+}
+
+/// Resolves a thread-count flag: absent = 1 (sequential), `0` = one
+/// worker per available core.
+fn get_threads(flags: &HashMap<String, String>, key: &str) -> Result<usize, Box<dyn Error>> {
+    let requested = get_usize(flags, key, Some(1))?;
+    Ok(if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    })
 }
 
 fn algorithm(flags: &HashMap<String, String>) -> Result<RouteAlgorithm, Box<dyn Error>> {
@@ -132,6 +213,46 @@ fn arch_for(
     }
 }
 
+/// Installs a trace collector when `--trace`/`--metrics` ask for one.
+fn maybe_collector(flags: &HashMap<String, String>) -> Option<Collector> {
+    if flags.contains_key("trace") || flags.contains_key("metrics") {
+        Some(Collector::install())
+    } else {
+        None
+    }
+}
+
+/// Finishes an installed collector: writes `--trace` output (JSONL, or a
+/// single JSON document for `.json` paths) and prints `--metrics`.
+fn finish_collector(
+    collector: Option<Collector>,
+    flags: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let Some(collector) = collector else {
+        return Ok(());
+    };
+    let trace = collector.finish();
+    if let Some(path) = flags.get("trace") {
+        write_trace(&trace, path)?;
+        println!("telemetry written to {path}");
+    }
+    if flags.contains_key("metrics") {
+        print!("{}", trace.summary());
+    }
+    Ok(())
+}
+
+fn write_trace(trace: &Trace, path: &str) -> Result<(), Box<dyn Error>> {
+    let mut buf = Vec::new();
+    if path.ends_with(".json") {
+        JsonSink.emit(trace, &mut buf)?;
+    } else {
+        JsonlSink.emit(trace, &mut buf)?;
+    }
+    std::fs::write(path, buf)?;
+    Ok(())
+}
+
 fn cmd_profiles() -> Result<(), Box<dyn Error>> {
     println!("{:<10} {:>6} {:>6} {:>6} {:>7} {:>8}  family", "name", "rows", "cols", "nets", "2-3", "4-10/>10");
     for (family, profiles) in [("3000", xc3000_profiles()), ("4000", xc4000_profiles())] {
@@ -159,19 +280,23 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let width = get_usize(flags, "width", None)?;
     let seed = get_u64(flags, "seed", 1995)?;
     let passes = get_usize(flags, "passes", Some(10))?;
+    let threads = get_threads(flags, "threads")?;
     let circuit = synthesize(&profile, 2, seed)?;
     let device = Device::new(arch_for(flags, &profile, width)?)?;
     let config = RouterConfig {
         algorithm: algorithm(flags)?,
         max_passes: passes,
+        threads,
         ..RouterConfig::default()
     };
+    let collector = maybe_collector(flags);
     let outcome = Router::new(&device, config.clone()).route(&circuit)?;
     println!(
-        "{name}: routed {} nets at W = {width} with {} in {} pass(es)",
+        "{name}: routed {} nets at W = {width} with {} in {} pass(es), {} thread(s)",
         circuit.net_count(),
         config.algorithm.label(),
-        outcome.passes
+        outcome.passes,
+        threads
     );
     println!(
         "total wirelength {}, critical pathlength {}",
@@ -182,7 +307,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         std::fs::write(svg_path, viz::render_svg(&device, &circuit, &outcome)?)?;
         println!("rendering written to {svg_path}");
     }
-    Ok(())
+    finish_collector(collector, flags)
 }
 
 fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
@@ -194,11 +319,13 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let max = get_usize(flags, "max", Some(24))?;
     let seed = get_u64(flags, "seed", 1995)?;
     let passes = get_usize(flags, "passes", Some(10))?;
+    let threads = get_threads(flags, "threads")?;
+    let probe_threads = get_threads(flags, "probe-threads")?;
     let circuit = synthesize(&profile, 2, seed)?;
     let base = arch_for(flags, &profile, min)?;
     let use_baseline = flags.contains_key("baseline");
     let algo = algorithm(flags)?;
-    let found = minimum_channel_width(base, min..=max, WidthSearch::Binary, |device| {
+    let route = |device: &Device| {
         if use_baseline {
             BaselineRouter::new(
                 device,
@@ -214,12 +341,19 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                 RouterConfig {
                     algorithm: algo,
                     max_passes: passes,
+                    threads,
                     ..RouterConfig::default()
                 },
             )
             .route(&circuit)
         }
-    })?;
+    };
+    let collector = maybe_collector(flags);
+    let found = if probe_threads > 1 {
+        minimum_channel_width_parallel(base, min..=max, probe_threads, route)?
+    } else {
+        minimum_channel_width(base, min..=max, WidthSearch::Binary, route)?
+    };
     println!(
         "{name}: minimum channel width {} with {} ({} routing attempts, wirelength {})",
         found.channel_width,
@@ -227,7 +361,7 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         found.attempts,
         found.outcome.total_wirelength
     );
-    Ok(())
+    finish_collector(collector, flags)
 }
 
 fn cmd_net(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
@@ -278,6 +412,30 @@ fn cmd_net(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Validates every line of a JSONL telemetry file (used by CI to check
+/// `--trace` output without external tooling). Reports the first
+/// malformed line by number.
+fn cmd_trace_check(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let [path] = args else {
+        return Err("trace-check takes exactly one argument: the JSONL file to validate".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let mut checked = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        fpga_route::trace::json::validate(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!("{path}: no JSON lines found").into());
+    }
+    println!("{path}: {checked} JSON lines OK");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,23 +449,64 @@ mod tests {
 
     #[test]
     fn flag_parser_round_trips() {
-        let parsed = parse_flags(&[
-            "--circuit".into(),
-            "term1".into(),
-            "--width".into(),
-            "9".into(),
-            "--baseline".into(),
-        ])
+        let parsed = parse_flags(
+            &[
+                "--circuit".into(),
+                "term1".into(),
+                "--min".into(),
+                "9".into(),
+                "--baseline".into(),
+            ],
+            "width",
+            WIDTH_FLAGS,
+        )
         .unwrap();
         assert_eq!(parsed.get("circuit").unwrap(), "term1");
-        assert_eq!(parsed.get("width").unwrap(), "9");
+        assert_eq!(parsed.get("min").unwrap(), "9");
         assert_eq!(parsed.get("baseline").unwrap(), "true");
     }
 
     #[test]
     fn flag_parser_rejects_malformed_input() {
-        assert!(parse_flags(&["circuit".into()]).is_err());
-        assert!(parse_flags(&["--width".into()]).is_err());
+        assert!(parse_flags(&["circuit".into()], "route", ROUTE_FLAGS).is_err());
+        assert!(parse_flags(&["--width".into()], "route", ROUTE_FLAGS).is_err());
+    }
+
+    #[test]
+    fn flag_parser_rejects_unknown_flags_by_name() {
+        // A flag valid for one command is still rejected for another, and
+        // the error names the offending flag and the command.
+        let err = parse_flags(&["--width".into(), "9".into()], "net", NET_FLAGS).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--width"), "error must name the flag: {msg}");
+        assert!(msg.contains("`net`"), "error must name the command: {msg}");
+        assert!(msg.contains("--rows"), "error must list accepted flags: {msg}");
+
+        let err = parse_flags(
+            &["--typo-flag".into(), "1".into()],
+            "route",
+            ROUTE_FLAGS,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--typo-flag"));
+
+        // Commands with no flags report that none are accepted.
+        let err = parse_flags(&["--width".into(), "9".into()], "profiles", PROFILES_FLAGS)
+            .unwrap_err();
+        assert!(err.to_string().contains("none"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // `--metrics` must not swallow the next flag as its value.
+        let parsed = parse_flags(
+            &["--metrics".into(), "--circuit".into(), "term1".into()],
+            "route",
+            ROUTE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(parsed.get("metrics").unwrap(), "true");
+        assert_eq!(parsed.get("circuit").unwrap(), "term1");
     }
 
     #[test]
@@ -341,6 +540,17 @@ mod tests {
     }
 
     #[test]
+    fn thread_flags_resolve_zero_to_available_cores() {
+        assert_eq!(get_threads(&flags(&[]), "threads").unwrap(), 1);
+        assert_eq!(
+            get_threads(&flags(&[("threads", "3")]), "threads").unwrap(),
+            3
+        );
+        assert!(get_threads(&flags(&[("threads", "0")]), "threads").unwrap() >= 1);
+        assert!(get_threads(&flags(&[("threads", "x")]), "threads").is_err());
+    }
+
+    #[test]
     fn net_command_runs_end_to_end() {
         cmd_net(&flags(&[
             ("rows", "6"),
@@ -349,5 +559,20 @@ mod tests {
             ("algorithm", "idom"),
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn trace_check_validates_and_rejects() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("fpga_route_trace_check_good.jsonl");
+        let bad = dir.join("fpga_route_trace_check_bad.jsonl");
+        std::fs::write(&good, "{\"type\":\"meta\"}\n{\"a\":[1,2]}\n").unwrap();
+        std::fs::write(&bad, "{\"type\":\"meta\"}\nnot json\n").unwrap();
+        cmd_trace_check(&[good.to_string_lossy().into_owned()]).unwrap();
+        let err = cmd_trace_check(&[bad.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.to_string().contains(":2"), "names the bad line: {err}");
+        assert!(cmd_trace_check(&[]).is_err());
+        let _ = std::fs::remove_file(good);
+        let _ = std::fs::remove_file(bad);
     }
 }

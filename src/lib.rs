@@ -13,6 +13,9 @@
 //!   model.
 //! * [`fpga`] ([`fpga-device`](fpga_device)) — the symmetrical-array FPGA
 //!   device model, synthetic benchmark circuits, and the detailed router.
+//! * [`trace`] ([`route-trace`](route_trace)) — zero-dependency telemetry:
+//!   hierarchical spans, algorithm counters, congestion snapshots, and
+//!   JSON/JSONL emission.
 //!
 //! See the `examples/` directory for runnable walkthroughs, starting with
 //! `quickstart.rs`.
@@ -21,4 +24,5 @@
 
 pub use fpga_device as fpga;
 pub use route_graph as graph;
+pub use route_trace as trace;
 pub use steiner_route as steiner;

@@ -1,0 +1,288 @@
+//! Adversarial property test for the parallel conflict detector.
+//!
+//! The speculative batched engine is only allowed to win wall-clock time;
+//! its results must be bit-identical to the sequential router's. The
+//! friendliest inputs for it are circuits whose nets occupy disjoint
+//! regions — batches commit without conflicts and the detector is barely
+//! exercised. This test does the opposite: every net is constructed to
+//! span the whole array (one pin in the top-left quadrant, one in the
+//! bottom-right, extras sprinkled anywhere), so every pair of bounding
+//! boxes overlaps maximally, speculation is almost always stale, and the
+//! conflict detector's re-route path carries the pass. Across seeded pin
+//! assignments and thread counts, the parallel outcome must still match
+//! the sequential one exactly — trees, pass counts, wirelength, and the
+//! end-of-pass congestion snapshots.
+
+use fpga_route::fpga::synth::synthesize;
+use fpga_route::fpga::{
+    ArchSpec, BlockPin, Circuit, CircuitNet, Device, FpgaError, RouteOutcome, Router, RouterConfig,
+    Side,
+};
+use fpga_route::graph::rng::{Rng, SliceRandom, SplitMix64};
+
+/// Builds a circuit in which every net's bounding box covers the whole
+/// array: pin 0 in the top-left quadrant, pin 1 in the bottom-right, plus
+/// up to two extra pins from anywhere. Pin assignments (and hence the
+/// router's net order, which sorts by pin count then index) vary by seed.
+fn adversarial_circuit(seed: u64, rows: usize, cols: usize, nets: usize) -> Circuit {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut pool: Vec<BlockPin> = Vec::new();
+    for row in 0..rows {
+        for col in 0..cols {
+            for side in [Side::North, Side::East, Side::South, Side::West] {
+                for slot in 0..2 {
+                    pool.push(BlockPin {
+                        row,
+                        col,
+                        side,
+                        slot,
+                    });
+                }
+            }
+        }
+    }
+    pool.shuffle(&mut rng);
+    let mut top_left: Vec<BlockPin> = Vec::new();
+    let mut bottom_right: Vec<BlockPin> = Vec::new();
+    let mut anywhere: Vec<BlockPin> = Vec::new();
+    for pin in pool {
+        if pin.row < rows / 2 && pin.col < cols / 2 {
+            top_left.push(pin);
+        } else if pin.row >= rows.div_ceil(2) && pin.col >= cols.div_ceil(2) {
+            bottom_right.push(pin);
+        } else {
+            anywhere.push(pin);
+        }
+    }
+    let mut circuit_nets = Vec::with_capacity(nets);
+    for _ in 0..nets {
+        let mut pins = vec![
+            top_left.pop().expect("enough corner pins"),
+            bottom_right.pop().expect("enough corner pins"),
+        ];
+        for _ in 0..rng.gen_range(0..=2usize) {
+            if let Some(extra) = anywhere.pop() {
+                pins.push(extra);
+            }
+        }
+        if rng.gen_ratio(1, 2) {
+            pins.swap(0, 1); // vary which corner drives
+        }
+        circuit_nets.push(CircuitNet { pins });
+    }
+    Circuit::new("adversarial", rows, cols, circuit_nets).expect("pins are unique by construction")
+}
+
+/// Builds the nastiest known workload for the conflict detector: long
+/// vertical 2-pin nets packed into a few far-apart columns. The columns'
+/// margin-expanded bounding boxes are pairwise disjoint, so nets from
+/// different columns batch together and speculate concurrently — but the
+/// columns are oversubscribed (more nets than tracks at the probe width),
+/// so committed routes detour sideways into territory a batch-mate's
+/// speculation also claimed, going stale and forcing the sequential
+/// re-route path.
+fn saturated_columns_circuit(seed: u64, rows: usize, cols: usize) -> Circuit {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut nets = Vec::new();
+    for c in [0usize, 5] {
+        let mut pool: Vec<BlockPin> = Vec::new();
+        for r in 0..rows {
+            for side in [Side::North, Side::East, Side::South, Side::West] {
+                for slot in 0..2 {
+                    pool.push(BlockPin { row: r, col: c, side, slot });
+                }
+            }
+        }
+        pool.shuffle(&mut rng);
+        for _ in 0..6 {
+            let top = pool
+                .iter()
+                .position(|p| p.row < 2)
+                .expect("top pin available");
+            let top = pool.remove(top);
+            let bottom = pool
+                .iter()
+                .position(|p| p.row >= rows - 2)
+                .expect("bottom pin available");
+            let bottom = pool.remove(bottom);
+            let mut pins = vec![top, bottom];
+            if rng.gen_ratio(1, 2) {
+                pins.swap(0, 1);
+            }
+            nets.push(CircuitNet { pins });
+        }
+    }
+    nets.shuffle(&mut rng);
+    Circuit::new("saturated-columns", rows, cols, nets).expect("pins are unique by construction")
+}
+
+fn assert_identical(parallel: &RouteOutcome, sequential: &RouteOutcome, context: &str) {
+    assert_eq!(parallel.trees, sequential.trees, "{context}");
+    assert_eq!(parallel.passes, sequential.passes, "{context}");
+    assert_eq!(
+        parallel.total_wirelength, sequential.total_wirelength,
+        "{context}"
+    );
+    assert_eq!(
+        parallel.max_pathlengths, sequential.max_pathlengths,
+        "{context}"
+    );
+    let snapshots = |o: &RouteOutcome| {
+        o.telemetry
+            .passes
+            .iter()
+            .map(|t| t.congestion.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(snapshots(parallel), snapshots(sequential), "{context}");
+}
+
+#[test]
+fn maximal_bbox_overlap_stays_bit_identical_across_thread_counts() {
+    for seed in [1u64, 7, 42, 1995, 20010] {
+        let circuit = adversarial_circuit(seed, 6, 6, 10);
+        let device = Device::new(ArchSpec::xilinx4000(6, 6, 9)).unwrap();
+        let sequential = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = Router::new(
+                &device,
+                RouterConfig {
+                    threads,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+            .unwrap();
+            let context = format!("seed {seed}, threads {threads}");
+            assert_identical(&parallel, &sequential, &context);
+            // Every speculated net is resolved by the detector, one way
+            // or the other, on a completed pass.
+            for t in &parallel.telemetry.passes {
+                assert_eq!(
+                    t.accepted + t.rerouted,
+                    t.speculated,
+                    "{context}, pass {}",
+                    t.pass
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_speculations_reroute_and_stay_bit_identical() {
+    // The construction must actually be adversarial: across the seeds at
+    // least one stale speculation has to fall back to the sequential
+    // re-route — and under exactly that pressure the parallel outcome must
+    // still match the sequential one bit for bit. (Per-seed reroute counts
+    // can legitimately be zero, so the pressure assertion spans the whole
+    // seed family.)
+    let mut rerouted = 0u64;
+    let mut speculated = 0u64;
+    for seed in 1u64..=10 {
+        let circuit = saturated_columns_circuit(seed, 8, 8);
+        let device = Device::new(ArchSpec::xilinx4000(8, 8, 3)).unwrap();
+        let sequential = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        let parallel = Router::new(
+            &device,
+            RouterConfig {
+                threads: 4,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&circuit)
+        .unwrap();
+        assert_identical(&parallel, &sequential, &format!("columns seed {seed}"));
+        for t in &parallel.telemetry.passes {
+            rerouted += t.rerouted as u64;
+            speculated += t.speculated as u64;
+        }
+    }
+    assert!(
+        speculated > 0,
+        "no net was ever speculated; the workload is trivial"
+    );
+    assert!(
+        rerouted > 0,
+        "no speculation ever went stale; the workload does not stress the detector"
+    );
+}
+
+#[test]
+fn overlapping_nets_agree_on_unroutability() {
+    // Determinism must extend to failure: at a hopeless width both engines
+    // report the same unroutable verdict, with identical pass budgets.
+    let circuit = adversarial_circuit(3, 6, 6, 12);
+    let device = Device::new(ArchSpec::xilinx4000(6, 6, 1)).unwrap();
+    let config = RouterConfig {
+        max_passes: 3,
+        ..RouterConfig::default()
+    };
+    let sequential = Router::new(&device, config.clone())
+        .route(&circuit)
+        .unwrap_err();
+    let parallel = Router::new(
+        &device,
+        RouterConfig {
+            threads: 4,
+            ..config
+        },
+    )
+    .route(&circuit)
+    .unwrap_err();
+    match (sequential, parallel) {
+        (
+            FpgaError::Unroutable {
+                channel_width: ws,
+                passes: ps,
+                failed_net: ns,
+            },
+            FpgaError::Unroutable {
+                channel_width: wp,
+                passes: pp,
+                failed_net: np,
+            },
+        ) => {
+            assert_eq!(ws, wp);
+            assert_eq!(ps, pp);
+            assert_eq!(ns, np);
+        }
+        other => panic!("expected two Unroutable errors, got {other:?}"),
+    }
+}
+
+#[test]
+fn shuffled_synthetic_profiles_stay_deterministic() {
+    // Same property on the paper-profile synthesizer, whose random pin
+    // placement produces a different (but still heavily overlapping)
+    // adversarial mix per seed.
+    let profile = fpga_route::fpga::CircuitProfile {
+        name: "adv",
+        rows: 6,
+        cols: 6,
+        nets_2_3: 10,
+        nets_4_10: 5,
+        nets_over_10: 1,
+    };
+    for seed in [2u64, 13, 99] {
+        let circuit = synthesize(&profile, 2, seed).unwrap();
+        let device = Device::new(ArchSpec::xilinx4000(6, 6, 10)).unwrap();
+        let sequential = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        let parallel = Router::new(
+            &device,
+            RouterConfig {
+                threads: 3,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&circuit)
+        .unwrap();
+        assert_identical(&parallel, &sequential, &format!("synth seed {seed}"));
+    }
+}

@@ -160,9 +160,25 @@ fn parallel_routing_is_deterministic_and_matches_sequential() {
             parallel.total_wirelength, sequential.total_wirelength,
             "seed {seed}"
         );
-        // The parallel run records per-pass batching statistics.
-        assert_eq!(parallel.timings.len(), parallel.passes);
-        assert!(parallel.timings.iter().all(|t| t.batches > 0));
+        // The parallel run records per-pass batching statistics and an
+        // end-of-pass congestion snapshot, and determinism extends to the
+        // occupancy state: both engines leave the channels identically
+        // full.
+        assert_eq!(parallel.telemetry.passes.len(), parallel.passes);
+        assert!(parallel.telemetry.passes.iter().all(|t| t.batches > 0));
+        assert!(parallel
+            .telemetry
+            .passes
+            .iter()
+            .all(|t| t.congestion.positions > 0 && t.congestion.used_positions > 0));
+        let snapshots = |o: &fpga_route::fpga::RouteOutcome| {
+            o.telemetry
+                .passes
+                .iter()
+                .map(|t| t.congestion.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snapshots(&parallel), snapshots(&sequential), "seed {seed}");
     }
 }
 
