@@ -13,14 +13,18 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> telemetry smoke: width --threads 0 --trace"
+echo "==> telemetry smoke: width --threads 0 --trace --stream"
 trace_file="$(mktemp /tmp/fpga_route_trace.XXXXXX.jsonl)"
 trap 'rm -f "$trace_file"' EXIT
 ./target/release/fpga_route width --circuit term1 --arch 4000 \
-    --threads 0 --trace "$trace_file" --metrics
+    --threads 0 --trace "$trace_file" --stream --metrics
 ./target/release/fpga_route trace-check "$trace_file"
+grep -q '"mode":"stream"' "$trace_file"
 grep -q '"type":"span"' "$trace_file"
 grep -q '"kind":"pass"' "$trace_file"
 grep -q '"name":"dijkstra_runs"' "$trace_file"
+
+echo "==> snapshot bench smoke (release, BENCH_QUICK)"
+BENCH_QUICK=1 cargo bench -p bench --bench snapshot
 
 echo "==> ci.sh: all green"

@@ -9,9 +9,9 @@
 //! pathlength by construction, but no wirelength sharing beyond what the
 //! SPT happens to provide.
 
-use route_graph::{EdgeId, Graph, ShortestPaths};
+use route_graph::{EdgeId, GraphView, ShortestPaths};
 
-use crate::heuristic::SteinerHeuristic;
+use crate::heuristic::{HeuristicInfo, SteinerHeuristic};
 use crate::{Net, RoutingTree, SteinerError};
 
 /// The DJKA arborescence baseline.
@@ -44,14 +44,20 @@ impl Djka {
     }
 }
 
-impl SteinerHeuristic for Djka {
+impl HeuristicInfo for Djka {
     fn name(&self) -> &str {
         "DJKA"
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView> SteinerHeuristic<G> for Djka {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         net.validate_in(g)?;
-        let sp = ShortestPaths::run(g, net.source())?;
+        // Stop the run once the last sink settles: every node on a shortest
+        // path to a sink settles before that sink, so the extracted paths
+        // are identical to a full run's while the read set stays bounded
+        // by the sinks' neighborhood.
+        let sp = ShortestPaths::run_to_targets(g, net.source(), net.sinks())?;
         let mut edges: Vec<EdgeId> = Vec::new();
         for &sink in net.sinks() {
             let path = sp.path_to(sink)?;
@@ -66,7 +72,7 @@ impl SteinerHeuristic for Djka {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::{GridGraph, NodeId, Weight};
+    use route_graph::{Graph, GridGraph, NodeId, Weight};
 
     #[test]
     fn produces_an_arborescence() {

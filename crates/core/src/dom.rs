@@ -8,10 +8,13 @@
 //! once the distance graph is known, which is the per-call cost the paper
 //! cites for the IDOM inner loop.
 
-use route_graph::{EdgeId, Graph, GraphError, NodeId, TerminalDistances, Weight};
+use route_graph::{EdgeId, GraphError, GraphView, NodeId, TerminalDistances, Weight};
 
 use crate::dominance::dominates;
-use crate::heuristic::{construct_via_base, require_connected, IteratedBase, SteinerHeuristic};
+use crate::heuristic::{
+    construct_via_base, require_connected, HeuristicInfo, IteratedBase, IteratedBaseInfo,
+    SteinerHeuristic,
+};
 use crate::subgraph::spt_over_edges;
 use crate::{Net, RoutingTree, SteinerError};
 
@@ -54,12 +57,14 @@ impl Dom {
     }
 }
 
-impl SteinerHeuristic for Dom {
+impl HeuristicInfo for Dom {
     fn name(&self) -> &str {
         "DOM"
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView> SteinerHeuristic<G> for Dom {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         construct_via_base(self, g, net)
     }
 }
@@ -164,14 +169,24 @@ impl Members<'_> {
     }
 }
 
-impl IteratedBase for Dom {
+impl IteratedBaseInfo for Dom {
     fn base_name(&self) -> &str {
         "DOM"
     }
 
+    /// DOM's dominance pricing and path expansion query `td` only between
+    /// members (terminals plus the candidate) — [`Members`] never reads a
+    /// distance to an arbitrary graph node — so target-restricted runs are
+    /// exact for it.
+    fn supports_target_restricted_distances(&self) -> bool {
+        true
+    }
+}
+
+impl<G: GraphView> IteratedBase<G> for Dom {
     fn cost_with(
         &self,
-        _g: &Graph,
+        _g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<Weight, SteinerError> {
@@ -182,7 +197,7 @@ impl IteratedBase for Dom {
 
     fn build_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<RoutingTree, SteinerError> {
@@ -208,7 +223,7 @@ impl IteratedBase for Dom {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::GridGraph;
+    use route_graph::{Graph, GridGraph};
 
     fn corners_net(grid: &GridGraph) -> Net {
         Net::new(

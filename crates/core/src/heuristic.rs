@@ -1,28 +1,81 @@
 //! The heuristic traits shared by all constructions.
 
-use route_graph::{Graph, GraphError, NodeId, TerminalDistances, Weight};
+use route_graph::{Graph, GraphError, GraphView, NodeId, TerminalDistances, Weight};
 
 use crate::{Net, RoutingTree, SteinerError};
 
-/// A routing-tree construction: given a graph and a net, produce a tree
-/// spanning the net.
+/// Graph-independent identity of a heuristic.
+///
+/// Split off from [`SteinerHeuristic`] so a heuristic's name can be read
+/// without naming (or inferring) the graph type it runs over.
+pub trait HeuristicInfo {
+    /// Short display name of the algorithm, matching the paper's tables
+    /// (e.g. `"KMB"`, `"IKMB"`, `"PFA"`).
+    fn name(&self) -> &str;
+}
+
+/// A routing-tree construction: given a graph view and a net, produce a
+/// tree spanning the net.
 ///
 /// Implemented by every algorithm in the paper — the Steiner heuristics
 /// (KMB, ZEL, and the iterated IGMST instances) and the arborescence
 /// heuristics (DJKA, DOM, PFA, IDOM). Arborescence heuristics honour the
 /// net's source/sink distinction; Steiner heuristics ignore it.
-pub trait SteinerHeuristic {
-    /// Short display name of the algorithm, matching the paper's tables
-    /// (e.g. `"KMB"`, `"IKMB"`, `"PFA"`).
-    fn name(&self) -> &str;
-
+///
+/// The graph parameter defaults to [`Graph`], so `dyn SteinerHeuristic`
+/// and existing `impl SteinerHeuristic for …` blocks keep working. The
+/// paper's core constructions implement this for every [`GraphView`],
+/// which lets the parallel router drive them through
+/// [`GraphOverlay`](route_graph::GraphOverlay) snapshots without cloning.
+pub trait SteinerHeuristic<G: GraphView = Graph>: HeuristicInfo {
     /// Constructs a routing tree for `net` in `g`.
     ///
     /// # Errors
     ///
     /// Implementations return [`SteinerError::Graph`] when the net's pins
     /// are invalid or mutually unreachable in the live graph.
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError>;
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError>;
+}
+
+/// Graph-independent identity and read-set contract of an iterated base.
+///
+/// Split off from [`IteratedBase`] for the same reason as
+/// [`HeuristicInfo`]: the iterated template needs the base's name and its
+/// distance-restriction contract without fixing a graph type.
+pub trait IteratedBaseInfo {
+    /// Short display name of the base heuristic.
+    fn base_name(&self) -> &str;
+
+    /// Whether this base only ever queries [`TerminalDistances`] for
+    /// distances and paths between members of the terminal set, the
+    /// candidate, and the nodes named by
+    /// [`restricted_extra_targets`](IteratedBaseInfo::restricted_extra_targets)
+    /// — never to arbitrary graph nodes.
+    ///
+    /// Bases that return `true` can be driven by a
+    /// [`TerminalDistances::compute_to_targets`] instance restricted to
+    /// `terminals ∪ extra targets ∪ candidate pool`, turning each
+    /// per-terminal Dijkstra from a whole-graph flood into an
+    /// early-terminating neighborhood search with bit-identical results.
+    /// KMB (distance-graph MST plus path expansion between members) and
+    /// DOM (member-only dominance pricing) qualify unconditionally; ZEL
+    /// and PFA qualify once their meeting-point/`MaxDom` scans are pinned
+    /// to an explicit candidate pool. Bases whose scans roam all of `V`
+    /// must leave this `false` and receive full runs.
+    fn supports_target_restricted_distances(&self) -> bool {
+        false
+    }
+
+    /// Extra nodes (beyond terminals and the iterated candidate pool)
+    /// that a restricted [`TerminalDistances`] must still cover for this
+    /// base's queries to stay exact.
+    ///
+    /// ZEL and PFA return their explicit scan pool here so standalone
+    /// construction ([`construct_via_base`]) restricts each Dijkstra to
+    /// `terminals ∪ pool` instead of flooding the graph.
+    fn restricted_extra_targets(&self) -> &[NodeId] {
+        &[]
+    }
 }
 
 /// A heuristic `H` usable inside the iterated IGMST/IDOM template
@@ -34,10 +87,7 @@ pub trait SteinerHeuristic {
 /// `N ∪ S`, source first) and the candidate is passed separately — its
 /// distances to all members are read out of the members' own distance
 /// vectors.
-pub trait IteratedBase {
-    /// Short display name of the base heuristic.
-    fn base_name(&self) -> &str;
-
+pub trait IteratedBase<G: GraphView = Graph>: IteratedBaseInfo {
     /// Builds the concrete tree `H(G, T ∪ {candidate})`, where `T` is the
     /// terminal set of `td` (with `td.terminals()[0]` acting as the source
     /// for arborescence bases).
@@ -49,7 +99,7 @@ pub trait IteratedBase {
     /// spanned.
     fn build_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<RoutingTree, SteinerError>;
@@ -64,7 +114,7 @@ pub trait IteratedBase {
     /// Same conditions as [`build_with`](IteratedBase::build_with).
     fn cost_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<Weight, SteinerError> {
@@ -83,27 +133,11 @@ pub trait IteratedBase {
     /// Same conditions as [`cost_with`](IteratedBase::cost_with).
     fn screen_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<Weight, SteinerError> {
         self.cost_with(g, td, candidate)
-    }
-
-    /// Whether this base only ever queries `td` for distances and paths
-    /// between members of the terminal set and the candidate — never to
-    /// arbitrary graph nodes.
-    ///
-    /// Bases that return `true` (KMB: distance-graph MST plus path
-    /// expansion between members) can be driven by a
-    /// [`TerminalDistances::compute_to_targets`] instance restricted to
-    /// `terminals ∪ candidate pool`, turning each per-terminal Dijkstra
-    /// from a whole-graph flood into an early-terminating neighborhood
-    /// search with bit-identical results. Bases that scan distances to
-    /// all of `V` (ZEL's meeting-point search, DOM's dominance tests)
-    /// must leave this `false` and receive full runs.
-    fn supports_target_restricted_distances(&self) -> bool {
-        false
     }
 }
 
@@ -138,17 +172,17 @@ pub(crate) fn require_connected(
 /// Standalone `construct` implementation shared by bases that are also
 /// directly usable heuristics (KMB, ZEL, DOM): compute the terminal
 /// distances, then build.
-pub(crate) fn construct_via_base<H: IteratedBase>(
+pub(crate) fn construct_via_base<G: GraphView, H: IteratedBase<G>>(
     base: &H,
-    g: &Graph,
+    g: &G,
     net: &Net,
 ) -> Result<RoutingTree, SteinerError> {
     net.validate_in(g)?;
-    // A base whose queries stay within the terminal set needs distances
-    // between terminals only — stop each Dijkstra as soon as the last
-    // terminal settles.
+    // A base whose queries stay within the terminal set (plus its declared
+    // extra targets) needs distances to those nodes only — stop each
+    // Dijkstra as soon as the last of them settles.
     let td = if base.supports_target_restricted_distances() {
-        TerminalDistances::compute_to_targets(g, net.terminals(), &[])?
+        TerminalDistances::compute_to_targets(g, net.terminals(), base.restricted_extra_targets())?
     } else {
         TerminalDistances::compute(g, net.terminals())?
     };

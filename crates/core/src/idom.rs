@@ -53,7 +53,7 @@ pub fn idom_with_config(config: IteratedConfig) -> Idom {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Dom, Net, SteinerHeuristic};
+    use crate::{Dom, HeuristicInfo, Net, SteinerHeuristic};
     use route_graph::{GridGraph, Weight};
 
     #[test]

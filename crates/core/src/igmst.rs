@@ -15,9 +15,9 @@
 //! to be very small (≤ 3 for typical instances)") and restricted candidate
 //! pools for large routing graphs.
 
-use route_graph::{Graph, NodeId, TerminalDistances, Weight};
+use route_graph::{GraphView, NodeId, TerminalDistances, Weight};
 
-use crate::heuristic::{IteratedBase, SteinerHeuristic};
+use crate::heuristic::{HeuristicInfo, IteratedBase, IteratedBaseInfo, SteinerHeuristic};
 use crate::{Net, RoutingTree, SteinerError};
 
 /// Which graph nodes the template considers as Steiner candidates.
@@ -106,7 +106,7 @@ pub struct Iterated<H> {
     name: String,
 }
 
-impl<H: IteratedBase> Iterated<H> {
+impl<H: IteratedBaseInfo> Iterated<H> {
     /// Wraps `base` with the default configuration (batched, all
     /// candidates).
     #[must_use]
@@ -140,11 +140,14 @@ impl<H: IteratedBase> Iterated<H> {
     ///
     /// Returns [`SteinerError::Graph`] if the net is invalid or its pins
     /// are mutually unreachable.
-    pub fn construct_traced(
+    pub fn construct_traced<G: GraphView>(
         &self,
-        g: &Graph,
+        g: &G,
         net: &Net,
-    ) -> Result<IteratedOutcome, SteinerError> {
+    ) -> Result<IteratedOutcome, SteinerError>
+    where
+        H: IteratedBase<G>,
+    {
         net.validate_in(g)?;
         // With an explicit candidate pool and a base whose queries stay
         // within `terminals ∪ pool`, each Dijkstra can stop once that set
@@ -156,7 +159,17 @@ impl<H: IteratedBase> Iterated<H> {
             CandidatePool::Explicit(nodes)
                 if self.base.supports_target_restricted_distances() =>
             {
-                TerminalDistances::compute_to_targets(g, net.terminals(), nodes)?
+                // The base may declare scan nodes of its own (ZEL's
+                // meeting-point pool); the restricted runs must cover them
+                // too, even if they differ from the template's pool.
+                let extra = self.base.restricted_extra_targets();
+                if extra.is_empty() {
+                    TerminalDistances::compute_to_targets(g, net.terminals(), nodes)?
+                } else {
+                    let mut all: Vec<NodeId> = nodes.clone();
+                    all.extend_from_slice(extra);
+                    TerminalDistances::compute_to_targets(g, net.terminals(), &all)?
+                }
             }
             _ => TerminalDistances::compute(g, net.terminals())?,
         };
@@ -255,7 +268,7 @@ impl<H: IteratedBase> Iterated<H> {
         })
     }
 
-    fn candidate_pool(&self, g: &Graph, td: &TerminalDistances) -> Vec<NodeId> {
+    fn candidate_pool<G: GraphView>(&self, g: &G, td: &TerminalDistances) -> Vec<NodeId> {
         match &self.config.pool {
             CandidatePool::All => g
                 .node_ids()
@@ -305,12 +318,14 @@ pub struct IteratedOutcome {
     pub rounds: usize,
 }
 
-impl<H: IteratedBase> SteinerHeuristic for Iterated<H> {
+impl<H: IteratedBaseInfo> HeuristicInfo for Iterated<H> {
     fn name(&self) -> &str {
         &self.name
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView, H: IteratedBase<G>> SteinerHeuristic<G> for Iterated<H> {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         Ok(self.construct_traced(g, net)?.tree)
     }
 }
@@ -333,7 +348,7 @@ pub fn izel() -> Iterated<crate::Zel> {
 mod tests {
     use super::*;
     use crate::Kmb;
-    use route_graph::{GridGraph, GraphError};
+    use route_graph::{Graph, GraphError, GridGraph};
 
     /// The plus-shaped 4-terminal instance where one central Steiner point
     /// is the optimal join.

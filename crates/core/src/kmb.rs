@@ -10,9 +10,12 @@
 //! 3. Compute `MST(G'')` and delete pendant non-terminal leaves.
 
 use route_graph::mst::{kruskal_subgraph, prim_complete};
-use route_graph::{EdgeId, Graph, NodeId, TerminalDistances, Weight};
+use route_graph::{EdgeId, GraphView, NodeId, TerminalDistances, Weight};
 
-use crate::heuristic::{construct_via_base, require_connected, IteratedBase, SteinerHeuristic};
+use crate::heuristic::{
+    construct_via_base, require_connected, HeuristicInfo, IteratedBase, IteratedBaseInfo,
+    SteinerHeuristic,
+};
 use crate::{Net, RoutingTree, SteinerError};
 
 /// The KMB heuristic (paper Appendix Figure 17).
@@ -49,17 +52,19 @@ impl Kmb {
     }
 }
 
-impl SteinerHeuristic for Kmb {
+impl HeuristicInfo for Kmb {
     fn name(&self) -> &str {
         "KMB"
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView> SteinerHeuristic<G> for Kmb {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         construct_via_base(self, g, net)
     }
 }
 
-impl IteratedBase for Kmb {
+impl IteratedBaseInfo for Kmb {
     fn base_name(&self) -> &str {
         "KMB"
     }
@@ -72,13 +77,15 @@ impl IteratedBase for Kmb {
     fn supports_target_restricted_distances(&self) -> bool {
         true
     }
+}
 
+impl<G: GraphView> IteratedBase<G> for Kmb {
     /// Distance-graph MST cost: an upper bound on the full KMB cost (steps
     /// 2–3 can only shed weight), computable in `O(k²)` with no path
     /// expansion.
     fn screen_with(
         &self,
-        _g: &Graph,
+        _g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<Weight, SteinerError> {
@@ -105,7 +112,7 @@ impl IteratedBase for Kmb {
 
     fn build_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<RoutingTree, SteinerError> {
@@ -158,7 +165,7 @@ impl IteratedBase for Kmb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::GridGraph;
+    use route_graph::{Graph, GridGraph};
 
     #[test]
     fn two_pin_net_is_a_shortest_path() {

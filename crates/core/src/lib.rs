@@ -74,7 +74,7 @@ pub mod zel;
 pub use djka::Djka;
 pub use dom::Dom;
 pub use error::SteinerError;
-pub use heuristic::{IteratedBase, SteinerHeuristic};
+pub use heuristic::{HeuristicInfo, IteratedBase, IteratedBaseInfo, SteinerHeuristic};
 pub use idom::{idom, idom_with_config, Idom};
 pub use igmst::{ikmb, izel, CandidatePool, Iterated, IteratedConfig, IteratedOutcome};
 pub use kmb::Kmb;

@@ -13,7 +13,7 @@ use route_graph::heap::IndexedBinaryHeap;
 use route_graph::mst::kruskal_subgraph;
 use route_graph::{EdgeId, Graph, GraphError, NodeId, Weight};
 
-use crate::heuristic::SteinerHeuristic;
+use crate::heuristic::{HeuristicInfo, SteinerHeuristic};
 use crate::{Net, RoutingTree, SteinerError};
 
 /// Mehlhorn's single-Dijkstra KMB (paper Appendix, reference \[30\]).
@@ -106,11 +106,13 @@ impl Voronoi {
     }
 }
 
-impl SteinerHeuristic for MehlhornKmb {
+impl HeuristicInfo for MehlhornKmb {
     fn name(&self) -> &str {
         "KMB-M"
     }
+}
 
+impl SteinerHeuristic for MehlhornKmb {
     fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
         net.validate_in(g)?;
         let terminals = net.terminals();

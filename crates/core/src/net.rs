@@ -1,6 +1,6 @@
 //! Nets: the pin sets to be electrically connected.
 
-use route_graph::{Graph, NodeId};
+use route_graph::{GraphView, NodeId};
 
 use crate::SteinerError;
 
@@ -101,7 +101,7 @@ impl Net {
     /// # Errors
     ///
     /// Propagates the node-validity error of the first offending pin.
-    pub fn validate_in(&self, g: &Graph) -> Result<(), SteinerError> {
+    pub fn validate_in<G: GraphView>(&self, g: &G) -> Result<(), SteinerError> {
         for &t in &self.terminals {
             g.require_live_node(t)?;
         }
@@ -112,7 +112,7 @@ impl Net {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::Weight;
+    use route_graph::{Graph, Weight};
 
     fn node(i: usize) -> NodeId {
         NodeId::from_index(i)

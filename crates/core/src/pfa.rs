@@ -12,10 +12,11 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
-use route_graph::{EdgeId, Graph, GraphError, NodeId, ShortestPaths, TerminalDistances, Weight};
+use route_graph::{EdgeId, GraphError, GraphView, NodeId, ShortestPaths, TerminalDistances, Weight};
 
 use crate::dominance::dominates;
-use crate::heuristic::{require_connected, SteinerHeuristic};
+use crate::heuristic::{require_connected, HeuristicInfo, SteinerHeuristic};
+use crate::igmst::CandidatePool;
 use crate::subgraph::spt_over_edges;
 use crate::{Net, RoutingTree, SteinerError};
 
@@ -45,27 +46,67 @@ use crate::{Net, RoutingTree, SteinerError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Pfa;
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pfa {
+    pool: CandidatePool,
+}
 
 impl Pfa {
-    /// Creates the heuristic.
+    /// Creates the heuristic with its `MaxDom` search ranging over all of
+    /// `V` (the paper's formulation).
     #[must_use]
     pub fn new() -> Pfa {
-        Pfa
+        Pfa {
+            pool: CandidatePool::All,
+        }
+    }
+
+    /// Creates the heuristic with its `MaxDom` search restricted to an
+    /// explicit pool.
+    ///
+    /// With [`CandidatePool::Explicit`], merge points are drawn from
+    /// `terminals ∪ pool` only, every distance query lands inside that set,
+    /// and the construction runs off target-restricted Dijkstra with a
+    /// bounded read set; other pool kinds behave like [`Pfa::new`].
+    #[must_use]
+    pub fn with_pool(pool: CandidatePool) -> Pfa {
+        Pfa { pool }
+    }
+
+    /// The nodes the `MaxDom` scan may visit: `terminals ∪ pool`, live and
+    /// deduplicated — or `None` when the scan ranges over all of `V`.
+    fn scan_nodes<G: GraphView>(&self, g: &G, net: &Net) -> Option<Vec<NodeId>> {
+        let CandidatePool::Explicit(pool) = &self.pool else {
+            return None;
+        };
+        let mut set: Vec<NodeId> = net.terminals().to_vec();
+        set.extend(pool.iter().copied());
+        set.retain(|&v| g.is_node_live(v));
+        set.sort_unstable();
+        set.dedup();
+        Some(set)
     }
 }
 
-impl SteinerHeuristic for Pfa {
+impl HeuristicInfo for Pfa {
     fn name(&self) -> &str {
         "PFA"
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView> SteinerHeuristic<G> for Pfa {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         net.validate_in(g)?;
-        let td = TerminalDistances::compute(g, net.terminals())?;
+        let scan = self.scan_nodes(g, net);
+        // A restricted scan needs distances at scan-set nodes only; every
+        // query below lands on `terminals ∪ pool`, so restricted runs are
+        // exact for them.
+        let td = match scan.as_deref() {
+            Some(set) => TerminalDistances::compute_to_targets(g, net.terminals(), set)?,
+            None => TerminalDistances::compute(g, net.terminals())?,
+        };
         require_connected(&td, None)?;
-        let mut state = FoldState::new(g, net, &td);
+        let mut state = FoldState::new(g, net, &td, scan);
         state.fold_all()?;
         state.emit(g, net)
     }
@@ -82,8 +123,8 @@ struct Merge {
     q: NodeId,
 }
 
-struct FoldState<'g> {
-    g: &'g Graph,
+struct FoldState<'g, G: GraphView> {
+    g: &'g G,
     source: NodeId,
     /// Source-distance vector (`d0`).
     d0: Rc<ShortestPaths>,
@@ -93,10 +134,18 @@ struct FoldState<'g> {
     /// `M` of Figure 9: terminals plus every MaxDom produced.
     m_set: Vec<NodeId>,
     heap: BinaryHeap<Merge>,
+    /// Restricted `MaxDom` scan set (`terminals ∪ pool`), or `None` for
+    /// the full node set.
+    scan: Option<Vec<NodeId>>,
 }
 
-impl<'g> FoldState<'g> {
-    fn new(g: &'g Graph, net: &Net, td: &TerminalDistances) -> FoldState<'g> {
+impl<'g, G: GraphView> FoldState<'g, G> {
+    fn new(
+        g: &'g G,
+        net: &Net,
+        td: &TerminalDistances,
+        scan: Option<Vec<NodeId>>,
+    ) -> FoldState<'g, G> {
         let mut sp = HashMap::new();
         for (i, &t) in td.terminals().iter().enumerate() {
             sp.insert(t, td.shared_shortest_paths(i));
@@ -110,6 +159,7 @@ impl<'g> FoldState<'g> {
             active: net.terminals().to_vec(),
             m_set: net.terminals().to_vec(),
             heap: BinaryHeap::new(),
+            scan,
         };
         let snapshot = state.active.clone();
         for (i, &p) in snapshot.iter().enumerate() {
@@ -132,20 +182,25 @@ impl<'g> FoldState<'g> {
         dominates(d0p, d0m, dmp)
     }
 
-    /// `MaxDom(p, q)`: the farthest-from-source node dominated by both.
+    /// `MaxDom(p, q)`: the farthest-from-source node dominated by both,
+    /// drawn from the scan set when the pool is restricted.
     fn max_dom(&self, p: NodeId, q: NodeId) -> Option<(NodeId, Weight)> {
         let mut best: Option<(Weight, std::cmp::Reverse<usize>, NodeId)> = None;
         let mut checks = 0u64;
-        for m in self.g.node_ids() {
+        let mut consider = |m: NodeId| {
             checks += 1;
             if !self.dominated_by(m, p) || !self.dominated_by(m, q) {
-                continue;
+                return;
             }
             let key = self.d0.dist(m).expect("dominated nodes are reachable");
             let entry = (key, std::cmp::Reverse(m.index()), m);
             if best.is_none_or(|b| entry > b) {
                 best = Some(entry);
             }
+        };
+        match &self.scan {
+            Some(set) => set.iter().copied().for_each(&mut consider),
+            None => self.g.node_ids().for_each(&mut consider),
         }
         if route_trace::enabled() {
             route_trace::count(route_trace::Counter::PfaDominanceChecks, checks);
@@ -187,7 +242,12 @@ impl<'g> FoldState<'g> {
             }
             self.active.retain(|&v| v != p && v != q);
             if !self.sp.contains_key(&m) {
-                let run = Rc::new(ShortestPaths::run(self.g, m)?);
+                // Merge points and their query partners all live in the
+                // scan set, so a restricted run answers exactly.
+                let run = Rc::new(match &self.scan {
+                    Some(set) => ShortestPaths::run_to_targets(self.g, m, set)?,
+                    None => ShortestPaths::run(self.g, m)?,
+                });
                 self.sp.insert(m, run);
             }
             if !self.m_set.contains(&m) {
@@ -208,7 +268,7 @@ impl<'g> FoldState<'g> {
     /// Figure 9's output step: connect each `p ∈ M` to the nearest node in
     /// `M` that `p` dominates, take the union, extract the source-rooted
     /// SPT, and prune non-terminal leaves.
-    fn emit(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+    fn emit(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         /// Attachment candidate ordering: (distance, tie-break key).
         type Attachment = ((Weight, (Weight, bool, usize)), NodeId);
         let key = |v: NodeId| -> (Weight, bool, usize) {
@@ -247,7 +307,7 @@ impl<'g> FoldState<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::GridGraph;
+    use route_graph::{Graph, GridGraph};
 
     #[test]
     fn folds_shared_stems() {

@@ -9,7 +9,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use route_graph::{EdgeId, Graph, GraphError, NodeId, Weight};
+use route_graph::{EdgeId, GraphError, GraphView, NodeId, Weight};
 
 use crate::SteinerError;
 
@@ -18,8 +18,8 @@ use crate::SteinerError;
 ///
 /// Nodes of the subgraph unreachable from `root` are silently dropped —
 /// callers guarantee relevance of the union.
-pub(crate) fn spt_over_edges(
-    g: &Graph,
+pub(crate) fn spt_over_edges<G: GraphView>(
+    g: &G,
     edges: &[EdgeId],
     root: NodeId,
 ) -> Result<Vec<EdgeId>, SteinerError> {

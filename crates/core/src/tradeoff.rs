@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use route_graph::mst::prim_complete;
 use route_graph::{EdgeId, Graph, NodeId, TerminalDistances, Weight};
 
-use crate::heuristic::{require_connected, SteinerHeuristic};
+use crate::heuristic::{require_connected, HeuristicInfo, SteinerHeuristic};
 use crate::subgraph::spt_over_edges;
 use crate::{Net, RoutingTree, SteinerError};
 
@@ -67,11 +67,13 @@ impl PrimDijkstra {
     }
 }
 
-impl SteinerHeuristic for PrimDijkstra {
+impl HeuristicInfo for PrimDijkstra {
     fn name(&self) -> &str {
         "AHHK"
     }
+}
 
+impl SteinerHeuristic for PrimDijkstra {
     #[allow(clippy::needless_range_loop)] // index loops mirror the matrix formulation
     fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
         net.validate_in(g)?;
@@ -143,11 +145,13 @@ impl Brbc {
     }
 }
 
-impl SteinerHeuristic for Brbc {
+impl HeuristicInfo for Brbc {
     fn name(&self) -> &str {
         "BRBC"
     }
+}
 
+impl SteinerHeuristic for Brbc {
     fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
         net.validate_in(g)?;
         let td = TerminalDistances::compute(g, net.terminals())?;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use route_graph::{EdgeId, Graph, NodeId, ShortestPaths, Weight};
+use route_graph::{EdgeId, GraphView, NodeId, ShortestPaths, Weight};
 
 use crate::{Net, SteinerError};
 
@@ -51,7 +51,7 @@ impl RoutingTree {
     /// * [`SteinerError::CycleInTree`] if the edges contain a cycle,
     /// * [`SteinerError::ForestNotTree`] if the edges span more than one
     ///   connected component.
-    pub fn from_edges(g: &Graph, edges: Vec<EdgeId>) -> Result<RoutingTree, SteinerError> {
+    pub fn from_edges<G: GraphView>(g: &G, edges: Vec<EdgeId>) -> Result<RoutingTree, SteinerError> {
         let mut dedup: Vec<EdgeId> = Vec::with_capacity(edges.len());
         let mut seen = HashMap::new();
         for e in edges {
@@ -196,7 +196,11 @@ impl RoutingTree {
     ///
     /// Returns [`SteinerError::MissingTerminal`] if the tree does not span
     /// the net, or a graph error if a sink is unreachable in `g`.
-    pub fn is_shortest_paths_tree(&self, g: &Graph, net: &Net) -> Result<bool, SteinerError> {
+    pub fn is_shortest_paths_tree<G: GraphView>(
+        &self,
+        g: &G,
+        net: &Net,
+    ) -> Result<bool, SteinerError> {
         let tree_dist = self
             .distances_from(net.source())
             .ok_or(SteinerError::MissingTerminal(net.source()))?;
@@ -221,7 +225,7 @@ impl RoutingTree {
     /// # Errors
     ///
     /// Propagates reconstruction errors (cannot occur for a valid tree).
-    pub fn pruned_to(&self, g: &Graph, keep: &[NodeId]) -> Result<RoutingTree, SteinerError> {
+    pub fn pruned_to<G: GraphView>(&self, g: &G, keep: &[NodeId]) -> Result<RoutingTree, SteinerError> {
         let mut degree: HashMap<NodeId, usize> = self
             .adjacency
             .iter()

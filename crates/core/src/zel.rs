@@ -6,9 +6,13 @@
 //! KMB over the original net plus the collected meeting points.
 
 use route_graph::mst::prim_complete;
-use route_graph::{Graph, NodeId, ShortestPaths, TerminalDistances, Weight};
+use route_graph::{GraphView, NodeId, ShortestPaths, TerminalDistances, Weight};
 
-use crate::heuristic::{construct_via_base, require_connected, IteratedBase, SteinerHeuristic};
+use crate::heuristic::{
+    construct_via_base, require_connected, HeuristicInfo, IteratedBase, IteratedBaseInfo,
+    SteinerHeuristic,
+};
+use crate::igmst::CandidatePool;
 use crate::kmb::Kmb;
 use crate::{Net, RoutingTree, SteinerError};
 
@@ -36,36 +40,87 @@ use crate::{Net, RoutingTree, SteinerError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Zel;
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Zel {
+    pool: CandidatePool,
+}
 
 impl Zel {
-    /// Creates the heuristic.
+    /// Creates the heuristic with its meeting-point search ranging over all
+    /// of `V` (the paper's formulation).
     #[must_use]
     pub fn new() -> Zel {
-        Zel
+        Zel {
+            pool: CandidatePool::All,
+        }
+    }
+
+    /// Creates the heuristic with its meeting-point search restricted to an
+    /// explicit pool.
+    ///
+    /// With [`CandidatePool::Explicit`], every distance query lands on
+    /// `terminals ∪ pool`, so the construction can run off
+    /// target-restricted Dijkstra and records a bounded read set; other
+    /// pool kinds behave like [`Zel::new`].
+    #[must_use]
+    pub fn with_pool(pool: CandidatePool) -> Zel {
+        Zel { pool }
+    }
+
+    /// The nodes the meeting-point scan may visit: `terminals ∪ pool`,
+    /// live and deduplicated — or `None` when the scan ranges over all of
+    /// `V`.
+    fn scan_nodes<G: GraphView>(&self, g: &G, td: &TerminalDistances) -> Option<Vec<NodeId>> {
+        let CandidatePool::Explicit(pool) = &self.pool else {
+            return None;
+        };
+        let mut set: Vec<NodeId> = td.terminals().to_vec();
+        set.extend(pool.iter().copied());
+        set.retain(|&v| g.is_node_live(v));
+        set.sort_unstable();
+        set.dedup();
+        Some(set)
     }
 }
 
-impl SteinerHeuristic for Zel {
+impl HeuristicInfo for Zel {
     fn name(&self) -> &str {
         "ZEL"
     }
+}
 
-    fn construct(&self, g: &Graph, net: &Net) -> Result<RoutingTree, SteinerError> {
+impl<G: GraphView> SteinerHeuristic<G> for Zel {
+    fn construct(&self, g: &G, net: &Net) -> Result<RoutingTree, SteinerError> {
         construct_via_base(self, g, net)
     }
 }
 
-impl IteratedBase for Zel {
+impl IteratedBaseInfo for Zel {
     fn base_name(&self) -> &str {
         "ZEL"
     }
 
+    /// With an explicit pool the meeting-point scan, the candidate run and
+    /// the KMB finish all query distances within `terminals ∪ pool ∪
+    /// candidate` only, so target-restricted runs are exact. The
+    /// unrestricted scan roams all of `V` and needs full runs.
+    fn supports_target_restricted_distances(&self) -> bool {
+        matches!(self.pool, CandidatePool::Explicit(_))
+    }
+
+    fn restricted_extra_targets(&self) -> &[NodeId] {
+        match &self.pool {
+            CandidatePool::Explicit(nodes) => nodes,
+            _ => &[],
+        }
+    }
+}
+
+impl<G: GraphView> IteratedBase<G> for Zel {
     #[allow(clippy::needless_range_loop)] // index loops mirror the matrix formulation
     fn build_with(
         &self,
-        g: &Graph,
+        g: &G,
         td: &TerminalDistances,
         candidate: Option<NodeId>,
     ) -> Result<RoutingTree, SteinerError> {
@@ -75,10 +130,25 @@ impl IteratedBase for Zel {
         if k < 3 {
             return Kmb::new().build_with(g, td, candidate);
         }
-        // Distance vectors from every (extended) terminal to all of V. The
-        // candidate has no precomputed run, so give it one.
+        // The meeting-point scan set: `terminals ∪ pool` when the pool is
+        // explicit, all of `V` otherwise.
+        let scan = self.scan_nodes(g, td);
+        let full_v: Vec<NodeId>;
+        let scan_set: &[NodeId] = if let Some(set) = scan.as_deref() {
+            set
+        } else {
+            full_v = g.node_ids().collect();
+            &full_v
+        };
+        // Distance vectors from every (extended) terminal. The candidate
+        // has no precomputed run, so give it one — stopping at the scan set
+        // when it is restricted (the candidate's distances are only ever
+        // read at scan-set nodes).
         let cand_sp = candidate
-            .map(|c| ShortestPaths::run(g, c))
+            .map(|c| match scan.as_deref() {
+                Some(set) => ShortestPaths::run_to_targets(g, c, set),
+                None => ShortestPaths::run(g, c),
+            })
             .transpose()
             .map_err(SteinerError::Graph)?;
         let dist_to = |i: usize, v: NodeId| -> Option<Weight> {
@@ -112,7 +182,7 @@ impl IteratedBase for Zel {
             for j in (i + 1)..k {
                 for l in (j + 1)..k {
                     let mut best: Option<(Weight, NodeId)> = None;
-                    for v in g.node_ids() {
+                    for &v in scan_set {
                         let (Some(a), Some(b), Some(c)) =
                             (dist_to(i, v), dist_to(j, v), dist_to(l, v))
                         else {
@@ -225,7 +295,7 @@ fn mst_cost_contracted(w: &[Vec<Weight>], [i, j, l]: [usize; 3]) -> Weight {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use route_graph::GridGraph;
+    use route_graph::{Graph, GridGraph};
 
     #[test]
     fn degenerates_to_kmb_for_two_pins() {

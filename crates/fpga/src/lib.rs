@@ -63,6 +63,6 @@ pub use baseline::{BaselineConfig, BaselineRouter};
 pub use device::{Device, EdgeKind, NodeKind};
 pub use error::FpgaError;
 pub use netlist::{BlockPin, Circuit, CircuitNet};
-pub use router::{RouteAlgorithm, RouteOutcome, Router, RouterConfig};
+pub use router::{auto_thread_count, RouteAlgorithm, RouteOutcome, Router, RouterConfig};
 pub use telemetry::{CongestionSnapshot, PassTelemetry, RouteTelemetry};
 pub use synth::CircuitProfile;

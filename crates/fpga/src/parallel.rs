@@ -54,13 +54,24 @@
 //! weights — so it cannot change the result.
 //!
 //! Because every speculative route runs against the same per-batch
-//! snapshot (each worker restores its graph clone after each net), the
+//! snapshot (each worker restores its view after each net), the
 //! outcome is independent of worker count and scheduling: `threads = 4`
 //! and `threads = 1` produce identical trees and channel widths.
+//!
+//! Workers do not clone the snapshot. Each owns a persistent
+//! [`OverlayArena`] and binds a [`GraphOverlay`] over the shared pass
+//! graph per batch wave: mutations (pin masking, nothing else — routing
+//! never commits) land in the worker's epoch-tagged delta, and restoring
+//! the pristine snapshot after each net is an O(1) generation bump. A
+//! wave therefore costs O(changed) per worker instead of O(graph), and
+//! the arenas amortize their allocation across every wave of every pass.
+//! The overlay preserves base adjacency order exactly (removal is
+//! tombstone-filtered at iteration), so the bit-identity argument above
+//! carries over unchanged.
 
 use std::collections::HashSet;
 
-use route_graph::{Graph, NodeId};
+use route_graph::{Graph, GraphOverlay, NodeId, OverlayArena};
 use steiner_route::RoutingTree;
 
 use crate::netlist::Circuit;
@@ -136,11 +147,13 @@ type NetSpeculation = (Result<Option<RoutingTree>, FpgaError>, Vec<NodeId>);
 /// A [`NetSpeculation`] tagged with its index within the batch.
 type Speculation = (usize, NetSpeculation);
 
-/// Routes every net of `batch` against read-only clones of `snapshot` on
-/// up to `threads` scoped worker threads. Results come back in batch
-/// order. Each worker restores its clone after every net (routing masks
-/// and unmasks pins but never commits), so all speculation observes the
-/// identical snapshot regardless of how nets land on workers.
+/// Routes every net of `batch` against copy-on-write overlays of the
+/// shared `snapshot` on up to `threads` scoped worker threads. Results
+/// come back in batch order. Each worker binds its arena over the
+/// snapshot once per wave and resets the overlay after every net
+/// (routing masks and unmasks pins but never commits), so all
+/// speculation observes the identical snapshot regardless of how nets
+/// land on workers — without ever cloning the graph.
 fn speculate(
     router: &Router<'_>,
     circuit: &Circuit,
@@ -148,8 +161,9 @@ fn speculate(
     snapshot: &Graph,
     batch: &[usize],
     threads: usize,
+    arenas: &mut [OverlayArena],
 ) -> Vec<NetSpeculation> {
-    let workers = threads.min(batch.len()).max(1);
+    let workers = threads.min(batch.len()).min(arenas.len()).max(1);
     let mut collected: Vec<Option<NetSpeculation>> = (0..batch.len()).map(|_| None).collect();
     // Workers record into per-thread trace buffers that merge into the
     // collector when the scope joins (thread exit), so speculation adds
@@ -157,14 +171,13 @@ fn speculate(
     // side net spans nested under the pass span.
     let parent_span = route_trace::current_span();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|worker| {
+        let handles: Vec<_> = arenas[..workers]
+            .iter_mut()
+            .enumerate()
+            .map(|(worker, arena)| {
                 scope.spawn(move || -> Vec<Speculation> {
                     route_trace::adopt_parent(parent_span);
-                    let mut g = snapshot.clone();
-                    if route_trace::enabled() {
-                        route_trace::count(route_trace::Counter::GraphSnapshotClones, 1);
-                    }
+                    let mut g = GraphOverlay::bind(snapshot, arena);
                     batch
                         .iter()
                         .enumerate()
@@ -173,7 +186,11 @@ fn speculate(
                         .map(|(bi, &ni)| {
                             route_graph::readset::begin();
                             let result = router.route_net(&mut g, circuit, ni, critical);
-                            (bi, (result, route_graph::readset::take()))
+                            let reads = route_graph::readset::take();
+                            // O(1) back to the pristine snapshot for the
+                            // worker's next net.
+                            g.reset();
+                            (bi, (result, reads))
                         })
                         .collect()
                 })
@@ -199,10 +216,12 @@ pub(crate) fn route_pass_parallel(
     circuit: &Circuit,
     order: &[usize],
     critical: &[bool],
+    threads: usize,
+    arenas: &mut [OverlayArena],
 ) -> Result<(PassResult, PassTelemetry), FpgaError> {
     let device = router.device();
     let config = router.config();
-    let threads = config.threads.max(2);
+    let threads = threads.max(2);
     let margin = config.candidate_margin + REGION_SLACK;
 
     let mut g = device.working_graph();
@@ -240,7 +259,7 @@ pub(crate) fn route_pass_parallel(
         }
 
         timing.speculated += len;
-        let speculated = speculate(router, circuit, critical, &g, batch, threads);
+        let speculated = speculate(router, circuit, critical, &g, batch, threads, arenas);
 
         // Commit strictly in order; `changed` accumulates every node the
         // batch's commits invalidated so later nets can detect staleness.

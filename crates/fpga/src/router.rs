@@ -11,7 +11,7 @@
 //! paper's feasibility threshold is 20) the circuit is declared unroutable
 //! at this channel width.
 
-use route_graph::{Graph, GraphError, NodeId, Weight};
+use route_graph::{Graph, GraphError, GraphView, GraphViewMut, NodeId, OverlayArena, Weight};
 use steiner_route::{
     idom_with_config, CandidatePool, Djka, Dom, Iterated, IteratedConfig, Kmb, Net,
     Pfa, RoutingTree, SteinerError, SteinerHeuristic, Zel,
@@ -58,23 +58,29 @@ impl RouteAlgorithm {
         }
     }
 
-    /// Instantiates the heuristic; iterated algorithms receive the given
-    /// candidate pool and run in screened mode (chip-scale graphs).
+    /// Instantiates the heuristic over any [`GraphView`]. Iterated
+    /// algorithms receive the given candidate pool and run in screened
+    /// mode (chip-scale graphs); ZEL and PFA restrict their Steiner-node
+    /// scans to the same pool, so every construction's distance queries
+    /// stay inside the net's spatial footprint and its recorded read set
+    /// is bounded by the region instead of the whole chip.
     #[must_use]
-    pub fn heuristic(self, pool: CandidatePool) -> Box<dyn SteinerHeuristic> {
+    pub fn heuristic<G: GraphView>(self, pool: CandidatePool) -> Box<dyn SteinerHeuristic<G>> {
         let config = IteratedConfig {
-            pool,
+            pool: pool.clone(),
             screened: true,
             ..IteratedConfig::default()
         };
         match self {
             RouteAlgorithm::Kmb => Box::new(Kmb::new()),
             RouteAlgorithm::Ikmb => Box::new(Iterated::with_config(Kmb::new(), config)),
-            RouteAlgorithm::Zel => Box::new(Zel::new()),
-            RouteAlgorithm::Izel => Box::new(Iterated::with_config(Zel::new(), config)),
+            RouteAlgorithm::Zel => Box::new(Zel::with_pool(pool)),
+            RouteAlgorithm::Izel => {
+                Box::new(Iterated::with_config(Zel::with_pool(pool), config))
+            }
             RouteAlgorithm::Djka => Box::new(Djka::new()),
             RouteAlgorithm::Dom => Box::new(Dom::new()),
-            RouteAlgorithm::Pfa => Box::new(Pfa::new()),
+            RouteAlgorithm::Pfa => Box::new(Pfa::with_pool(pool)),
             RouteAlgorithm::Idom => Box::new(idom_with_config(config)),
         }
     }
@@ -134,7 +140,10 @@ pub struct RouterConfig {
     /// original strictly-sequential path; `>= 2` speculatively routes
     /// batches of spatially disjoint nets concurrently and repairs
     /// conflicts at commit time, producing identical routed trees and
-    /// channel widths under a fixed seed.
+    /// channel widths under a fixed seed. `0` selects automatically per
+    /// circuit via [`auto_thread_count`]: small circuits route
+    /// sequentially (speculation overhead dominates), large ones use
+    /// every available core.
     pub threads: usize,
 }
 
@@ -282,14 +291,30 @@ impl<'d> Router<'d> {
                 std::cmp::Reverse(circuit.nets()[ni].pin_count()),
             )
         });
+        let threads = self.resolve_threads(circuit);
+        // One delta arena per worker, allocated once and rebound every
+        // batch wave — the per-wave snapshot cost is an O(1) generation
+        // bump instead of a full graph clone per worker.
+        let mut arenas: Vec<OverlayArena> = if threads > 1 {
+            (0..threads).map(|_| OverlayArena::new()).collect()
+        } else {
+            Vec::new()
+        };
         let mut last_failure = 0usize;
         let mut passes_telemetry: Vec<crate::telemetry::PassTelemetry> = Vec::new();
         for pass in 1..=self.config.max_passes.max(1) {
             let started = std::time::Instant::now();
             let (result, mut timing) = {
                 let _pass_span = route_trace::span(route_trace::SpanKind::Pass, "pass", pass as u64);
-                if self.config.threads > 1 {
-                    crate::parallel::route_pass_parallel(self, circuit, &order, critical)?
+                if threads > 1 {
+                    crate::parallel::route_pass_parallel(
+                        self,
+                        circuit,
+                        &order,
+                        critical,
+                        threads,
+                        &mut arenas,
+                    )?
                 } else {
                     self.route_pass(circuit, &order, critical)?
                 }
@@ -329,6 +354,25 @@ impl<'d> Router<'d> {
     /// The device this router is bound to.
     pub(crate) fn device(&self) -> &Device {
         self.device
+    }
+
+    /// Resolves [`RouterConfig::threads`] for this circuit: `0` asks
+    /// [`auto_thread_count`] with the machine's available parallelism,
+    /// any other value is taken literally.
+    fn resolve_threads(&self, circuit: &Circuit) -> usize {
+        match self.config.threads {
+            0 => {
+                let available = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                auto_thread_count(
+                    available,
+                    self.device.graph().live_node_count(),
+                    circuit.net_count(),
+                )
+            }
+            n => n,
+        }
     }
 
     fn route_pass(
@@ -372,9 +416,9 @@ impl<'d> Router<'d> {
     /// pins, runs the configured construction, and restores the masked
     /// pins. `Ok(None)` reports an unroutable (disconnected) net; the
     /// graph is left exactly as it was on entry either way.
-    pub(crate) fn route_net(
+    pub(crate) fn route_net<G: GraphViewMut>(
         &self,
-        g: &mut Graph,
+        g: &mut G,
         circuit: &Circuit,
         ni: usize,
         critical: &[bool],
@@ -549,12 +593,31 @@ pub(crate) enum PassResult {
     Failed(usize),
 }
 
+/// Picks a worker count for `threads = 0` (automatic) from the circuit's
+/// size: routing is sequential when there are too few nets to form
+/// multi-net batches (fewer than 8) or the routing graph is so small
+/// (under 2000 live nodes) that speculation bookkeeping outweighs the
+/// snapshot savings; otherwise every available core is used.
+///
+/// Pure in its arguments so the policy is unit-testable without a
+/// device.
+#[must_use]
+pub fn auto_thread_count(available: usize, live_nodes: usize, nets: usize) -> usize {
+    const MIN_NETS: usize = 8;
+    const MIN_LIVE_NODES: usize = 2000;
+    if nets < MIN_NETS || live_nodes < MIN_LIVE_NODES {
+        1
+    } else {
+        available.max(1)
+    }
+}
+
 /// Temporarily removes every logic-block pin that does not belong to the
 /// net being routed, so no route can pass *through* a foreign pin (a pin
 /// cannot electrically join two channel tracks). Returns the masked pins
 /// for restoration after the net is handled.
-pub(crate) fn mask_foreign_pins(
-    g: &mut Graph,
+pub(crate) fn mask_foreign_pins<G: GraphViewMut>(
+    g: &mut G,
     device: &Device,
     keep: &[NodeId],
 ) -> Result<Vec<NodeId>, FpgaError> {
@@ -569,7 +632,7 @@ pub(crate) fn mask_foreign_pins(
 }
 
 /// Restores pins hidden by [`mask_foreign_pins`].
-pub(crate) fn unmask_pins(g: &mut Graph, masked: &[NodeId]) -> Result<(), FpgaError> {
+pub(crate) fn unmask_pins<G: GraphViewMut>(g: &mut G, masked: &[NodeId]) -> Result<(), FpgaError> {
     for &pin in masked {
         g.restore_node(pin)?;
     }
@@ -727,6 +790,40 @@ mod tests {
         let outcome = router.route(&circuit).unwrap();
         assert_eq!(outcome.trees.len(), 3);
         assert!(outcome.total_wirelength > Weight::ZERO);
+    }
+
+    #[test]
+    fn auto_thread_count_scales_with_circuit_size() {
+        // Too few nets: sequential regardless of machine size.
+        assert_eq!(auto_thread_count(16, 100_000, 3), 1);
+        // Tiny graph: sequential even with many nets.
+        assert_eq!(auto_thread_count(16, 500, 200), 1);
+        // Big enough on both axes: use the whole machine.
+        assert_eq!(auto_thread_count(16, 100_000, 200), 16);
+        // Degenerate available parallelism still yields a worker.
+        assert_eq!(auto_thread_count(0, 100_000, 200), 1);
+        // Boundary values: exactly at the thresholds is parallel.
+        assert_eq!(auto_thread_count(4, 2000, 8), 4);
+        assert_eq!(auto_thread_count(4, 1999, 8), 1);
+        assert_eq!(auto_thread_count(4, 2000, 7), 1);
+    }
+
+    #[test]
+    fn threads_zero_routes_like_sequential() {
+        let circuit = small_circuit();
+        let device = Device::new(ArchSpec::xilinx4000(3, 3, 6)).unwrap();
+        let auto = Router::new(
+            &device,
+            RouterConfig {
+                threads: 0,
+                ..RouterConfig::default()
+            },
+        );
+        let seq = Router::new(&device, RouterConfig::default());
+        let a = auto.route(&circuit).unwrap();
+        let s = seq.route(&circuit).unwrap();
+        assert_eq!(a.total_wirelength, s.total_wirelength);
+        assert_eq!(a.passes, s.passes);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Dijkstra single-source shortest paths.
 
 use crate::heap::IndexedBinaryHeap;
-use crate::{EdgeId, Graph, GraphError, NodeId, Path, Weight};
+use crate::view::GraphView;
+use crate::{EdgeId, GraphError, NodeId, Path, Weight};
 
 /// The result of a Dijkstra run from one source: distances and parent links
 /// for every reachable live node.
@@ -47,7 +48,7 @@ impl ShortestPaths {
     ///
     /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
     /// if the source is invalid.
-    pub fn run(g: &Graph, source: NodeId) -> Result<ShortestPaths, GraphError> {
+    pub fn run<G: GraphView>(g: &G, source: NodeId) -> Result<ShortestPaths, GraphError> {
         Self::run_until(g, source, |_| false)
     }
 
@@ -58,8 +59,8 @@ impl ShortestPaths {
     ///
     /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
     /// if the source is invalid.
-    pub fn run_to_targets(
-        g: &Graph,
+    pub fn run_to_targets<G: GraphView>(
+        g: &G,
         source: NodeId,
         targets: &[NodeId],
     ) -> Result<ShortestPaths, GraphError> {
@@ -80,8 +81,8 @@ impl ShortestPaths {
         })
     }
 
-    fn run_until(
-        g: &Graph,
+    fn run_until<G: GraphView>(
+        g: &G,
         source: NodeId,
         done: impl FnMut(NodeId) -> bool,
     ) -> Result<ShortestPaths, GraphError> {
@@ -91,15 +92,15 @@ impl ShortestPaths {
         // router's hottest path and even well-predicted branches there
         // are measurable in the timing bench.
         match (route_trace::enabled(), crate::readset::is_active()) {
-            (false, false) => Self::run_until_impl::<false, false>(g, source, done),
-            (false, true) => Self::run_until_impl::<false, true>(g, source, done),
-            (true, false) => Self::run_until_impl::<true, false>(g, source, done),
-            (true, true) => Self::run_until_impl::<true, true>(g, source, done),
+            (false, false) => Self::run_until_impl::<G, false, false>(g, source, done),
+            (false, true) => Self::run_until_impl::<G, false, true>(g, source, done),
+            (true, false) => Self::run_until_impl::<G, true, false>(g, source, done),
+            (true, true) => Self::run_until_impl::<G, true, true>(g, source, done),
         }
     }
 
-    fn run_until_impl<const TRACED: bool, const RECORDING: bool>(
-        g: &Graph,
+    fn run_until_impl<G: GraphView, const TRACED: bool, const RECORDING: bool>(
+        g: &G,
         source: NodeId,
         mut done: impl FnMut(NodeId) -> bool,
     ) -> Result<ShortestPaths, GraphError> {
@@ -223,7 +224,7 @@ impl ShortestPaths {
 ///
 /// Returns [`GraphError::NodeRemoved`] / [`GraphError::NodeOutOfBounds`] for
 /// an invalid endpoint, or [`GraphError::Disconnected`] if no path exists.
-pub fn minpath(g: &Graph, u: NodeId, v: NodeId) -> Result<Weight, GraphError> {
+pub fn minpath<G: GraphView>(g: &G, u: NodeId, v: NodeId) -> Result<Weight, GraphError> {
     g.require_live_node(v)?;
     let sp = ShortestPaths::run_to_targets(g, u, &[v])?;
     sp.dist(v)
@@ -233,6 +234,7 @@ pub fn minpath(g: &Graph, u: NodeId, v: NodeId) -> Result<Weight, GraphError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     /// The 6-node example commonly used to exercise Dijkstra.
     fn diamond() -> (Graph, Vec<NodeId>) {

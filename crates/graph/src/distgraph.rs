@@ -13,7 +13,8 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::{Graph, GraphError, NodeId, Path, ShortestPaths, Weight};
+use crate::view::GraphView;
+use crate::{GraphError, NodeId, Path, ShortestPaths, Weight};
 
 /// Shortest-path distances (and paths) from every terminal of a net to
 /// everywhere in the graph.
@@ -63,7 +64,10 @@ impl TerminalDistances {
     /// Returns [`GraphError::EmptyTerminalSet`] for an empty list,
     /// [`GraphError::DuplicateTerminal`] for repeats, and node-validity
     /// errors for removed/unknown terminals.
-    pub fn compute(g: &Graph, terminals: &[NodeId]) -> Result<TerminalDistances, GraphError> {
+    pub fn compute<G: GraphView>(
+        g: &G,
+        terminals: &[NodeId],
+    ) -> Result<TerminalDistances, GraphError> {
         Self::compute_inner(g, terminals, None)
     }
 
@@ -88,8 +92,8 @@ impl TerminalDistances {
     /// # Errors
     ///
     /// As [`compute`](Self::compute).
-    pub fn compute_to_targets(
-        g: &Graph,
+    pub fn compute_to_targets<G: GraphView>(
+        g: &G,
         terminals: &[NodeId],
         extra_targets: &[NodeId],
     ) -> Result<TerminalDistances, GraphError> {
@@ -102,8 +106,8 @@ impl TerminalDistances {
         Self::compute_inner(g, terminals, Some(targets))
     }
 
-    fn compute_inner(
-        g: &Graph,
+    fn compute_inner<G: GraphView>(
+        g: &G,
         terminals: &[NodeId],
         targets: Option<Vec<NodeId>>,
     ) -> Result<TerminalDistances, GraphError> {
@@ -229,7 +233,7 @@ impl TerminalDistances {
     ///
     /// Returns [`GraphError::DuplicateTerminal`] if `v` is already a
     /// terminal, plus node-validity errors.
-    pub fn push_terminal(&mut self, g: &Graph, v: NodeId) -> Result<usize, GraphError> {
+    pub fn push_terminal<G: GraphView>(&mut self, g: &G, v: NodeId) -> Result<usize, GraphError> {
         if self.index_of(v).is_some() {
             return Err(GraphError::DuplicateTerminal(v));
         }
@@ -259,47 +263,52 @@ impl TerminalDistances {
 /// the PFA heuristic runs Dijkstra from every `MaxDom` merge point it
 /// creates, and reuses runs when merge points repeat.
 ///
-/// The oracle borrows the graph immutably, so it is valid only while the
-/// graph is unchanged; create a fresh oracle after mutating weights or
-/// removing resources.
-#[derive(Debug)]
-pub struct DistanceOracle<'g> {
-    g: &'g Graph,
+/// The oracle does not borrow a graph; each [`DistanceOracle::paths`] call
+/// takes the view to answer against and remembers its [`GraphView::epoch`].
+/// When a later call arrives with a different epoch — the graph was mutated,
+/// or a different graph/overlay was passed — every cached run is stale and
+/// the cache is flushed before answering.
+#[derive(Debug, Default)]
+pub struct DistanceOracle {
     cache: HashMap<NodeId, Rc<ShortestPaths>>,
+    epoch: Option<u64>,
 }
 
-impl<'g> DistanceOracle<'g> {
-    /// Creates an empty oracle over `g`.
+impl DistanceOracle {
+    /// Creates an empty oracle.
     #[must_use]
-    pub fn new(g: &'g Graph) -> DistanceOracle<'g> {
-        DistanceOracle {
-            g,
-            cache: HashMap::new(),
-        }
-    }
-
-    /// The graph this oracle answers for.
-    #[must_use]
-    pub fn graph(&self) -> &'g Graph {
-        self.g
+    pub fn new() -> DistanceOracle {
+        DistanceOracle::default()
     }
 
     /// Returns (computing and caching on first use) the shortest-paths run
-    /// from `source`.
+    /// from `source` in `g`.
+    ///
+    /// If `g`'s epoch differs from the epoch of the view that populated the
+    /// cache, the stale entries are discarded first, so answers always
+    /// reflect the view as passed.
     ///
     /// # Errors
     ///
     /// Returns node-validity errors for an invalid source.
-    pub fn paths(&mut self, source: NodeId) -> Result<Rc<ShortestPaths>, GraphError> {
+    pub fn paths<G: GraphView>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+    ) -> Result<Rc<ShortestPaths>, GraphError> {
+        if self.epoch != Some(g.epoch()) {
+            self.cache.clear();
+            self.epoch = Some(g.epoch());
+        }
         if let Some(sp) = self.cache.get(&source) {
             return Ok(Rc::clone(sp));
         }
-        let sp = Rc::new(ShortestPaths::run(self.g, source)?);
+        let sp = Rc::new(ShortestPaths::run(g, source)?);
         self.cache.insert(source, Rc::clone(&sp));
         Ok(sp)
     }
 
-    /// Number of distinct sources computed so far.
+    /// Number of distinct sources cached for the current epoch.
     #[must_use]
     pub fn cached_sources(&self) -> usize {
         self.cache.len()
@@ -309,6 +318,7 @@ impl<'g> DistanceOracle<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn path_graph(n: usize) -> (Graph, Vec<NodeId>) {
         let mut g = Graph::with_nodes(n);
@@ -444,12 +454,30 @@ mod tests {
     #[test]
     fn oracle_caches_runs() {
         let (g, n) = path_graph(4);
-        let mut oracle = DistanceOracle::new(&g);
-        let a = oracle.paths(n[0]).unwrap();
-        let b = oracle.paths(n[0]).unwrap();
+        let mut oracle = DistanceOracle::new();
+        let a = oracle.paths(&g, n[0]).unwrap();
+        let b = oracle.paths(&g, n[0]).unwrap();
         assert!(Rc::ptr_eq(&a, &b));
         assert_eq!(oracle.cached_sources(), 1);
-        oracle.paths(n[2]).unwrap();
+        oracle.paths(&g, n[2]).unwrap();
         assert_eq!(oracle.cached_sources(), 2);
+    }
+
+    #[test]
+    fn oracle_invalidates_on_epoch_change() {
+        let (mut g, n) = path_graph(4);
+        let mut oracle = DistanceOracle::new();
+        let before = oracle.paths(&g, n[0]).unwrap();
+        assert_eq!(before.dist(n[3]), Some(Weight::from_units(3)));
+
+        // Mutating the graph bumps its epoch; the oracle must not serve
+        // the stale run afterwards.
+        let e = g.edge_ids().next().unwrap();
+        g.add_weight(e, Weight::from_units(10)).unwrap();
+        let after = oracle.paths(&g, n[0]).unwrap();
+        assert!(!Rc::ptr_eq(&before, &after));
+        assert_eq!(after.dist(n[3]), Some(Weight::from_units(13)));
+        // The flush dropped every pre-mutation entry.
+        assert_eq!(oracle.cached_sources(), 1);
     }
 }

@@ -62,6 +62,8 @@ pub struct Graph {
     edges: Vec<EdgeRec>,
     live_nodes: usize,
     live_edge_flags: usize,
+    /// Monotone mutation stamp; see [`Graph::epoch`].
+    epoch: u64,
 }
 
 impl Graph {
@@ -89,7 +91,21 @@ impl Graph {
             alive: true,
         });
         self.live_nodes += 1;
+        self.epoch += 1;
         id
+    }
+
+    /// A monotone stamp that advances on every effective mutation (node or
+    /// edge addition, weight change, removal/restore transitions).
+    ///
+    /// Caches derived from this graph — [`DistanceOracle`](crate::DistanceOracle)
+    /// in particular — compare epochs to detect that cached results have
+    /// gone stale. The stamp tracks one graph instance over time; it does
+    /// not order mutations across different graphs (a clone starts from
+    /// the parent's current stamp and the two then advance independently).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Adds an undirected edge between `a` and `b` with the given weight.
@@ -117,6 +133,7 @@ impl Graph {
         self.nodes[a.index()].adj.push((b, id));
         self.nodes[b.index()].adj.push((a, id));
         self.live_edge_flags += 1;
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -216,6 +233,7 @@ impl Graph {
             .get_mut(e.index())
             .ok_or(GraphError::EdgeOutOfBounds(e))?;
         rec.weight = weight;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -233,6 +251,7 @@ impl Graph {
             .get_mut(e.index())
             .ok_or(GraphError::EdgeOutOfBounds(e))?;
         rec.weight = rec.weight.saturating_add(delta);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -250,6 +269,7 @@ impl Graph {
         if rec.alive {
             rec.alive = false;
             self.live_edge_flags -= 1;
+            self.epoch += 1;
         }
         Ok(())
     }
@@ -267,6 +287,7 @@ impl Graph {
         if !rec.alive {
             rec.alive = true;
             self.live_edge_flags += 1;
+            self.epoch += 1;
         }
         Ok(())
     }
@@ -286,6 +307,7 @@ impl Graph {
         if rec.alive {
             rec.alive = false;
             self.live_nodes -= 1;
+            self.epoch += 1;
         }
         Ok(())
     }
@@ -303,6 +325,7 @@ impl Graph {
         if !rec.alive {
             rec.alive = true;
             self.live_nodes += 1;
+            self.epoch += 1;
         }
         Ok(())
     }
@@ -363,6 +386,18 @@ impl Graph {
             count += 1;
         }
         (count > 0).then(|| total / count as f64)
+    }
+
+    /// Raw adjacency entries of `v`, including entries whose edge or
+    /// neighbor is currently removed (the overlay filters by its own
+    /// liveness state, preserving insertion order).
+    pub(crate) fn adj_entries(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        self.nodes.get(v.index()).map_or(&[], |rec| rec.adj.as_slice())
+    }
+
+    /// The edge's own removal flag, ignoring endpoint liveness.
+    pub(crate) fn edge_alive_flag(&self, e: EdgeId) -> bool {
+        self.edges.get(e.index()).is_some_and(|rec| rec.alive)
     }
 
     fn check_node(&self, v: NodeId) -> Result<(), GraphError> {

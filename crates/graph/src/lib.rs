@@ -32,6 +32,10 @@
 //! * [`readset`] — thread-local recording of the nodes a shortest-path
 //!   run examined, the conflict-detection primitive of the speculative
 //!   parallel router.
+//! * [`view`] / [`overlay`] — the [`GraphView`] read abstraction served by
+//!   both [`Graph`] and the epoch-tagged copy-on-write [`GraphOverlay`],
+//!   which gives the parallel router O(changed) per-worker snapshots with
+//!   O(1) restore instead of full clones.
 //! * [`floyd`] — Floyd–Warshall all-pairs shortest paths, used as a test
 //!   oracle against Dijkstra.
 //!
@@ -65,10 +69,12 @@ pub mod heap;
 mod ids;
 pub mod mst;
 pub mod multiweight;
+pub mod overlay;
 pub mod path;
 pub mod random;
 pub mod readset;
 pub mod rng;
+pub mod view;
 mod weight;
 
 pub use dijkstra::ShortestPaths;
@@ -77,5 +83,7 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use grid::GridGraph;
 pub use ids::{EdgeId, NodeId};
+pub use overlay::{GraphOverlay, OverlayArena};
 pub use path::Path;
+pub use view::{GraphView, GraphViewMut};
 pub use weight::{Weight, MILLI_PER_UNIT};

@@ -1,5 +1,5 @@
 //! Minimum spanning trees: Prim over complete distance matrices and Kruskal
-//! over edge subsets of a [`Graph`].
+//! over edge subsets of any [`GraphView`].
 //!
 //! Both flavours appear in the KMB heuristic (paper Appendix): `MST(G')`
 //! over the complete *distance graph* on the net's terminals, and
@@ -7,7 +7,8 @@
 //! into concrete shortest paths.
 
 use crate::dsu::UnionFind;
-use crate::{EdgeId, Graph, NodeId, Weight};
+use crate::view::GraphView;
+use crate::{EdgeId, NodeId, Weight};
 
 /// A minimum spanning tree of a complete graph over `0..n`, as produced by
 /// [`prim_complete`].
@@ -129,7 +130,7 @@ pub struct SubgraphMst {
 /// # }
 /// ```
 #[must_use]
-pub fn kruskal_subgraph(g: &Graph, edges: &[EdgeId]) -> SubgraphMst {
+pub fn kruskal_subgraph<G: GraphView>(g: &G, edges: &[EdgeId]) -> SubgraphMst {
     let mut seen_edge = vec![false; g.edge_count()];
     let mut sorted: Vec<(Weight, EdgeId)> = Vec::with_capacity(edges.len());
     let mut touched: Vec<NodeId> = Vec::new();
@@ -176,7 +177,7 @@ pub fn kruskal_subgraph(g: &Graph, edges: &[EdgeId]) -> SubgraphMst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphError;
+    use crate::{Graph, GraphError};
 
     #[test]
     fn prim_matches_known_mst() {

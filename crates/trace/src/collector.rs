@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use crate::congestion::CongestionSnapshot;
 use crate::counter::{Counter, CounterSet};
-use crate::sink::Trace;
+use crate::sink::{StreamingJsonlSink, Trace};
 use crate::span::{SpanId, SpanKind, SpanRecord};
 
 /// Fast path gate: `true` while a collector is installed.
@@ -47,10 +47,17 @@ struct Shared {
     spans: Mutex<Vec<SpanRecord>>,
     snapshots: Mutex<Vec<CongestionSnapshot>>,
     counters: Mutex<CounterSet>,
+    /// `true` when `stream` holds a sink — checked (relaxed) before
+    /// taking the stream lock so non-streaming sessions pay one atomic
+    /// load per closed span, never a lock.
+    streaming: AtomicBool,
+    /// Write-through sink for streaming sessions; spans append here as
+    /// they close, the tail (counters + snapshots) at `finish`.
+    stream: Mutex<Option<StreamingJsonlSink>>,
 }
 
 impl Shared {
-    fn new() -> Shared {
+    fn new(stream: Option<StreamingJsonlSink>) -> Shared {
         Shared {
             epoch: Instant::now(),
             next_span: AtomicU64::new(1),
@@ -58,6 +65,22 @@ impl Shared {
             spans: Mutex::new(Vec::new()),
             snapshots: Mutex::new(Vec::new()),
             counters: Mutex::new(CounterSet::new()),
+            streaming: AtomicBool::new(stream.is_some()),
+            stream: Mutex::new(stream),
+        }
+    }
+
+    /// Streams a just-closed span when this is a streaming session.
+    /// Errors are swallowed: this runs inside `Drop` and a torn tail is
+    /// precisely what a streamed trace's reader must tolerate anyway.
+    fn stream_span(&self, record: &SpanRecord) {
+        if !self.streaming.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Ok(mut slot) = self.stream.lock() {
+            if let Some(sink) = slot.as_mut() {
+                let _ = sink.write_span(record);
+            }
         }
     }
 }
@@ -307,7 +330,7 @@ impl Drop for SpanGuard {
                 buf.stack.retain(|&id| id != active.id);
             }
             let thread = buf.thread;
-            buf.spans.push(SpanRecord {
+            let record = SpanRecord {
                 id: active.id,
                 parent: active.parent,
                 kind: active.kind,
@@ -316,7 +339,11 @@ impl Drop for SpanGuard {
                 start_ns: active.start_ns,
                 end_ns,
                 thread,
-            });
+            };
+            if let Some(shared) = &buf.shared {
+                shared.stream_span(&record);
+            }
+            buf.spans.push(record);
         });
     }
 }
@@ -348,7 +375,25 @@ pub struct Collector {
 impl Collector {
     /// Installs a fresh collector and enables tracing globally.
     pub fn install() -> Collector {
-        let shared = Arc::new(Shared::new());
+        Collector::install_with(None)
+    }
+
+    /// Installs a collector that *streams*: the JSONL `meta` header is
+    /// written to `out` immediately, every span's line is appended (and
+    /// flushed) as the span closes, and [`finish`](Collector::finish)
+    /// appends the merged counters and congestion snapshots. The
+    /// finished [`Trace`] is still returned as usual, so summaries keep
+    /// working.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the header; the collector is
+    /// not installed on failure.
+    pub fn install_streaming(out: Box<dyn std::io::Write + Send>) -> std::io::Result<Collector> {
+        Ok(Collector::install_with(Some(StreamingJsonlSink::new(out)?)))
+    }
+
+    fn install_with(stream: Option<StreamingJsonlSink>) -> Collector {
+        let shared = Arc::new(Shared::new(stream));
         let mut slot = registry().lock().expect("trace registry poisoned");
         *slot = Some(shared.clone());
         let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
@@ -401,6 +446,11 @@ impl Collector {
                 .expect("trace counter store poisoned");
             counters.clone()
         };
+        self.shared.streaming.store(false, Ordering::Relaxed);
+        let stream = self.shared.stream.lock().ok().and_then(|mut s| s.take());
+        if let Some(mut sink) = stream {
+            let _ = sink.write_tail(&counters, &snapshots);
+        }
         Trace {
             spans,
             counters,
@@ -510,6 +560,64 @@ mod tests {
         let trace = collector.finish();
         assert_eq!(trace.snapshots.len(), 2);
         assert_eq!(trace.snapshots[1].pass, 2);
+    }
+
+    /// A cloneable in-memory writer so the test can watch the stream
+    /// grow while the collector still owns the sink.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_appends_spans_as_they_close_and_tail_at_finish() {
+        let _gate = serial();
+        let buf = SharedBuf::default();
+        let collector = Collector::install_streaming(Box::new(buf.clone())).unwrap();
+        let header = buf.text();
+        assert_eq!(header.lines().count(), 1, "meta header written at install");
+        assert!(header.contains("\"mode\":\"stream\""));
+        {
+            let _pass = span(SpanKind::Pass, "pass", 1);
+            let _net = span(SpanKind::Net, "net", 3);
+        }
+        let mid = buf.text();
+        assert_eq!(
+            mid.lines().count(),
+            3,
+            "both spans streamed the moment their guards dropped"
+        );
+        count(Counter::NetsRouted, 2);
+        record_snapshot(CongestionSnapshot::from_usage(1, 2, &[1, 0]));
+        let trace = collector.finish();
+        assert_eq!(trace.spans.len(), 2, "finish still returns the full trace");
+        let text = buf.text();
+        for line in text.lines() {
+            crate::json::validate(line)
+                .unwrap_or_else(|e| panic!("bad streamed line {line:?}: {e}"));
+        }
+        assert!(text.contains("\"kind\":\"pass\""));
+        assert!(text.contains("\"name\":\"nets_routed\""));
+        assert!(text.contains("\"type\":\"congestion\""));
+        // Close order: the net guard dropped before the pass guard.
+        let net_pos = text.find("\"kind\":\"net\"").unwrap();
+        let pass_pos = text.find("\"kind\":\"pass\"").unwrap();
+        assert!(net_pos < pass_pos);
     }
 
     #[test]

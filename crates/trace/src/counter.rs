@@ -41,6 +41,10 @@ pub enum Counter {
     NetsRouted,
     /// Working-graph clones taken (pass graphs and per-worker snapshots).
     GraphSnapshotClones,
+    /// Copy-on-write overlay binds (one per worker per batch wave).
+    OverlayBinds,
+    /// O(1) overlay resets (generation bumps restoring the base state).
+    OverlayResets,
     /// Speculative routings committed unchanged by the conflict detector.
     ConflictAccepts,
     /// Speculative routings discarded and re-routed sequentially.
@@ -49,7 +53,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order (the dense index order).
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::DijkstraRuns,
         Counter::DijkstraHeapPops,
         Counter::DijkstraRelaxations,
@@ -64,6 +68,8 @@ impl Counter {
         Counter::DomConnections,
         Counter::NetsRouted,
         Counter::GraphSnapshotClones,
+        Counter::OverlayBinds,
+        Counter::OverlayResets,
         Counter::ConflictAccepts,
         Counter::ConflictReroutes,
     ];
@@ -86,6 +92,8 @@ impl Counter {
             Counter::DomConnections => "dom_connections",
             Counter::NetsRouted => "nets_routed",
             Counter::GraphSnapshotClones => "graph_snapshot_clones",
+            Counter::OverlayBinds => "overlay_binds",
+            Counter::OverlayResets => "overlay_resets",
             Counter::ConflictAccepts => "conflict_accepts",
             Counter::ConflictReroutes => "conflict_reroutes",
         }

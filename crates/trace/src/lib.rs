@@ -57,5 +57,5 @@ pub use collector::{
 };
 pub use congestion::CongestionSnapshot;
 pub use counter::{Counter, CounterSet};
-pub use sink::{JsonSink, JsonlSink, Trace, TraceSink};
+pub use sink::{JsonSink, JsonlSink, StreamingJsonlSink, Trace, TraceSink};
 pub use span::{SpanId, SpanKind, SpanRecord};

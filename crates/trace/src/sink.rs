@@ -4,6 +4,13 @@
 //! a [`TraceSink`] turns it into bytes. Two sinks ship with the crate:
 //! [`JsonlSink`] (one JSON object per line — streams well, greps well)
 //! and [`JsonSink`] (a single document for tools that want one value).
+//!
+//! A third mode, [`StreamingJsonlSink`], is not a [`TraceSink`]: instead
+//! of serializing a finished trace it is installed *into* a collector
+//! session ([`Collector::install_streaming`](crate::Collector::install_streaming))
+//! and appends each span's JSONL line the moment the span closes, so a
+//! long routing run can be tailed live and a crash loses at most the
+//! events after the last flush.
 
 use std::io::{self, Write};
 
@@ -113,6 +120,71 @@ fn meta_object(trace: &Trace) -> String {
         .u64("spans", trace.spans.len() as u64)
         .u64("snapshots", trace.snapshots.len() as u64);
     o.finish()
+}
+
+/// Streams a collector session as JSONL while it runs.
+///
+/// Construction writes the `meta` header immediately (span/snapshot
+/// counts are reported as 0 — they are unknowable upfront; the line
+/// carries `"mode":"stream"` so readers can tell). Every span is then
+/// written and flushed the moment it closes — in *close* order, which
+/// across worker threads is not start order — and
+/// [`Collector::finish`](crate::Collector::finish) appends the merged
+/// counters and congestion snapshots. Each emitted line validates
+/// against [`json::validate`](crate::json::validate) exactly like
+/// [`JsonlSink`] output, so `trace-check` accepts streamed files
+/// unchanged.
+pub struct StreamingJsonlSink {
+    out: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for StreamingJsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingJsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl StreamingJsonlSink {
+    /// Wraps a writer and emits the `meta` header line at once.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the header.
+    pub fn new(mut out: Box<dyn Write + Send>) -> io::Result<StreamingJsonlSink> {
+        let mut o = ObjectWriter::new();
+        o.str("type", "meta")
+            .str("format", "route-trace")
+            .u64("version", 1)
+            .str("mode", "stream")
+            .u64("spans", 0)
+            .u64("snapshots", 0);
+        writeln!(out, "{}", o.finish())?;
+        out.flush()?;
+        Ok(StreamingJsonlSink { out })
+    }
+
+    /// Appends one closed span and flushes so tails see it promptly.
+    pub(crate) fn write_span(&mut self, span: &SpanRecord) -> io::Result<()> {
+        writeln!(self.out, "{}", span_object(span))?;
+        self.out.flush()
+    }
+
+    /// Appends the session's merged counters and congestion snapshots —
+    /// the collector calls this once, from `finish`.
+    pub(crate) fn write_tail(
+        &mut self,
+        counters: &CounterSet,
+        snapshots: &[CongestionSnapshot],
+    ) -> io::Result<()> {
+        for (c, v) in counters.iter_nonzero() {
+            let mut o = ObjectWriter::new();
+            o.str("type", "counter").str("name", c.name()).u64("value", v);
+            writeln!(self.out, "{}", o.finish())?;
+        }
+        for snap in snapshots {
+            writeln!(self.out, "{}", snapshot_object(snap))?;
+        }
+        self.out.flush()
+    }
 }
 
 /// Emits one JSON object per line: a `meta` header, then every span,

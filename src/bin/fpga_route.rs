@@ -47,15 +47,19 @@ usage:
   fpga-route profiles
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
                    [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
-                   [--svg <file>] [--trace <file>] [--metrics]
+                   [--svg <file>] [--trace <file>] [--stream] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
-                   [--threads <n>] [--probe-threads <n>] [--trace <file>] [--metrics]
+                   [--threads <n>] [--probe-threads <n>] [--trace <file>] [--stream]
+                   [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
   fpga-route trace-check <file.jsonl>
 
---threads / --probe-threads: 0 = one worker per available core
+--threads: routing workers; 0 = automatic (sequential for small circuits,
+           one worker per available core for large ones)
+--probe-threads: concurrent width probes; 0 = one worker per available core
 --trace: telemetry as JSONL (or a single JSON document for .json paths)
+--stream: append trace lines live as spans close (requires --trace, JSONL only)
 algorithms: kmb zel ikmb izel djka dom pfa idom";
 
 /// A flag a command accepts: name and whether it consumes a value
@@ -73,6 +77,7 @@ const ROUTE_FLAGS: FlagSpec = &[
     ("threads", true),
     ("svg", true),
     ("trace", true),
+    ("stream", false),
     ("metrics", false),
 ];
 const WIDTH_FLAGS: FlagSpec = &[
@@ -87,6 +92,7 @@ const WIDTH_FLAGS: FlagSpec = &[
     ("threads", true),
     ("probe-threads", true),
     ("trace", true),
+    ("stream", false),
     ("metrics", false),
 ];
 const NET_FLAGS: FlagSpec = &[
@@ -168,8 +174,10 @@ fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u
     flags.get(key).map_or(Ok(default), |v| Ok(v.parse()?))
 }
 
-/// Resolves a thread-count flag: absent = 1 (sequential), `0` = one
-/// worker per available core.
+/// Resolves a CLI-side thread-count flag (`--probe-threads`): absent = 1
+/// (sequential), `0` = one worker per available core. Router `--threads`
+/// is *not* resolved here — `0` passes through so the router can pick a
+/// worker count per circuit ([`fpga_route::fpga::auto_thread_count`]).
 fn get_threads(flags: &HashMap<String, String>, key: &str) -> Result<usize, Box<dyn Error>> {
     let requested = get_usize(flags, key, Some(1))?;
     Ok(if requested == 0 {
@@ -213,28 +221,59 @@ fn arch_for(
     }
 }
 
+/// An installed collector plus whether it streams to the `--trace` file
+/// live (in which case nothing is rewritten at finish).
+struct CollectorSession {
+    collector: Collector,
+    streaming: bool,
+}
+
 /// Installs a trace collector when `--trace`/`--metrics` ask for one.
-fn maybe_collector(flags: &HashMap<String, String>) -> Option<Collector> {
-    if flags.contains_key("trace") || flags.contains_key("metrics") {
-        Some(Collector::install())
-    } else {
-        None
+/// With `--stream`, the collector appends JSONL to the `--trace` file as
+/// spans close instead of buffering the whole run.
+fn maybe_collector(
+    flags: &HashMap<String, String>,
+) -> Result<Option<CollectorSession>, Box<dyn Error>> {
+    if flags.contains_key("stream") {
+        let path = flags
+            .get("trace")
+            .ok_or("--stream needs --trace <file> as the JSONL destination")?;
+        if path.ends_with(".json") {
+            return Err("--stream emits JSONL; use a non-.json --trace path".into());
+        }
+        let file = std::fs::File::create(path)?;
+        return Ok(Some(CollectorSession {
+            collector: Collector::install_streaming(Box::new(file))?,
+            streaming: true,
+        }));
     }
+    if flags.contains_key("trace") || flags.contains_key("metrics") {
+        return Ok(Some(CollectorSession {
+            collector: Collector::install(),
+            streaming: false,
+        }));
+    }
+    Ok(None)
 }
 
 /// Finishes an installed collector: writes `--trace` output (JSONL, or a
-/// single JSON document for `.json` paths) and prints `--metrics`.
+/// single JSON document for `.json` paths; already on disk when
+/// streaming) and prints `--metrics`.
 fn finish_collector(
-    collector: Option<Collector>,
+    session: Option<CollectorSession>,
     flags: &HashMap<String, String>,
 ) -> Result<(), Box<dyn Error>> {
-    let Some(collector) = collector else {
+    let Some(session) = session else {
         return Ok(());
     };
-    let trace = collector.finish();
+    let trace = session.collector.finish();
     if let Some(path) = flags.get("trace") {
-        write_trace(&trace, path)?;
-        println!("telemetry written to {path}");
+        if session.streaming {
+            println!("telemetry streamed to {path}");
+        } else {
+            write_trace(&trace, path)?;
+            println!("telemetry written to {path}");
+        }
     }
     if flags.contains_key("metrics") {
         print!("{}", trace.summary());
@@ -280,7 +319,9 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let width = get_usize(flags, "width", None)?;
     let seed = get_u64(flags, "seed", 1995)?;
     let passes = get_usize(flags, "passes", Some(10))?;
-    let threads = get_threads(flags, "threads")?;
+    // `0` passes through: the router sizes the worker pool to the
+    // circuit (fpga::auto_thread_count).
+    let threads = get_usize(flags, "threads", Some(1))?;
     let circuit = synthesize(&profile, 2, seed)?;
     let device = Device::new(arch_for(flags, &profile, width)?)?;
     let config = RouterConfig {
@@ -289,14 +330,19 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         threads,
         ..RouterConfig::default()
     };
-    let collector = maybe_collector(flags);
+    let collector = maybe_collector(flags)?;
     let outcome = Router::new(&device, config.clone()).route(&circuit)?;
+    let thread_desc = if threads == 0 {
+        "auto".to_string()
+    } else {
+        threads.to_string()
+    };
     println!(
         "{name}: routed {} nets at W = {width} with {} in {} pass(es), {} thread(s)",
         circuit.net_count(),
         config.algorithm.label(),
         outcome.passes,
-        threads
+        thread_desc
     );
     println!(
         "total wirelength {}, critical pathlength {}",
@@ -319,7 +365,9 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let max = get_usize(flags, "max", Some(24))?;
     let seed = get_u64(flags, "seed", 1995)?;
     let passes = get_usize(flags, "passes", Some(10))?;
-    let threads = get_threads(flags, "threads")?;
+    // Router threads pass through raw (0 = per-circuit auto); probe
+    // parallelism is a CLI concern and resolves here.
+    let threads = get_usize(flags, "threads", Some(1))?;
     let probe_threads = get_threads(flags, "probe-threads")?;
     let circuit = synthesize(&profile, 2, seed)?;
     let base = arch_for(flags, &profile, min)?;
@@ -348,7 +396,7 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             .route(&circuit)
         }
     };
-    let collector = maybe_collector(flags);
+    let collector = maybe_collector(flags)?;
     let found = if probe_threads > 1 {
         minimum_channel_width_parallel(base, min..=max, probe_threads, route)?
     } else {
@@ -540,14 +588,26 @@ mod tests {
     }
 
     #[test]
-    fn thread_flags_resolve_zero_to_available_cores() {
-        assert_eq!(get_threads(&flags(&[]), "threads").unwrap(), 1);
+    fn probe_thread_flag_resolves_zero_to_available_cores() {
+        assert_eq!(get_threads(&flags(&[]), "probe-threads").unwrap(), 1);
         assert_eq!(
-            get_threads(&flags(&[("threads", "3")]), "threads").unwrap(),
+            get_threads(&flags(&[("probe-threads", "3")]), "probe-threads").unwrap(),
             3
         );
-        assert!(get_threads(&flags(&[("threads", "0")]), "threads").unwrap() >= 1);
-        assert!(get_threads(&flags(&[("threads", "x")]), "threads").is_err());
+        assert!(
+            get_threads(&flags(&[("probe-threads", "0")]), "probe-threads").unwrap() >= 1
+        );
+        assert!(get_threads(&flags(&[("probe-threads", "x")]), "probe-threads").is_err());
+        // Router --threads is NOT resolved CLI-side: 0 reaches the
+        // RouterConfig untouched so the router can auto-size per circuit.
+        assert_eq!(get_usize(&flags(&[("threads", "0")]), "threads", Some(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn stream_flag_requires_a_jsonl_trace_path() {
+        assert!(maybe_collector(&flags(&[("stream", "true")])).is_err());
+        assert!(maybe_collector(&flags(&[("stream", "true"), ("trace", "t.json")])).is_err());
+        assert!(maybe_collector(&flags(&[])).unwrap().is_none());
     }
 
     #[test]

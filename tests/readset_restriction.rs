@@ -1,0 +1,174 @@
+//! Read-set restriction: every construction the FPGA router deploys must
+//! record a *bounded* read set when handed an explicit candidate pool —
+//! strictly smaller than the live graph — or parallel speculation
+//! degrades to sequential replay on every batch (any batch-mate's commit
+//! would intersect a whole-graph read set).
+//!
+//! The grid is seeded with congestion-style weight noise so shortest
+//! paths are not axis-aligned ties: a construction that secretly floods
+//! the whole component to break ties would be caught here.
+
+use fpga_route::graph::rng::{Rng, SplitMix64};
+use fpga_route::graph::{readset, GridGraph, NodeId, Weight};
+use fpga_route::steiner::{
+    idom_with_config, CandidatePool, Djka, Dom, Iterated, IteratedConfig, Kmb, Net,
+    SteinerHeuristic, Zel,
+};
+use fpga_route::steiner::Pfa;
+
+// The chip must be comfortably larger than the candidate pool: a
+// target-restricted Dijkstra stops once the *last* pool target settles,
+// so it examines everything within that distance of its start — a
+// diamond about twice the pool's diameter in the worst case. On a chip
+// barely bigger than that diamond the union of reads across an iterated
+// construction's rounds covers every node and the strict-subset
+// assertion would flag a correctly restricted run.
+const ROWS: usize = 28;
+const COLS: usize = 28;
+
+/// A 28×28 grid with seeded congestion noise: every edge gets
+/// `1.0 + U(0, 0.4)` units so distances are irregular like a mid-pass
+/// routing graph.
+fn congested_grid() -> GridGraph {
+    let mut grid = GridGraph::new(ROWS, COLS, Weight::UNIT).unwrap();
+    let mut rng = SplitMix64::seed_from_u64(1995);
+    let edges: Vec<_> = grid.graph().edge_ids().collect();
+    for e in edges {
+        let noise = rng.gen_range(0..400u64);
+        grid.graph_mut()
+            .set_weight(e, Weight::from_milli(1000 + noise))
+            .unwrap();
+    }
+    grid
+}
+
+/// A corner net whose terminals all sit inside rows/cols `2..=8`.
+fn corner_net(grid: &GridGraph) -> Net {
+    Net::new(
+        grid.node_at(2, 2).unwrap(),
+        vec![
+            grid.node_at(8, 5).unwrap(),
+            grid.node_at(5, 8).unwrap(),
+            grid.node_at(8, 8).unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+/// The explicit candidate pool: every node of the net's bounding box
+/// expanded by a 2-block margin (rows/cols `0..=10`) — the same shape
+/// the router's `candidate_pool` produces from a net's footprint.
+fn region_pool(grid: &GridGraph) -> Vec<NodeId> {
+    let mut pool = Vec::new();
+    for r in 0..=10 {
+        for c in 0..=10 {
+            pool.push(grid.node_at(r, c).unwrap());
+        }
+    }
+    pool
+}
+
+/// Runs one construction under the read-set recorder and asserts its
+/// reads are non-empty and a strict subset of the live graph.
+fn assert_bounded_reads(h: &dyn SteinerHeuristic, grid: &GridGraph, net: &Net) {
+    let g = grid.graph();
+    readset::begin();
+    let tree = h.construct(g, net).unwrap();
+    let reads = readset::take();
+    assert!(tree.spans(net), "{}: tree must span the net", h.name());
+    assert!(!reads.is_empty(), "{}: reads recorded", h.name());
+    assert!(
+        reads.len() < g.live_node_count(),
+        "{}: read set ({} nodes) must be a strict subset of the live graph ({} nodes)",
+        h.name(),
+        reads.len(),
+        g.live_node_count()
+    );
+    // The far corner is well outside the restricted target set; no
+    // bounded construction has any business examining it.
+    let far = grid.node_at(ROWS - 1, COLS - 1).unwrap();
+    assert!(
+        !reads.contains(&far),
+        "{}: read the far corner of the chip",
+        h.name()
+    );
+}
+
+#[test]
+fn every_pooled_construction_records_a_restricted_read_set() {
+    let grid = congested_grid();
+    let net = corner_net(&grid);
+    let pool = region_pool(&grid);
+    let config = IteratedConfig {
+        pool: CandidatePool::Explicit(pool.clone()),
+        ..IteratedConfig::default()
+    };
+    let heuristics: Vec<Box<dyn SteinerHeuristic>> = vec![
+        Box::new(Kmb::new()),
+        Box::new(Zel::with_pool(CandidatePool::Explicit(pool.clone()))),
+        Box::new(Pfa::with_pool(CandidatePool::Explicit(pool.clone()))),
+        Box::new(Dom::new()),
+        Box::new(Djka::new()),
+        Box::new(Iterated::with_config(Kmb::new(), config.clone())),
+        Box::new(Iterated::with_config(
+            Zel::with_pool(CandidatePool::Explicit(pool.clone())),
+            config.clone(),
+        )),
+        Box::new(idom_with_config(config)),
+    ];
+    for h in &heuristics {
+        assert_bounded_reads(h.as_ref(), &grid, &net);
+    }
+}
+
+#[test]
+fn restricted_zel_and_pfa_still_match_their_unrestricted_trees() {
+    // Restricting the scan to a pool that contains everything the
+    // unrestricted scan would have chosen must not change the result:
+    // here the pool covers the whole grid, so restricted and
+    // unrestricted runs see identical candidate sets.
+    let grid = congested_grid();
+    let net = corner_net(&grid);
+    let all: Vec<NodeId> = grid.graph().node_ids().collect();
+    let zel_full = Zel::new().construct(grid.graph(), &net).unwrap();
+    let zel_pool = Zel::with_pool(CandidatePool::Explicit(all.clone()))
+        .construct(grid.graph(), &net)
+        .unwrap();
+    assert_eq!(zel_full.cost(), zel_pool.cost());
+    let pfa_full = Pfa::new().construct(grid.graph(), &net).unwrap();
+    let pfa_pool = Pfa::with_pool(CandidatePool::Explicit(all))
+        .construct(grid.graph(), &net)
+        .unwrap();
+    assert_eq!(pfa_full.cost(), pfa_pool.cost());
+}
+
+#[test]
+fn unrestricted_scans_read_more_than_pooled_scans() {
+    // Sanity check on the measurement itself: the same construction
+    // without a pool floods far more of the graph.
+    let grid = congested_grid();
+    let net = corner_net(&grid);
+    let pool = region_pool(&grid);
+
+    readset::begin();
+    Zel::new().construct(grid.graph(), &net).unwrap();
+    let unrestricted = readset::take();
+
+    readset::begin();
+    Zel::with_pool(CandidatePool::Explicit(pool))
+        .construct(grid.graph(), &net)
+        .unwrap();
+    let restricted = readset::take();
+
+    assert!(
+        restricted.len() < unrestricted.len(),
+        "pooled ZEL read {} nodes, unrestricted {}",
+        restricted.len(),
+        unrestricted.len()
+    );
+    assert_eq!(
+        unrestricted.len(),
+        grid.graph().live_node_count(),
+        "unrestricted ZEL floods the whole component"
+    );
+}
