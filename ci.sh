@@ -27,4 +27,7 @@ grep -q '"name":"dijkstra_runs"' "$trace_file"
 echo "==> snapshot bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench snapshot
 
+echo "==> scheduler bench smoke (release, BENCH_QUICK)"
+BENCH_QUICK=1 cargo bench -p bench --bench sched
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,130 @@
+//! Wavefront-versus-batch scheduler comparison on the Table 5 circuits.
+//!
+//! Routes each circuit at the same channel width three ways — strictly
+//! sequential (`threads = 1`), the lockstep batch engine, and the
+//! dependency-DAG wavefront scheduler — and reports per-pass wall-clock
+//! times from the router's [`PassTelemetry`](fpga_device::PassTelemetry)
+//! records alongside the wavefront's steal/stall/respeculation counters.
+//! All three runs produce identical trees by construction, so the
+//! comparison is purely about time: the wavefront column shows what the
+//! commit/speculation overlap buys over the batch engine's barriers.
+
+use fpga_device::synth::{synthesize, xc4000_profiles, CircuitProfile};
+use fpga_device::{ArchSpec, Device, PassTelemetry, RouteOutcome, Router, RouterConfig, SchedulerKind};
+
+/// Generous channel width: keeps every circuit routable in few passes so
+/// the comparison measures routing throughput, not width-search luck.
+const WIDTH: usize = 14;
+
+/// Worker count for both parallel engines. Fixed (rather than derived
+/// from the host) so the batch and wavefront columns are always an
+/// apples-to-apples comparison at the thread count the acceptance
+/// criterion names.
+const THREADS: usize = 4;
+
+fn route(circuit_profile: &CircuitProfile, threads: usize, scheduler: SchedulerKind) -> RouteOutcome {
+    let circuit = synthesize(circuit_profile, 2, 1995).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(
+        circuit_profile.rows,
+        circuit_profile.cols,
+        WIDTH,
+    ))
+    .expect("valid arch");
+    Router::new(
+        &device,
+        RouterConfig {
+            threads,
+            scheduler,
+            ..RouterConfig::default()
+        },
+    )
+    .route(&circuit)
+    .unwrap_or_else(|e| panic!("{} at W={WIDTH}: {e}", circuit_profile.name))
+}
+
+fn total_micros(passes: &[PassTelemetry]) -> f64 {
+    passes.iter().map(|t| t.elapsed.as_micros() as f64).sum()
+}
+
+/// Best-of-N wall-clock: reroutes `reps` times and keeps the run with
+/// the smallest total pass time, so a single scheduler hiccup doesn't
+/// decide the comparison. Trees are checked identical across reps.
+fn best_of(
+    reps: usize,
+    circuit_profile: &CircuitProfile,
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> (RouteOutcome, f64) {
+    let mut best: Option<(RouteOutcome, f64)> = None;
+    for _ in 0..reps {
+        let outcome = route(circuit_profile, threads, scheduler);
+        let us = total_micros(&outcome.telemetry.passes);
+        match &best {
+            Some((kept, kept_us)) => {
+                assert_eq!(kept.trees, outcome.trees, "{}: reps must agree", circuit_profile.name);
+                if us < *kept_us {
+                    best = Some((outcome, us));
+                }
+            }
+            None => best = Some((outcome, us)),
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let reps = if quick { 1 } else { 3 };
+    let profiles = xc4000_profiles();
+    let profiles: Vec<_> = if quick {
+        profiles
+            .into_iter()
+            .filter(|p| matches!(p.name, "9symml" | "term1"))
+            .collect()
+    } else {
+        profiles
+    };
+    println!("## batch vs wavefront scheduler (threads = {THREADS}, W = {WIDTH}, best of {reps})");
+    println!(
+        "{:>10} {:>7} {:>12} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>9}",
+        "circuit", "passes", "seq us", "batch us", "wave us", "speedup", "steals", "stalls", "respec", "accept%"
+    );
+    for profile in &profiles {
+        let (sequential, seq_us) = best_of(reps, profile, 1, SchedulerKind::Wavefront);
+        let (batch, batch_us) = best_of(reps, profile, THREADS, SchedulerKind::Batch);
+        let (wave, wave_us) = best_of(reps, profile, THREADS, SchedulerKind::Wavefront);
+        assert_eq!(
+            sequential.trees, batch.trees,
+            "{}: batch engine must match sequential",
+            profile.name
+        );
+        assert_eq!(
+            sequential.trees, wave.trees,
+            "{}: wavefront scheduler must match sequential",
+            profile.name
+        );
+        let steals: usize = wave.telemetry.passes.iter().map(|t| t.steals).sum();
+        let stalls: usize = wave.telemetry.passes.iter().map(|t| t.stalls).sum();
+        let respec: usize = wave.telemetry.passes.iter().map(|t| t.respeculated).sum();
+        let speculated: usize = wave.telemetry.passes.iter().map(|t| t.speculated).sum();
+        let accepted: usize = wave.telemetry.passes.iter().map(|t| t.accepted).sum();
+        let accept = if speculated == 0 {
+            100.0
+        } else {
+            100.0 * accepted as f64 / speculated as f64
+        };
+        println!(
+            "{:>10} {:>7} {:>12.0} {:>12.0} {:>12.0} {:>8.2} {:>7} {:>7} {:>7} {:>9.1}",
+            profile.name,
+            wave.passes,
+            seq_us,
+            batch_us,
+            wave_us,
+            batch_us / wave_us.max(1.0),
+            steals,
+            stalls,
+            respec,
+            accept
+        );
+    }
+}

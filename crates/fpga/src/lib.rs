@@ -17,8 +17,11 @@
 //! * [`Router`] — the paper's router: whole-net Steiner/arborescence
 //!   constructions, congestion-updated weights, resource removal for
 //!   electrical disjointness, move-to-front ordering, pass budget;
-//! * [`parallel`] — speculative batched routing on scoped threads
-//!   (`RouterConfig::threads`), bit-for-bit identical to sequential;
+//! * [`sched`] — the default parallel engine: dependency-DAG wavefront
+//!   scheduling with work-stealing deques and commit/speculation
+//!   overlap, bit-for-bit identical to sequential;
+//! * [`parallel`] — the lockstep batch engine
+//!   (`RouterConfig::scheduler`), kept as baseline and fallback;
 //! * [`BaselineRouter`] — the two-pin-decomposition stand-in for
 //!   CGE/SEGA/GBP;
 //! * [`width`] — minimum channel-width search;
@@ -52,6 +55,7 @@ mod error;
 pub mod netlist;
 pub mod parallel;
 pub mod router;
+pub mod sched;
 pub mod synth;
 pub mod telemetry;
 pub mod three_d;
@@ -63,6 +67,8 @@ pub use baseline::{BaselineConfig, BaselineRouter};
 pub use device::{Device, EdgeKind, NodeKind};
 pub use error::FpgaError;
 pub use netlist::{BlockPin, Circuit, CircuitNet};
-pub use router::{auto_thread_count, RouteAlgorithm, RouteOutcome, Router, RouterConfig};
+pub use router::{
+    auto_thread_count, RouteAlgorithm, RouteOutcome, Router, RouterConfig, SchedulerKind,
+};
 pub use telemetry::{CongestionSnapshot, PassTelemetry, RouteTelemetry};
 pub use synth::CircuitProfile;

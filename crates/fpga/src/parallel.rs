@@ -76,62 +76,27 @@ use steiner_route::RoutingTree;
 
 use crate::netlist::Circuit;
 use crate::router::{PassResult, Router};
+use crate::sched::{interaction_gap, net_box, NetBox, REGION_SLACK};
 use crate::telemetry::{CongestionSnapshot, PassTelemetry};
 use crate::FpgaError;
 
-/// Expanded terminal bounding box used for batching and conflict regions.
-#[derive(Clone, Copy)]
-struct Bbox {
-    r0: usize,
-    r1: usize,
-    c0: usize,
-    c1: usize,
-}
-
-impl Bbox {
-    fn overlaps(&self, other: &Bbox) -> bool {
-        self.r0 <= other.r1 && other.r0 <= self.r1 && self.c0 <= other.c1 && other.c0 <= self.c1
-    }
-}
-
-/// Margin added on top of the Steiner candidate margin when computing a
-/// net's interaction region: one extra block ring covers the congestion
-/// weight refresh around committed trees.
-const REGION_SLACK: usize = 1;
-
-fn net_bbox(router: &Router<'_>, circuit: &Circuit, ni: usize, margin: usize) -> Bbox {
-    let arch = router.device().arch();
-    let pins = &circuit.nets()[ni].pins;
-    let (mut r0, mut r1, mut c0, mut c1) = (usize::MAX, 0usize, usize::MAX, 0usize);
-    for p in pins {
-        r0 = r0.min(p.row);
-        r1 = r1.max(p.row);
-        c0 = c0.min(p.col);
-        c1 = c1.max(p.col);
-    }
-    Bbox {
-        r0: r0.saturating_sub(margin),
-        r1: (r1 + margin).min(arch.rows - 1),
-        c0: c0.saturating_sub(margin),
-        c1: (c1 + margin).min(arch.cols - 1),
-    }
-}
-
-/// Splits `order[start..]` into a contiguous batch of nets whose expanded
-/// bounding boxes are pairwise disjoint. Always yields at least one net.
+/// Splits `order[start..]` into a contiguous batch of nets whose raw
+/// bounding boxes are pairwise non-interacting at the tight gap (see
+/// [`interaction_gap`] — the margins are counted once per pair, not
+/// expanded onto each box and double-counted). Always yields at least
+/// one net.
 fn take_batch(
-    router: &Router<'_>,
     circuit: &Circuit,
     order: &[usize],
     start: usize,
-    margin: usize,
+    gap: usize,
     max_len: usize,
 ) -> usize {
-    let mut boxes: Vec<Bbox> = vec![net_bbox(router, circuit, order[start], margin)];
+    let mut boxes: Vec<NetBox> = vec![net_box(circuit, order[start])];
     let mut len = 1;
     while start + len < order.len() && len < max_len {
-        let candidate = net_bbox(router, circuit, order[start + len], margin);
-        if boxes.iter().any(|b| b.overlaps(&candidate)) {
+        let candidate = net_box(circuit, order[start + len]);
+        if boxes.iter().any(|b| b.interacts(&candidate, gap)) {
             break;
         }
         boxes.push(candidate);
@@ -223,6 +188,7 @@ pub(crate) fn route_pass_parallel(
     let config = router.config();
     let threads = threads.max(2);
     let margin = config.candidate_margin + REGION_SLACK;
+    let gap = interaction_gap(config.candidate_margin);
 
     let mut g = device.working_graph();
     if route_trace::enabled() {
@@ -243,7 +209,7 @@ pub(crate) fn route_pass_parallel(
 
     let mut start = 0usize;
     while start < order.len() {
-        let len = take_batch(router, circuit, order, start, margin, threads * 4);
+        let len = take_batch(circuit, order, start, gap, threads * 4);
         let batch = &order[start..start + len];
         timing.batches += 1;
 

@@ -11,7 +11,7 @@
 //! paper's feasibility threshold is 20) the circuit is declared unroutable
 //! at this channel width.
 
-use route_graph::{Graph, GraphError, GraphView, GraphViewMut, NodeId, OverlayArena, Weight};
+use route_graph::{GraphError, GraphView, GraphViewMut, NodeId, OverlayArena, Weight};
 use steiner_route::{
     idom_with_config, CandidatePool, Djka, Dom, Iterated, IteratedConfig, Kmb, Net,
     Pfa, RoutingTree, SteinerError, SteinerHeuristic, Zel,
@@ -110,6 +110,35 @@ impl RouteAlgorithm {
     }
 }
 
+/// Which parallel engine drives multi-threaded passes.
+///
+/// Both engines produce trees and channel widths bit-identical to the
+/// sequential router (`threads = 1`); they differ only in how worker
+/// time is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Dependency-DAG wavefront ([`sched`](crate::sched)): ready nets
+    /// flow through work-stealing deques and the in-order committer runs
+    /// concurrently with ongoing speculation — no barriers.
+    #[default]
+    Wavefront,
+    /// Lockstep batches ([`parallel`](crate::parallel)): speculate a
+    /// bbox-disjoint batch, barrier, commit, repeat. Kept as a baseline
+    /// and fallback.
+    Batch,
+}
+
+impl SchedulerKind {
+    /// Stable CLI/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Wavefront => "wavefront",
+            SchedulerKind::Batch => "batch",
+        }
+    }
+}
+
 /// Router tuning parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterConfig {
@@ -145,6 +174,19 @@ pub struct RouterConfig {
     /// sequentially (speculation overhead dominates), large ones use
     /// every available core.
     pub threads: usize,
+    /// Which parallel engine drives multi-threaded passes; ignored when
+    /// the pass runs sequentially.
+    pub scheduler: SchedulerKind,
+    /// Work conservation in the wavefront scheduler: when the
+    /// next-to-commit net has not been picked up by any worker, the
+    /// committer claims it and routes it itself instead of waiting —
+    /// over a private overlay while workers are mid-route, or directly
+    /// on the shared graph (workers gated out, pure sequential speed)
+    /// when nothing is in flight. Results are bit-identical either way;
+    /// disabling it forces every net through worker speculation, which
+    /// the adversarial stress tests use to exercise the conflict
+    /// detector regardless of how the host schedules threads.
+    pub committer_claims: bool,
 }
 
 impl Default for RouterConfig {
@@ -157,6 +199,8 @@ impl Default for RouterConfig {
             move_to_front: true,
             critical_algorithm: None,
             threads: 1,
+            scheduler: SchedulerKind::default(),
+            committer_claims: true,
         }
     }
 }
@@ -307,14 +351,24 @@ impl<'d> Router<'d> {
             let (result, mut timing) = {
                 let _pass_span = route_trace::span(route_trace::SpanKind::Pass, "pass", pass as u64);
                 if threads > 1 {
-                    crate::parallel::route_pass_parallel(
-                        self,
-                        circuit,
-                        &order,
-                        critical,
-                        threads,
-                        &mut arenas,
-                    )?
+                    match self.config.scheduler {
+                        SchedulerKind::Wavefront => crate::sched::route_pass_wavefront(
+                            self,
+                            circuit,
+                            &order,
+                            critical,
+                            threads,
+                            &mut arenas,
+                        )?,
+                        SchedulerKind::Batch => crate::parallel::route_pass_parallel(
+                            self,
+                            circuit,
+                            &order,
+                            critical,
+                            threads,
+                            &mut arenas,
+                        )?,
+                    }
                 } else {
                     self.route_pass(circuit, &order, critical)?
                 }
@@ -365,10 +419,12 @@ impl<'d> Router<'d> {
                 let available = std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1);
+                let total_pins: usize = circuit.nets().iter().map(|n| n.pin_count()).sum();
                 auto_thread_count(
                     available,
                     self.device.graph().live_node_count(),
                     circuit.net_count(),
+                    total_pins,
                 )
             }
             n => n,
@@ -487,9 +543,9 @@ impl<'d> Router<'d> {
     /// arithmetic: pathological `congestion_alpha_milli` values or
     /// long-running usage can otherwise overflow `alpha · u` and panic
     /// mid-pass.
-    pub(crate) fn commit(
+    pub(crate) fn commit<G: GraphViewMut>(
         &self,
-        g: &mut Graph,
+        g: &mut G,
         usage: &mut [u32],
         w: u64,
         tree: &RoutingTree,
@@ -594,22 +650,40 @@ pub(crate) enum PassResult {
 }
 
 /// Picks a worker count for `threads = 0` (automatic) from the circuit's
-/// size: routing is sequential when there are too few nets to form
-/// multi-net batches (fewer than 8) or the routing graph is so small
-/// (under 2000 live nodes) that speculation bookkeeping outweighs the
-/// snapshot savings; otherwise every available core is used.
+/// shape. Routing stays sequential when:
 ///
-/// Pure in its arguments so the policy is unit-testable without a
-/// device.
+/// * there are too few nets to expose inter-net parallelism (fewer
+///   than 8), or
+/// * the routing graph is so small (under 2000 live nodes) that
+///   speculation bookkeeping outweighs the snapshot savings, or
+/// * the circuit is a **few-large-nets** shape — fewer than 32 nets
+///   averaging 8+ pins each. High-fan-in nets have sprawling bounding
+///   boxes, so the conflict DAG degenerates toward a chain and
+///   speculation mostly re-speculates; the per-net Dijkstra fan-out
+///   inside the sequential-ish schedule is then the better use of
+///   cores, not inter-net speculation.
+///
+/// Otherwise every available core is used. Pure in its arguments so the
+/// policy is unit-testable without a device.
 #[must_use]
-pub fn auto_thread_count(available: usize, live_nodes: usize, nets: usize) -> usize {
+pub fn auto_thread_count(
+    available: usize,
+    live_nodes: usize,
+    nets: usize,
+    total_pins: usize,
+) -> usize {
     const MIN_NETS: usize = 8;
     const MIN_LIVE_NODES: usize = 2000;
+    const LARGE_NET_MIN_NETS: usize = 32;
+    const LARGE_NET_AVG_PINS: usize = 8;
     if nets < MIN_NETS || live_nodes < MIN_LIVE_NODES {
-        1
-    } else {
-        available.max(1)
+        return 1;
     }
+    // avg pins >= LARGE_NET_AVG_PINS, computed without division.
+    if nets < LARGE_NET_MIN_NETS && total_pins >= LARGE_NET_AVG_PINS * nets {
+        return 1;
+    }
+    available.max(1)
 }
 
 /// Temporarily removes every logic-block pin that does not belong to the
@@ -795,17 +869,29 @@ mod tests {
     #[test]
     fn auto_thread_count_scales_with_circuit_size() {
         // Too few nets: sequential regardless of machine size.
-        assert_eq!(auto_thread_count(16, 100_000, 3), 1);
+        assert_eq!(auto_thread_count(16, 100_000, 3, 6), 1);
         // Tiny graph: sequential even with many nets.
-        assert_eq!(auto_thread_count(16, 500, 200), 1);
+        assert_eq!(auto_thread_count(16, 500, 200, 400), 1);
         // Big enough on both axes: use the whole machine.
-        assert_eq!(auto_thread_count(16, 100_000, 200), 16);
+        assert_eq!(auto_thread_count(16, 100_000, 200, 400), 16);
         // Degenerate available parallelism still yields a worker.
-        assert_eq!(auto_thread_count(0, 100_000, 200), 1);
+        assert_eq!(auto_thread_count(0, 100_000, 200, 400), 1);
         // Boundary values: exactly at the thresholds is parallel.
-        assert_eq!(auto_thread_count(4, 2000, 8), 4);
-        assert_eq!(auto_thread_count(4, 1999, 8), 1);
-        assert_eq!(auto_thread_count(4, 2000, 7), 1);
+        assert_eq!(auto_thread_count(4, 2000, 8, 16), 4);
+        assert_eq!(auto_thread_count(4, 1999, 8, 16), 1);
+        assert_eq!(auto_thread_count(4, 2000, 7, 14), 1);
+    }
+
+    #[test]
+    fn auto_thread_count_keeps_few_large_net_circuits_sequential() {
+        // 16 nets averaging exactly 8 pins: few-large-nets → sequential.
+        assert_eq!(auto_thread_count(16, 100_000, 16, 128), 1);
+        // One pin fewer drops the average under the threshold: parallel.
+        assert_eq!(auto_thread_count(16, 100_000, 16, 127), 16);
+        // At 32 nets the rule no longer applies, whatever the fan-in.
+        assert_eq!(auto_thread_count(16, 100_000, 32, 1024), 16);
+        // Just under the net cutoff with heavy fan-in: sequential.
+        assert_eq!(auto_thread_count(16, 100_000, 31, 248), 1);
     }
 
     #[test]

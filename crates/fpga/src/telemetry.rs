@@ -14,7 +14,11 @@ pub use route_trace::CongestionSnapshot;
 /// Instrumentation for one executed routing pass.
 ///
 /// The sequential engine fills `pass`, `elapsed`, and `congestion`; the
-/// parallel engine additionally fills the batching counters.
+/// batch engine additionally fills the batching counters, and the
+/// wavefront scheduler the steal/stall/re-speculation counters. Every
+/// speculation is resolved exactly once, so on a completed pass
+/// `accepted + rerouted + respeculated == speculated` regardless of
+/// engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PassTelemetry {
     /// 1-based pass number within the routing attempt.
@@ -25,8 +29,18 @@ pub struct PassTelemetry {
     pub speculated: usize,
     /// Speculative results committed without re-routing.
     pub accepted: usize,
-    /// Speculative results discarded and re-routed sequentially.
+    /// Speculative results discarded and re-routed sequentially (batch
+    /// engine only; the wavefront scheduler requeues instead).
     pub rerouted: usize,
+    /// Speculative results rejected at commit and requeued against a
+    /// fresh commit sequence (wavefront scheduler only).
+    pub respeculated: usize,
+    /// Ready nets an idle worker took from another worker's deque
+    /// (wavefront scheduler only).
+    pub steals: usize,
+    /// Times a worker found no ready net and parked (wavefront scheduler
+    /// only).
+    pub stalls: usize,
     /// Wall-clock time of the whole pass.
     pub elapsed: Duration,
     /// Channel occupancy at the end of the pass (or at the failing net,

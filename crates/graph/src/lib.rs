@@ -36,6 +36,13 @@
 //!   both [`Graph`] and the epoch-tagged copy-on-write [`GraphOverlay`],
 //!   which gives the parallel router O(changed) per-worker snapshots with
 //!   O(1) restore instead of full clones.
+//! * [`shared`] — the wavefront scheduler's single-writer/many-reader
+//!   atomic pass graph ([`SharedPassGraph`]), which lets the in-order
+//!   committer mutate the pass state while workers keep speculating
+//!   against it, with visibility anchored by a published commit sequence.
+//! * [`par`] — the thread-local fan-out gate that lets a scheduler worker
+//!   spend idle cores on per-terminal Dijkstra parallelism inside one net
+//!   when too few disjoint nets are ready.
 //! * [`floyd`] — Floyd–Warshall all-pairs shortest paths, used as a test
 //!   oracle against Dijkstra.
 //!
@@ -70,10 +77,12 @@ mod ids;
 pub mod mst;
 pub mod multiweight;
 pub mod overlay;
+pub mod par;
 pub mod path;
 pub mod random;
 pub mod readset;
 pub mod rng;
+pub mod shared;
 pub mod view;
 mod weight;
 
@@ -83,7 +92,8 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use grid::GridGraph;
 pub use ids::{EdgeId, NodeId};
-pub use overlay::{GraphOverlay, OverlayArena};
+pub use overlay::{GraphOverlay, OverlayArena, OverlayBase};
 pub use path::Path;
+pub use shared::{SharedPassGraph, SharedPassView, SharedPassWriter};
 pub use view::{GraphView, GraphViewMut};
 pub use weight::{Weight, MILLI_PER_UNIT};

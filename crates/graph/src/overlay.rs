@@ -24,6 +24,38 @@
 use crate::view::{GraphView, GraphViewMut};
 use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
 
+/// A graph an overlay can layer deltas over.
+///
+/// Beyond the [`GraphView`] read surface, the overlay needs two raw
+/// accessors to preserve base adjacency order exactly: the unfiltered
+/// adjacency list of a node (so tombstoned entries are filtered by the
+/// *overlay's* liveness, never reordered) and an edge's own removal flag
+/// (endpoint liveness excluded, since the overlay re-derives that from
+/// its own node state).
+///
+/// Implemented by [`Graph`] (the batch engine's per-pass snapshot) and by
+/// [`SharedPassView`](crate::SharedPassView) (the wavefront scheduler's
+/// atomically-updated shared pass graph), so workers can bind the same
+/// overlay machinery over either.
+pub trait OverlayBase: GraphView {
+    /// Raw adjacency entries of `v` in insertion order, including entries
+    /// whose edge or neighbor is currently removed.
+    fn base_adj(&self, v: NodeId) -> &[(NodeId, EdgeId)];
+
+    /// The edge's own removal flag, ignoring endpoint liveness.
+    fn base_edge_alive(&self, e: EdgeId) -> bool;
+}
+
+impl OverlayBase for Graph {
+    fn base_adj(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        self.adj_entries(v)
+    }
+
+    fn base_edge_alive(&self, e: EdgeId) -> bool {
+        self.edge_alive_flag(e)
+    }
+}
+
 /// Reusable delta storage for [`GraphOverlay`].
 ///
 /// One arena per worker; it holds epoch-tagged slots for node liveness,
@@ -94,22 +126,22 @@ impl OverlayArena {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct GraphOverlay<'a> {
-    base: &'a Graph,
+pub struct GraphOverlay<'a, B: OverlayBase = Graph> {
+    base: &'a B,
     arena: &'a mut OverlayArena,
     live_nodes: usize,
     live_edge_flags: usize,
     epoch: u64,
 }
 
-impl<'a> GraphOverlay<'a> {
+impl<'a, B: OverlayBase> GraphOverlay<'a, B> {
     /// Binds `arena` over `base`, discarding any deltas a previous bind
     /// left in the arena.
     ///
     /// The first bind against a graph of a given size allocates the slot
     /// arrays (O(nodes + edges), once per worker); every later bind is a
     /// generation bump plus two counter copies.
-    pub fn bind(base: &'a Graph, arena: &'a mut OverlayArena) -> GraphOverlay<'a> {
+    pub fn bind(base: &'a B, arena: &'a mut OverlayArena) -> GraphOverlay<'a, B> {
         arena.ensure_capacity(base.node_count(), base.edge_count());
         arena.generation += 1;
         if route_trace::enabled() {
@@ -138,7 +170,7 @@ impl<'a> GraphOverlay<'a> {
 
     /// The borrowed base graph.
     #[must_use]
-    pub fn base(&self) -> &Graph {
+    pub fn base(&self) -> &B {
         self.base
     }
 
@@ -163,7 +195,7 @@ impl<'a> GraphOverlay<'a> {
         if self.arena.edge_epoch[i] == self.arena.generation {
             self.arena.edge_alive[i]
         } else {
-            self.base.edge_alive_flag(e)
+            self.base.base_edge_alive(e)
         }
     }
 
@@ -207,7 +239,7 @@ impl<'a> GraphOverlay<'a> {
     }
 }
 
-impl GraphView for GraphOverlay<'_> {
+impl<B: OverlayBase> GraphView for GraphOverlay<'_, B> {
     fn node_count(&self) -> usize {
         self.base.node_count()
     }
@@ -248,7 +280,7 @@ impl GraphView for GraphOverlay<'_> {
     fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + '_ {
         let live = self.node_alive(v);
         self.base
-            .adj_entries(v)
+            .base_adj(v)
             .iter()
             .filter(move |&&(u, e)| live && self.edge_alive(e) && self.node_alive(u))
             .map(move |&(u, e)| (u, e, self.weight_of(e)))
@@ -271,7 +303,7 @@ impl GraphView for GraphOverlay<'_> {
     }
 }
 
-impl GraphViewMut for GraphOverlay<'_> {
+impl<B: OverlayBase> GraphViewMut for GraphOverlay<'_, B> {
     fn set_weight(&mut self, e: EdgeId, weight: Weight) -> Result<(), GraphError> {
         self.check_edge(e)?;
         let i = e.index();

@@ -1,0 +1,84 @@
+//! Thread-local intra-net parallelism gate.
+//!
+//! The wavefront scheduler usually keeps all its workers busy with
+//! *different* nets. When the conflict DAG exposes fewer ready nets than
+//! there are workers (a serial chain of overlapping nets, or the tail of
+//! a pass), a worker can instead spend the idle cores *inside* one net:
+//! [`TerminalDistances`](crate::TerminalDistances) fans its per-terminal
+//! Dijkstra runs out across scoped threads.
+//!
+//! The gate is a thread-local so it needs no plumbing through the many
+//! generic layers between the scheduler and the distance computation:
+//! the scheduler sets the budget on the worker thread just before
+//! routing a net (via the RAII [`FanoutGuard`]) and the distance code
+//! reads it at its fan-out point. Sequential routing never sets it and
+//! pays one thread-local read per distance computation.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FANOUT: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The current thread's per-terminal Dijkstra thread budget. `1` (the
+/// default) means sequential fan-out.
+#[inline]
+#[must_use]
+pub fn dijkstra_fanout() -> usize {
+    FANOUT.with(Cell::get)
+}
+
+/// Sets the current thread's fan-out budget; prefer [`FanoutGuard`] so
+/// the budget cannot leak past the net it was granted for.
+pub fn set_dijkstra_fanout(threads: usize) {
+    FANOUT.with(|f| f.set(threads.max(1)));
+}
+
+/// RAII scope for a fan-out budget: restores the previous budget on drop.
+#[derive(Debug)]
+pub struct FanoutGuard {
+    previous: usize,
+}
+
+impl FanoutGuard {
+    /// Grants `threads` of intra-net fan-out to the current thread until
+    /// the guard drops.
+    #[must_use]
+    pub fn new(threads: usize) -> FanoutGuard {
+        let previous = dijkstra_fanout();
+        set_dijkstra_fanout(threads);
+        FanoutGuard { previous }
+    }
+}
+
+impl Drop for FanoutGuard {
+    fn drop(&mut self) {
+        set_dijkstra_fanout(self.previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_sequential_and_scopes_with_the_guard() {
+        assert_eq!(dijkstra_fanout(), 1);
+        {
+            let _outer = FanoutGuard::new(4);
+            assert_eq!(dijkstra_fanout(), 4);
+            {
+                let _inner = FanoutGuard::new(2);
+                assert_eq!(dijkstra_fanout(), 2);
+            }
+            assert_eq!(dijkstra_fanout(), 4);
+        }
+        assert_eq!(dijkstra_fanout(), 1);
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        set_dijkstra_fanout(0);
+        assert_eq!(dijkstra_fanout(), 1);
+    }
+}

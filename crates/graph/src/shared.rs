@@ -1,0 +1,473 @@
+//! The wavefront scheduler's shared, atomically-updated pass graph.
+//!
+//! The batch engine speculates every net of a wave against one frozen
+//! snapshot and fences commits behind the wave. The wavefront scheduler
+//! removes that barrier: the in-order committer mutates the pass graph
+//! *while* workers keep speculating against it. [`SharedPassGraph`]
+//! makes that safe without locks on the routing hot path:
+//!
+//! * The base [`Graph`] (adjacency, endpoints, node/edge ids) is frozen
+//!   for the pass — commits never add or reorder adjacency — so workers
+//!   read it without synchronization.
+//! * Mutable state (node/edge liveness, edge weights) lives in plain
+//!   atomic arrays updated by a **single writer**, the committer, through
+//!   [`SharedPassWriter`]. Workers read it through the [`SharedPassView`]
+//!   handle with `Relaxed` loads.
+//! * After each commit the writer publishes a monotone **commit
+//!   sequence number** with `Release`; a worker `Acquire`-loads it once
+//!   before routing a net ([`SharedPassGraph::commit_seq`]), which
+//!   guarantees it observes *at least* every write of the commits
+//!   numbered up to that value.
+//!
+//! Reads concurrent with later commits are deliberately racy. Soundness
+//! comes from the read-set contract (see `route_graph::readset` and the
+//! scheduler's commit check): a speculation started at sequence `S` is
+//! accepted only if the nodes invalidated by commits `S+1..=T` (where
+//! `T` is the sequence at acceptance) are disjoint from everything the
+//! construction read. If they are disjoint, none of the racy locations
+//! the worker touched were written at all during the window, so every
+//! load returned the stable value and the result is bit-identical to a
+//! sequential route at position `T`; if not, the result is discarded and
+//! the net re-speculated, so a torn observation can never be committed.
+//! Within a pass the graph also evolves monotonically (commits only
+//! remove nodes and only raise weights), so a speculative *disconnection*
+//! verdict is final no matter what the worker raced with.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::overlay::OverlayBase;
+use crate::view::{GraphView, GraphViewMut};
+use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+/// A pass graph shared between one committer thread and many speculating
+/// workers.
+///
+/// Constructed from the pass-start snapshot; the committer obtains the
+/// unique [`writer`](SharedPassGraph::writer) and workers obtain cheap
+/// read [`view`](SharedPassGraph::view) handles (both are borrows, so a
+/// `std::thread::scope` can hand views to worker threads while the
+/// committer keeps the writer).
+#[derive(Debug)]
+pub struct SharedPassGraph {
+    base: Graph,
+    /// True = dead: seeded from base liveness at construction, then set
+    /// by commits. Restores consult the base so a base-dead resource can
+    /// never be resurrected.
+    node_dead: Vec<AtomicBool>,
+    edge_dead: Vec<AtomicBool>,
+    /// Current weight of every edge, in milli-units.
+    weight_milli: Vec<AtomicU64>,
+    live_nodes: AtomicUsize,
+    live_edges: AtomicUsize,
+    /// Number of commits published so far (`Release` on store,
+    /// `Acquire` on load).
+    commit_seq: AtomicU64,
+    /// Bumped on every mutation; serves [`GraphView::epoch`].
+    mutations: AtomicU64,
+}
+
+impl SharedPassGraph {
+    /// Wraps the pass-start snapshot. All mutable state starts exactly as
+    /// in `base`: liveness is *folded* into the tombstone arrays (a
+    /// base-dead resource starts tombstoned), so the hot read path is a
+    /// single relaxed load instead of a tombstone load plus a base
+    /// liveness lookup.
+    #[must_use]
+    pub fn new(base: Graph) -> SharedPassGraph {
+        let node_dead = (0..base.node_count())
+            .map(|i| AtomicBool::new(!base.is_node_live(NodeId::from_index(i))))
+            .collect();
+        let edge_dead = (0..base.edge_count())
+            .map(|i| AtomicBool::new(!base.base_edge_alive(EdgeId::from_index(i))))
+            .collect();
+        let weight_milli = (0..base.edge_count())
+            .map(|i| {
+                let w = base
+                    .weight(EdgeId::from_index(i))
+                    .expect("in-range edge has a weight");
+                AtomicU64::new(w.as_milli())
+            })
+            .collect();
+        SharedPassGraph {
+            live_nodes: AtomicUsize::new(base.live_node_count()),
+            live_edges: AtomicUsize::new(base.live_edge_count()),
+            commit_seq: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            node_dead,
+            edge_dead,
+            weight_milli,
+            base,
+        }
+    }
+
+    /// The frozen base snapshot.
+    #[must_use]
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The last published commit sequence number (`Acquire`): every
+    /// write performed by commits numbered `1..=commit_seq()` is visible
+    /// to this thread after the call returns.
+    #[must_use]
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Acquire)
+    }
+
+    /// A shared read handle for a speculating worker.
+    #[must_use]
+    pub fn view(&self) -> SharedPassView<'_> {
+        SharedPassView { shared: self }
+    }
+
+    /// The committer's write handle.
+    ///
+    /// There must be at most one live writer at a time, held by the
+    /// single committer thread; the type system does not enforce this
+    /// (workers hold shared borrows concurrently), but all mutation goes
+    /// through it, so the single-writer discipline is a local property of
+    /// the scheduler loop.
+    #[must_use]
+    pub fn writer(&self) -> SharedPassWriter<'_> {
+        SharedPassWriter { shared: self }
+    }
+
+    fn node_live(&self, v: NodeId) -> bool {
+        let i = v.index();
+        i < self.node_dead.len() && !self.node_dead[i].load(Ordering::Relaxed)
+    }
+
+    fn edge_flag(&self, e: EdgeId) -> bool {
+        let i = e.index();
+        i < self.edge_dead.len() && !self.edge_dead[i].load(Ordering::Relaxed)
+    }
+
+    fn edge_usable(&self, e: EdgeId) -> bool {
+        if !self.edge_flag(e) {
+            return false;
+        }
+        let (a, b) = self.base.endpoints(e).expect("in-range edge has endpoints");
+        self.node_live(a) && self.node_live(b)
+    }
+
+    fn weight_of(&self, e: EdgeId) -> Result<Weight, GraphError> {
+        if e.index() < self.weight_milli.len() {
+            Ok(Weight::from_milli(
+                self.weight_milli[e.index()].load(Ordering::Relaxed),
+            ))
+        } else {
+            Err(GraphError::EdgeOutOfBounds(e))
+        }
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() < self.node_dead.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds(v))
+        }
+    }
+
+    fn check_edge(&self, e: EdgeId) -> Result<(), GraphError> {
+        if e.index() < self.edge_dead.len() {
+            Ok(())
+        } else {
+            Err(GraphError::EdgeOutOfBounds(e))
+        }
+    }
+}
+
+macro_rules! delegate_view {
+    ($ty:ident) => {
+        impl GraphView for $ty<'_> {
+            fn node_count(&self) -> usize {
+                self.shared.base.node_count()
+            }
+
+            fn edge_count(&self) -> usize {
+                self.shared.base.edge_count()
+            }
+
+            fn live_node_count(&self) -> usize {
+                self.shared.live_nodes.load(Ordering::Relaxed)
+            }
+
+            fn live_edge_count(&self) -> usize {
+                self.shared.live_edges.load(Ordering::Relaxed)
+            }
+
+            fn is_node_live(&self, v: NodeId) -> bool {
+                self.shared.node_live(v)
+            }
+
+            fn is_edge_usable(&self, e: EdgeId) -> bool {
+                self.shared.edge_usable(e)
+            }
+
+            fn endpoints(&self, e: EdgeId) -> Result<(NodeId, NodeId), GraphError> {
+                self.shared.base.endpoints(e)
+            }
+
+            fn weight(&self, e: EdgeId) -> Result<Weight, GraphError> {
+                self.shared.weight_of(e)
+            }
+
+            fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + '_ {
+                let live = self.shared.node_live(v);
+                self.shared
+                    .base
+                    .base_adj(v)
+                    .iter()
+                    .filter(move |&&(u, e)| {
+                        live && self.shared.edge_flag(e) && self.shared.node_live(u)
+                    })
+                    .map(move |&(u, e)| {
+                        (u, e, self.shared.weight_of(e).expect("adjacency edge in range"))
+                    })
+            }
+
+            fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+                (0..self.shared.base.node_count())
+                    .map(NodeId::from_index)
+                    .filter(|&v| self.shared.node_live(v))
+            }
+
+            fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+                (0..self.shared.base.edge_count())
+                    .map(EdgeId::from_index)
+                    .filter(|&e| self.shared.edge_usable(e))
+            }
+
+            fn epoch(&self) -> u64 {
+                self.shared.mutations.load(Ordering::Relaxed)
+            }
+        }
+
+        impl OverlayBase for $ty<'_> {
+            fn base_adj(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+                self.shared.base.base_adj(v)
+            }
+
+            fn base_edge_alive(&self, e: EdgeId) -> bool {
+                self.shared.edge_flag(e)
+            }
+        }
+    };
+}
+
+/// A worker's shared read handle over a [`SharedPassGraph`].
+///
+/// Implements [`GraphView`] (with `Relaxed` atomic loads) and
+/// [`OverlayBase`], so a worker binds its private
+/// [`GraphOverlay`](crate::GraphOverlay) over it for pin masking exactly
+/// as the batch engine binds over a frozen snapshot. Adjacency iteration
+/// order is the base graph's insertion order filtered by current
+/// liveness — identical to what a plain `Graph` mutated by the same
+/// commits would yield.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedPassView<'a> {
+    shared: &'a SharedPassGraph,
+}
+
+delegate_view!(SharedPassView);
+
+/// The committer's write handle over a [`SharedPassGraph`].
+///
+/// Implements [`GraphViewMut`] so `Router::commit` runs against it
+/// unchanged. Restrictions beyond the trait contract, acceptable because
+/// only the commit path uses it: a node or edge that is dead in the
+/// *base* snapshot cannot be restored (liveness is `base && !tombstone`),
+/// and all mutations must come from the single committer thread.
+#[derive(Debug)]
+pub struct SharedPassWriter<'a> {
+    shared: &'a SharedPassGraph,
+}
+
+delegate_view!(SharedPassWriter);
+
+impl SharedPassWriter<'_> {
+    /// Publishes `seq` as the last completed commit (`Release`): a
+    /// worker that subsequently `Acquire`-reads a sequence `>= seq` is
+    /// guaranteed to observe every mutation performed before this call.
+    pub fn publish(&self, seq: u64) {
+        self.shared.commit_seq.store(seq, Ordering::Release);
+    }
+
+    fn bump(&self) {
+        self.shared.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl GraphViewMut for SharedPassWriter<'_> {
+    fn set_weight(&mut self, e: EdgeId, weight: Weight) -> Result<(), GraphError> {
+        self.shared.check_edge(e)?;
+        self.shared.weight_milli[e.index()].store(weight.as_milli(), Ordering::Relaxed);
+        self.bump();
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        self.shared.check_edge(e)?;
+        if self.shared.edge_flag(e) {
+            self.shared.edge_dead[e.index()].store(true, Ordering::Relaxed);
+            self.shared.live_edges.fetch_sub(1, Ordering::Relaxed);
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn restore_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        self.shared.check_edge(e)?;
+        if !self.shared.edge_flag(e) && self.shared.base.base_edge_alive(e) {
+            self.shared.edge_dead[e.index()].store(false, Ordering::Relaxed);
+            self.shared.live_edges.fetch_add(1, Ordering::Relaxed);
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn remove_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.shared.check_node(v)?;
+        if self.shared.node_live(v) {
+            self.shared.node_dead[v.index()].store(true, Ordering::Relaxed);
+            self.shared.live_nodes.fetch_sub(1, Ordering::Relaxed);
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn restore_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.shared.check_node(v)?;
+        if !self.shared.node_live(v) && self.shared.base.is_node_live(v) {
+            self.shared.node_dead[v.index()].store(false, Ordering::Relaxed);
+            self.shared.live_nodes.fetch_add(1, Ordering::Relaxed);
+            self.bump();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphOverlay, OverlayArena};
+
+    fn triangle() -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        let e0 = g.add_edge(n[0], n[1], Weight::from_units(1)).unwrap();
+        let e1 = g.add_edge(n[1], n[2], Weight::from_units(2)).unwrap();
+        let e2 = g.add_edge(n[0], n[2], Weight::from_units(4)).unwrap();
+        (g, n, vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn view_mirrors_base_until_writes_land() {
+        let (g, n, e) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let view = shared.view();
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.live_node_count(), 3);
+        assert_eq!(view.weight(e[1]).unwrap(), Weight::from_units(2));
+        let order: Vec<NodeId> = view.neighbors(n[0]).map(|(u, _, _)| u).collect();
+        let base_order: Vec<NodeId> = shared.base().neighbors(n[0]).map(|(u, _, _)| u).collect();
+        assert_eq!(order, base_order, "adjacency order matches the base");
+    }
+
+    #[test]
+    fn writer_mutations_are_visible_through_views() {
+        let (g, n, e) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let mut writer = shared.writer();
+        writer.set_weight(e[0], Weight::from_units(7)).unwrap();
+        writer.remove_node(n[2]).unwrap();
+        writer.publish(1);
+        assert_eq!(shared.commit_seq(), 1);
+        let view = shared.view();
+        assert_eq!(view.weight(e[0]).unwrap(), Weight::from_units(7));
+        assert!(!view.is_node_live(n[2]));
+        assert!(!view.is_edge_usable(e[1]), "dead endpoint masks the edge");
+        assert_eq!(view.live_node_count(), 2);
+    }
+
+    #[test]
+    fn base_dead_resources_stay_dead() {
+        let (mut g, n, e) = triangle();
+        g.remove_node(n[1]).unwrap();
+        g.remove_edge(e[2]).unwrap();
+        let shared = SharedPassGraph::new(g);
+        let mut writer = shared.writer();
+        writer.restore_node(n[1]).unwrap();
+        writer.restore_edge(e[2]).unwrap();
+        let view = shared.view();
+        assert!(!view.is_node_live(n[1]), "base-dead node is unrestorable");
+        assert!(!view.is_edge_usable(e[2]), "base-dead edge is unrestorable");
+    }
+
+    #[test]
+    fn remove_restore_roundtrip_keeps_counters() {
+        let (g, n, e) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let mut writer = shared.writer();
+        writer.remove_node(n[0]).unwrap();
+        writer.remove_node(n[0]).unwrap(); // idempotent
+        writer.remove_edge(e[1]).unwrap();
+        assert_eq!(shared.view().live_node_count(), 2);
+        assert_eq!(shared.view().live_edge_count(), 2);
+        writer.restore_node(n[0]).unwrap();
+        writer.restore_edge(e[1]).unwrap();
+        assert_eq!(shared.view().live_node_count(), 3);
+        assert_eq!(shared.view().live_edge_count(), 3);
+    }
+
+    #[test]
+    fn overlay_binds_over_a_shared_view() {
+        let (g, n, e) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let mut writer = shared.writer();
+        writer.set_weight(e[0], Weight::from_units(9)).unwrap();
+        let view = shared.view();
+        let mut arena = OverlayArena::new();
+        let mut overlay = GraphOverlay::bind(&view, &mut arena);
+        // Overlay reads through to the shared (post-commit) state...
+        assert_eq!(overlay.weight(e[0]).unwrap(), Weight::from_units(9));
+        // ...and masks privately without touching it.
+        overlay.remove_node(n[1]).unwrap();
+        assert!(!overlay.is_node_live(n[1]));
+        assert!(shared.view().is_node_live(n[1]));
+        overlay.reset();
+        assert!(overlay.is_node_live(n[1]));
+    }
+
+    #[test]
+    fn epoch_advances_with_mutations() {
+        let (g, _, e) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let before = shared.view().epoch();
+        let mut writer = shared.writer();
+        writer.set_weight(e[0], Weight::from_units(2)).unwrap();
+        assert!(shared.view().epoch() > before);
+    }
+
+    #[test]
+    fn out_of_bounds_ids_error() {
+        let (g, _, _) = triangle();
+        let shared = SharedPassGraph::new(g);
+        let ghost_e = EdgeId::from_index(99);
+        let ghost_n = NodeId::from_index(99);
+        assert_eq!(
+            shared.view().weight(ghost_e),
+            Err(GraphError::EdgeOutOfBounds(ghost_e))
+        );
+        let mut writer = shared.writer();
+        assert_eq!(
+            writer.set_weight(ghost_e, Weight::UNIT),
+            Err(GraphError::EdgeOutOfBounds(ghost_e))
+        );
+        assert_eq!(
+            writer.remove_node(ghost_n),
+            Err(GraphError::NodeOutOfBounds(ghost_n))
+        );
+        assert!(!shared.view().is_node_live(ghost_n));
+    }
+}

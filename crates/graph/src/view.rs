@@ -23,7 +23,13 @@ use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
 /// edges in insertion order and [`node_ids`](GraphView::node_ids) /
 /// [`edge_ids`](GraphView::edge_ids) ascend by index, so routing against
 /// a view is bit-identical to routing against an equivalent `Graph`.
-pub trait GraphView {
+///
+/// `Sync` is a supertrait so a view can be shared by reference across
+/// scoped worker threads — the per-terminal Dijkstra fan-out in
+/// [`TerminalDistances`](crate::TerminalDistances) runs several sources
+/// of one net concurrently against the same `&G`. Every existing
+/// implementation is plain data (or atomics) and satisfies it for free.
+pub trait GraphView: Sync {
     /// Total number of nodes ever added (live or removed).
     fn node_count(&self) -> usize;
 

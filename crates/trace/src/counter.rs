@@ -49,11 +49,21 @@ pub enum Counter {
     ConflictAccepts,
     /// Speculative routings discarded and re-routed sequentially.
     ConflictReroutes,
+    /// Ready nets taken from another worker's deque by an idle worker.
+    SchedSteals,
+    /// Times a scheduler worker found no ready net and parked.
+    SchedStalls,
+    /// Speculations rejected at commit and requeued against a fresh
+    /// commit sequence by the wavefront scheduler.
+    SchedRespeculations,
+    /// Per-terminal Dijkstra fan-outs (one per net whose distance runs
+    /// were spread across intra-net worker threads).
+    DijkstraFanouts,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the dense index order).
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::DijkstraRuns,
         Counter::DijkstraHeapPops,
         Counter::DijkstraRelaxations,
@@ -72,6 +82,10 @@ impl Counter {
         Counter::OverlayResets,
         Counter::ConflictAccepts,
         Counter::ConflictReroutes,
+        Counter::SchedSteals,
+        Counter::SchedStalls,
+        Counter::SchedRespeculations,
+        Counter::DijkstraFanouts,
     ];
 
     /// Stable snake_case name used in emitted JSON and summary tables.
@@ -96,6 +110,10 @@ impl Counter {
             Counter::OverlayResets => "overlay_resets",
             Counter::ConflictAccepts => "conflict_accepts",
             Counter::ConflictReroutes => "conflict_reroutes",
+            Counter::SchedSteals => "sched_steals",
+            Counter::SchedStalls => "sched_stalls",
+            Counter::SchedRespeculations => "sched_respeculations",
+            Counter::DijkstraFanouts => "dijkstra_fanouts",
         }
     }
 }

@@ -20,6 +20,10 @@ pub enum SpanKind {
     Net,
     /// One heuristic construction phase within a net.
     Phase,
+    /// The wavefront committer handling one net in order: the commit-lag
+    /// window from "net is next to commit" to "commit applied", covering
+    /// any wait for its speculation and any re-speculation rounds.
+    Commit,
 }
 
 impl SpanKind {
@@ -32,6 +36,7 @@ impl SpanKind {
             SpanKind::Pass => "pass",
             SpanKind::Net => "net",
             SpanKind::Phase => "phase",
+            SpanKind::Commit => "commit",
         }
     }
 }

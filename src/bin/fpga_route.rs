@@ -22,6 +22,7 @@ use fpga_route::fpga::width::{
 };
 use fpga_route::fpga::{
     viz, ArchSpec, BaselineConfig, BaselineRouter, Device, RouteAlgorithm, Router, RouterConfig,
+    SchedulerKind,
 };
 use fpga_route::graph::{GridGraph, Weight};
 use fpga_route::steiner::metrics::{measure, optimal_max_pathlength};
@@ -47,16 +48,20 @@ usage:
   fpga-route profiles
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
                    [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
-                   [--svg <file>] [--trace <file>] [--stream] [--metrics]
+                   [--scheduler <wavefront|batch>] [--svg <file>] [--trace <file>]
+                   [--stream] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
-                   [--threads <n>] [--probe-threads <n>] [--trace <file>] [--stream]
-                   [--metrics]
+                   [--threads <n>] [--scheduler <wavefront|batch>]
+                   [--probe-threads <n>] [--trace <file>] [--stream] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
   fpga-route trace-check <file.jsonl>
 
---threads: routing workers; 0 = automatic (sequential for small circuits,
-           one worker per available core for large ones)
+--threads: routing workers; 0 = automatic (sequential for small or
+           few-large-net circuits, one worker per available core otherwise)
+--scheduler: parallel engine when --threads > 1; wavefront (default) overlaps
+             commit with speculation via a conflict DAG and work stealing,
+             batch is the lockstep baseline — results are bit-identical
 --probe-threads: concurrent width probes; 0 = one worker per available core
 --trace: telemetry as JSONL (or a single JSON document for .json paths)
 --stream: append trace lines live as spans close (requires --trace, JSONL only)
@@ -75,6 +80,7 @@ const ROUTE_FLAGS: FlagSpec = &[
     ("seed", true),
     ("passes", true),
     ("threads", true),
+    ("scheduler", true),
     ("svg", true),
     ("trace", true),
     ("stream", false),
@@ -90,6 +96,7 @@ const WIDTH_FLAGS: FlagSpec = &[
     ("passes", true),
     ("baseline", false),
     ("threads", true),
+    ("scheduler", true),
     ("probe-threads", true),
     ("trace", true),
     ("stream", false),
@@ -198,6 +205,16 @@ fn algorithm(flags: &HashMap<String, String>) -> Result<RouteAlgorithm, Box<dyn 
         "pfa" => Ok(RouteAlgorithm::Pfa),
         "idom" => Ok(RouteAlgorithm::Idom),
         other => Err(format!("unknown algorithm `{other}`").into()),
+    }
+}
+
+fn scheduler(flags: &HashMap<String, String>) -> Result<SchedulerKind, Box<dyn Error>> {
+    match flags.get("scheduler").map(String::as_str) {
+        None | Some("wavefront") => Ok(SchedulerKind::Wavefront),
+        Some("batch") => Ok(SchedulerKind::Batch),
+        Some(other) => {
+            Err(format!("unknown scheduler `{other}` (use wavefront or batch)").into())
+        }
     }
 }
 
@@ -328,6 +345,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         algorithm: algorithm(flags)?,
         max_passes: passes,
         threads,
+        scheduler: scheduler(flags)?,
         ..RouterConfig::default()
     };
     let collector = maybe_collector(flags)?;
@@ -373,6 +391,7 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let base = arch_for(flags, &profile, min)?;
     let use_baseline = flags.contains_key("baseline");
     let algo = algorithm(flags)?;
+    let sched = scheduler(flags)?;
     let route = |device: &Device| {
         if use_baseline {
             BaselineRouter::new(
@@ -390,6 +409,7 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                     algorithm: algo,
                     max_passes: passes,
                     threads,
+                    scheduler: sched,
                     ..RouterConfig::default()
                 },
             )
@@ -555,6 +575,20 @@ mod tests {
         .unwrap();
         assert_eq!(parsed.get("metrics").unwrap(), "true");
         assert_eq!(parsed.get("circuit").unwrap(), "term1");
+    }
+
+    #[test]
+    fn scheduler_names_resolve() {
+        assert_eq!(scheduler(&flags(&[])).unwrap(), SchedulerKind::Wavefront);
+        assert_eq!(
+            scheduler(&flags(&[("scheduler", "wavefront")])).unwrap(),
+            SchedulerKind::Wavefront
+        );
+        assert_eq!(
+            scheduler(&flags(&[("scheduler", "batch")])).unwrap(),
+            SchedulerKind::Batch
+        );
+        assert!(scheduler(&flags(&[("scheduler", "bogus")])).is_err());
     }
 
     #[test]

@@ -1,22 +1,22 @@
-//! Adversarial property test for the parallel conflict detector.
+//! Adversarial property tests for the parallel engines' conflict
+//! handling.
 //!
-//! The speculative batched engine is only allowed to win wall-clock time;
-//! its results must be bit-identical to the sequential router's. The
-//! friendliest inputs for it are circuits whose nets occupy disjoint
-//! regions — batches commit without conflicts and the detector is barely
-//! exercised. This test does the opposite: every net is constructed to
-//! span the whole array (one pin in the top-left quadrant, one in the
-//! bottom-right, extras sprinkled anywhere), so every pair of bounding
-//! boxes overlaps maximally, speculation is almost always stale, and the
-//! conflict detector's re-route path carries the pass. Across seeded pin
-//! assignments and thread counts, the parallel outcome must still match
-//! the sequential one exactly — trees, pass counts, wirelength, and the
-//! end-of-pass congestion snapshots.
+//! Both parallel engines are only allowed to win wall-clock time; their
+//! results must be bit-identical to the sequential router's. The
+//! friendliest inputs are circuits whose nets occupy disjoint regions —
+//! speculation commits without conflicts and the detector is barely
+//! exercised. These tests do the opposite: nets are constructed so that
+//! bounding boxes overlap maximally (every speculation stale) or so that
+//! box-disjoint nets still collide through congestion detours (the
+//! detector must catch what the boxes miss). Across seeded pin
+//! assignments, thread counts, and both schedulers, the parallel outcome
+//! must still match the sequential one exactly — trees, pass counts,
+//! wirelength, and the end-of-pass congestion snapshots.
 
 use fpga_route::fpga::synth::synthesize;
 use fpga_route::fpga::{
     ArchSpec, BlockPin, Circuit, CircuitNet, Device, FpgaError, RouteOutcome, Router, RouterConfig,
-    Side,
+    SchedulerKind, Side,
 };
 use fpga_route::graph::rng::{Rng, SliceRandom, SplitMix64};
 
@@ -75,12 +75,12 @@ fn adversarial_circuit(seed: u64, rows: usize, cols: usize, nets: usize) -> Circ
 
 /// Builds the nastiest known workload for the conflict detector: long
 /// vertical 2-pin nets packed into a few far-apart columns. The columns'
-/// margin-expanded bounding boxes are pairwise disjoint, so nets from
-/// different columns batch together and speculate concurrently — but the
-/// columns are oversubscribed (more nets than tracks at the probe width),
-/// so committed routes detour sideways into territory a batch-mate's
-/// speculation also claimed, going stale and forcing the sequential
-/// re-route path.
+/// bounding boxes are pairwise non-interacting, so nets from different
+/// columns speculate concurrently (batched together, or DAG-independent
+/// under the wavefront scheduler) — but the columns are oversubscribed
+/// (more nets than tracks at the probe width), so committed routes detour
+/// sideways into territory a concurrent speculation also claimed, going
+/// stale and forcing the engine's repair path.
 fn saturated_columns_circuit(seed: u64, rows: usize, cols: usize) -> Circuit {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let mut nets = Vec::new();
@@ -137,6 +137,27 @@ fn assert_identical(parallel: &RouteOutcome, sequential: &RouteOutcome, context:
     assert_eq!(snapshots(parallel), snapshots(sequential), "{context}");
 }
 
+/// Every speculated net is resolved exactly once on a completed pass —
+/// accepted, re-routed (batch), or re-speculated (wavefront). A pass
+/// that ended at a failed net consumed that net's speculation without
+/// resolving it, so earlier (failed) passes only bound the sum.
+fn assert_speculation_accounting(outcome: &RouteOutcome, context: &str) {
+    let passes = &outcome.telemetry.passes;
+    for (i, t) in passes.iter().enumerate() {
+        let resolved = t.accepted + t.rerouted + t.respeculated;
+        if i + 1 == passes.len() {
+            assert_eq!(resolved, t.speculated, "{context}, pass {}", t.pass);
+        } else {
+            assert!(
+                resolved <= t.speculated,
+                "{context}, pass {}: {resolved} resolved of {} speculated",
+                t.pass,
+                t.speculated
+            );
+        }
+    }
+}
+
 #[test]
 fn maximal_bbox_overlap_stays_bit_identical_across_thread_counts() {
     for seed in [1u64, 7, 42, 1995, 20010] {
@@ -145,27 +166,21 @@ fn maximal_bbox_overlap_stays_bit_identical_across_thread_counts() {
         let sequential = Router::new(&device, RouterConfig::default())
             .route(&circuit)
             .unwrap();
-        for threads in [2usize, 4, 8] {
-            let parallel = Router::new(
-                &device,
-                RouterConfig {
-                    threads,
-                    ..RouterConfig::default()
-                },
-            )
-            .route(&circuit)
-            .unwrap();
-            let context = format!("seed {seed}, threads {threads}");
-            assert_identical(&parallel, &sequential, &context);
-            // Every speculated net is resolved by the detector, one way
-            // or the other, on a completed pass.
-            for t in &parallel.telemetry.passes {
-                assert_eq!(
-                    t.accepted + t.rerouted,
-                    t.speculated,
-                    "{context}, pass {}",
-                    t.pass
-                );
+        for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+            for threads in [2usize, 4, 8] {
+                let parallel = Router::new(
+                    &device,
+                    RouterConfig {
+                        threads,
+                        scheduler,
+                        ..RouterConfig::default()
+                    },
+                )
+                .route(&circuit)
+                .unwrap();
+                let context = format!("seed {seed}, threads {threads}, {}", scheduler.name());
+                assert_identical(&parallel, &sequential, &context);
+                assert_speculation_accounting(&parallel, &context);
             }
         }
     }
@@ -174,11 +189,11 @@ fn maximal_bbox_overlap_stays_bit_identical_across_thread_counts() {
 #[test]
 fn stale_speculations_reroute_and_stay_bit_identical() {
     // The construction must actually be adversarial: across the seeds at
-    // least one stale speculation has to fall back to the sequential
-    // re-route — and under exactly that pressure the parallel outcome must
-    // still match the sequential one bit for bit. (Per-seed reroute counts
-    // can legitimately be zero, so the pressure assertion spans the whole
-    // seed family.)
+    // least one stale speculation has to fall back to the batch engine's
+    // sequential re-route — and under exactly that pressure the parallel
+    // outcome must still match the sequential one bit for bit. (Per-seed
+    // reroute counts can legitimately be zero, so the pressure assertion
+    // spans the whole seed family.)
     let mut rerouted = 0u64;
     let mut speculated = 0u64;
     for seed in 1u64..=10 {
@@ -191,6 +206,7 @@ fn stale_speculations_reroute_and_stay_bit_identical() {
             &device,
             RouterConfig {
                 threads: 4,
+                scheduler: SchedulerKind::Batch,
                 ..RouterConfig::default()
             },
         )
@@ -213,8 +229,62 @@ fn stale_speculations_reroute_and_stay_bit_identical() {
 }
 
 #[test]
+fn respeculated_nets_stay_bit_identical_across_thread_counts() {
+    // Same saturated-grid pressure against the wavefront scheduler: DAG-
+    // independent nets collide through congestion detours, the commit-time
+    // read-set check rejects the stale speculation, and the net re-enters
+    // the ready queue against a fresh commit sequence. Across the seed
+    // family at least one net must actually be re-speculated, and under
+    // that pressure every thread count must match threads = 1 bit for bit.
+    // Committer claims are disabled so every net goes through worker
+    // speculation — on a busy or small host the work-conserving committer
+    // would otherwise route most nets itself and starve the respeculation
+    // path this test exists to stress.
+    let mut respeculated = 0u64;
+    let mut speculated = 0u64;
+    for seed in 1u64..=10 {
+        let circuit = saturated_columns_circuit(seed, 8, 8);
+        let device = Device::new(ArchSpec::xilinx4000(8, 8, 3)).unwrap();
+        let sequential = Router::new(&device, RouterConfig::default())
+            .route(&circuit)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = Router::new(
+                &device,
+                RouterConfig {
+                    threads,
+                    scheduler: SchedulerKind::Wavefront,
+                    committer_claims: false,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+            .unwrap();
+            let context = format!("columns seed {seed}, threads {threads}");
+            assert_identical(&parallel, &sequential, &context);
+            assert_speculation_accounting(&parallel, &context);
+            for t in &parallel.telemetry.passes {
+                respeculated += t.respeculated as u64;
+                speculated += t.speculated as u64;
+                // The wavefront engine never takes the batch engine's
+                // sequential re-route path.
+                assert_eq!(t.rerouted, 0, "{context}, pass {}", t.pass);
+            }
+        }
+    }
+    assert!(
+        speculated > 0,
+        "no net was ever speculated; the workload is trivial"
+    );
+    assert!(
+        respeculated > 0,
+        "no speculation was ever requeued; the workload does not stress the scheduler"
+    );
+}
+
+#[test]
 fn overlapping_nets_agree_on_unroutability() {
-    // Determinism must extend to failure: at a hopeless width both engines
+    // Determinism must extend to failure: at a hopeless width all engines
     // report the same unroutable verdict, with identical pass budgets.
     let circuit = adversarial_circuit(3, 6, 6, 12);
     let device = Device::new(ArchSpec::xilinx4000(6, 6, 1)).unwrap();
@@ -225,33 +295,36 @@ fn overlapping_nets_agree_on_unroutability() {
     let sequential = Router::new(&device, config.clone())
         .route(&circuit)
         .unwrap_err();
-    let parallel = Router::new(
-        &device,
-        RouterConfig {
-            threads: 4,
-            ..config
-        },
-    )
-    .route(&circuit)
-    .unwrap_err();
-    match (sequential, parallel) {
-        (
-            FpgaError::Unroutable {
-                channel_width: ws,
-                passes: ps,
-                failed_net: ns,
+    for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+        let parallel = Router::new(
+            &device,
+            RouterConfig {
+                threads: 4,
+                scheduler,
+                ..config.clone()
             },
-            FpgaError::Unroutable {
-                channel_width: wp,
-                passes: pp,
-                failed_net: np,
-            },
-        ) => {
-            assert_eq!(ws, wp);
-            assert_eq!(ps, pp);
-            assert_eq!(ns, np);
+        )
+        .route(&circuit)
+        .unwrap_err();
+        match (&sequential, parallel) {
+            (
+                FpgaError::Unroutable {
+                    channel_width: ws,
+                    passes: ps,
+                    failed_net: ns,
+                },
+                FpgaError::Unroutable {
+                    channel_width: wp,
+                    passes: pp,
+                    failed_net: np,
+                },
+            ) => {
+                assert_eq!(*ws, wp, "{}", scheduler.name());
+                assert_eq!(*ps, pp, "{}", scheduler.name());
+                assert_eq!(*ns, np, "{}", scheduler.name());
+            }
+            other => panic!("expected two Unroutable errors, got {other:?}"),
         }
-        other => panic!("expected two Unroutable errors, got {other:?}"),
     }
 }
 
@@ -274,15 +347,22 @@ fn shuffled_synthetic_profiles_stay_deterministic() {
         let sequential = Router::new(&device, RouterConfig::default())
             .route(&circuit)
             .unwrap();
-        let parallel = Router::new(
-            &device,
-            RouterConfig {
-                threads: 3,
-                ..RouterConfig::default()
-            },
-        )
-        .route(&circuit)
-        .unwrap();
-        assert_identical(&parallel, &sequential, &format!("synth seed {seed}"));
+        for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+            let parallel = Router::new(
+                &device,
+                RouterConfig {
+                    threads: 3,
+                    scheduler,
+                    ..RouterConfig::default()
+                },
+            )
+            .route(&circuit)
+            .unwrap();
+            assert_identical(
+                &parallel,
+                &sequential,
+                &format!("synth seed {seed}, {}", scheduler.name()),
+            );
+        }
     }
 }
