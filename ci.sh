@@ -13,9 +13,24 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> fpga_lint: workspace invariants"
+cargo build --release -p fpga-lint
+./target/release/fpga_lint --root .
+
+echo "==> fpga_lint: failure-mode smoke (bad file must exit nonzero)"
+bad_file="$(mktemp /tmp/fpga_lint_bad.XXXXXX.rs)"
+trap 'rm -f "$bad_file"' EXIT
+printf 'pub fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n' > "$bad_file"
+lint_status=0
+./target/release/fpga_lint --check-file "$bad_file" --as crates/fpga/src/router.rs || lint_status=$?
+if [ "$lint_status" -ne 1 ]; then
+    echo "fpga_lint must exit 1 on a known-bad file (got $lint_status)" >&2
+    exit 1
+fi
+
 echo "==> telemetry smoke: width --threads 0 --trace --stream"
 trace_file="$(mktemp /tmp/fpga_route_trace.XXXXXX.jsonl)"
-trap 'rm -f "$trace_file"' EXIT
+trap 'rm -f "$trace_file" "$bad_file"' EXIT
 ./target/release/fpga_route width --circuit term1 --arch 4000 \
     --threads 0 --trace "$trace_file" --stream --metrics
 ./target/release/fpga_route trace-check "$trace_file"

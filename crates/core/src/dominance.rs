@@ -30,7 +30,7 @@ use route_graph::Weight;
 /// ```
 #[must_use]
 pub fn dominates(d0_p: Weight, d0_s: Weight, dist_sp: Weight) -> bool {
-    d0_p == d0_s + dist_sp
+    d0_p == d0_s.saturating_add(dist_sp)
 }
 
 #[cfg(test)]

@@ -177,7 +177,7 @@ impl SteinerHeuristic for Brbc {
             }
             visited[v] = true;
             if from != usize::MAX {
-                tour += td.dist(from, v).expect("MST edge exists");
+                tour = tour.saturating_add(td.dist(from, v).expect("MST edge exists"));
             }
             let d0 = td.dist(0, v).expect("connected");
             let budget = Weight::from_milli(

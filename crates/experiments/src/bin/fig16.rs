@@ -1,4 +1,7 @@
 //! Regenerates Figure 16 (rendered busc routing, SVG + ASCII).
+
+#![forbid(unsafe_code)]
+
 use experiments::fig16::run;
 use experiments::widths::WidthExperimentConfig;
 

@@ -1,5 +1,8 @@
 //! Regenerates Figure 4 (four solutions for one 4-pin net) as a table and
 //! a four-panel SVG.
+
+#![forbid(unsafe_code)]
+
 use experiments::fig4::{render, render_svg, run};
 
 fn main() {

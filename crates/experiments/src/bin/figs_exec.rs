@@ -1,4 +1,7 @@
 //! Regenerates the Figure 6 / Figure 13 execution traces.
+
+#![forbid(unsafe_code)]
+
 use experiments::figs_exec::{render, run_fig13, run_fig6};
 
 fn main() {

@@ -1,4 +1,7 @@
 //! Regenerates Figures 10, 11 and 14 (worst-case families).
+
+#![forbid(unsafe_code)]
+
 use experiments::table::TextTable;
 use experiments::worst_case::{run_fig10, run_fig11, run_fig14};
 

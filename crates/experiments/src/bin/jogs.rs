@@ -1,4 +1,7 @@
 //! Regenerates the multi-weighted jog-minimization sweep.
+
+#![forbid(unsafe_code)]
+
 use experiments::jogs::{render, run, JogsConfig};
 
 fn main() {

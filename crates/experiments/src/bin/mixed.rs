@@ -1,4 +1,7 @@
 //! Regenerates the mixed critical/non-critical routing comparison.
+
+#![forbid(unsafe_code)]
+
 use experiments::mixed::{render, run};
 use experiments::widths::WidthExperimentConfig;
 

@@ -1,4 +1,7 @@
 //! Regenerates Table 1. `--quick` runs 10 nets per cell instead of 50.
+
+#![forbid(unsafe_code)]
+
 use experiments::table1::{render, run, Table1Config};
 
 fn main() {

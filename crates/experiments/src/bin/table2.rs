@@ -1,4 +1,7 @@
 //! Regenerates Table 2 (Xilinx 3000-series channel widths).
+
+#![forbid(unsafe_code)]
+
 use experiments::table2::{render, run};
 use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;

@@ -1,4 +1,7 @@
 //! Regenerates Table 3 (Xilinx 4000-series channel widths).
+
+#![forbid(unsafe_code)]
+
 use experiments::table3::{render, run};
 use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;

@@ -1,4 +1,7 @@
 //! Regenerates Table 4 (channel width: IKMB vs PFA vs IDOM).
+
+#![forbid(unsafe_code)]
+
 use experiments::table4::{render, run};
 use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::WidthExperimentConfig;

@@ -1,4 +1,7 @@
 //! Regenerates Table 5 (wirelength/pathlength tradeoff at common width).
+
+#![forbid(unsafe_code)]
+
 use experiments::table5::{render, run};
 use experiments::widths::WidthExperimentConfig;
 

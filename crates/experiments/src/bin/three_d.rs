@@ -1,4 +1,7 @@
 //! Regenerates the §6 3D-FPGA folding comparison.
+
+#![forbid(unsafe_code)]
+
 use experiments::three_d::{render, run, ThreeDConfig};
 
 fn main() {

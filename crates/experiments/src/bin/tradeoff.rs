@@ -1,4 +1,7 @@
 //! Regenerates the §2 radius-cost tradeoff comparison.
+
+#![forbid(unsafe_code)]
+
 use experiments::tradeoff::{render, run, TradeoffConfig};
 
 fn main() {

@@ -92,7 +92,7 @@ pub fn run(
             if !critical[ni] {
                 continue;
             }
-            critical_pathlength += outcome.max_pathlengths[ni];
+            critical_pathlength = critical_pathlength.saturating_add(outcome.max_pathlengths[ni]);
             if outcome.max_pathlengths[ni] == optimal_radius[ni] {
                 critical_optimal += 1;
             }

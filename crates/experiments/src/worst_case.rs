@@ -45,7 +45,7 @@ pub fn pfa_weighted_gadget(clusters: usize) -> Result<(Graph, Net, Weight), Stei
     for i in 0..clusters {
         let p = g.add_node();
         let q = g.add_node();
-        g.add_edge(n0, m[i], Weight::UNIT + EPS).map_err(SteinerError::Graph)?;
+        g.add_edge(n0, m[i], Weight::UNIT.saturating_add(EPS)).map_err(SteinerError::Graph)?;
         g.add_edge(m[i], p, EPS).map_err(SteinerError::Graph)?;
         g.add_edge(m[i], q, EPS).map_err(SteinerError::Graph)?;
         g.add_edge(b, u[i], EPS).map_err(SteinerError::Graph)?;
@@ -56,7 +56,7 @@ pub fn pfa_weighted_gadget(clusters: usize) -> Result<(Graph, Net, Weight), Stei
     }
     g.add_edge(n0, b, Weight::UNIT).map_err(SteinerError::Graph)?;
     let net = Net::new(n0, sinks)?;
-    let optimal = Weight::UNIT + EPS.scale(3 * clusters as u64);
+    let optimal = Weight::UNIT.saturating_add(EPS.scale(3 * clusters as u64));
     Ok((g, net, optimal))
 }
 
@@ -202,7 +202,7 @@ pub fn idom_setcover_gadget(
     }
     let net = Net::new(n0, sinks)?;
     // Optimal: the two row hubs (2 units) plus one ε edge per sink.
-    let optimal = Weight::from_units(2) + EPS.scale(2 * cols as u64);
+    let optimal = Weight::from_units(2).saturating_add(EPS.scale(2 * cols as u64));
     Ok((g, net, optimal, (traps, rows)))
 }
 

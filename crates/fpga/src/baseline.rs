@@ -124,6 +124,7 @@ impl<'d> BaselineRouter<'d> {
                 // overlap itself (same signal) — but no optimization steers
                 // the route toward sharing; that is exactly the structural
                 // handicap versus the Steiner router.
+                // lint: allow(readset-discipline): the baseline maze router is sequential-only — it routes on its private graph and never runs under speculation
                 let sp = match ShortestPaths::run_to_targets(&g, source, &[sink]) {
                     Ok(sp) => sp,
                     Err(GraphError::NodeRemoved(_)) | Err(GraphError::NodeOutOfBounds(_)) => {

@@ -187,6 +187,19 @@ pub struct RouterConfig {
     /// the adversarial stress tests use to exercise the conflict
     /// detector regardless of how the host schedules threads.
     pub committer_claims: bool,
+    /// Wavefront adaptive suspension: consecutive stale speculations
+    /// (with no ahead-of-frontier acceptance in between) after which
+    /// worker speculation is suspended and the committer drains the
+    /// ready queues at sequential speed. Lower values bail out of
+    /// unprofitable overlap sooner; higher values tolerate longer
+    /// stale streaks on bursty hosts. Ignored by the batch scheduler
+    /// and sequential passes.
+    pub spec_exit_misses: usize,
+    /// Wavefront probe cadence while speculation is suspended: every
+    /// this-many commits the workers get one probe window to show that
+    /// overlap pays again. `0` is clamped to `1` (probe every commit).
+    /// Ignored by the batch scheduler and sequential passes.
+    pub spec_probe_period: usize,
 }
 
 impl Default for RouterConfig {
@@ -201,6 +214,8 @@ impl Default for RouterConfig {
             threads: 1,
             scheduler: SchedulerKind::default(),
             committer_claims: true,
+            spec_exit_misses: crate::sched::SPEC_EXIT_MISSES,
+            spec_probe_period: crate::sched::SPEC_PROBE_PERIOD,
         }
     }
 }
@@ -391,6 +406,7 @@ impl<'d> Router<'d> {
                         let pos = order
                             .iter()
                             .position(|&x| x == ni)
+                            // lint: allow(panic-hygiene): ni was produced by routing this very order; absence is a router bug worth aborting on
                             .expect("failed net is in the order");
                         order.remove(pos);
                         order.insert(0, ni);
@@ -512,6 +528,7 @@ impl<'d> Router<'d> {
     ) -> Result<RouteOutcome, FpgaError> {
         let trees: Vec<RoutingTree> = trees
             .into_iter()
+            // lint: allow(panic-hygiene): finish() is only reached once every net routed; a hole is a router bug worth aborting on
             .map(|t| t.expect("all nets routed"))
             .collect();
         let mut max_pathlengths = Vec::with_capacity(trees.len());

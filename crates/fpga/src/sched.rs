@@ -77,14 +77,17 @@
 //!   unlike commit mutations those transients are recorded in no
 //!   changed set, so a concurrent read-set check could not detect
 //!   having observed them.
-//! * **Adaptive suspension.** [`SPEC_EXIT_MISSES`] consecutive stale
+//! * **Adaptive suspension.** `spec_exit_misses` consecutive stale
 //!   speculations with no ahead-of-frontier acceptance in between mean
 //!   overlap is not paying (typically: the host's cores are
 //!   oversubscribed, so worker time is stolen from the committer, and
 //!   every stale route is burned twice). The workers are then parked
 //!   and the committer drains the queues itself, until a probe window
-//!   (every [`SPEC_PROBE_PERIOD`] commits) or a fresh ahead acceptance
-//!   lifts the pause.
+//!   (every `spec_probe_period` commits) or a fresh ahead acceptance
+//!   lifts the pause. Both thresholds are
+//!   [`RouterConfig`](crate::router::RouterConfig) fields
+//!   (`--spec-exit-misses` / `--spec-probe-period` on the CLI), with
+//!   defaults [`SPEC_EXIT_MISSES`] and [`SPEC_PROBE_PERIOD`].
 //! * **Solo mode.** On a host with a single hardware thread the bet is
 //!   unwinnable by construction, so speculation never starts at all and
 //!   the pass runs entirely through the writer-direct claim path —
@@ -128,19 +131,21 @@ pub(crate) const REGION_SLACK: usize = 1;
 /// this many live nodes the thread-spawn overhead dwarfs the runs.
 const FANOUT_MIN_NODES: usize = 4096;
 
-/// Consecutive stale speculations (with no ahead-of-frontier acceptance
+/// Default for [`RouterConfig::spec_exit_misses`](crate::router::RouterConfig::spec_exit_misses):
+/// consecutive stale speculations (with no ahead-of-frontier acceptance
 /// in between) after which the committer stops waking workers and routes
 /// the frontier itself at sequential speed. Ahead-speculation that
 /// always goes stale is pure waste: every stale route burns a core and
 /// is redone anyway.
-const SPEC_EXIT_MISSES: usize = 4;
+pub(crate) const SPEC_EXIT_MISSES: usize = 4;
 
-/// While speculation is suspended, every this-many commits the workers
+/// Default for [`RouterConfig::spec_probe_period`](crate::router::RouterConfig::spec_probe_period):
+/// while speculation is suspended, every this-many commits the workers
 /// are woken for one probe window. If their speculations land fresh
 /// (the workload or the host changed), speculation resumes; if they go
 /// stale, the suspension stands. Bounds the cost of mistakenly leaving
 /// speculation off at one wasted route per period.
-const SPEC_PROBE_PERIOD: usize = 32;
+pub(crate) const SPEC_PROBE_PERIOD: usize = 32;
 
 /// A net's raw terminal bounding box in block coordinates. No margin is
 /// applied to the box itself — margins enter once per *pair* through
@@ -275,6 +280,22 @@ impl SchedState {
     }
 }
 
+
+/// Locks the scheduler state, propagating a sibling's panic.
+fn lock_state(state: &Mutex<SchedState>) -> std::sync::MutexGuard<'_, SchedState> {
+    // lint: allow(panic-hygiene): a poisoned lock means a sibling thread already panicked; compounding the abort is the only sound continuation
+    state.lock().expect("scheduler state poisoned")
+}
+
+/// Parks on `cv`, re-acquiring the scheduler state lock on wake.
+fn park_on<'a>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, SchedState>,
+) -> std::sync::MutexGuard<'a, SchedState> {
+    // lint: allow(panic-hygiene): same poisoned-lock reasoning as lock_state
+    cv.wait(guard).expect("scheduler state poisoned")
+}
+
 /// Routes one pass with the wavefront scheduler. Same contract as
 /// [`route_pass_parallel`](crate::parallel::route_pass_parallel):
 /// semantics identical to the sequential pass (net order, congestion
@@ -293,6 +314,11 @@ pub(crate) fn route_pass_wavefront(
     let n = order.len();
     let workers = threads.max(2).min(arenas.len().max(1)).min(n.max(1));
     let margin = config.candidate_margin + REGION_SLACK;
+    // Adaptive-suspension tuning, promoted to RouterConfig. A zero
+    // probe period would mean "never probe"; clamp to 1 so the modulo
+    // below stays defined and suspension stays recoverable.
+    let exit_misses = config.spec_exit_misses;
+    let probe_period = config.spec_probe_period.max(1);
     let gap = interaction_gap(config.candidate_margin);
     let claims = config.committer_claims;
 
@@ -372,7 +398,7 @@ pub(crate) fn route_pass_wavefront(
                 loop {
                     // --- acquire a ready net ---------------------------
                     let (pos, stole, last_ready) = {
-                        let mut st = state.lock().expect("scheduler state poisoned");
+                        let mut st = lock_state(state);
                         let mut stole = false;
                         loop {
                             if st.done {
@@ -383,7 +409,7 @@ pub(crate) fn route_pass_wavefront(
                                 // writer) or paused (speculation is not
                                 // paying): park without taking a net.
                                 st.stalls += 1;
-                                st = work.wait(st).expect("scheduler state poisoned");
+                                st = park_on(work, st);
                                 continue;
                             }
                             let taken = if let Some(p) = st.locals[worker].pop_front() {
@@ -398,6 +424,7 @@ pub(crate) fn route_pass_wavefront(
                                 victim.map(|v| {
                                     st.steals += 1;
                                     stole = true;
+                                    // lint: allow(panic-hygiene): victim deques were filtered to non-empty under this same lock
                                     st.locals[v].pop_back().expect("victim deque nonempty")
                                 })
                             };
@@ -406,7 +433,7 @@ pub(crate) fn route_pass_wavefront(
                                 break (p, stole, st.queued() == 0);
                             }
                             st.stalls += 1;
-                            st = work.wait(st).expect("scheduler state poisoned");
+                            st = park_on(work, st);
                         }
                     };
                     if stole && route_trace::enabled() {
@@ -441,7 +468,7 @@ pub(crate) fn route_pass_wavefront(
                         route_graph::readset::take()
                     };
 
-                    let mut st = state.lock().expect("scheduler state poisoned");
+                    let mut st = lock_state(state);
                     st.inflight -= 1;
                     st.results[pos] = Some(Spec {
                         result,
@@ -467,7 +494,7 @@ pub(crate) fn route_pass_wavefront(
         let mut verdict: Result<Option<usize>, FpgaError> = Ok(None);
         // Adaptive speculation throttle (work conservation, part two):
         // while `speculating`, commits wake the workers and the pass
-        // runs as a full wavefront. A run of SPEC_EXIT_MISSES stale
+        // runs as a full wavefront. A run of `spec_exit_misses` stale
         // speculations with not one ahead-of-frontier acceptance means
         // overlap is not paying on this host right now — typically
         // because the cores are oversubscribed and speculation merely
@@ -497,7 +524,7 @@ pub(crate) fn route_pass_wavefront(
                 // busy elsewhere degrade to sequential speed instead of
                 // paying speculation overhead for no overlap.
                 let taken = {
-                    let mut st = state.lock().expect("scheduler state poisoned");
+                    let mut st = lock_state(&state);
                     loop {
                         if let Some(spec) = st.results[pos].take() {
                             break Claim::Posted(spec);
@@ -509,7 +536,7 @@ pub(crate) fn route_pass_wavefront(
                             }
                             break Claim::Inline;
                         }
-                        st = arrived.wait(st).expect("scheduler state poisoned");
+                        st = park_on(&arrived, st);
                     }
                 };
                 let tree = match taken {
@@ -545,8 +572,8 @@ pub(crate) fn route_pass_wavefront(
                         // invalidated set against one observed-set index
                         // instead of re-walking the thousands-strong read
                         // set per window entry.
-                        let base =
-                            usize::try_from(spec.base_seq).expect("commit seq fits in usize");
+                        // lint: allow(panic-hygiene): base_seq was produced from a usize commit position
+                        let base = usize::try_from(spec.base_seq).expect("commit seq fits in usize");
                         let fresh = base >= pos || {
                             let mut observed: HashSet<NodeId> =
                                 spec.reads.iter().copied().collect();
@@ -565,13 +592,13 @@ pub(crate) fn route_pass_wavefront(
                             // be claimed inline right here).
                             timing.respeculated += 1;
                             stale_run += 1;
-                            if claims && stale_run >= SPEC_EXIT_MISSES {
+                            if claims && stale_run >= exit_misses {
                                 speculating = false;
                             }
                             if route_trace::enabled() {
                                 route_trace::count(route_trace::Counter::SchedRespeculations, 1);
                             }
-                            let mut st = state.lock().expect("scheduler state poisoned");
+                            let mut st = lock_state(&state);
                             st.paused = !speculating;
                             st.injector.push_front(pos);
                             drop(st);
@@ -590,8 +617,7 @@ pub(crate) fn route_pass_wavefront(
                             stale_run = 0;
                             if !speculating {
                                 speculating = true;
-                                let mut st =
-                                    state.lock().expect("scheduler state poisoned");
+                                let mut st = lock_state(&state);
                                 st.paused = false;
                                 drop(st);
                                 work.notify_all();
@@ -632,7 +658,7 @@ pub(crate) fn route_pass_wavefront(
                         // can look. This is the zero-overhead path.
                         let result = router.route_net(&mut writer, circuit, ni, critical);
                         {
-                            let mut st = state.lock().expect("scheduler state poisoned");
+                            let mut st = lock_state(&state);
                             st.gate = false;
                         }
                         // Reopen before the commit below: commit
@@ -678,7 +704,7 @@ pub(crate) fn route_pass_wavefront(
                 changed_log.push(changed);
                 // Release the nets this commit was gating — stealable
                 // immediately, while we move on to the next position.
-                let mut st = state.lock().expect("scheduler state poisoned");
+                let mut st = lock_state(&state);
                 for &succ in &successors[pos] {
                     preds[succ] -= 1;
                     if preds[succ] == 0 {
@@ -687,12 +713,12 @@ pub(crate) fn route_pass_wavefront(
                     }
                 }
                 // Probe windows keep a suspended scheduler honest: wake
-                // the workers every SPEC_PROBE_PERIOD commits and let
+                // the workers every `spec_probe_period` commits and let
                 // their speculations prove (or disprove) that overlap
                 // pays now. `stale_run` stays at its threshold, so the
                 // first stale result of the window re-arms the pause
                 // while a fresh ahead acceptance lifts it for good.
-                let probe = !solo && !speculating && (pos + 1) % SPEC_PROBE_PERIOD == 0;
+                let probe = !solo && !speculating && (pos + 1) % probe_period == 0;
                 if probe {
                     st.paused = false;
                 }
@@ -706,7 +732,7 @@ pub(crate) fn route_pass_wavefront(
 
         // Shut the workers down (success, failure, and error alike); the
         // scope joins them on exit.
-        let mut st = state.lock().expect("scheduler state poisoned");
+        let mut st = lock_state(&state);
         st.done = true;
         timing.steals = usize::try_from(st.steals).unwrap_or(usize::MAX);
         timing.stalls = usize::try_from(st.stalls).unwrap_or(usize::MAX);

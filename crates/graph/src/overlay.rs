@@ -204,6 +204,7 @@ impl<'a, B: OverlayBase> GraphOverlay<'a, B> {
         if self.arena.weight_epoch[i] == self.arena.generation {
             self.arena.weights[i]
         } else {
+            // lint: allow(panic-hygiene): e comes from the base graph's own adjacency, so it is in range by construction
             self.base.weight(e).expect("in-range edge has a weight")
         }
     }
@@ -264,6 +265,7 @@ impl<B: OverlayBase> GraphView for GraphOverlay<'_, B> {
         if !self.edge_alive(e) {
             return false;
         }
+        // lint: allow(panic-hygiene): e comes from the base graph's own adjacency, so it is in range by construction
         let (a, b) = self.base.endpoints(e).expect("in-range edge has endpoints");
         self.node_alive(a) && self.node_alive(b)
     }

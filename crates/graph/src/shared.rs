@@ -84,6 +84,7 @@ impl SharedPassGraph {
             .map(|i| {
                 let w = base
                     .weight(EdgeId::from_index(i))
+                    // lint: allow(panic-hygiene): the index iterates 0..edge_count of this same graph
                     .expect("in-range edge has a weight");
                 AtomicU64::new(w.as_milli())
             })
@@ -146,6 +147,7 @@ impl SharedPassGraph {
         if !self.edge_flag(e) {
             return false;
         }
+        // lint: allow(panic-hygiene): e comes from the base graph's own adjacency, so it is in range by construction
         let (a, b) = self.base.endpoints(e).expect("in-range edge has endpoints");
         self.node_live(a) && self.node_live(b)
     }
@@ -222,6 +224,7 @@ macro_rules! delegate_view {
                         live && self.shared.edge_flag(e) && self.shared.node_live(u)
                     })
                     .map(move |&(u, e)| {
+                        // lint: allow(panic-hygiene): e comes from the base graph's own adjacency, so it is in range by construction
                         (u, e, self.shared.weight_of(e).expect("adjacency edge in range"))
                     })
             }

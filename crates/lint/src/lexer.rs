@@ -1,0 +1,389 @@
+//! A hand-rolled Rust lexer producing a flat token stream with line
+//! numbers.
+//!
+//! The linter does not need a parse tree: every rule it enforces is a
+//! statement about *which names are uttered where* (a Dijkstra entry
+//! point outside an allowlisted module, `.unwrap()` in a hot-path file,
+//! a bare `+` next to a `Weight`), and a token stream answers those
+//! questions without the maintenance weight of a grammar. The lexer's
+//! one hard job is to never misread context: string literals, char
+//! literals, raw strings, lifetimes, and nested block comments must not
+//! leak their contents into the identifier stream, or `"a + b"` inside
+//! a doc string would trip an arithmetic rule.
+//!
+//! Line comments are kept (as [`TokenKind::LineComment`]) because the
+//! `// lint: allow(<rule>): <why>` suppression markers live in them.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// Punctuation; multi-character operators (`::`, `+=`, `->`, …) are
+    /// single tokens so rules can tell `+` from `+=`.
+    Punct,
+    /// A lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+    /// A `//` comment, text *without* the leading slashes.
+    LineComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators lexed as single tokens, longest first.
+const COMPOUND: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+/// Lexes `source` into a token stream. Never fails: unterminated
+/// literals are closed at end of input (the linter runs on
+/// work-in-progress files and must not panic on them).
+pub fn lex(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, as in real Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if raw_string_hashes(b, i).is_some() => {
+                let (body_start, hashes) = raw_string_hashes(b, i).unwrap();
+                let tok_line = line;
+                i = body_start;
+                let closer = format!("\"{}", "#".repeat(hashes));
+                let content_end;
+                loop {
+                    if i >= b.len() {
+                        content_end = i;
+                        break;
+                    }
+                    // Byte-wise compare: `"` (0x22) is never a UTF-8
+                    // continuation byte, so a match is a real closer and
+                    // `i` there is a char boundary.
+                    if b[i..].starts_with(closer.as_bytes()) {
+                        content_end = i;
+                        i += closer.len();
+                        break;
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[body_start..content_end].to_string(),
+                    line: tok_line,
+                });
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') || b.get(i + 1) == Some(&b'\'') => {
+                let tok_line = line;
+                let quote = b[i + 1];
+                let start = i + 2;
+                i = skip_quoted(b, start, quote, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: quoted_content(source, start, i, quote),
+                    line: tok_line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                let start = i + 1;
+                i = skip_quoted(b, start, b'"', &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: quoted_content(source, start, i, b'"'),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'` followed by
+                // an identifier NOT closed by another `'`.
+                if is_char_literal(b, i) {
+                    let tok_line = line;
+                    let start = i + 1;
+                    i = skip_quoted(b, start, b'\'', &mut line);
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: quoted_content(source, start, i, b'\''),
+                        line: tok_line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                // Raw identifier prefix.
+                if c == b'r' && b.get(i + 1) == Some(&b'#') && ident_start(b.get(i + 2).copied()) {
+                    i += 2;
+                }
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = source[start..i].trim_start_matches("r#").to_string();
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // Fractional part: `.` followed by a digit (so `0..n`
+                // stays a range, not a float).
+                if i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = COMPOUND.iter().find(|op| rest.starts_with(**op));
+                let text = op.map_or_else(|| rest[..1].to_string(), ToString::to_string);
+                i += text.len();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+fn ident_start(c: Option<u8>) -> bool {
+    c.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br##"`, …),
+/// returns `(index just past the opening quote, number of hashes)`.
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// `true` if the `'` at `i` opens a char literal rather than a lifetime.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,                       // '\n', '\'', …
+        Some(_) => b.get(i + 2) == Some(&b'\''),   // 'a'
+        None => false,
+    }
+}
+
+/// The raw content (escapes unprocessed) of a quoted literal whose body
+/// started at `start` and whose [`skip_quoted`] scan ended at `end`.
+fn quoted_content(source: &str, start: usize, end: usize, quote: u8) -> String {
+    let b = source.as_bytes();
+    let end = end.min(b.len());
+    // `end` sits just past the closing quote when the literal closed;
+    // on an unterminated literal it is end-of-input.
+    let content_end = if end > start && b.get(end - 1) == Some(&quote) {
+        end - 1
+    } else {
+        end
+    };
+    source[start..content_end].to_string()
+}
+
+/// Skips a quoted literal body starting just after the opening quote;
+/// returns the index just past the closing quote. Tracks newlines for
+/// multi-line strings.
+fn skip_quoted(b: &[u8], mut i: usize, quote: u8, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_compound_ops() {
+        let toks = lex("let nd = d.saturating_add(w);");
+        assert!(toks.iter().any(|t| t.is_ident("saturating_add")));
+        let toks = lex("a += b; c -> d; e::f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"::"));
+        assert!(!puncts.contains(&"+"));
+    }
+
+    #[test]
+    fn string_contents_never_leak() {
+        assert!(idents("let s = \"ShortestPaths::run + unwrap()\";").len() == 2);
+        assert!(idents("let s = r#\"a \" + unwrap\"#;").len() == 2);
+        assert!(idents("let c = 'u'; let e = '\\n';").len() == 4);
+        assert!(idents("/* unwrap() /* nested */ still comment */ fn f() {}").len() == 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(),
+            3
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1; // note\nfn f() {}\n";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.is_ident("f")).unwrap();
+        assert_eq!(f.line, 4);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(comment.line, 3);
+        assert_eq!(comment.text.trim(), "note");
+    }
+
+    #[test]
+    fn ranges_and_floats_disambiguate() {
+        let toks = lex("for i in 0..10 { let x = 1.5; }");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "1.5"));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let toks = lex("let s = \"dijkstra_runs\"; let r = r#\"raw \" body\"#; let c = 'x';");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["dijkstra_runs", "raw \" body", "x"]);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+}

@@ -1,0 +1,73 @@
+//! `fpga_lint` — scan the workspace (or one file) and fail on any
+//! invariant-rule diagnostic. See the library docs for the rules.
+//!
+//! ```text
+//! fpga_lint [--root <dir>]                  # lint the whole workspace
+//! fpga_lint --check-file <path> --as <rel>  # lint one file under a logical path
+//! fpga_lint --list-rules
+//! ```
+//!
+//! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(count) if count == 0 => ExitCode::SUCCESS,
+        Ok(count) => {
+            eprintln!("fpga_lint: {count} diagnostic(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fpga_lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<usize, String> {
+    let mut root = PathBuf::from(".");
+    let mut check_file: Option<PathBuf> = None;
+    let mut logical: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(next_value(&mut it, "--root")?),
+            "--check-file" => check_file = Some(PathBuf::from(next_value(&mut it, "--check-file")?)),
+            "--as" => logical = Some(next_value(&mut it, "--as")?),
+            "--list-rules" => {
+                for (name, what) in fpga_lint::RULES {
+                    println!("{name:<22} {what}");
+                }
+                return Ok(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: fpga_lint [--root <dir>] | --check-file <path> --as <workspace-rel-path> | --list-rules"
+                );
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let diags = if let Some(path) = check_file {
+        let logical = logical.ok_or("--check-file needs --as <workspace-relative-path>")?;
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        fpga_lint::lint_source(&logical, &source)
+    } else {
+        fpga_lint::lint_workspace(&root).map_err(|e| format!("{}: {e}", root.display()))?
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    Ok(diags.len())
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,99 @@
+//! Rule `commit-path-mutation`: `SharedPassGraph` write access stays on
+//! the scheduler's commit paths.
+//!
+//! The wavefront's soundness argument (DESIGN.md §5c, `shared.rs` module
+//! docs) assumes a **single writer**: all mutation of the shared pass
+//! graph flows through the committer's `SharedPassWriter`, every commit
+//! records its invalidated nodes in the changed log, and workers only
+//! ever hold read views. The type system cannot enforce that — the
+//! writer handle is obtainable from any shared borrow — so this rule
+//! does: naming `SharedPassWriter`, or calling `.writer()` / `.publish()`,
+//! anywhere but the scheduler commit modules is a diagnostic. A second
+//! writer elsewhere would mutate state that no changed set records,
+//! which the read-set conflict check could never detect.
+
+use crate::{Diagnostic, FileCtx};
+
+/// Rule name, as used in `allow(...)` markers.
+pub const RULE: &str = "commit-path-mutation";
+
+/// Where write access is legitimate: the defining crate (the handle's
+/// own implementation and tests) and the two scheduler commit paths.
+fn allowed(path: &str) -> bool {
+    path.starts_with("crates/graph/")
+        || path.starts_with("crates/lint/")
+        || path == "crates/fpga/src/sched.rs"
+        || path == "crates/fpga/src/parallel.rs"
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if allowed(ctx.path) {
+        return Vec::new();
+    }
+    let code: Vec<usize> = ctx.code_indices().collect();
+    let mut diags = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        let tok = &ctx.tokens[i];
+        let next = |o: usize| code.get(k + o).map(|&j| &ctx.tokens[j]);
+        let offender = if tok.is_ident("SharedPassWriter") {
+            Some("`SharedPassWriter` named".to_string())
+        } else if tok.is_punct(".")
+            && next(1).is_some_and(|t| t.is_ident("writer") || t.is_ident("publish"))
+            && next(2).is_some_and(|t| t.is_punct("("))
+        {
+            next(1).map(|t| format!("`.{}()` called", t.text))
+        } else {
+            None
+        };
+        if let Some(what) = offender {
+            let line = if tok.is_punct(".") {
+                next(1).map_or(tok.line, |t| t.line)
+            } else {
+                tok.line
+            };
+            diags.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line,
+                rule: RULE,
+                message: format!("{what} outside the scheduler commit paths"),
+                hint: "mutate the pass graph only from sched.rs/parallel.rs commit code so every \
+                       write lands in a changed set; read through SharedPassView instead"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_source;
+
+    #[test]
+    fn writer_acquisition_fires_outside_commit_paths() {
+        let src = "fn f(shared: &SharedPassGraph) { let mut w = shared.writer(); }\n";
+        let diags = lint_source("crates/fpga/src/width.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE);
+        assert!(lint_source("crates/fpga/src/sched.rs", src).is_empty());
+        assert!(lint_source("crates/fpga/src/parallel.rs", src).is_empty());
+        assert!(lint_source("crates/graph/src/shared.rs", src).is_empty());
+    }
+
+    #[test]
+    fn naming_the_writer_type_fires() {
+        let src = "fn f(w: SharedPassWriter<'_>) {}\n";
+        assert_eq!(lint_source("crates/fpga/src/router.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn publish_fires_but_views_do_not() {
+        assert_eq!(
+            lint_source("crates/fpga/src/baseline.rs", "fn f(w: &W) { w.publish(3); }\n").len(),
+            1
+        );
+        let views = "fn f(s: &SharedPassGraph) { let v = s.view(); let q = s.commit_seq(); }\n";
+        assert!(lint_source("crates/fpga/src/baseline.rs", views).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Rule `readset-discipline`: shortest-path and distance-graph entry
+//! points may only be called from modules vetted as readset-recording.
+//!
+//! The speculative engines accept a worker's route only if nothing in
+//! its recorded read set was invalidated by a concurrent commit
+//! (DESIGN.md §5c). Recording happens inside the graph crate's Dijkstra
+//! — but only for reads that actually flow through it. A new
+//! construction that grabs distances some other way (a cached
+//! `DistanceOracle` hit, a hand-rolled search) silently under-reports
+//! its reads and the conflict check stops being sound. The mechanical
+//! remedy: every call site of a distance entry point outside
+//! `crates/graph` must sit in a module on the vetted allowlist below,
+//! so adding a construction forces a human to confirm its reads are
+//! recorded before the workspace lints clean.
+
+use crate::{Diagnostic, FileCtx};
+
+/// Rule name, as used in `allow(...)` markers.
+pub const RULE: &str = "readset-discipline";
+
+/// Modules vetted as readset-recording: every shortest-path query they
+/// issue flows through the recording Dijkstra entry points
+/// (`ShortestPaths::run`/`run_to_targets`,
+/// `TerminalDistances::compute`/`compute_to_targets`), so a speculative
+/// route through them records a complete read set. Extend this list
+/// only after checking a new module's distance queries all record.
+pub const READSET_RECORDING: &[&str] = &[
+    "crates/core/src/kmb.rs",
+    "crates/core/src/zel.rs",
+    "crates/core/src/pfa.rs",
+    "crates/core/src/dom.rs",
+    "crates/core/src/djka.rs",
+    "crates/core/src/igmst.rs",
+    "crates/core/src/idom.rs",
+    "crates/core/src/mehlhorn.rs",
+    "crates/core/src/heuristic.rs",
+    "crates/core/src/dominance.rs",
+    "crates/core/src/tree.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/exact.rs",
+    "crates/core/src/tradeoff.rs",
+];
+
+/// Directories whose code never runs under speculation: experiment
+/// drivers, benches, tests, examples, and CLI binaries route on the
+/// live graph sequentially, so their reads need no recording.
+fn exempt_path(path: &str) -> bool {
+    path.starts_with("crates/graph/")
+        || path.starts_with("crates/lint/")
+        || path.starts_with("crates/experiments/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.contains("/bin/")
+}
+
+/// The entry points whose callers must be vetted: `(type, method)`.
+/// A `None` type matches a bare function call.
+const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
+    (Some("ShortestPaths"), "run"),
+    (Some("ShortestPaths"), "run_to_targets"),
+    (Some("TerminalDistances"), "compute"),
+    (Some("TerminalDistances"), "compute_to_targets"),
+    (Some("DistanceOracle"), "paths"),
+    (None, "minpath"),
+];
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if exempt_path(ctx.path) || READSET_RECORDING.contains(&ctx.path) {
+        return Vec::new();
+    }
+    let code: Vec<usize> = ctx.code_indices().collect();
+    let mut diags = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let tok = &ctx.tokens[i];
+        let next = |o: usize| code.get(k + o).map(|&j| &ctx.tokens[j]);
+        for &(ty, method) in ENTRY_POINTS {
+            let hit = match ty {
+                Some(ty) => {
+                    tok.is_ident(ty)
+                        && next(1).is_some_and(|t| t.is_punct("::"))
+                        && next(2).is_some_and(|t| t.is_ident(method))
+                }
+                None => {
+                    tok.is_ident(method)
+                        && next(1).is_some_and(|t| t.is_punct("("))
+                        // `fn minpath(` is a definition, not a call.
+                        && k.checked_sub(1)
+                            .map(|p| &ctx.tokens[code[p]])
+                            .is_none_or(|t| !t.is_ident("fn"))
+                }
+            };
+            if hit {
+                let name = ty.map_or_else(
+                    || method.to_string(),
+                    |ty| format!("{ty}::{method}"),
+                );
+                diags.push(Diagnostic {
+                    path: ctx.path.to_string(),
+                    line: tok.line,
+                    rule: RULE,
+                    message: format!(
+                        "distance entry point `{name}` called outside a readset-recording module"
+                    ),
+                    hint: "verify every read records (DESIGN.md §5c) and add this module to \
+                           READSET_RECORDING, or waive with `// lint: allow(readset-discipline): …`"
+                        .to_string(),
+                });
+                break;
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_source;
+
+    #[test]
+    fn fires_outside_the_allowlist_and_not_inside() {
+        let src = "fn f() { let sp = ShortestPaths::run(&g, s); }\n";
+        let diags = lint_source("crates/fpga/src/newmod.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE);
+        assert!(lint_source("crates/core/src/kmb.rs", src).is_empty());
+        assert!(lint_source("crates/experiments/src/table9.rs", src).is_empty());
+        assert!(lint_source("crates/fpga/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_minpath_call_fires_but_definition_does_not() {
+        let call = "fn f() { let d = minpath(&g, u, v)?; }\n";
+        assert_eq!(lint_source("crates/fpga/src/newmod.rs", call).len(), 1);
+        let def = "pub fn minpath(g: &G, u: NodeId, v: NodeId) {}\n";
+        assert!(lint_source("crates/fpga/src/newmod.rs", def).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { ShortestPaths::run(&g, s).unwrap(); }\n}\n";
+        assert!(lint_source("crates/fpga/src/newmod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives_with_justification() {
+        let src = "fn f() {\n // lint: allow(readset-discipline): baseline router never speculates\n let sp = ShortestPaths::run(&g, s);\n}\n";
+        assert!(lint_source("crates/fpga/src/newmod.rs", src).is_empty());
+    }
+}

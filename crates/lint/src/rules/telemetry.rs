@@ -1,0 +1,266 @@
+//! Rule `telemetry-sync`: the telemetry surface stays documented.
+//!
+//! Two cross-file checks, both workspace-level (they read Rust *and*
+//! markdown, so they run once per lint invocation rather than per file):
+//!
+//! 1. **Counter glossary** — every `trace::Counter` variant's emitted
+//!    name (the string in its `name()` match arm) appears in the
+//!    README's counter-glossary table, and every glossary row names a
+//!    real counter. The glossary is the region between the
+//!    `<!-- lint:counter-glossary:start -->` / `:end` markers; each
+//!    table row's first backticked word is the counter name.
+//! 2. **CLI flags** — every flag tuple `("name", takes_value)` parsed
+//!    in `src/bin/fpga_route.rs` has `--name` mentioned somewhere in
+//!    the README.
+//!
+//! Telemetry consumers (trace-check, the experiment drivers, humans
+//! reading JSONL) key on these names; an undocumented counter or flag
+//! is an interface change that silently skipped review.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lexer::{self, TokenKind};
+use crate::{cfg_test_mask, Diagnostic};
+
+/// Rule name, as used in `allow(...)` markers (Rust-side anchors only;
+/// README findings have no marker syntax and must be fixed).
+pub const RULE: &str = "telemetry-sync";
+
+const COUNTER_RS: &str = "crates/trace/src/counter.rs";
+const CLI_RS: &str = "src/bin/fpga_route.rs";
+const README: &str = "README.md";
+
+/// Opening marker of the README counter glossary.
+pub const GLOSSARY_START: &str = "<!-- lint:counter-glossary:start -->";
+/// Closing marker of the README counter glossary.
+pub const GLOSSARY_END: &str = "<!-- lint:counter-glossary:end -->";
+
+pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let counters = std::fs::read_to_string(root.join(COUNTER_RS))
+        .map(|src| extract_counters(&src))
+        .unwrap_or_default();
+    let flags = std::fs::read_to_string(root.join(CLI_RS))
+        .map(|src| extract_flags(&src))
+        .unwrap_or_default();
+    if counters.is_empty() && flags.is_empty() {
+        return diags;
+    }
+    let Ok(readme) = std::fs::read_to_string(root.join(README)) else {
+        diags.push(Diagnostic {
+            path: README.to_string(),
+            line: 1,
+            rule: RULE,
+            message: "README.md is missing but counters/CLI flags exist".to_string(),
+            hint: "document the telemetry surface in README.md".to_string(),
+        });
+        return diags;
+    };
+
+    // --- counter glossary, both directions -------------------------------
+    if !counters.is_empty() {
+        match extract_glossary(&readme) {
+            None => diags.push(Diagnostic {
+                path: README.to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!("README has no counter glossary ({GLOSSARY_START} … {GLOSSARY_END})"),
+                hint: "add a glossary table between the markers with one `name` row per counter"
+                    .to_string(),
+            }),
+            Some(glossary) => {
+                for (name, &line) in &counters {
+                    if !glossary.contains_key(name) {
+                        diags.push(Diagnostic {
+                            path: COUNTER_RS.to_string(),
+                            line,
+                            rule: RULE,
+                            message: format!("counter `{name}` is not in the README glossary"),
+                            hint: format!(
+                                "add a table row for `{name}` to the README counter glossary"
+                            ),
+                        });
+                    }
+                }
+                for (name, &line) in &glossary {
+                    if !counters.contains_key(name) {
+                        diags.push(Diagnostic {
+                            path: README.to_string(),
+                            line,
+                            rule: RULE,
+                            message: format!("glossary row `{name}` names no Counter variant"),
+                            hint: "remove the stale row or rename it to a real counter name"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- CLI flags: parsed ⇒ documented ----------------------------------
+    for (name, &line) in &flags {
+        if !readme.contains(&format!("--{name}")) {
+            diags.push(Diagnostic {
+                path: CLI_RS.to_string(),
+                line,
+                rule: RULE,
+                message: format!("CLI flag `--{name}` is parsed but not documented in README"),
+                hint: format!("mention `--{name}` in the README CLI documentation"),
+            });
+        }
+    }
+    diags
+}
+
+/// `Counter::Variant => "name"` match arms → `name → line` (of the
+/// string literal), skipping `#[cfg(test)]` regions.
+fn extract_counters(source: &str) -> BTreeMap<String, usize> {
+    let tokens = lexer::lex(source);
+    let in_test = cfg_test_mask(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::LineComment && !in_test[i])
+        .collect();
+    let mut out = BTreeMap::new();
+    for (k, &i) in code.iter().enumerate() {
+        let get = |o: usize| code.get(k + o).map(|&j| &tokens[j]);
+        if tokens[i].is_ident("Counter")
+            && get(1).is_some_and(|t| t.is_punct("::"))
+            && get(2).is_some_and(|t| t.kind == TokenKind::Ident)
+            && get(3).is_some_and(|t| t.is_punct("=>"))
+            && get(4).is_some_and(|t| t.kind == TokenKind::Literal)
+        {
+            let lit = get(4).expect("checked above");
+            out.entry(lit.text.clone()).or_insert(lit.line);
+        }
+    }
+    out
+}
+
+/// Flag-spec tuples `("name", true|false)` → `name → line`, skipping
+/// `#[cfg(test)]` regions (test helpers build ad-hoc flag maps).
+fn extract_flags(source: &str) -> BTreeMap<String, usize> {
+    let tokens = lexer::lex(source);
+    let in_test = cfg_test_mask(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::LineComment && !in_test[i])
+        .collect();
+    let mut out = BTreeMap::new();
+    for (k, &i) in code.iter().enumerate() {
+        let get = |o: usize| code.get(k + o).map(|&j| &tokens[j]);
+        if tokens[i].is_punct("(")
+            && get(1).is_some_and(|t| t.kind == TokenKind::Literal && !t.text.is_empty())
+            && get(2).is_some_and(|t| t.is_punct(","))
+            && get(3).is_some_and(|t| t.is_ident("true") || t.is_ident("false"))
+            && get(4).is_some_and(|t| t.is_punct(")"))
+        {
+            let lit = get(1).expect("checked above");
+            out.entry(lit.text.clone()).or_insert(lit.line);
+        }
+    }
+    out
+}
+
+/// The glossary rows between the markers: `name → line`. `None` when the
+/// markers are absent.
+fn extract_glossary(readme: &str) -> Option<BTreeMap<String, usize>> {
+    let mut out = BTreeMap::new();
+    let mut inside = false;
+    let mut seen_markers = false;
+    for (idx, line) in readme.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains(GLOSSARY_START) {
+            inside = true;
+            seen_markers = true;
+            continue;
+        }
+        if line.contains(GLOSSARY_END) {
+            inside = false;
+            continue;
+        }
+        if !inside || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        // First backticked word of the table row is the counter name.
+        let mut parts = line.split('`');
+        if let (Some(_), Some(name)) = (parts.next(), parts.next()) {
+            let name = name.trim();
+            if !name.is_empty() {
+                out.entry(name.to_string()).or_insert(lineno);
+            }
+        }
+    }
+    seen_markers.then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_extract_from_name_match_arms() {
+        let src = "impl Counter {\n fn name(self) -> &'static str {\n match self {\n\
+                   Counter::DijkstraRuns => \"dijkstra_runs\",\n\
+                   Counter::PfaFolds => \"pfa_folds\",\n } } }\n";
+        let got = extract_counters(src);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.get("dijkstra_runs"), Some(&4));
+        assert_eq!(got.get("pfa_folds"), Some(&5));
+    }
+
+    #[test]
+    fn flags_extract_from_spec_tuples_only() {
+        let src = "const ROUTE_FLAGS: FlagSpec = &[(\"circuit\", true), (\"stream\", false)];\n\
+                   fn f() { let pair = (\"3000\", profiles()); let _ = pair; }\n";
+        let got = extract_flags(src);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            vec!["circuit", "stream"]
+        );
+    }
+
+    #[test]
+    fn glossary_rows_parse_between_markers() {
+        let readme = "intro `not_a_counter`\n<!-- lint:counter-glossary:start -->\n\
+                      | counter | meaning |\n|---|---|\n| `dijkstra_runs` | runs |\n\
+                      <!-- lint:counter-glossary:end -->\n| `outside` | x |\n";
+        let got = extract_glossary(readme).expect("markers present");
+        assert_eq!(got.keys().collect::<Vec<_>>(), vec!["dijkstra_runs"]);
+        assert_eq!(extract_glossary("no markers here"), None);
+    }
+
+    #[test]
+    fn workspace_check_reports_all_four_drift_kinds() {
+        let dir = std::env::temp_dir().join("fpga_lint_telemetry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/trace/src")).unwrap();
+        std::fs::create_dir_all(dir.join("src/bin")).unwrap();
+        std::fs::write(
+            dir.join(COUNTER_RS),
+            "fn name(self) -> &'static str { match self {\n\
+             Counter::DijkstraRuns => \"dijkstra_runs\",\n\
+             Counter::PfaFolds => \"pfa_folds\",\n } }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(CLI_RS),
+            "const F: FlagSpec = &[(\"circuit\", true), (\"ghost\", false)];\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(README),
+            "use `--circuit` to pick one\n<!-- lint:counter-glossary:start -->\n\
+             | `dijkstra_runs` | runs |\n| `stale_counter` | gone |\n\
+             <!-- lint:counter-glossary:end -->\n",
+        )
+        .unwrap();
+        let diags = check_workspace(&dir);
+        let rules: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(diags.len(), 3, "{rules:?}");
+        assert!(diags.iter().any(|d| d.message.contains("`pfa_folds`") && d.path == COUNTER_RS));
+        assert!(diags.iter().any(|d| d.message.contains("`stale_counter`") && d.path == README));
+        assert!(diags.iter().any(|d| d.message.contains("`--ghost`") && d.path == CLI_RS));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: bare `+` on `Weight` values outside the weight modules.
+//! Linted as `crates/core/src/bare_weight_math.rs`; must fire
+//! `saturating-weights` exactly once, on the addition.
+
+pub fn total_cost(a: Weight, b: Weight) -> Weight {
+    a + b
+}

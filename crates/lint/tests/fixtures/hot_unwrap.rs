@@ -1,0 +1,15 @@
+//! Fixture: `.unwrap()` in a hot-path module outside `#[cfg(test)]`.
+//! Linted as `crates/fpga/src/router.rs` (a hot-path file name); must
+//! fire `panic-hygiene` exactly once.
+
+pub fn first_or_die(order: &[u32]) -> u32 {
+    order.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

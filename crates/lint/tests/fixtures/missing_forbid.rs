@@ -1,0 +1,7 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`. Linted as
+//! `crates/fixture/src/lib.rs`; must fire `unsafe-forbid` exactly once,
+//! anchored to line 1.
+
+pub fn entirely_safe() -> u32 {
+    7
+}

@@ -1,0 +1,8 @@
+//! Fixture: a distance entry point called from a module that is not on
+//! the readset-recording allowlist. Linted as
+//! `crates/fpga/src/readset_escape.rs`; must fire `readset-discipline`
+//! exactly once, on the call line.
+
+pub fn unrecorded_distances(g: &Graph, source: NodeId) -> ShortestPathsResult {
+    ShortestPaths::run(g, source)
+}

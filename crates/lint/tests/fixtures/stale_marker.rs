@@ -1,0 +1,8 @@
+//! Fixture: an allow-marker that no longer suppresses anything. Linted
+//! as `crates/core/src/stale_marker.rs`; must fire `lint-marker`
+//! exactly once, on the marker line.
+
+pub fn harmless() -> u32 {
+    // lint: allow(panic-hygiene): historical waiver, the unwrap it covered is long gone
+    41 + 1
+}

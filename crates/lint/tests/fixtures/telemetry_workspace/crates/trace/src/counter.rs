@@ -1,0 +1,14 @@
+//! Fixture counter enum for the telemetry-sync mini-workspace: one
+//! variant, deliberately absent from the fixture README's glossary.
+
+pub enum Counter {
+    FooRuns,
+}
+
+impl Counter {
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::FooRuns => "foo_runs",
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture CLI for the telemetry-sync mini-workspace: parses one flag
+//! that the fixture README never documents.
+
+const ROUTE_FLAGS: FlagSpec = &[("bar", true)];

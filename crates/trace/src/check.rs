@@ -1,0 +1,276 @@
+//! Semantic validation of emitted JSONL telemetry, beyond
+//! well-formedness.
+//!
+//! [`json::validate`](crate::json::validate) only proves a line parses;
+//! it will happily accept a counter record whose name no [`Counter`]
+//! variant emits (a consumer keying on it would silently read zeros
+//! forever) or the same counter emitted twice in one session (a
+//! double-merged buffer — the values would double-count). This module
+//! checks those session-level invariants line by line:
+//!
+//! * every `{"type":"counter","name":…}` record names a real
+//!   [`Counter`] (the glossary in the README mirrors the same set, and
+//!   the `telemetry-sync` lint keeps them aligned);
+//! * no counter name repeats within one session — the sinks emit each
+//!   nonzero counter exactly once, after the session's `meta` header. A
+//!   new `meta` record starts a fresh session (concatenated streams are
+//!   valid input).
+
+use std::collections::HashSet;
+
+use crate::counter::Counter;
+
+/// Streaming per-session counter-record checker. Feed lines in file
+/// order; `meta` records reset the session scope.
+#[derive(Debug, Default)]
+pub struct CounterCheck {
+    seen: HashSet<&'static str>,
+}
+
+/// A semantic violation found by [`CounterCheck::line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// What is wrong with the record.
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl CounterCheck {
+    /// A checker with no session in progress.
+    #[must_use]
+    pub fn new() -> CounterCheck {
+        CounterCheck::default()
+    }
+
+    /// Checks one (already well-formed) JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// An unknown counter name, or a counter repeated since the last
+    /// `meta` record.
+    pub fn line(&mut self, line: &str) -> Result<(), CheckError> {
+        match top_level_str(line, "type").as_deref() {
+            Some("meta") => {
+                self.seen.clear();
+                Ok(())
+            }
+            Some("counter") => {
+                let Some(name) = top_level_str(line, "name") else {
+                    return Err(CheckError {
+                        message: "counter record has no \"name\" field".to_string(),
+                    });
+                };
+                let Some(known) = Counter::ALL.iter().map(|c| c.name()).find(|n| *n == name)
+                else {
+                    return Err(CheckError {
+                        message: format!(
+                            "unknown counter `{name}` (not a trace::Counter variant)"
+                        ),
+                    });
+                };
+                if !self.seen.insert(known) {
+                    return Err(CheckError {
+                        message: format!(
+                            "counter `{name}` emitted twice in one session (double-merged buffer?)"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The decoded value of a top-level string field, if present.
+///
+/// Assumes `input` already passed [`json::validate`](crate::json::validate);
+/// on malformed input it simply returns `None`.
+fn top_level_str(input: &str, key: &str) -> Option<String> {
+    let bytes = input.as_bytes();
+    let mut pos = input.find('{')? + 1;
+    loop {
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b'}') | None => return None,
+            Some(b',') => {
+                pos += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let k = read_string(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return None;
+        }
+        pos += 1;
+        skip_ws(bytes, &mut pos);
+        if k == key {
+            return read_string(bytes, &mut pos);
+        }
+        skip_value(bytes, &mut pos)?;
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+/// Reads a JSON string at `pos`, decoding the simple escapes the
+/// emitters produce. `None` if `pos` is not at a string.
+fn read_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).ok();
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        // \uXXXX — counter/flag names are ASCII, so a
+                        // lossy placeholder is fine for matching.
+                        *pos += 4;
+                        out.push(b'?');
+                    }
+                    Some(&c) => out.push(c),
+                    None => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Skips one JSON value (scalar, object, or array) at `pos`.
+fn skip_value(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'"' => {
+            read_string(bytes, pos)?;
+        }
+        b'{' | b'[' => {
+            let mut depth = 0i64;
+            loop {
+                match bytes.get(*pos)? {
+                    b'{' | b'[' => {
+                        depth += 1;
+                        *pos += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        *pos += 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    b'"' => {
+                        read_string(bytes, pos)?;
+                    }
+                    _ => *pos += 1,
+                }
+            }
+        }
+        _ => {
+            while let Some(&b) = bytes.get(*pos) {
+                if matches!(b, b',' | b'}' | b']') {
+                    break;
+                }
+                *pos += 1;
+            }
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_counters_pass_and_unknown_fail() {
+        let mut c = CounterCheck::new();
+        c.line(r#"{"type":"meta","clock":"x"}"#).unwrap();
+        c.line(r#"{"type":"counter","name":"dijkstra_runs","value":3}"#)
+            .unwrap();
+        let err = c
+            .line(r#"{"type":"counter","name":"no_such_counter","value":1}"#)
+            .unwrap_err();
+        assert!(err.message.contains("no_such_counter"));
+    }
+
+    #[test]
+    fn duplicates_within_a_session_fail() {
+        let mut c = CounterCheck::new();
+        c.line(r#"{"type":"counter","name":"nets_routed","value":1}"#)
+            .unwrap();
+        let err = c
+            .line(r#"{"type":"counter","name":"nets_routed","value":2}"#)
+            .unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn meta_resets_the_session_scope() {
+        let mut c = CounterCheck::new();
+        c.line(r#"{"type":"counter","name":"nets_routed","value":1}"#)
+            .unwrap();
+        c.line(r#"{"type":"meta"}"#).unwrap();
+        c.line(r#"{"type":"counter","name":"nets_routed","value":1}"#)
+            .unwrap();
+    }
+
+    #[test]
+    fn non_counter_records_are_ignored() {
+        let mut c = CounterCheck::new();
+        c.line(r#"{"type":"span","name":"dijkstra_runs","id":1}"#).unwrap();
+        c.line(r#"{"type":"span","name":"dijkstra_runs","id":2}"#).unwrap();
+        c.line(r#"{"value":1}"#).unwrap();
+    }
+
+    #[test]
+    fn field_extraction_handles_order_nesting_and_escapes() {
+        assert_eq!(
+            top_level_str(r#"{"value":7,"extra":{"type":"x"},"type":"counter"}"#, "type"),
+            Some("counter".to_string())
+        );
+        assert_eq!(
+            top_level_str(r#"{"list":[1,2,{"type":"inner"}],"name":"a\"b"}"#, "name"),
+            Some("a\"b".to_string())
+        );
+        assert_eq!(top_level_str(r#"{"type":7}"#, "type"), None);
+        assert_eq!(top_level_str(r#"{}"#, "type"), None);
+    }
+
+    #[test]
+    fn counter_record_without_name_fails() {
+        let err = CounterCheck::new()
+            .line(r#"{"type":"counter","value":1}"#)
+            .unwrap_err();
+        assert!(err.message.contains("no \"name\""));
+    }
+}

@@ -33,7 +33,7 @@ fn fig10_gadget(clusters: usize) -> (Graph, Net, Weight) {
     for i in 0..clusters {
         let p = g.add_node();
         let q = g.add_node();
-        g.add_edge(n0, m[i], Weight::UNIT + eps).unwrap();
+        g.add_edge(n0, m[i], Weight::UNIT.saturating_add(eps)).unwrap();
         g.add_edge(m[i], p, eps).unwrap();
         g.add_edge(m[i], q, eps).unwrap();
         g.add_edge(b, u[i], eps).unwrap();
@@ -44,7 +44,7 @@ fn fig10_gadget(clusters: usize) -> (Graph, Net, Weight) {
     }
     g.add_edge(n0, b, Weight::UNIT).unwrap();
     let net = Net::new(n0, sinks).unwrap();
-    let optimal = Weight::UNIT + eps.scale(3 * clusters as u64);
+    let optimal = Weight::UNIT.saturating_add(eps.scale(3 * clusters as u64));
     (g, net, optimal)
 }
 

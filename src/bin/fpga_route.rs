@@ -3,14 +3,19 @@
 //! ```text
 //! fpga-route profiles
 //! fpga-route route --circuit term1 --arch 4000 --width 9 [--algorithm ikmb]
-//!                  [--seed 1995] [--passes 10] [--threads 0] [--svg out.svg]
-//!                  [--trace out.jsonl] [--metrics]
+//!                  [--seed 1995] [--passes 10] [--threads 0] [--scheduler wavefront]
+//!                  [--spec-exit-misses 4] [--spec-probe-period 32]
+//!                  [--svg out.svg] [--trace out.jsonl] [--metrics]
 //! fpga-route width --circuit term1 --arch 4000 [--min 3] [--max 24]
 //!                  [--algorithm ikmb] [--baseline] [--threads 0]
-//!                  [--probe-threads 0] [--trace out.jsonl] [--metrics]
+//!                  [--scheduler wavefront] [--spec-exit-misses 4]
+//!                  [--spec-probe-period 32] [--probe-threads 0]
+//!                  [--trace out.jsonl] [--metrics]
 //! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
 //! fpga-route trace-check <file.jsonl>
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -48,11 +53,13 @@ usage:
   fpga-route profiles
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
                    [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
-                   [--scheduler <wavefront|batch>] [--svg <file>] [--trace <file>]
+                   [--scheduler <wavefront|batch>] [--spec-exit-misses <n>]
+                   [--spec-probe-period <n>] [--svg <file>] [--trace <file>]
                    [--stream] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
                    [--threads <n>] [--scheduler <wavefront|batch>]
+                   [--spec-exit-misses <n>] [--spec-probe-period <n>]
                    [--probe-threads <n>] [--trace <file>] [--stream] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
   fpga-route trace-check <file.jsonl>
@@ -81,6 +88,8 @@ const ROUTE_FLAGS: FlagSpec = &[
     ("passes", true),
     ("threads", true),
     ("scheduler", true),
+    ("spec-exit-misses", true),
+    ("spec-probe-period", true),
     ("svg", true),
     ("trace", true),
     ("stream", false),
@@ -97,6 +106,8 @@ const WIDTH_FLAGS: FlagSpec = &[
     ("baseline", false),
     ("threads", true),
     ("scheduler", true),
+    ("spec-exit-misses", true),
+    ("spec-probe-period", true),
     ("probe-threads", true),
     ("trace", true),
     ("stream", false),
@@ -341,12 +352,15 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let threads = get_usize(flags, "threads", Some(1))?;
     let circuit = synthesize(&profile, 2, seed)?;
     let device = Device::new(arch_for(flags, &profile, width)?)?;
+    let defaults = RouterConfig::default();
     let config = RouterConfig {
         algorithm: algorithm(flags)?,
         max_passes: passes,
         threads,
         scheduler: scheduler(flags)?,
-        ..RouterConfig::default()
+        spec_exit_misses: get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?,
+        spec_probe_period: get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?,
+        ..defaults
     };
     let collector = maybe_collector(flags)?;
     let outcome = Router::new(&device, config.clone()).route(&circuit)?;
@@ -392,6 +406,9 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let use_baseline = flags.contains_key("baseline");
     let algo = algorithm(flags)?;
     let sched = scheduler(flags)?;
+    let defaults = RouterConfig::default();
+    let spec_exit_misses = get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?;
+    let spec_probe_period = get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?;
     let route = |device: &Device| {
         if use_baseline {
             BaselineRouter::new(
@@ -410,6 +427,8 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                     max_passes: passes,
                     threads,
                     scheduler: sched,
+                    spec_exit_misses,
+                    spec_probe_period,
                     ..RouterConfig::default()
                 },
             )
@@ -489,11 +508,17 @@ fn cmd_trace_check(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     let text = std::fs::read_to_string(path)?;
     let mut checked = 0usize;
+    let mut counters = fpga_route::trace::check::CounterCheck::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         fpga_route::trace::json::validate(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        // Semantic pass: counter records must name real Counter
+        // variants, once per session each.
+        counters
+            .line(line)
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         checked += 1;
     }

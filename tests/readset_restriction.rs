@@ -142,6 +142,96 @@ fn restricted_zel_and_pfa_still_match_their_unrestricted_trees() {
     assert_eq!(pfa_full.cost(), pfa_pool.cost());
 }
 
+/// The same invariant on a real chip instead of a synthetic grid: a
+/// synthesized Table 5 circuit (alu4, 19×17) on its XC4000 segment
+/// graph. ZEL and PFA get the router's explicit region pool (net
+/// bounding box plus the default candidate margin, exactly the
+/// footprint `Router::region_nodes` computes); DOM and DJKA run bare —
+/// they are target-restricted by construction. Every one must record a
+/// read set strictly smaller than the full node set, or parallel
+/// speculation on this chip would serialize.
+#[test]
+fn table5_constructions_record_restricted_read_sets() {
+    use fpga_route::fpga::synth::{synthesize, xc4000_profiles};
+    use fpga_route::fpga::{ArchSpec, Device};
+
+    let profile = xc4000_profiles()[0]; // alu4: 19×17, the Table 5 flagship
+    let circuit = synthesize(&profile, 2, 1995).unwrap();
+    let device = Device::new(ArchSpec::xilinx4000(profile.rows, profile.cols, 9)).unwrap();
+    let arch = device.arch();
+    let g = device.graph();
+
+    // A compact multi-terminal net: at least three pins whose bounding
+    // box spans no more than a third of the chip, so the pool's Dijkstra
+    // diamond cannot flood the whole graph (see the ROWS/COLS comment
+    // above for why that headroom matters).
+    let mut picked = None;
+    for (ni, net) in circuit.nets().iter().enumerate() {
+        if net.pins.len() < 3 {
+            continue;
+        }
+        let rows: Vec<usize> = net.pins.iter().map(|p| p.row).collect();
+        let cols: Vec<usize> = net.pins.iter().map(|p| p.col).collect();
+        let (r0, r1) = (*rows.iter().min().unwrap(), *rows.iter().max().unwrap());
+        let (c0, c1) = (*cols.iter().min().unwrap(), *cols.iter().max().unwrap());
+        if r1 - r0 <= arch.rows / 3 && c1 - c0 <= arch.cols / 3 {
+            picked = Some((ni, r0, r1, c0, c1));
+            break;
+        }
+    }
+    let (ni, r0, r1, c0, c1) = picked.expect("alu4 has a compact multi-terminal net");
+
+    // The router's region pool for this net: bounding box expanded by
+    // the default candidate margin, mapped to segment positions the same
+    // way `Router::region_nodes` does.
+    let margin = 1;
+    let r0 = r0.saturating_sub(margin);
+    let c0 = c0.saturating_sub(margin);
+    let r1 = (r1 + margin).min(arch.rows - 1);
+    let c1 = (c1 + margin).min(arch.cols - 1);
+    let h_positions = (arch.rows + 1) * arch.cols;
+    let mut pool: Vec<NodeId> = Vec::new();
+    for ch in r0..=(r1 + 1) {
+        for seg in c0..=c1 {
+            pool.extend(device.segment_nodes_at(ch * arch.cols + seg));
+        }
+    }
+    for ch in c0..=(c1 + 1) {
+        for seg in r0..=r1 {
+            pool.extend(device.segment_nodes_at(h_positions + ch * arch.rows + seg));
+        }
+    }
+
+    // Two pins of a net can land on the same segment node; Net rejects
+    // duplicate terminals, so dedup first.
+    let mut terminals = circuit.net_terminals(&device, ni).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    terminals.retain(|t| seen.insert(*t));
+    assert!(terminals.len() >= 2, "net must keep at least two terminals");
+    let net = Net::from_terminals(terminals).unwrap();
+
+    let heuristics: Vec<Box<dyn SteinerHeuristic>> = vec![
+        Box::new(Zel::with_pool(CandidatePool::Explicit(pool.clone()))),
+        Box::new(Pfa::with_pool(CandidatePool::Explicit(pool))),
+        Box::new(Dom::new()),
+        Box::new(Djka::new()),
+    ];
+    for h in &heuristics {
+        readset::begin();
+        let tree = h.construct(g, &net).unwrap();
+        let reads = readset::take();
+        assert!(tree.spans(&net), "{}: tree must span the net", h.name());
+        assert!(!reads.is_empty(), "{}: reads recorded", h.name());
+        assert!(
+            reads.len() < g.live_node_count(),
+            "{}: read set ({} nodes) must be a strict subset of the chip graph ({} nodes)",
+            h.name(),
+            reads.len(),
+            g.live_node_count()
+        );
+    }
+}
+
 #[test]
 fn unrestricted_scans_read_more_than_pooled_scans() {
     // Sanity check on the measurement itself: the same construction

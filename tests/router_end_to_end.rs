@@ -199,6 +199,42 @@ fn parallel_routing_is_deterministic_and_matches_sequential() {
 }
 
 #[test]
+fn speculation_thresholds_shift_only_wall_clock_not_results() {
+    // `spec_exit_misses` / `spec_probe_period` tune how eagerly the
+    // wavefront suspends and re-probes speculation; they must never
+    // change what gets routed. Route the same circuit at the two
+    // extremes of each knob and demand bit-identity with the defaults.
+    let profile = test_profile();
+    let circuit = synthesize(&profile, 2, 9).unwrap();
+    let device = Device::new(ArchSpec::xilinx4000(6, 6, 9)).unwrap();
+    let defaults = RouterConfig::default();
+    assert_eq!(defaults.spec_exit_misses, 4);
+    assert_eq!(defaults.spec_probe_period, 32);
+    let reference = Router::new(&device, RouterConfig { threads: 4, ..defaults.clone() })
+        .route(&circuit)
+        .unwrap();
+    for (exit_misses, probe_period) in [(1, 1), (1, 1024), (64, 1), (64, 1024), (0, 0)] {
+        let outcome = Router::new(
+            &device,
+            RouterConfig {
+                threads: 4,
+                spec_exit_misses: exit_misses,
+                spec_probe_period: probe_period,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&circuit)
+        .unwrap();
+        assert_eq!(
+            outcome.trees, reference.trees,
+            "exit_misses={exit_misses} probe_period={probe_period}"
+        );
+        assert_eq!(outcome.passes, reference.passes);
+        assert_eq!(outcome.total_wirelength, reference.total_wirelength);
+    }
+}
+
+#[test]
 fn parallel_width_search_matches_sequential() {
     use fpga_route::fpga::width::minimum_channel_width_parallel;
     let profile = test_profile();
