@@ -39,6 +39,19 @@ grep -q '"type":"span"' "$trace_file"
 grep -q '"kind":"pass"' "$trace_file"
 grep -q '"name":"dijkstra_runs"' "$trace_file"
 
+echo "==> pathfinder smoke: route --mode pathfinder --trace --stream"
+pf_trace="$(mktemp /tmp/fpga_route_pf.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace"' EXIT
+./target/release/fpga_route route --circuit term1 --arch 4000 --width 10 \
+    --mode pathfinder --threads 2 --trace "$pf_trace" --stream --metrics
+./target/release/fpga_route trace-check "$pf_trace"
+grep -q '"kind":"pass"' "$pf_trace"
+grep -q '"name":"pathfinder_iterations"' "$pf_trace"
+
+echo "==> pathfinder bench smoke (release, BENCH_QUICK)"
+BENCH_QUICK=1 cargo bench -p bench --bench pathfinder
+git checkout -- BENCH_pathfinder.json 2>/dev/null || true
+
 echo "==> snapshot bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench snapshot
 

@@ -14,6 +14,73 @@ use route_graph::{GridGraph, Weight};
 use crate::heuristic::SteinerHeuristic;
 use crate::{Kmb, Net, SteinerError};
 
+/// Pricing model for negotiated-congestion (PathFinder-style) routing.
+///
+/// Each routing-resource node carries two pressures that the single
+/// writer folds into the weights of the node's incident edges between
+/// iterations:
+///
+/// * **present cost** — `present_milli · usage`, where `usage` is how
+///   many nets occupied the node in the *previous* iteration (capacity
+///   is one net per segment node). It prices joining an occupied node,
+///   so under-contested nets drift to free resources first.
+/// * **history cost** — grows by `history_milli · overuse` every
+///   iteration a node ends over capacity and never decays, so
+///   persistently contested nodes stay expensive even in iterations
+///   where they momentarily clear. This is the term that breaks
+///   oscillation and forces convergence.
+///
+/// Every operation saturates at `Weight::MAX`: pathological milli
+/// coefficients or long non-converging runs must degrade to "infinitely
+/// expensive", never wrap or panic (the same failure class PR 1 fixed in
+/// the rip-up congestion weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegotiatedPricing {
+    /// Present-cost coefficient in milli-units per occupying net.
+    pub present_milli: u64,
+    /// History-cost coefficient in milli-units per unit of overuse per
+    /// iteration.
+    pub history_milli: u64,
+}
+
+impl Default for NegotiatedPricing {
+    /// Present cost 2.0 per occupying net, history cost 1.0 per unit of
+    /// overuse per iteration.
+    fn default() -> NegotiatedPricing {
+        NegotiatedPricing {
+            present_milli: 2000,
+            history_milli: 1000,
+        }
+    }
+}
+
+impl NegotiatedPricing {
+    /// Total pressure a node exerts on its incident edges: accumulated
+    /// history plus `present_milli · usage`, saturating.
+    #[must_use]
+    pub fn node_pressure(&self, usage: u32, history: Weight) -> Weight {
+        history.saturating_add_scaled(Weight::from_milli(self.present_milli), u64::from(usage))
+    }
+
+    /// One iteration's history-cost growth for a node over capacity by
+    /// `overuse` nets, saturating.
+    #[must_use]
+    pub fn history_increment(&self, overuse: u32) -> Weight {
+        Weight::from_milli(self.history_milli).scale(u64::from(overuse))
+    }
+
+    /// Prices one edge for the next iteration: the pristine base weight
+    /// plus **both** endpoint pressures, saturating. Summing (not
+    /// taking the max) keeps the price linear in each endpoint's
+    /// contribution, which is what lets a net subtract exactly its own
+    /// present cost from its previous route before rerouting — the
+    /// rip-up-first semantics negotiation needs to converge.
+    #[must_use]
+    pub fn edge_weight(&self, base: Weight, pressure_a: Weight, pressure_b: Weight) -> Weight {
+        base.saturating_add(pressure_a).saturating_add(pressure_b)
+    }
+}
+
 /// The three congestion levels of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CongestionLevel {
@@ -163,6 +230,41 @@ mod tests {
         for e in grid.graph().edge_ids() {
             assert_eq!(grid.graph().weight(e).unwrap(), Weight::MAX);
         }
+    }
+
+    #[test]
+    fn negotiated_pricing_combines_present_and_history() {
+        let p = NegotiatedPricing::default();
+        // Unused node: pressure is pure history.
+        assert_eq!(
+            p.node_pressure(0, Weight::from_milli(500)),
+            Weight::from_milli(500)
+        );
+        // Two occupants on top of history 0.5: 0.5 + 2·2.0 = 4.5.
+        assert_eq!(
+            p.node_pressure(2, Weight::from_milli(500)),
+            Weight::from_milli(4500)
+        );
+        assert_eq!(p.history_increment(0), Weight::ZERO);
+        assert_eq!(p.history_increment(3), Weight::from_milli(3000));
+        // Edge price is linear in both endpoint pressures.
+        assert_eq!(
+            p.edge_weight(Weight::UNIT, Weight::from_milli(4500), Weight::from_milli(500)),
+            Weight::from_milli(6000)
+        );
+    }
+
+    #[test]
+    fn negotiated_pricing_saturates_at_weight_max() {
+        let p = NegotiatedPricing {
+            present_milli: u64::MAX,
+            history_milli: u64::MAX,
+        };
+        assert_eq!(p.node_pressure(u32::MAX, Weight::MAX), Weight::MAX);
+        assert_eq!(p.history_increment(u32::MAX), Weight::MAX);
+        assert_eq!(p.edge_weight(Weight::MAX, Weight::MAX, Weight::ZERO), Weight::MAX);
+        // Zero usage with saturated history stays pinned, exactly.
+        assert_eq!(p.node_pressure(0, Weight::MAX), Weight::MAX);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod tradeoff;
 mod tree;
 pub mod zel;
 
+pub use congestion::NegotiatedPricing;
 pub use djka::Djka;
 pub use dom::Dom;
 pub use error::SteinerError;

@@ -4,11 +4,20 @@
 
 use experiments::table2::{render, run};
 use experiments::telemetry::with_archived_telemetry;
-use experiments::widths::WidthExperimentConfig;
+use experiments::widths::{mode_from_args, WidthExperimentConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = mode_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let config = WidthExperimentConfig {
+        mode,
+        ..WidthExperimentConfig::default()
+    };
     let (rows, archive, summary) = with_archived_telemetry("table2", || {
-        run(&WidthExperimentConfig::default()).expect("table 2 experiment failed")
+        run(&config).expect("table 2 experiment failed")
     })
     .expect("archiving table 2 telemetry failed");
     println!("{}", render(&rows));

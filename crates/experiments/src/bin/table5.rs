@@ -3,9 +3,18 @@
 #![forbid(unsafe_code)]
 
 use experiments::table5::{render, run};
-use experiments::widths::WidthExperimentConfig;
+use experiments::widths::{mode_from_args, WidthExperimentConfig};
 
 fn main() {
-    let rows = run(&WidthExperimentConfig::default()).expect("table 5 experiment failed");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = mode_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let config = WidthExperimentConfig {
+        mode,
+        ..WidthExperimentConfig::default()
+    };
+    let rows = run(&config).expect("table 5 experiment failed");
     println!("{}", render(&rows));
 }

@@ -77,6 +77,7 @@ mod tests {
             max_passes: 5,
             width_range: (3, 14),
             pins_per_side: 2,
+            ..WidthExperimentConfig::default()
         };
         let dir = std::env::temp_dir().join("fpga_route_fig16_test");
         // Run against the real busc profile but with a reduced pass budget;

@@ -76,6 +76,7 @@ pub fn run(config: &WidthExperimentConfig) -> Result<Vec<Table5Row>, FpgaError> 
                     RouterConfig {
                         algorithm,
                         max_passes: config.max_passes,
+                        mode: config.mode,
                         ..RouterConfig::default()
                     },
                 );
@@ -93,6 +94,7 @@ pub fn run(config: &WidthExperimentConfig) -> Result<Vec<Table5Row>, FpgaError> 
                 channel_width: config.width_range.1,
                 passes: config.max_passes,
                 failed_net: 0,
+                overcapacity: Vec::new(),
             });
         };
         let wire = |i: usize| outcomes[i].total_wirelength.as_f64();
@@ -162,12 +164,15 @@ pub fn render(rows: &[Table5Row]) -> String {
 mod tests {
     use super::*;
 
+    /// A published row: `(circuit, width, PFA wire%, IDOM wire%, PFA
+    /// path%, IDOM path%)`.
+    type PublishedRow = (&'static str, usize, f64, f64, f64, f64);
+
     #[test]
     fn published_averages_match_the_paper() {
         let n = PUBLISHED.len() as f64;
-        let avg = |f: fn(&(&str, usize, f64, f64, f64, f64)) -> f64| {
-            PUBLISHED.iter().map(f).sum::<f64>() / n
-        };
+        let avg =
+            |f: fn(&PublishedRow) -> f64| PUBLISHED.iter().map(f).sum::<f64>() / n;
         assert!((avg(|p| p.2) - 18.2).abs() < 0.15);
         assert!((avg(|p| p.3) - 12.8).abs() < 0.15);
         assert!((avg(|p| p.4) + 9.5).abs() < 0.15);

@@ -3,8 +3,8 @@
 use fpga_device::synth::{synthesize, CircuitProfile};
 use fpga_device::width::{minimum_channel_width, WidthOutcome, WidthSearch};
 use fpga_device::{
-    ArchSpec, BaselineConfig, BaselineRouter, Circuit, FpgaError, RouteAlgorithm, Router,
-    RouterConfig,
+    ArchSpec, BaselineConfig, BaselineRouter, Circuit, FpgaError, RouteAlgorithm, RouteMode,
+    Router, RouterConfig,
 };
 
 /// A router under comparison.
@@ -38,6 +38,9 @@ pub struct WidthExperimentConfig {
     pub width_range: (usize, usize),
     /// Netlist pins per block side.
     pub pins_per_side: usize,
+    /// Congestion strategy for the Steiner contenders (the 2PIN
+    /// baseline always rips up; it predates negotiation).
+    pub mode: RouteMode,
 }
 
 impl Default for WidthExperimentConfig {
@@ -47,8 +50,34 @@ impl Default for WidthExperimentConfig {
             max_passes: 10,
             width_range: (3, 24),
             pins_per_side: 2,
+            mode: RouteMode::RipUp,
         }
     }
+}
+
+/// Parses an optional `--mode {ripup,pathfinder}` pair from a binary's
+/// argument list, defaulting to rip-up. Unknown values abort with a
+/// message naming the accepted modes — the experiment binaries share
+/// this so Tables 2 and 5 accept the same flag as `fpga-route`.
+///
+/// # Errors
+///
+/// Returns a description when `--mode` is missing its value or names an
+/// unknown mode.
+pub fn mode_from_args<S: AsRef<str>>(args: &[S]) -> Result<RouteMode, String> {
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = it.next() {
+        if arg != "--mode" {
+            continue;
+        }
+        return match it.next() {
+            Some("ripup") => Ok(RouteMode::RipUp),
+            Some("pathfinder") => Ok(RouteMode::Pathfinder),
+            Some(other) => Err(format!("unknown mode `{other}` (use ripup or pathfinder)")),
+            None => Err("--mode needs a value (ripup or pathfinder)".to_string()),
+        };
+    }
+    Ok(RouteMode::RipUp)
 }
 
 /// Minimum widths found for one circuit, one entry per contender.
@@ -97,6 +126,7 @@ pub fn find_width(
                 RouterConfig {
                     algorithm,
                     max_passes: config.max_passes,
+                    mode: config.mode,
                     ..RouterConfig::default()
                 },
             )
@@ -179,6 +209,7 @@ mod tests {
             max_passes: 5,
             width_range: (2, 16),
             pins_per_side: 2,
+            ..WidthExperimentConfig::default()
         };
         let profiles = [tiny_profile()];
         let rows = run_width_table(
@@ -198,6 +229,18 @@ mod tests {
         assert_eq!(totals.len(), 2);
         assert!(ratios[0] >= 1.0);
         assert!((ratios[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_flag_parses_with_ripup_default() {
+        assert_eq!(mode_from_args::<&str>(&[]).unwrap(), RouteMode::RipUp);
+        assert_eq!(mode_from_args(&["--mode", "ripup"]).unwrap(), RouteMode::RipUp);
+        assert_eq!(
+            mode_from_args(&["--seed", "7", "--mode", "pathfinder"]).unwrap(),
+            RouteMode::Pathfinder
+        );
+        assert!(mode_from_args(&["--mode", "bogus"]).is_err());
+        assert!(mode_from_args(&["--mode"]).is_err());
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl<'d> BaselineRouter<'d> {
             channel_width: self.device.arch().channel_width,
             passes: self.config.max_passes,
             failed_net: last_failure,
+            overcapacity: Vec::new(),
         })
     }
 

@@ -35,6 +35,11 @@ pub enum FpgaError {
         passes: usize,
         /// Index of the net that could not be routed in the final pass.
         failed_net: usize,
+        /// Routing-resource nodes still over capacity when the budget ran
+        /// out, in ascending id order. Filled by the negotiated-congestion
+        /// router (whose failures are contention, not disconnection); the
+        /// rip-up router reports an empty set.
+        overcapacity: Vec<route_graph::NodeId>,
     },
 }
 
@@ -52,10 +57,17 @@ impl fmt::Display for FpgaError {
                 channel_width,
                 passes,
                 failed_net,
-            } => write!(
-                f,
-                "unroutable at channel width {channel_width} after {passes} passes (net {failed_net} failed)"
-            ),
+                overcapacity,
+            } => {
+                write!(
+                    f,
+                    "unroutable at channel width {channel_width} after {passes} passes (net {failed_net} failed)"
+                )?;
+                if !overcapacity.is_empty() {
+                    write!(f, "; {} nodes over capacity", overcapacity.len())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -94,8 +106,17 @@ mod tests {
             channel_width: 7,
             passes: 20,
             failed_net: 3,
+            overcapacity: Vec::new(),
         };
         assert!(u.to_string().contains("width 7"));
+        assert!(!u.to_string().contains("over capacity"));
+        let contested = FpgaError::Unroutable {
+            channel_width: 7,
+            passes: 20,
+            failed_net: 3,
+            overcapacity: vec![route_graph::NodeId::from_index(4)],
+        };
+        assert!(contested.to_string().contains("1 nodes over capacity"));
     }
 
     #[test]

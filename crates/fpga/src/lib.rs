@@ -22,6 +22,10 @@
 //!   overlap, bit-for-bit identical to sequential;
 //! * [`parallel`] — the lockstep batch engine
 //!   (`RouterConfig::scheduler`), kept as baseline and fallback;
+//! * [`pathfinder`] — negotiated congestion (`RouterConfig::mode`):
+//!   route every net each iteration against an immutable priced
+//!   snapshot, then reprice under present + history costs — fully
+//!   parallel with no speculation, bit-identical across thread counts;
 //! * [`BaselineRouter`] — the two-pin-decomposition stand-in for
 //!   CGE/SEGA/GBP;
 //! * [`width`] — minimum channel-width search;
@@ -54,6 +58,7 @@ pub mod device;
 mod error;
 pub mod netlist;
 pub mod parallel;
+pub mod pathfinder;
 pub mod router;
 pub mod sched;
 pub mod synth;
@@ -68,7 +73,8 @@ pub use device::{Device, EdgeKind, NodeKind};
 pub use error::FpgaError;
 pub use netlist::{BlockPin, Circuit, CircuitNet};
 pub use router::{
-    auto_thread_count, RouteAlgorithm, RouteOutcome, Router, RouterConfig, SchedulerKind,
+    auto_thread_count, RouteAlgorithm, RouteMode, RouteOutcome, Router, RouterConfig,
+    SchedulerKind,
 };
 pub use telemetry::{CongestionSnapshot, PassTelemetry, RouteTelemetry};
 pub use synth::CircuitProfile;

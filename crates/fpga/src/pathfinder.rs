@@ -1,0 +1,591 @@
+//! Negotiated-congestion (PathFinder) routing: route *everything*, then
+//! negotiate.
+//!
+//! The rip-up router serializes on net order: each net routes against a
+//! graph the previous net just mutated, so parallel engines must
+//! speculate and repair. Negotiated congestion inverts the discipline.
+//! Each **iteration**:
+//!
+//! 1. **Route phase (fully parallel)** — every net is routed
+//!    independently against the *same immutable priced snapshot*, with a
+//!    per-net reversible exclusion along its previous route (classic
+//!    PathFinder rips a net up before rerouting it; a net that saw its
+//!    own occupancy as congestion would flee its own conflict-free route
+//!    every iteration) and the **claim rule**: the lowest-indexed
+//!    previous occupant of a node subtracts *everyone's* present cost
+//!    there — it reroutes as if the node were unoccupied and keeps it —
+//!    while other occupants subtract only their own share and are priced
+//!    toward alternatives (see [`route_net_excluded`]). A microscopic
+//!    per-net tie-break tilt ([`Tilted`]) spreads otherwise-symmetric
+//!    contenders across a channel's parallel tracks. No resources are
+//!    removed, so nets may overlap; because each net's route is a pure
+//!    function of the snapshot, its own previous tree, the single-writer
+//!    claim table, and its own index, the phase splits across workers
+//!    with no conflict DAG, no speculation, and bit-identical results
+//!    for any thread count or partition. Workers reuse the epoch-tagged
+//!    [`GraphOverlay`] arenas (one bind per worker per iteration, O(1)
+//!    reset) so the snapshot is never cloned.
+//! 2. **Cost-update phase (single-writer)** — one thread tallies how many
+//!    nets used each segment node (capacity: one net per node). If no
+//!    node is over capacity the routing is disjoint and we are done.
+//!    Otherwise every over-capacity node accumulates *history cost*, and
+//!    the snapshot is repriced in one [`reprice_edges`] sweep: pristine
+//!    base weight plus both endpoint pressures (present cost from this
+//!    iteration's usage, plus accumulated history — summed, so each
+//!    endpoint's contribution stays linear and a net's own share is
+//!    exactly subtractable in the next route phase). The next
+//!    iteration's nets then negotiate — established nets see their own
+//!    routes as free and stay put, cheap alternatives win contested
+//!    nodes away from nets with other options, and history breaks
+//!    oscillation between equally-priced choices.
+//!
+//! The single-writer claim is structural: `route_negotiated` owns the
+//! priced [`Graph`] by value; during the route phase workers hold only
+//! `&`-borrows of it (the borrow checker forbids repricing while any
+//! worker is alive), and the repricing sweep runs after the scoped join,
+//! on the owning thread. `fpga_lint`'s commit-path-mutation rule pins
+//! [`reprice_edges`] calls to this module the same way it pins
+//! `SharedPassWriter` to the scheduler commit paths.
+//!
+//! All pricing arithmetic saturates at `Weight::MAX` (see
+//! [`NegotiatedPricing`]): history accumulates monotonically for the
+//! whole run and must degrade to "infinitely expensive", never panic.
+//!
+//! [`GraphOverlay`]: route_graph::GraphOverlay
+//! [`Graph`]: route_graph::Graph
+//! [`reprice_edges`]: route_graph::Graph::reprice_edges
+
+use route_graph::rng::SplitMix64;
+use route_graph::{
+    EdgeId, Graph, GraphError, GraphOverlay, GraphView, GraphViewMut, NodeId, OverlayArena,
+    Weight,
+};
+use steiner_route::{NegotiatedPricing, RoutingTree};
+
+use crate::netlist::Circuit;
+use crate::router::{RouteOutcome, Router};
+use crate::FpgaError;
+
+/// One worker's share of a route phase: `(net index, result)` pairs in
+/// the order the worker visited them.
+type WorkerRoutes = Vec<(usize, Result<Option<RoutingTree>, FpgaError>)>;
+
+/// Previous-iteration state each net's self-exclusion reads during a
+/// route phase: the ramped present cost, per-node usage, and per-node
+/// claimants. All computed by the single writer, so the exclusion is a
+/// pure function of (net, snapshot) — never of the worker partition.
+#[derive(Clone, Copy)]
+struct ExclusionCtx<'a> {
+    /// This iteration's (ramped) present cost per occupying net.
+    present: Weight,
+    /// Previous iteration's per-node net count (empty on iteration 1).
+    usage: &'a [u32],
+    /// Lowest-indexed previous occupant per node (`usize::MAX` = none).
+    claims: &'a [usize],
+}
+
+/// Upper bound (inclusive, in milli-units) of the per-net tie-break
+/// tilt. Far below any base edge weight (milli-units versus whole
+/// units), so the tilt can only ever decide between otherwise
+/// equally-priced alternatives — it spreads symmetric nets across the
+/// `W` parallel tracks of a channel instead of letting them pick the
+/// same lowest-indexed one and then migrate in lockstep forever.
+const TILT_MASK: u64 = 15;
+
+/// Pure (net, edge) hash in `0..=TILT_MASK` milli: one SplitMix64 draw
+/// from a seed mixing the net index and edge index. No state, no
+/// ordering — the tilt a net sees is identical whatever worker routes
+/// it, preserving thread-count bit-identity.
+fn tilt_milli(net_salt: u64, e: EdgeId) -> u64 {
+    let seed = net_salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(e.index() as u64);
+    SplitMix64::seed_from_u64(seed).next_u64() & TILT_MASK
+}
+
+/// A per-net deterministic *tilt* over a priced snapshot: every edge
+/// reads [`tilt_milli`] heavier than the underlying view.
+///
+/// Fully-synchronous negotiation has a failure mode classic sequential
+/// PathFinder never meets: nets contending for a node all see the same
+/// prices, so they all pick the same cheapest alternative, collide
+/// there, and bounce between equally-priced tracks in lockstep while
+/// history inflates everywhere. Giving each net its own microscopic,
+/// deterministic preference among equal-cost choices breaks the
+/// symmetry — contenders spread across parallel tracks and stay put.
+///
+/// Reads tilt; writes delegate untouched (masking flows through,
+/// `add_weight` is overridden so the tilt is never baked into the
+/// underlying weights).
+struct Tilted<'a, G> {
+    inner: &'a mut G,
+    net_salt: u64,
+}
+
+impl<G: GraphViewMut> Tilted<'_, G> {
+    fn tilt(&self, e: EdgeId) -> Weight {
+        Weight::from_milli(tilt_milli(self.net_salt, e))
+    }
+}
+
+impl<G: GraphViewMut> GraphView for Tilted<'_, G> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.inner.edge_count()
+    }
+
+    fn live_node_count(&self) -> usize {
+        self.inner.live_node_count()
+    }
+
+    fn live_edge_count(&self) -> usize {
+        self.inner.live_edge_count()
+    }
+
+    fn is_node_live(&self, v: NodeId) -> bool {
+        self.inner.is_node_live(v)
+    }
+
+    fn is_edge_usable(&self, e: EdgeId) -> bool {
+        self.inner.is_edge_usable(e)
+    }
+
+    fn endpoints(&self, e: EdgeId) -> Result<(NodeId, NodeId), GraphError> {
+        self.inner.endpoints(e)
+    }
+
+    fn weight(&self, e: EdgeId) -> Result<Weight, GraphError> {
+        Ok(self.inner.weight(e)?.saturating_add(self.tilt(e)))
+    }
+
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + '_ {
+        self.inner
+            .neighbors(v)
+            .map(|(u, e, w)| (u, e, w.saturating_add(self.tilt(e))))
+    }
+
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inner.node_ids()
+    }
+
+    fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.inner.edge_ids()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+}
+
+impl<G: GraphViewMut> GraphViewMut for Tilted<'_, G> {
+    fn set_weight(&mut self, e: EdgeId, weight: Weight) -> Result<(), GraphError> {
+        self.inner.set_weight(e, weight)
+    }
+
+    fn add_weight(&mut self, e: EdgeId, delta: Weight) -> Result<(), GraphError> {
+        self.inner.add_weight(e, delta)
+    }
+
+    fn remove_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        self.inner.remove_edge(e)
+    }
+
+    fn restore_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        self.inner.restore_edge(e)
+    }
+
+    fn remove_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.inner.remove_node(v)
+    }
+
+    fn restore_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.inner.restore_node(v)
+    }
+}
+
+/// Routes `circuit` by negotiated congestion ([`RouteMode::Pathfinder`]).
+///
+/// Runs up to `pf_max_iterations` route-all/reprice rounds; converges
+/// when no segment node is used by two nets. `arenas` are the per-worker
+/// overlay arenas allocated by `route_classified` (empty when
+/// `threads <= 1`).
+///
+/// [`RouteMode::Pathfinder`]: crate::router::RouteMode::Pathfinder
+pub(crate) fn route_negotiated(
+    router: &Router<'_>,
+    circuit: &Circuit,
+    critical: &[bool],
+    threads: usize,
+    arenas: &mut Vec<OverlayArena>,
+) -> Result<RouteOutcome, FpgaError> {
+    let device = router.device();
+    let config = router.config();
+    // Present cost ramps linearly with the iteration (classic PathFinder
+    // grows its present factor every iteration): early iterations let
+    // nets share freely while history discovers the truly contested
+    // nodes, late iterations make sharing intolerable so the remaining
+    // contenders must separate. `pricing_for(k)` prices the snapshot
+    // *for* iteration k's route phase, which subtracts the same ramped
+    // present back out along each net's own previous route.
+    let pricing_for = |iteration: usize| NegotiatedPricing {
+        present_milli: config.pf_present_milli.saturating_mul(iteration as u64),
+        history_milli: config.pf_history_milli,
+    };
+    let base_pricing = pricing_for(1);
+    // The priced snapshot, owned here: workers read it, only this
+    // function reprices it.
+    let mut priced = device.working_graph();
+    if route_trace::enabled() {
+        route_trace::count(route_trace::Counter::GraphSnapshotClones, 1);
+    }
+    // Pristine per-edge base weights: every repricing starts from
+    // physical wire cost, not from the previous iteration's prices.
+    let base_weights: Vec<Weight> = (0..priced.edge_count())
+        .map(|i| priced.weight(EdgeId::from_index(i)))
+        .collect::<Result<_, _>>()?;
+    let node_count = device.graph().node_count();
+    let mut history: Vec<Weight> = vec![Weight::ZERO; node_count];
+    let width = device.arch().channel_width;
+    let budget = config.pf_max_iterations.max(1);
+    let mut passes_telemetry: Vec<crate::telemetry::PassTelemetry> = Vec::new();
+    let mut final_overcap: Vec<NodeId> = Vec::new();
+    let mut final_trees: Vec<Option<RoutingTree>> = Vec::new();
+    let mut prev_usage: Vec<u32> = Vec::new();
+    let mut prev_claims: Vec<usize> = Vec::new();
+    for iteration in 1..=budget {
+        let started = std::time::Instant::now();
+        let (trees, usage, pos_usage, claims, overcap) = {
+            let _pass_span =
+                route_trace::span(route_trace::SpanKind::Pass, "pass", iteration as u64);
+            // --- route phase: all nets, one immutable snapshot ----------
+            let ctx = ExclusionCtx {
+                present: Weight::from_milli(pricing_for(iteration).present_milli),
+                usage: &prev_usage,
+                claims: &prev_claims,
+            };
+            let trees = route_all(
+                router,
+                circuit,
+                critical,
+                threads,
+                arenas,
+                &mut priced,
+                &final_trees,
+                ctx,
+            )?;
+            if let Some(ni) = trees.iter().position(Option::is_none) {
+                // Disconnected with every resource live: no amount of
+                // negotiation finds a route (pin masking alone cut the
+                // net off). Contention is not the failure here.
+                return Err(FpgaError::Unroutable {
+                    channel_width: width,
+                    passes: iteration,
+                    failed_net: ni,
+                    overcapacity: Vec::new(),
+                });
+            }
+            // --- cost-update phase: single writer from here on ----------
+            let mut usage: Vec<u32> = vec![0; node_count];
+            let mut pos_usage: Vec<u32> = vec![0; device.position_count()];
+            // First (lowest-indexed) occupant of each segment node: its
+            // deterministic *claimant* for the next iteration's route
+            // phase — the asymmetry sequential PathFinder gets for free
+            // from rerouting nets one at a time.
+            let mut claims: Vec<usize> = vec![usize::MAX; node_count];
+            for (ni, tree) in trees.iter().enumerate() {
+                let Some(tree) = tree.as_ref() else { continue };
+                for v in tree.nodes() {
+                    if let Some(pos) = device.segment_position(v) {
+                        usage[v.index()] = usage[v.index()].saturating_add(1);
+                        pos_usage[pos] = pos_usage[pos].saturating_add(1);
+                        if claims[v.index()] == usize::MAX {
+                            claims[v.index()] = ni;
+                        }
+                    }
+                }
+            }
+            // Ascending node-id order: the reported over-capacity set and
+            // the chosen failed net are partition-independent.
+            let overcap: Vec<NodeId> = (0..node_count)
+                .map(NodeId::from_index)
+                .filter(|v| usage[v.index()] >= 2)
+                .collect();
+            (trees, usage, pos_usage, claims, overcap)
+        };
+        let converged = overcap.is_empty();
+        if std::env::var_os("PF_DEBUG").is_some() {
+            let users: Vec<usize> = overcap
+                .first()
+                .map(|&c| {
+                    trees
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.as_ref().is_some_and(|t| t.nodes().any(|n| n == c)))
+                        .map(|(i, _)| i)
+                        .collect()
+                })
+                .unwrap_or_default();
+            eprintln!(
+                "pf iter {iteration}: overcap {} first {:?} users {:?}",
+                overcap.len(),
+                overcap.first(),
+                users
+            );
+        }
+        let timing = crate::telemetry::PassTelemetry {
+            pass: iteration,
+            overcapacity: overcap.len(),
+            history_updates: if converged { 0 } else { overcap.len() },
+            elapsed: started.elapsed(),
+            congestion: crate::telemetry::CongestionSnapshot::from_usage(
+                iteration, width, &pos_usage,
+            ),
+            ..Default::default()
+        };
+        route_trace::record_snapshot(timing.congestion.clone());
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::PathfinderIterations, 1);
+            route_trace::count(
+                route_trace::Counter::PathfinderOvercapacityNodes,
+                overcap.len() as u64,
+            );
+        }
+        passes_telemetry.push(timing);
+        if converged {
+            // Disjoint routing: report trees against the pristine device
+            // graph so costs measure physical wire, not negotiated prices.
+            let rebuilt: Vec<Option<RoutingTree>> = trees
+                .into_iter()
+                .flatten()
+                .map(|t| RoutingTree::from_edges(device.graph(), t.edges().to_vec()).map(Some))
+                .collect::<Result<_, _>>()?;
+            let mut outcome = router.finalize(circuit, rebuilt)?;
+            outcome.passes = iteration;
+            outcome.telemetry = crate::telemetry::RouteTelemetry {
+                passes: passes_telemetry,
+            };
+            return Ok(outcome);
+        }
+        // History accumulates only on over-capacity nodes, saturating.
+        for &v in &overcap {
+            let overuse = usage[v.index()].saturating_sub(1);
+            history[v.index()] =
+                history[v.index()].saturating_add(base_pricing.history_increment(overuse));
+        }
+        if route_trace::enabled() {
+            route_trace::count(
+                route_trace::Counter::PathfinderHistoryUpdates,
+                overcap.len() as u64,
+            );
+        }
+        // Reprice the snapshot for the next iteration in one sweep,
+        // under the next iteration's ramped present factor.
+        let next = pricing_for(iteration.saturating_add(1));
+        priced.reprice_edges(|e, a, b, _| {
+            next.edge_weight(
+                base_weights[e.index()],
+                next.node_pressure(usage[a.index()], history[a.index()]),
+                next.node_pressure(usage[b.index()], history[b.index()]),
+            )
+        });
+        final_overcap = overcap;
+        final_trees = trees;
+        prev_usage = usage;
+        prev_claims = claims;
+    }
+    // Budget exhausted: report the final contention honestly — the
+    // still-over-capacity nodes and the lowest-indexed net touching the
+    // first of them.
+    let failed_net = final_overcap.first().map_or(0, |&contested| {
+        final_trees
+            .iter()
+            .position(|t| t.as_ref().is_some_and(|t| t.nodes().any(|n| n == contested)))
+            .unwrap_or(0)
+    });
+    Err(FpgaError::Unroutable {
+        channel_width: width,
+        passes: budget,
+        failed_net,
+        overcapacity: final_overcap,
+    })
+}
+
+/// The route phase: every net of `circuit`, each against the same priced
+/// snapshot minus its own previous present cost (see
+/// [`route_net_excluded`]). With `threads > 1`, worker `k` routes nets
+/// `k, k+threads, …` over its own [`GraphOverlay`]; the partition is
+/// invisible in the results because no net's route depends on any other
+/// net's — only on the shared snapshot and that net's own previous tree.
+///
+/// `Some(tree)` per routed net, `None` for a disconnected one. The
+/// snapshot is left exactly as it was on entry (masking and exclusion
+/// are restored per net, overlay deltas die with the workers).
+#[allow(clippy::too_many_arguments)] // internal plumbing for one call site
+fn route_all(
+    router: &Router<'_>,
+    circuit: &Circuit,
+    critical: &[bool],
+    threads: usize,
+    arenas: &mut Vec<OverlayArena>,
+    priced: &mut Graph,
+    prev: &[Option<RoutingTree>],
+    ctx: ExclusionCtx<'_>,
+) -> Result<Vec<Option<RoutingTree>>, FpgaError> {
+    let net_count = circuit.net_count();
+    let prev_of = |ni: usize| prev.get(ni).and_then(Option::as_ref);
+    if threads <= 1 {
+        let mut trees: Vec<Option<RoutingTree>> = Vec::with_capacity(net_count);
+        for ni in 0..net_count {
+            trees.push(route_net_excluded(
+                router,
+                priced,
+                circuit,
+                ni,
+                critical,
+                prev_of(ni),
+                ctx,
+            )?);
+        }
+        return Ok(trees);
+    }
+    while arenas.len() < threads {
+        arenas.push(OverlayArena::new());
+    }
+    let snapshot: &Graph = priced;
+    let parent_span = route_trace::current_span();
+    let mut worker_results: Vec<WorkerRoutes> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (k, arena) in arenas.iter_mut().enumerate().take(threads) {
+            handles.push(scope.spawn(move || {
+                route_trace::adopt_parent(parent_span);
+                let mut overlay = GraphOverlay::bind(snapshot, arena);
+                if route_trace::enabled() {
+                    route_trace::count(route_trace::Counter::OverlayBinds, 1);
+                }
+                let mut routed = Vec::new();
+                for ni in (k..net_count).step_by(threads) {
+                    routed.push((
+                        ni,
+                        route_net_excluded(
+                            router,
+                            &mut overlay,
+                            circuit,
+                            ni,
+                            critical,
+                            prev_of(ni),
+                            ctx,
+                        ),
+                    ));
+                }
+                routed
+            }));
+        }
+        for handle in handles {
+            // A worker panic is a router bug; propagate it.
+            worker_results.push(handle.join().expect("pathfinder worker panicked"));
+        }
+    });
+    let mut trees: Vec<Option<RoutingTree>> = (0..net_count).map(|_| None).collect();
+    let mut first_error: Option<(usize, FpgaError)> = None;
+    for (ni, result) in worker_results.into_iter().flatten() {
+        match result {
+            Ok(tree) => trees[ni] = tree,
+            // Report the lowest-indexed erroring net, whatever worker
+            // order the scope joined in.
+            Err(e) => {
+                if first_error.as_ref().is_none_or(|&(i, _)| ni < i) {
+                    first_error = Some((ni, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    Ok(trees)
+}
+
+/// Routes one net with a reversible price adjustment along its previous
+/// route — the rip-up-first discipline, expressed as arithmetic instead
+/// of resource removal.
+///
+/// Classic PathFinder rips a net up before rerouting it, so a net never
+/// sees its own occupancy as congestion; without this every net flees
+/// its own (possibly conflict-free) route each iteration and the
+/// negotiation oscillates instead of settling. On top of that,
+/// sequential PathFinder reroutes nets one at a time, which silently
+/// arbitrates contested nodes: somebody reroutes *first* and keeps the
+/// node, and whoever reroutes later sees it occupied. The synchronous
+/// variant restores that asymmetry with the **claim rule**: the
+/// lowest-indexed previous occupant of a node subtracts the node's
+/// *entire* pressure (everyone's present plus history) along its route
+/// — it re-routes as if the node were pristine and therefore keeps it —
+/// while every other occupant subtracts only its own present cost and
+/// so is pushed toward an alternative. Without the rule, the last two
+/// contenders for a node bounce between the same two equally-priced
+/// alternatives in lockstep forever.
+///
+/// Summed endpoint pricing makes the exclusion exact: each segment node
+/// added its pressure to every incident edge, so the subtracted amount
+/// is restored — in reverse order, so an edge with both endpoints on
+/// the previous route returns to its exact price — after the search.
+/// The adjustment depends only on the snapshot, the net's own previous
+/// tree, and the single-writer claim table, never on the worker
+/// partition, preserving thread-count bit-identity.
+fn route_net_excluded<G: GraphViewMut>(
+    router: &Router<'_>,
+    graph: &mut G,
+    circuit: &Circuit,
+    ni: usize,
+    critical: &[bool],
+    prev: Option<&RoutingTree>,
+    ctx: ExclusionCtx<'_>,
+) -> Result<Option<RoutingTree>, FpgaError> {
+    let device = router.device();
+    let mut saved: Vec<(EdgeId, Weight)> = Vec::new();
+    if let Some(tree) = prev {
+        for v in tree.nodes() {
+            // Only segment nodes carry usage pressure (the tally in
+            // `route_negotiated` skips everything else).
+            if device.segment_position(v).is_none() {
+                continue;
+            }
+            let i = v.index();
+            let amount = if ctx.claims.get(i) == Some(&ni) {
+                // Claimant: all occupants' present is subtracted, so the
+                // node reads as unoccupied and the claimant keeps it —
+                // but history stays visible even to the claimant, so a
+                // node whose contention never resolves eventually prices
+                // its own claimant into rerouting around it, freeing it
+                // for whoever kept colliding there.
+                ctx.present.scale(u64::from(ctx.usage.get(i).copied().unwrap_or(0)))
+            } else {
+                // Loser: only its own share — the claimant's present and
+                // the history stay visible and push it elsewhere.
+                ctx.present
+            };
+            if amount == Weight::ZERO {
+                continue;
+            }
+            let incident: Vec<(EdgeId, Weight)> =
+                graph.neighbors(v).map(|(_, e, w)| (e, w)).collect();
+            for (e, w) in incident {
+                graph.set_weight(e, w.saturating_sub(amount))?;
+                saved.push((e, w));
+            }
+        }
+    }
+    let mut tilted = Tilted {
+        inner: graph,
+        net_salt: ni as u64,
+    };
+    let result = router.route_net(&mut tilted, circuit, ni, critical);
+    while let Some((e, w)) = saved.pop() {
+        graph.set_weight(e, w)?;
+    }
+    result
+}

@@ -139,11 +139,55 @@ impl SchedulerKind {
     }
 }
 
+/// Which routing discipline resolves congestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouteMode {
+    /// The paper's sequential discipline: nets are routed one at a time,
+    /// committed resources are removed so later nets stay disjoint, and
+    /// move-to-front reacts to failures across passes. Parallelism comes
+    /// from speculation ([`SchedulerKind`]).
+    #[default]
+    RipUp,
+    /// Negotiated congestion (PathFinder, see
+    /// [`pathfinder`](crate::pathfinder)): every iteration routes *all*
+    /// nets independently against an immutable priced snapshot — trivially
+    /// parallel, no conflict DAG — then a single-writer phase measures
+    /// overuse, accumulates history costs, and reprices the snapshot.
+    /// Converged when no routing resource is claimed by two nets.
+    Pathfinder,
+}
+
+impl RouteMode {
+    /// Stable CLI/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteMode::RipUp => "ripup",
+            RouteMode::Pathfinder => "pathfinder",
+        }
+    }
+}
+
 /// Router tuning parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterConfig {
     /// Per-net construction.
     pub algorithm: RouteAlgorithm,
+    /// Which discipline resolves congestion: sequential rip-up (the
+    /// paper's router, the default) or negotiated congestion.
+    pub mode: RouteMode,
+    /// Negotiated-congestion iteration budget ([`RouteMode::Pathfinder`]
+    /// only): route-all/reprice rounds before the width is declared
+    /// unroutable. Plays the role `max_passes` plays for rip-up.
+    pub pf_max_iterations: usize,
+    /// Negotiated-congestion present-cost coefficient, in milli-units of
+    /// weight added to a node's incident edges per net that occupied the
+    /// node last iteration ([`RouteMode::Pathfinder`] only).
+    pub pf_present_milli: u64,
+    /// Negotiated-congestion history-cost coefficient, in milli-units
+    /// accumulated per unit of overuse per iteration on nodes that end an
+    /// iteration over capacity ([`RouteMode::Pathfinder`] only).
+    pub pf_history_milli: u64,
     /// Feasibility threshold: passes before declaring the width unroutable
     /// (the paper arbitrarily sets 20).
     pub max_passes: usize,
@@ -206,6 +250,10 @@ impl Default for RouterConfig {
     fn default() -> RouterConfig {
         RouterConfig {
             algorithm: RouteAlgorithm::Ikmb,
+            mode: RouteMode::default(),
+            pf_max_iterations: 50,
+            pf_present_milli: 2000,
+            pf_history_milli: 1000,
             max_passes: 20,
             congestion_alpha_milli: 1500,
             candidate_margin: 1,
@@ -359,6 +407,15 @@ impl<'d> Router<'d> {
         } else {
             Vec::new()
         };
+        if self.config.mode == RouteMode::Pathfinder {
+            return crate::pathfinder::route_negotiated(self, circuit, critical, threads, &mut arenas);
+        }
+        // Inverse of `order` so a failure promotes in O(pos) rotation
+        // instead of an O(n) scan + remove + insert per failed pass.
+        let mut index_of = vec![0usize; order.len()];
+        for (i, &ni) in order.iter().enumerate() {
+            index_of[ni] = i;
+        }
         let mut last_failure = 0usize;
         let mut passes_telemetry: Vec<crate::telemetry::PassTelemetry> = Vec::new();
         for pass in 1..=self.config.max_passes.max(1) {
@@ -403,13 +460,7 @@ impl<'d> Router<'d> {
                 PassResult::Failed(ni) => {
                     last_failure = ni;
                     if self.config.move_to_front {
-                        let pos = order
-                            .iter()
-                            .position(|&x| x == ni)
-                            // lint: allow(panic-hygiene): ni was produced by routing this very order; absence is a router bug worth aborting on
-                            .expect("failed net is in the order");
-                        order.remove(pos);
-                        order.insert(0, ni);
+                        promote_to_front(&mut order, &mut index_of, ni);
                     }
                 }
             }
@@ -418,6 +469,7 @@ impl<'d> Router<'d> {
             channel_width: self.device.arch().channel_width,
             passes: self.config.max_passes,
             failed_net: last_failure,
+            overcapacity: Vec::new(),
         })
     }
 
@@ -664,6 +716,25 @@ impl<'d> Router<'d> {
 pub(crate) enum PassResult {
     Complete(RouteOutcome),
     Failed(usize),
+}
+
+/// Moves net `ni` to the front of `order`, keeping `index_of` (the
+/// inverse permutation, `index_of[order[i]] == i`) consistent.
+///
+/// Equivalent to the old `position() + remove + insert(0, ..)` but with
+/// no O(n) scan: the position comes from the inverse map and the shift is
+/// a single `rotate_right` over the affected prefix. A net already at the
+/// front is a no-op (the old code still churned the whole vector).
+pub(crate) fn promote_to_front(order: &mut [usize], index_of: &mut [usize], ni: usize) {
+    let pos = index_of[ni];
+    debug_assert_eq!(order[pos], ni, "index_of out of sync with order");
+    if pos == 0 {
+        return;
+    }
+    order[..=pos].rotate_right(1);
+    for (i, &n) in order[..=pos].iter().enumerate() {
+        index_of[n] = i;
+    }
 }
 
 /// Picks a worker count for `threads = 0` (automatic) from the circuit's
@@ -935,5 +1006,31 @@ mod tests {
         assert!(RouteAlgorithm::Pfa.is_arborescence());
         assert!(!RouteAlgorithm::Kmb.is_arborescence());
         assert_eq!(RouteAlgorithm::table1_roster().len(), 8);
+        assert_eq!(RouteMode::RipUp.name(), "ripup");
+        assert_eq!(RouteMode::Pathfinder.name(), "pathfinder");
+        assert_eq!(RouteMode::default(), RouteMode::RipUp);
+    }
+
+    #[test]
+    fn promote_to_front_matches_naive_remove_insert() {
+        // The exact sequence of orders must be unchanged by the O(pos)
+        // rewrite: replay a failure sequence (with repeats and an
+        // already-at-front net) against the old scan/remove/insert.
+        let mut order: Vec<usize> = vec![2, 0, 4, 1, 3];
+        let mut naive = order.clone();
+        let mut index_of = vec![0usize; order.len()];
+        for (i, &n) in order.iter().enumerate() {
+            index_of[n] = i;
+        }
+        for ni in [3, 3, 1, 4, 0, 2, 2] {
+            promote_to_front(&mut order, &mut index_of, ni);
+            let pos = naive.iter().position(|&x| x == ni).unwrap();
+            naive.remove(pos);
+            naive.insert(0, ni);
+            assert_eq!(order, naive, "after promoting {ni}");
+            for (i, &n) in order.iter().enumerate() {
+                assert_eq!(index_of[n], i, "index_of out of sync after {ni}");
+            }
+        }
     }
 }

@@ -41,6 +41,13 @@ pub struct PassTelemetry {
     /// Times a worker found no ready net and parked (wavefront scheduler
     /// only).
     pub stalls: usize,
+    /// Routing-resource nodes over capacity at the end of the pass
+    /// (negotiated-congestion mode only; the rip-up engines keep nets
+    /// disjoint by construction, so they report 0).
+    pub overcapacity: usize,
+    /// History-cost accumulations applied after the pass (negotiated-
+    /// congestion mode only; one per over-capacity node).
+    pub history_updates: usize,
     /// Wall-clock time of the whole pass.
     pub elapsed: Duration,
     /// Channel occupancy at the end of the pass (or at the failing net,

@@ -22,6 +22,14 @@ pub enum WidthSearch {
     /// Binary search between the bounds, assuming routability is monotone
     /// in `W` (true in practice for these congestion-driven routers); the
     /// returned width is always verified routable.
+    ///
+    /// The monotonicity assumption is *checked*, not trusted: if the
+    /// widest width fails while the range might still contain a routable
+    /// width — negotiated congestion can fail near its iteration budget
+    /// at a width above a routable one — the search falls back to an
+    /// ascending linear scan of the remaining range instead of declaring
+    /// the range unroutable. Fallback probes are counted in
+    /// [`WidthOutcome::attempts`] like any other.
     #[default]
     Binary,
 }
@@ -97,7 +105,24 @@ pub fn minimum_channel_width(
             // Establish a routable upper bound first.
             let mut best = match probe(hi, &mut attempts)? {
                 Ok(outcome) => (hi, outcome),
-                Err(e) => return Err(e),
+                Err(widest_err) => {
+                    // Non-monotone escape hatch: bisection concluding
+                    // "unroutable" from this one failure is only sound if
+                    // routability is monotone in W. Scan the rest of the
+                    // range ascending; a success here is both the true
+                    // minimum and the detected non-monotone outcome (a
+                    // failure above a known-routable width).
+                    for w in lo..hi {
+                        if let Ok(outcome) = probe(w, &mut attempts)? {
+                            return Ok(WidthOutcome {
+                                channel_width: w,
+                                outcome,
+                                attempts,
+                            });
+                        }
+                    }
+                    return Err(widest_err);
+                }
             };
             let mut known_bad = lo.saturating_sub(1);
             while best.0 > known_bad + 1 {
@@ -321,10 +346,40 @@ mod tests {
             Router::new(device, config.clone()).route(&circuit)
         });
         assert!(matches!(result, Err(FpgaError::Unroutable { .. })));
-        assert!(matches!(
-            minimum_channel_width_parallel(base, 3..=2, 4, |_| unreachable!()),
-            Err(FpgaError::InvalidArchitecture(_))
-        ));
+        #[allow(clippy::reversed_empty_ranges)] // the empty range IS the case under test
+        let empty = minimum_channel_width_parallel(base, 3..=2, 4, |_| unreachable!());
+        assert!(matches!(empty, Err(FpgaError::InvalidArchitecture(_))));
+    }
+
+    #[test]
+    fn binary_falls_back_to_linear_on_non_monotone_probes() {
+        // Routable only at exactly W = 4: every wider probe fails, the
+        // shape negotiated congestion can produce near its iteration
+        // budget. Pure bisection would report the range unroutable from
+        // the failed probe at W = 7; the fallback must find 4 and count
+        // every probe it spent doing so.
+        let config = RouterConfig {
+            max_passes: 4,
+            ..RouterConfig::default()
+        };
+        let base = ArchSpec::xilinx4000(2, 2, 1);
+        let circuit = crossing_circuit();
+        let found = minimum_channel_width(base, 1..=7, WidthSearch::Binary, |device| {
+            if device.arch().channel_width == 4 {
+                Router::new(device, config.clone()).route(&circuit)
+            } else {
+                Err(FpgaError::Unroutable {
+                    channel_width: device.arch().channel_width,
+                    passes: 0,
+                    failed_net: 0,
+                    overcapacity: Vec::new(),
+                })
+            }
+        })
+        .unwrap();
+        assert_eq!(found.channel_width, 4);
+        // One failed probe at 7, then the ascending scan 1, 2, 3, 4.
+        assert_eq!(found.attempts, 5);
     }
 
     #[test]
@@ -343,10 +398,9 @@ mod tests {
     #[test]
     fn empty_range_rejected() {
         let base = ArchSpec::xilinx4000(2, 2, 1);
-        assert!(matches!(
-            minimum_channel_width(base, 3..=2, WidthSearch::Binary, |_| unreachable!()),
-            Err(FpgaError::InvalidArchitecture(_))
-        ));
+        #[allow(clippy::reversed_empty_ranges)] // the empty range IS the case under test
+        let empty = minimum_channel_width(base, 3..=2, WidthSearch::Binary, |_| unreachable!());
+        assert!(matches!(empty, Err(FpgaError::InvalidArchitecture(_))));
         assert!(matches!(
             minimum_channel_width(base, 0..=2, WidthSearch::Binary, |_| unreachable!()),
             Err(FpgaError::InvalidArchitecture(_))

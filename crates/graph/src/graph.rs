@@ -255,6 +255,23 @@ impl Graph {
         Ok(())
     }
 
+    /// Bulk-reprices every edge in one pass: `f` receives
+    /// `(edge, a, b, current_weight)` and returns the new weight.
+    ///
+    /// This is the negotiated-congestion pricing hook: between routing
+    /// iterations the single writer folds per-node present and history
+    /// costs into every edge at once, without the per-edge id-validation
+    /// and epoch-bump overhead of [`set_weight`](Graph::set_weight) in a
+    /// loop. Removed edges are repriced too (their weight is observable
+    /// again after [`restore_edge`](Graph::restore_edge)); the epoch
+    /// advances exactly once.
+    pub fn reprice_edges<F: FnMut(EdgeId, NodeId, NodeId, Weight) -> Weight>(&mut self, mut f: F) {
+        for (i, rec) in self.edges.iter_mut().enumerate() {
+            rec.weight = f(EdgeId::from_index(i), rec.a, rec.b, rec.weight);
+        }
+        self.epoch += 1;
+    }
+
     /// Removes edge `e` (reversible). Removing an already-removed edge is a
     /// no-op.
     ///
@@ -443,6 +460,25 @@ mod tests {
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.live_node_count(), 3);
         assert_eq!(g.live_edge_count(), 3);
+    }
+
+    #[test]
+    fn reprice_edges_rewrites_every_edge_and_bumps_epoch_once() {
+        let (mut g, n, e) = triangle();
+        g.remove_edge(e[1]).unwrap();
+        let before = g.epoch();
+        let mut seen = Vec::new();
+        g.reprice_edges(|id, a, b, w| {
+            seen.push((id, a, b));
+            w.saturating_add(Weight::UNIT)
+        });
+        assert_eq!(g.epoch(), before + 1);
+        // Every edge is visited with its endpoints, removed ones included.
+        assert_eq!(seen, vec![(e[0], n[0], n[1]), (e[1], n[1], n[2]), (e[2], n[0], n[2])]);
+        assert_eq!(g.weight(e[0]).unwrap(), Weight::from_units(2));
+        assert_eq!(g.weight(e[1]).unwrap(), Weight::from_units(3));
+        assert_eq!(g.weight(e[2]).unwrap(), Weight::from_units(5));
+        assert!(!g.is_edge_usable(e[1]));
     }
 
     #[test]

@@ -34,6 +34,19 @@ impl MultiWeight {
             ..MultiWeight::default()
         }
     }
+
+    /// Componentwise saturating addition: each criterion clamps at
+    /// [`Weight::MAX`] independently, so accumulating congestion or
+    /// history pressure onto an already-saturated criterion leaves the
+    /// other components exact instead of panicking the whole vector.
+    #[must_use]
+    pub fn saturating_add(self, rhs: MultiWeight) -> MultiWeight {
+        MultiWeight {
+            length: self.length.saturating_add(rhs.length),
+            congestion: self.congestion.saturating_add(rhs.congestion),
+            jogs: self.jogs.saturating_add(rhs.jogs),
+        }
+    }
 }
 
 /// A linear functional over [`MultiWeight`]s: coefficients in milli-units
@@ -411,5 +424,23 @@ mod tests {
         let d = crate::dijkstra::minpath(mw.graph(), n[0], n[2]).unwrap();
         assert_eq!(d, Weight::from_units(4));
         let _ = direct;
+    }
+
+    #[test]
+    fn saturating_add_clamps_each_component_independently() {
+        let a = MultiWeight {
+            length: Weight::from_units(2),
+            congestion: Weight::MAX,
+            jogs: Weight::ZERO,
+        };
+        let b = MultiWeight {
+            length: Weight::from_units(3),
+            congestion: Weight::UNIT,
+            jogs: Weight::from_units(1),
+        };
+        let sum = a.saturating_add(b);
+        assert_eq!(sum.length, Weight::from_units(5));
+        assert_eq!(sum.congestion, Weight::MAX);
+        assert_eq!(sum.jogs, Weight::from_units(1));
     }
 }

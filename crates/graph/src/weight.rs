@@ -100,6 +100,18 @@ impl Weight {
     pub fn scale(self, factor: u64) -> Weight {
         Weight(self.0.saturating_mul(factor))
     }
+
+    /// Saturating fused accumulate: `self + rhs·factor`, with both the
+    /// product and the sum clamped at [`Weight::MAX`].
+    ///
+    /// History-cost accumulators in negotiated-congestion routing call
+    /// this once per over-capacity node per iteration; on a grid already
+    /// near `Weight::MAX` the total must degrade to "as expensive as
+    /// representable", never wrap or panic.
+    #[must_use]
+    pub fn saturating_add_scaled(self, rhs: Weight, factor: u64) -> Weight {
+        self.saturating_add(rhs.scale(factor))
+    }
 }
 
 impl Add for Weight {
@@ -213,6 +225,25 @@ mod tests {
     fn saturating_ops_clamp() {
         assert_eq!(Weight::MAX.saturating_add(Weight::UNIT), Weight::MAX);
         assert_eq!(Weight::ZERO.saturating_sub(Weight::UNIT), Weight::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_scaled_clamps_product_and_sum() {
+        // Exact when nothing overflows.
+        assert_eq!(
+            Weight::UNIT.saturating_add_scaled(Weight::from_milli(250), 4),
+            Weight::from_milli(2000)
+        );
+        // Product overflow clamps.
+        assert_eq!(
+            Weight::ZERO.saturating_add_scaled(Weight::from_milli(u64::MAX / 2), 3),
+            Weight::MAX
+        );
+        // Sum overflow clamps.
+        assert_eq!(
+            Weight::MAX.saturating_add_scaled(Weight::UNIT, 1),
+            Weight::MAX
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         rules::commit_path::RULE,
-        "SharedPassGraph write handles may only be named on scheduler commit paths",
+        "shared-graph write handles and snapshot repricing stay on single-writer commit paths",
     ),
     (
         rules::weights::RULE,

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
-        Ok(count) if count == 0 => ExitCode::SUCCESS,
+        Ok(0) => ExitCode::SUCCESS,
         Ok(count) => {
             eprintln!("fpga_lint: {count} diagnostic(s)");
             ExitCode::FAILURE

@@ -11,6 +11,13 @@
 //! anywhere but the scheduler commit modules is a diagnostic. A second
 //! writer elsewhere would mutate state that no changed set records,
 //! which the read-set conflict check could never detect.
+//!
+//! The negotiated-congestion router makes the same argument for its
+//! cost-update phase: `.reprice_edges(` bulk-rewrites every edge weight
+//! of the priced snapshot, which is only sound after the route phase's
+//! workers have joined. Calling it anywhere but `pathfinder.rs` (or the
+//! graph crate that defines it) would mutate prices some overlay might
+//! still be reading through.
 
 use crate::{Diagnostic, FileCtx};
 
@@ -18,12 +25,14 @@ use crate::{Diagnostic, FileCtx};
 pub const RULE: &str = "commit-path-mutation";
 
 /// Where write access is legitimate: the defining crate (the handle's
-/// own implementation and tests) and the two scheduler commit paths.
+/// own implementation and tests), the two scheduler commit paths, and
+/// the negotiated-congestion single-writer cost-update phase.
 fn allowed(path: &str) -> bool {
     path.starts_with("crates/graph/")
         || path.starts_with("crates/lint/")
         || path == "crates/fpga/src/sched.rs"
         || path == "crates/fpga/src/parallel.rs"
+        || path == "crates/fpga/src/pathfinder.rs"
 }
 
 pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
@@ -38,7 +47,9 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
         let offender = if tok.is_ident("SharedPassWriter") {
             Some("`SharedPassWriter` named".to_string())
         } else if tok.is_punct(".")
-            && next(1).is_some_and(|t| t.is_ident("writer") || t.is_ident("publish"))
+            && next(1).is_some_and(|t| {
+                t.is_ident("writer") || t.is_ident("publish") || t.is_ident("reprice_edges")
+            })
             && next(2).is_some_and(|t| t.is_punct("("))
         {
             next(1).map(|t| format!("`.{}()` called", t.text))
@@ -55,9 +66,10 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
                 path: ctx.path.to_string(),
                 line,
                 rule: RULE,
-                message: format!("{what} outside the scheduler commit paths"),
-                hint: "mutate the pass graph only from sched.rs/parallel.rs commit code so every \
-                       write lands in a changed set; read through SharedPassView instead"
+                message: format!("{what} outside the single-writer commit paths"),
+                hint: "mutate shared routing state only from its single-writer module \
+                       (sched.rs/parallel.rs for the pass graph, pathfinder.rs for snapshot \
+                       repricing); read through SharedPassView or an overlay instead"
                     .to_string(),
             });
         }
@@ -85,6 +97,16 @@ mod tests {
     fn naming_the_writer_type_fires() {
         let src = "fn f(w: SharedPassWriter<'_>) {}\n";
         assert_eq!(lint_source("crates/fpga/src/router.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn reprice_fires_outside_the_pathfinder_cost_update() {
+        let src = "fn f(g: &mut Graph) { g.reprice_edges(|_, _, _, w| w); }\n";
+        let diags = lint_source("crates/fpga/src/router.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("reprice_edges"));
+        assert!(lint_source("crates/fpga/src/pathfinder.rs", src).is_empty());
+        assert!(lint_source("crates/graph/src/graph.rs", src).is_empty());
     }
 
     #[test]

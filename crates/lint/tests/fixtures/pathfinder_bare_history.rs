@@ -1,0 +1,8 @@
+//! Fixture: bare `+` on a `Weight` history accumulator, the exact bug
+//! class saturating history accumulation exists to prevent. Linted as
+//! `crates/fpga/src/pathfinder.rs`; must fire `saturating-weights`
+//! exactly once, on the addition.
+
+pub fn accumulate_history(history: Weight, increment: Weight) -> Weight {
+    history + increment
+}

@@ -73,6 +73,21 @@ fn saturating_weights_fires_on_bare_addition() {
 }
 
 #[test]
+fn saturating_weights_fires_on_bare_history_accumulation_in_pathfinder() {
+    // The negotiated-congestion module is NOT exempt from the rule: a
+    // bare `+` on the history accumulator — the exact bug class its
+    // saturating arithmetic exists to prevent — must still be caught
+    // under the module's real workspace path.
+    let d = assert_fires_once(
+        "pathfinder_bare_history.rs",
+        "crates/fpga/src/pathfinder.rs",
+        weights::RULE,
+    );
+    assert_eq!(d.line, 7, "diagnostic anchors to the addition");
+    assert!(d.message.contains("history"));
+}
+
+#[test]
 fn unsafe_forbid_fires_on_crate_root_without_the_attribute() {
     let d = assert_fires_once(
         "missing_forbid.rs",

@@ -59,11 +59,20 @@ pub enum Counter {
     /// Per-terminal Dijkstra fan-outs (one per net whose distance runs
     /// were spread across intra-net worker threads).
     DijkstraFanouts,
+    /// Negotiated-congestion iterations executed (route phase + cost
+    /// update), converged or not.
+    PathfinderIterations,
+    /// Nodes found over capacity by negotiated-congestion convergence
+    /// checks, summed across iterations.
+    PathfinderOvercapacityNodes,
+    /// History-cost accumulations applied by the negotiated-congestion
+    /// cost-update phase (one per over-capacity node per iteration).
+    PathfinderHistoryUpdates,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the dense index order).
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::DijkstraRuns,
         Counter::DijkstraHeapPops,
         Counter::DijkstraRelaxations,
@@ -86,6 +95,9 @@ impl Counter {
         Counter::SchedStalls,
         Counter::SchedRespeculations,
         Counter::DijkstraFanouts,
+        Counter::PathfinderIterations,
+        Counter::PathfinderOvercapacityNodes,
+        Counter::PathfinderHistoryUpdates,
     ];
 
     /// Stable snake_case name used in emitted JSON and summary tables.
@@ -114,6 +126,9 @@ impl Counter {
             Counter::SchedStalls => "sched_stalls",
             Counter::SchedRespeculations => "sched_respeculations",
             Counter::DijkstraFanouts => "dijkstra_fanouts",
+            Counter::PathfinderIterations => "pathfinder_iterations",
+            Counter::PathfinderOvercapacityNodes => "pathfinder_overcapacity_nodes",
+            Counter::PathfinderHistoryUpdates => "pathfinder_history_updates",
         }
     }
 }

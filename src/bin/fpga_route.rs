@@ -4,13 +4,14 @@
 //! fpga-route profiles
 //! fpga-route route --circuit term1 --arch 4000 --width 9 [--algorithm ikmb]
 //!                  [--seed 1995] [--passes 10] [--threads 0] [--scheduler wavefront]
+//!                  [--mode ripup] [--pf-iterations 50]
 //!                  [--spec-exit-misses 4] [--spec-probe-period 32]
 //!                  [--svg out.svg] [--trace out.jsonl] [--metrics]
 //! fpga-route width --circuit term1 --arch 4000 [--min 3] [--max 24]
 //!                  [--algorithm ikmb] [--baseline] [--threads 0]
-//!                  [--scheduler wavefront] [--spec-exit-misses 4]
-//!                  [--spec-probe-period 32] [--probe-threads 0]
-//!                  [--trace out.jsonl] [--metrics]
+//!                  [--scheduler wavefront] [--mode ripup] [--pf-iterations 50]
+//!                  [--spec-exit-misses 4] [--spec-probe-period 32]
+//!                  [--probe-threads 0] [--trace out.jsonl] [--metrics]
 //! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
 //! fpga-route trace-check <file.jsonl>
 //! ```
@@ -26,8 +27,8 @@ use fpga_route::fpga::width::{
     minimum_channel_width, minimum_channel_width_parallel, WidthSearch,
 };
 use fpga_route::fpga::{
-    viz, ArchSpec, BaselineConfig, BaselineRouter, Device, RouteAlgorithm, Router, RouterConfig,
-    SchedulerKind,
+    viz, ArchSpec, BaselineConfig, BaselineRouter, Device, RouteAlgorithm, RouteMode, Router,
+    RouterConfig, SchedulerKind,
 };
 use fpga_route::graph::{GridGraph, Weight};
 use fpga_route::steiner::metrics::{measure, optimal_max_pathlength};
@@ -53,12 +54,14 @@ usage:
   fpga-route profiles
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
                    [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
-                   [--scheduler <wavefront|batch>] [--spec-exit-misses <n>]
+                   [--scheduler <wavefront|batch>] [--mode <ripup|pathfinder>]
+                   [--pf-iterations <n>] [--spec-exit-misses <n>]
                    [--spec-probe-period <n>] [--svg <file>] [--trace <file>]
                    [--stream] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
                    [--threads <n>] [--scheduler <wavefront|batch>]
+                   [--mode <ripup|pathfinder>] [--pf-iterations <n>]
                    [--spec-exit-misses <n>] [--spec-probe-period <n>]
                    [--probe-threads <n>] [--trace <file>] [--stream] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
@@ -69,6 +72,10 @@ usage:
 --scheduler: parallel engine when --threads > 1; wavefront (default) overlaps
              commit with speculation via a conflict DAG and work stealing,
              batch is the lockstep baseline — results are bit-identical
+--mode: congestion strategy; ripup (default) tears up and reroutes blocked
+        nets, pathfinder negotiates via present + history pricing with
+        fully-parallel iterations — bit-identical across thread counts
+--pf-iterations: pathfinder iteration budget before reporting unroutable
 --probe-threads: concurrent width probes; 0 = one worker per available core
 --trace: telemetry as JSONL (or a single JSON document for .json paths)
 --stream: append trace lines live as spans close (requires --trace, JSONL only)
@@ -88,6 +95,8 @@ const ROUTE_FLAGS: FlagSpec = &[
     ("passes", true),
     ("threads", true),
     ("scheduler", true),
+    ("mode", true),
+    ("pf-iterations", true),
     ("spec-exit-misses", true),
     ("spec-probe-period", true),
     ("svg", true),
@@ -106,6 +115,8 @@ const WIDTH_FLAGS: FlagSpec = &[
     ("baseline", false),
     ("threads", true),
     ("scheduler", true),
+    ("mode", true),
+    ("pf-iterations", true),
     ("spec-exit-misses", true),
     ("spec-probe-period", true),
     ("probe-threads", true),
@@ -226,6 +237,14 @@ fn scheduler(flags: &HashMap<String, String>) -> Result<SchedulerKind, Box<dyn E
         Some(other) => {
             Err(format!("unknown scheduler `{other}` (use wavefront or batch)").into())
         }
+    }
+}
+
+fn mode(flags: &HashMap<String, String>) -> Result<RouteMode, Box<dyn Error>> {
+    match flags.get("mode").map(String::as_str) {
+        None | Some("ripup") => Ok(RouteMode::RipUp),
+        Some("pathfinder") => Ok(RouteMode::Pathfinder),
+        Some(other) => Err(format!("unknown mode `{other}` (use ripup or pathfinder)").into()),
     }
 }
 
@@ -358,6 +377,8 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         max_passes: passes,
         threads,
         scheduler: scheduler(flags)?,
+        mode: mode(flags)?,
+        pf_max_iterations: get_usize(flags, "pf-iterations", Some(defaults.pf_max_iterations))?,
         spec_exit_misses: get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?,
         spec_probe_period: get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?,
         ..defaults
@@ -406,7 +427,9 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let use_baseline = flags.contains_key("baseline");
     let algo = algorithm(flags)?;
     let sched = scheduler(flags)?;
+    let route_mode = mode(flags)?;
     let defaults = RouterConfig::default();
+    let pf_max_iterations = get_usize(flags, "pf-iterations", Some(defaults.pf_max_iterations))?;
     let spec_exit_misses = get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?;
     let spec_probe_period = get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?;
     let route = |device: &Device| {
@@ -427,6 +450,8 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                     max_passes: passes,
                     threads,
                     scheduler: sched,
+                    mode: route_mode,
+                    pf_max_iterations,
                     spec_exit_misses,
                     spec_probe_period,
                     ..RouterConfig::default()
@@ -614,6 +639,17 @@ mod tests {
             SchedulerKind::Batch
         );
         assert!(scheduler(&flags(&[("scheduler", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn mode_names_resolve() {
+        assert_eq!(mode(&flags(&[])).unwrap(), RouteMode::RipUp);
+        assert_eq!(mode(&flags(&[("mode", "ripup")])).unwrap(), RouteMode::RipUp);
+        assert_eq!(
+            mode(&flags(&[("mode", "pathfinder")])).unwrap(),
+            RouteMode::Pathfinder
+        );
+        assert!(mode(&flags(&[("mode", "bogus")])).is_err());
     }
 
     #[test]

@@ -312,11 +312,13 @@ fn overlapping_nets_agree_on_unroutability() {
                     channel_width: ws,
                     passes: ps,
                     failed_net: ns,
+                    ..
                 },
                 FpgaError::Unroutable {
                     channel_width: wp,
                     passes: pp,
                     failed_net: np,
+                    ..
                 },
             ) => {
                 assert_eq!(*ws, wp, "{}", scheduler.name());

@@ -1,0 +1,191 @@
+//! Integration tests for negotiated-congestion (PathFinder) routing.
+//!
+//! The mode's defining property is that each iteration's route phase is
+//! a pure function of the priced snapshot: which worker routes a net can
+//! never change what it routes. So the whole outcome — trees, iteration
+//! count, wirelength, even the failure report — must be bit-identical
+//! across thread counts and scheduler settings. These tests pin that,
+//! plus the two contracts the mode adds: a converged routing really is
+//! segment-disjoint, and an unconverged one names the still-contended
+//! nodes instead of failing silently.
+
+use fpga_route::fpga::synth::{synthesize, CircuitProfile};
+use fpga_route::fpga::{
+    ArchSpec, BlockPin, Circuit, CircuitNet, Device, FpgaError, RouteMode, RouteOutcome, Router,
+    RouterConfig, SchedulerKind, Side,
+};
+
+/// A small synthetic profile: enough nets to contend, fast to route.
+fn tiny_profile() -> CircuitProfile {
+    CircuitProfile {
+        name: "tiny",
+        rows: 5,
+        cols: 5,
+        nets_2_3: 8,
+        nets_4_10: 3,
+        nets_over_10: 0,
+    }
+}
+
+fn pf_config(threads: usize, scheduler: SchedulerKind) -> RouterConfig {
+    RouterConfig {
+        mode: RouteMode::Pathfinder,
+        threads,
+        scheduler,
+        ..RouterConfig::default()
+    }
+}
+
+fn route_tiny(width: usize, config: RouterConfig) -> Result<RouteOutcome, FpgaError> {
+    let profile = tiny_profile();
+    let circuit = synthesize(&profile, 2, 1995).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(profile.rows, profile.cols, width)).unwrap();
+    Router::new(&device, config).route(&circuit)
+}
+
+fn pin(row: usize, col: usize, side: Side, slot: usize) -> BlockPin {
+    BlockPin {
+        row,
+        col,
+        side,
+        slot,
+    }
+}
+
+/// Two nets that each route fine alone but must cross the same channels
+/// of a 2×2 array, plus a third along the diagonal — the same shape the
+/// width-search tests use, known unroutable at W = 1.
+fn crossing_circuit() -> Circuit {
+    Circuit::new(
+        "cross",
+        2,
+        2,
+        vec![
+            CircuitNet {
+                pins: vec![pin(0, 0, Side::East, 0), pin(1, 1, Side::West, 0)],
+            },
+            CircuitNet {
+                pins: vec![pin(0, 1, Side::West, 0), pin(1, 0, Side::East, 0)],
+            },
+            CircuitNet {
+                pins: vec![pin(0, 0, Side::South, 1), pin(1, 1, Side::North, 1)],
+            },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn pathfinder_is_bit_identical_across_threads_and_schedulers() {
+    let sequential = route_tiny(8, pf_config(1, SchedulerKind::Wavefront)).unwrap();
+    for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+        for threads in [1usize, 2, 4] {
+            let parallel = route_tiny(8, pf_config(threads, scheduler)).unwrap();
+            let context = format!("threads {threads}, {}", scheduler.name());
+            assert_eq!(parallel.trees, sequential.trees, "{context}");
+            assert_eq!(parallel.passes, sequential.passes, "{context}");
+            assert_eq!(
+                parallel.total_wirelength, sequential.total_wirelength,
+                "{context}"
+            );
+            assert_eq!(
+                parallel.max_pathlengths, sequential.max_pathlengths,
+                "{context}"
+            );
+        }
+    }
+}
+
+#[test]
+fn converged_routing_is_segment_disjoint_within_budget() {
+    let profile = tiny_profile();
+    let circuit = synthesize(&profile, 2, 1995).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(profile.rows, profile.cols, 8)).unwrap();
+    let outcome = Router::new(&device, pf_config(4, SchedulerKind::Wavefront))
+        .route(&circuit)
+        .expect("routable at a generous width");
+    assert!(
+        outcome.passes <= RouterConfig::default().pf_max_iterations,
+        "convergence must fit the default iteration budget, took {}",
+        outcome.passes
+    );
+    // Convergence means no segment node is claimed by two nets.
+    let mut used = vec![false; device.graph().node_count()];
+    for (ni, tree) in outcome.trees.iter().enumerate() {
+        for v in tree.nodes() {
+            if device.segment_position(v).is_some() {
+                assert!(
+                    !used[v.index()],
+                    "net {ni} shares segment node {v:?} with an earlier net"
+                );
+                used[v.index()] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn unroutable_reports_the_over_capacity_nodes_identically_across_threads() {
+    let circuit = crossing_circuit();
+    let device = Device::new(ArchSpec::xilinx4000(2, 2, 1)).unwrap();
+    let mut reference: Option<(usize, usize, Vec<_>)> = None;
+    for threads in [1usize, 2, 4] {
+        let config = RouterConfig {
+            pf_max_iterations: 4,
+            ..pf_config(threads, SchedulerKind::Wavefront)
+        };
+        let err = Router::new(&device, config)
+            .route(&circuit)
+            .expect_err("W = 1 cannot host the crossing circuit");
+        let FpgaError::Unroutable {
+            channel_width,
+            passes,
+            failed_net,
+            overcapacity,
+        } = err
+        else {
+            panic!("expected Unroutable, got {err}");
+        };
+        assert_eq!(channel_width, 1);
+        // Contention (not disconnection): the budget was spent and the
+        // report names the contested nodes in ascending id order.
+        assert!(
+            !overcapacity.is_empty(),
+            "threads {threads}: failure must name the contested nodes"
+        );
+        assert_eq!(passes, 4, "threads {threads}");
+        assert!(
+            overcapacity.windows(2).all(|w| w[0] < w[1]),
+            "threads {threads}: over-capacity set must be sorted ascending"
+        );
+        match &reference {
+            None => reference = Some((passes, failed_net, overcapacity)),
+            Some((p, f, o)) => {
+                assert_eq!(passes, *p, "threads {threads}: passes differ");
+                assert_eq!(failed_net, *f, "threads {threads}: failed net differs");
+                assert_eq!(&overcapacity, o, "threads {threads}: over-capacity set differs");
+            }
+        }
+    }
+}
+
+#[test]
+fn saturated_pricing_degrades_gracefully_instead_of_panicking() {
+    // Maximal pricing drives every contended node to Weight::MAX after
+    // one iteration. All arithmetic saturates, so the router must still
+    // terminate with a well-formed answer — converged or an honest
+    // Unroutable — never a panic.
+    for threads in [1usize, 4] {
+        let config = RouterConfig {
+            pf_present_milli: u64::MAX,
+            pf_history_milli: u64::MAX,
+            pf_max_iterations: 6,
+            ..pf_config(threads, SchedulerKind::Wavefront)
+        };
+        match route_tiny(6, config) {
+            Ok(outcome) => assert!(!outcome.trees.is_empty()),
+            Err(FpgaError::Unroutable { .. }) => {}
+            Err(other) => panic!("unexpected error under saturated pricing: {other}"),
+        }
+    }
+}

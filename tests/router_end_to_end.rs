@@ -275,6 +275,7 @@ fn unroutable_reports_are_accurate() {
             channel_width,
             passes,
             failed_net,
+            ..
         } => {
             assert_eq!(channel_width, 1);
             assert_eq!(passes, 2);
