@@ -47,10 +47,28 @@ trap 'rm -f "$trace_file" "$bad_file" "$pf_trace"' EXIT
 ./target/release/fpga_route trace-check "$pf_trace"
 grep -q '"kind":"pass"' "$pf_trace"
 grep -q '"name":"pathfinder_iterations"' "$pf_trace"
+grep -q '"type":"histogram"' "$pf_trace"
+grep -q '"type":"gauge"' "$pf_trace"
+grep -q '"type":"profile"' "$pf_trace"
+grep -q '"type":"convergence"' "$pf_trace"
+grep -q '"type":"timeline"' "$pf_trace"
+
+echo "==> trace-report renders the pathfinder smoke trace"
+./target/release/fpga_route trace-report "$pf_trace"
+
+echo "==> bench-diff self-check (identical snapshots must pass the gate)"
+./target/release/fpga_route bench-diff BENCH_pathfinder.json BENCH_pathfinder.json --threshold 5
 
 echo "==> pathfinder bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench pathfinder
+
+echo "==> bench-diff perf gate (checked-in baseline vs fresh run, warn-only)"
+fresh_bench="$(mktemp /tmp/fpga_bench_fresh.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$fresh_bench"' EXIT
+cp BENCH_pathfinder.json "$fresh_bench"
 git checkout -- BENCH_pathfinder.json 2>/dev/null || true
+./target/release/fpga_route bench-diff BENCH_pathfinder.json "$fresh_bench" \
+    --threshold 25 --warn-only
 
 echo "==> snapshot bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench snapshot

@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 
 use experiments::table5::{render, run};
+use experiments::telemetry::with_archived_telemetry;
 use experiments::widths::{mode_from_args, WidthExperimentConfig};
 
 fn main() {
@@ -15,6 +16,11 @@ fn main() {
         mode,
         ..WidthExperimentConfig::default()
     };
-    let rows = run(&config).expect("table 5 experiment failed");
+    let (rows, archive, summary) = with_archived_telemetry("table5", || {
+        run(&config).expect("table 5 experiment failed")
+    })
+    .expect("archiving table 5 telemetry failed");
     println!("{}", render(&rows));
+    println!("{summary}");
+    println!("telemetry archived to {}", archive.display());
 }

@@ -2,11 +2,13 @@
 //!
 //! Every table binary wraps its experiment in [`with_archived_telemetry`]
 //! so a regeneration run leaves the routing trace (spans, counters,
-//! congestion snapshots) next to the rendered table, in the same JSONL
-//! format the CLI's `--trace` flag emits. That makes a published table
-//! auditable after the fact: the archived trace says how many passes each
-//! width probe took, how much Dijkstra/Steiner work was spent, and how
-//! congestion evolved — without re-running anything.
+//! congestion snapshots, histograms, profile, convergence, timelines)
+//! next to the rendered table, in the same JSONL format the CLI's
+//! `--trace` flag emits — plus a rendered `<name>.report.txt` produced
+//! by the same engine as `fpga_route trace-report`. That makes a
+//! published table auditable after the fact: the archived trace says how
+//! many passes each width probe took, how much Dijkstra/Steiner work was
+//! spent, and how congestion evolved — without re-running anything.
 
 use std::fs;
 use std::io;
@@ -16,14 +18,15 @@ use route_trace::{Collector, JsonlSink, Trace, TraceSink};
 
 /// Runs `experiment` under a freshly installed trace collector and
 /// archives the captured telemetry as JSONL at
-/// `artifact_dir()/telemetry/<name>.jsonl`.
+/// `artifact_dir()/telemetry/<name>.jsonl`, with the rendered
+/// trace-report alongside as `<name>.report.txt`.
 ///
 /// Returns the experiment's result, the archive path, and the trace's
 /// human-readable summary (suitable for printing after the table).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from creating or writing the archive file.
+/// Propagates I/O errors from creating or writing the archive files.
 pub fn with_archived_telemetry<T>(
     name: &str,
     experiment: impl FnOnce() -> T,
@@ -36,12 +39,17 @@ pub fn with_archived_telemetry<T>(
     Ok((result, path, trace.summary()))
 }
 
-/// Writes `trace` as `<dir>/<name>.jsonl`, creating `dir` as needed.
+/// Writes `trace` as `<dir>/<name>.jsonl` plus the rendered report as
+/// `<dir>/<name>.report.txt`, creating `dir` as needed.
 fn archive_trace(dir: &Path, name: &str, trace: &Trace) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.jsonl"));
-    let mut file = fs::File::create(&path)?;
-    JsonlSink.emit(trace, &mut file)?;
+    let mut jsonl = Vec::new();
+    JsonlSink.emit(trace, &mut jsonl)?;
+    fs::write(&path, &jsonl)?;
+    let jsonl = String::from_utf8(jsonl).map_err(io::Error::other)?;
+    let report = route_trace::report::render_report(&jsonl).map_err(io::Error::other)?;
+    fs::write(dir.join(format!("{name}.report.txt")), report)?;
     Ok(path)
 }
 
@@ -86,7 +94,13 @@ mod tests {
         ));
         let path = archive_trace(&dir, "unit", &trace).unwrap();
         let contents = fs::read_to_string(&path).unwrap();
+        let report = fs::read_to_string(dir.join("unit.report.txt")).unwrap();
         fs::remove_dir_all(&dir).ok();
+
+        assert!(
+            report.starts_with("trace report"),
+            "rendered report archived next to the JSONL, got: {report}"
+        );
 
         assert!(
             contents.lines().count() > 1,

@@ -119,6 +119,7 @@ type Speculation = (usize, NetSpeculation);
 /// (routing masks and unmasks pins but never commits), so all
 /// speculation observes the identical snapshot regardless of how nets
 /// land on workers — without ever cloning the graph.
+#[allow(clippy::too_many_arguments)] // internal plumbing for one call site
 fn speculate(
     router: &Router<'_>,
     circuit: &Circuit,
@@ -127,6 +128,7 @@ fn speculate(
     batch: &[usize],
     threads: usize,
     arenas: &mut [OverlayArena],
+    worker_stats: &mut [(u64, usize)],
 ) -> Vec<NetSpeculation> {
     let workers = threads.min(batch.len()).min(arenas.len()).max(1);
     let mut collected: Vec<Option<NetSpeculation>> = (0..batch.len()).map(|_| None).collect();
@@ -140,10 +142,11 @@ fn speculate(
             .iter_mut()
             .enumerate()
             .map(|(worker, arena)| {
-                scope.spawn(move || -> Vec<Speculation> {
+                scope.spawn(move || -> (usize, Vec<Speculation>, u64) {
                     route_trace::adopt_parent(parent_span);
+                    let wave_started = route_trace::enabled().then(std::time::Instant::now);
                     let mut g = GraphOverlay::bind(snapshot, arena);
-                    batch
+                    let routed: Vec<Speculation> = batch
                         .iter()
                         .enumerate()
                         .skip(worker)
@@ -157,12 +160,21 @@ fn speculate(
                             g.reset();
                             (bi, (result, reads))
                         })
-                        .collect()
+                        .collect();
+                    let busy_ns = wave_started.map_or(0, |s| {
+                        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    (worker, routed, busy_ns)
                 })
             })
             .collect();
         for handle in handles {
-            for (bi, outcome) in handle.join().expect("routing worker panicked") {
+            let (worker, routed, busy_ns) = handle.join().expect("routing worker panicked");
+            if let Some(stats) = worker_stats.get_mut(worker) {
+                stats.0 = stats.0.saturating_add(busy_ns);
+                stats.1 = stats.1.saturating_add(routed.len());
+            }
+            for (bi, outcome) in routed {
                 collected[bi] = Some(outcome);
             }
         }
@@ -183,6 +195,7 @@ pub(crate) fn route_pass_parallel(
     critical: &[bool],
     threads: usize,
     arenas: &mut [OverlayArena],
+    pass: usize,
 ) -> Result<(PassResult, PassTelemetry), FpgaError> {
     let device = router.device();
     let config = router.config();
@@ -198,10 +211,30 @@ pub(crate) fn route_pass_parallel(
     let mut usage: Vec<u32> = vec![0; device.position_count()];
     let mut trees: Vec<Option<RoutingTree>> = vec![None; circuit.net_count()];
     let mut timing = PassTelemetry::default();
+    // Per-worker (busy_ns, nets speculated) accumulated across every
+    // batch wave of this pass, reported as scheduler-timeline records at
+    // pass exit. Zero-cost when tracing is off (stays all-zero, skipped).
+    let mut worker_stats: Vec<(u64, usize)> = vec![(0, 0); threads];
     // Taken at every pass exit, success or failure, so each executed pass
     // ships an end-state occupancy snapshot.
     macro_rules! finish_pass {
         ($result:expr) => {{
+            if route_trace::enabled() {
+                for (worker, &(busy_ns, nets)) in worker_stats.iter().enumerate() {
+                    if nets == 0 {
+                        continue;
+                    }
+                    route_trace::record_timeline(route_trace::TimelineRecord {
+                        pass,
+                        worker,
+                        role: "batch-worker",
+                        busy_ns,
+                        nets,
+                        steals: 0,
+                        stalls: 0,
+                    });
+                }
+            }
             timing.congestion = CongestionSnapshot::from_usage(0, w as usize, &usage);
             return Ok(($result, timing));
         }};
@@ -225,7 +258,16 @@ pub(crate) fn route_pass_parallel(
         }
 
         timing.speculated += len;
-        let speculated = speculate(router, circuit, critical, &g, batch, threads, arenas);
+        let speculated = speculate(
+            router,
+            circuit,
+            critical,
+            &g,
+            batch,
+            threads,
+            arenas,
+            &mut worker_stats,
+        );
 
         // Commit strictly in order; `changed` accumulates every node the
         // batch's commits invalidated so later nets can detect staleness.

@@ -275,6 +275,7 @@ pub(crate) fn route_negotiated(
                 &mut priced,
                 &final_trees,
                 ctx,
+                iteration,
             )?;
             if let Some(ni) = trees.iter().position(Option::is_none) {
                 // Disconnected with every resource live: no amount of
@@ -335,10 +336,22 @@ pub(crate) fn route_negotiated(
                 users
             );
         }
+        // Nets whose route changed relative to the previous iteration —
+        // the convergence signal complementary to the over-capacity
+        // count (a negotiation can stall with few over-capacity nodes
+        // but many nets still churning between alternatives).
+        let nets_rerouted = trees
+            .iter()
+            .enumerate()
+            .filter(|(ni, tree)| {
+                trees_differ(tree.as_ref(), final_trees.get(*ni).and_then(Option::as_ref))
+            })
+            .count();
         let timing = crate::telemetry::PassTelemetry {
             pass: iteration,
             overcapacity: overcap.len(),
             history_updates: if converged { 0 } else { overcap.len() },
+            nets_rerouted,
             elapsed: started.elapsed(),
             congestion: crate::telemetry::CongestionSnapshot::from_usage(
                 iteration, width, &pos_usage,
@@ -350,6 +363,23 @@ pub(crate) fn route_negotiated(
             route_trace::count(route_trace::Counter::PathfinderIterations, 1);
             route_trace::count(
                 route_trace::Counter::PathfinderOvercapacityNodes,
+                overcap.len() as u64,
+            );
+            route_trace::record_convergence(route_trace::ConvergenceRecord {
+                iteration,
+                overcapacity: overcap.len(),
+                history_milli: history
+                    .iter()
+                    .fold(0u64, |acc, h| acc.saturating_add(h.as_milli())),
+                nets_rerouted,
+                present_milli: pricing_for(iteration).present_milli,
+            });
+            route_trace::record_duration(
+                route_trace::Metric::PfIterationNs,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            route_trace::set_gauge(
+                route_trace::Gauge::PeakOvercapacityNodes,
                 overcap.len() as u64,
             );
         }
@@ -413,6 +443,23 @@ pub(crate) fn route_negotiated(
     })
 }
 
+/// Whether a net's route changed between iterations: same edge *set*,
+/// whatever order the construction emitted the edges in, counts as
+/// unchanged.
+fn trees_differ(a: Option<&RoutingTree>, b: Option<&RoutingTree>) -> bool {
+    match (a, b) {
+        (None, None) => false,
+        (Some(a), Some(b)) => {
+            let mut ea: Vec<usize> = a.edges().iter().map(|e| e.index()).collect();
+            let mut eb: Vec<usize> = b.edges().iter().map(|e| e.index()).collect();
+            ea.sort_unstable();
+            eb.sort_unstable();
+            ea != eb
+        }
+        _ => true,
+    }
+}
+
 /// The route phase: every net of `circuit`, each against the same priced
 /// snapshot minus its own previous present cost (see
 /// [`route_net_excluded`]). With `threads > 1`, worker `k` routes nets
@@ -433,10 +480,16 @@ fn route_all(
     priced: &mut Graph,
     prev: &[Option<RoutingTree>],
     ctx: ExclusionCtx<'_>,
+    iteration: usize,
 ) -> Result<Vec<Option<RoutingTree>>, FpgaError> {
     let net_count = circuit.net_count();
     let prev_of = |ni: usize| prev.get(ni).and_then(Option::as_ref);
     if threads <= 1 {
+        let phase_started = if route_trace::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut trees: Vec<Option<RoutingTree>> = Vec::with_capacity(net_count);
         for ni in 0..net_count {
             trees.push(route_net_excluded(
@@ -448,6 +501,17 @@ fn route_all(
                 prev_of(ni),
                 ctx,
             )?);
+        }
+        if let Some(started) = phase_started {
+            route_trace::record_timeline(route_trace::TimelineRecord {
+                pass: iteration,
+                worker: 0,
+                role: "pf-worker",
+                busy_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                nets: net_count,
+                steals: 0,
+                stalls: 0,
+            });
         }
         return Ok(trees);
     }
@@ -462,6 +526,11 @@ fn route_all(
         for (k, arena) in arenas.iter_mut().enumerate().take(threads) {
             handles.push(scope.spawn(move || {
                 route_trace::adopt_parent(parent_span);
+                let worker_started = if route_trace::enabled() {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
                 let mut overlay = GraphOverlay::bind(snapshot, arena);
                 if route_trace::enabled() {
                     route_trace::count(route_trace::Counter::OverlayBinds, 1);
@@ -481,6 +550,19 @@ fn route_all(
                         ),
                     ));
                 }
+                if let Some(started) = worker_started {
+                    route_trace::record_timeline(route_trace::TimelineRecord {
+                        pass: iteration,
+                        worker: k,
+                        role: "pf-worker",
+                        busy_ns: u64::try_from(started.elapsed().as_nanos())
+                            .unwrap_or(u64::MAX),
+                        nets: routed.len(),
+                        steals: 0,
+                        stalls: 0,
+                    });
+                }
+                route_trace::flush_thread();
                 routed
             }));
         }

@@ -431,6 +431,7 @@ impl<'d> Router<'d> {
                             critical,
                             threads,
                             &mut arenas,
+                            pass,
                         )?,
                         SchedulerKind::Batch => crate::parallel::route_pass_parallel(
                             self,
@@ -439,6 +440,7 @@ impl<'d> Router<'d> {
                             critical,
                             threads,
                             &mut arenas,
+                            pass,
                         )?,
                     }
                 } else {
@@ -548,6 +550,11 @@ impl<'d> Router<'d> {
         critical: &[bool],
     ) -> Result<Option<RoutingTree>, FpgaError> {
         let _net_span = route_trace::span(route_trace::SpanKind::Net, "net", ni as u64);
+        let net_started = if route_trace::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let terminals = circuit.net_terminals(self.device, ni)?;
         let masked = mask_foreign_pins(g, self.device, &terminals)?;
         let net = Net::from_terminals(terminals)?;
@@ -563,6 +570,12 @@ impl<'d> Router<'d> {
         };
         if route_trace::enabled() {
             route_trace::count(route_trace::Counter::NetsRouted, 1);
+        }
+        if let Some(started) = net_started {
+            route_trace::record_duration(
+                route_trace::Metric::NetRouteNs,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
         unmask_pins(g, &masked)?;
         match result {
@@ -620,6 +633,11 @@ impl<'d> Router<'d> {
         tree: &RoutingTree,
         mut changed: Option<&mut std::collections::HashSet<NodeId>>,
     ) -> Result<(), FpgaError> {
+        let commit_started = if route_trace::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut touched: Vec<usize> = Vec::new();
         let nodes: Vec<NodeId> = tree.nodes().collect();
         for &v in &nodes {
@@ -659,6 +677,12 @@ impl<'d> Router<'d> {
                     g.set_weight(e, Weight::UNIT.saturating_add(pressure))?;
                 }
             }
+        }
+        if let Some(started) = commit_started {
+            route_trace::record_duration(
+                route_trace::Metric::CommitApplyNs,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
         Ok(())
     }

@@ -308,7 +308,13 @@ pub(crate) fn route_pass_wavefront(
     critical: &[bool],
     threads: usize,
     arenas: &mut [OverlayArena],
+    pass: usize,
 ) -> Result<(PassResult, PassTelemetry), FpgaError> {
+    let pass_started = if route_trace::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let device = router.device();
     let config = router.config();
     let n = order.len();
@@ -395,6 +401,14 @@ pub(crate) fn route_pass_wavefront(
             let shared = &shared;
             scope.spawn(move || {
                 route_trace::adopt_parent(parent_span);
+                // Per-worker occupancy tallies for the scheduler
+                // timeline: time spent actually routing (parked time
+                // excluded), nets speculated, steals, and stalls.
+                let timeline = route_trace::enabled();
+                let mut my_busy_ns = 0u64;
+                let mut my_nets = 0usize;
+                let mut my_steals = 0usize;
+                let mut my_stalls = 0usize;
                 loop {
                     // --- acquire a ready net ---------------------------
                     let (pos, stole, last_ready) = {
@@ -402,6 +416,19 @@ pub(crate) fn route_pass_wavefront(
                         let mut stole = false;
                         loop {
                             if st.done {
+                                drop(st);
+                                if timeline {
+                                    route_trace::record_timeline(route_trace::TimelineRecord {
+                                        pass,
+                                        worker,
+                                        role: "worker",
+                                        busy_ns: my_busy_ns,
+                                        nets: my_nets,
+                                        steals: my_steals,
+                                        stalls: my_stalls,
+                                    });
+                                }
+                                route_trace::flush_thread();
                                 return;
                             }
                             if st.gate || st.paused {
@@ -409,6 +436,7 @@ pub(crate) fn route_pass_wavefront(
                                 // writer) or paused (speculation is not
                                 // paying): park without taking a net.
                                 st.stalls += 1;
+                                my_stalls += 1;
                                 st = park_on(work, st);
                                 continue;
                             }
@@ -433,12 +461,17 @@ pub(crate) fn route_pass_wavefront(
                                 break (p, stole, st.queued() == 0);
                             }
                             st.stalls += 1;
+                            my_stalls += 1;
                             st = park_on(work, st);
                         }
                     };
-                    if stole && route_trace::enabled() {
-                        route_trace::count(route_trace::Counter::SchedSteals, 1);
+                    if stole {
+                        my_steals += 1;
+                        if route_trace::enabled() {
+                            route_trace::count(route_trace::Counter::SchedSteals, 1);
+                        }
                     }
+                    let route_started = timeline.then(std::time::Instant::now);
 
                     // --- speculate outside the lock --------------------
                     // The DAG ran dry behind this net: spend the idle
@@ -467,6 +500,13 @@ pub(crate) fn route_pass_wavefront(
                     } else {
                         route_graph::readset::take()
                     };
+
+                    if let Some(started) = route_started {
+                        my_busy_ns = my_busy_ns.saturating_add(
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        my_nets += 1;
+                    }
 
                     let mut st = lock_state(state);
                     st.inflight -= 1;
@@ -743,6 +783,21 @@ pub(crate) fn route_pass_wavefront(
 
     if route_trace::enabled() && timing.stalls > 0 {
         route_trace::count(route_trace::Counter::SchedStalls, timing.stalls as u64);
+    }
+    if let Some(started) = pass_started {
+        // The committer's timeline row: commit-chain occupancy for the
+        // whole pass, with the committed-net count and the pass-wide
+        // steal/stall totals (workers report their own shares above).
+        route_trace::record_timeline(route_trace::TimelineRecord {
+            pass,
+            worker: workers,
+            role: "committer",
+            busy_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            nets: trees.iter().filter(|t| t.is_some()).count(),
+            steals: timing.steals,
+            stalls: timing.stalls,
+        });
+        route_trace::set_gauge(route_trace::Gauge::SchedWorkers, workers as u64);
     }
     timing.congestion = CongestionSnapshot::from_usage(0, w as usize, &usage);
     match failed {

@@ -48,6 +48,9 @@ pub struct PassTelemetry {
     /// History-cost accumulations applied after the pass (negotiated-
     /// congestion mode only; one per over-capacity node).
     pub history_updates: usize,
+    /// Nets whose route changed relative to the previous iteration
+    /// (negotiated-congestion mode only; iteration 1 counts every net).
+    pub nets_rerouted: usize,
     /// Wall-clock time of the whole pass.
     pub elapsed: Duration,
     /// Channel occupancy at the end of the pass (or at the failing net,

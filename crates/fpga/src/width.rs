@@ -45,6 +45,23 @@ pub struct WidthOutcome {
     pub attempts: usize,
 }
 
+/// Builds the successful [`WidthOutcome`], publishing the found width as
+/// the `min_channel_width` gauge on its way out — one call site per
+/// success path, so every search strategy reports identically.
+fn found(channel_width: usize, outcome: RouteOutcome, attempts: usize) -> WidthOutcome {
+    if route_trace::enabled() {
+        route_trace::set_gauge(
+            route_trace::Gauge::MinChannelWidth,
+            channel_width as u64,
+        );
+    }
+    WidthOutcome {
+        channel_width,
+        outcome,
+        attempts,
+    }
+}
+
 /// Finds the minimum channel width in `range` at which `route` succeeds.
 ///
 /// `route` receives a freshly built device per probe (the architecture is
@@ -89,13 +106,7 @@ pub fn minimum_channel_width(
             let mut last_err = None;
             for w in lo..=hi {
                 match probe(w, &mut attempts)? {
-                    Ok(outcome) => {
-                        return Ok(WidthOutcome {
-                            channel_width: w,
-                            outcome,
-                            attempts,
-                        })
-                    }
+                    Ok(outcome) => return Ok(found(w, outcome, attempts)),
                     Err(e) => last_err = Some(e),
                 }
             }
@@ -114,11 +125,7 @@ pub fn minimum_channel_width(
                     // failure above a known-routable width).
                     for w in lo..hi {
                         if let Ok(outcome) = probe(w, &mut attempts)? {
-                            return Ok(WidthOutcome {
-                                channel_width: w,
-                                outcome,
-                                attempts,
-                            });
+                            return Ok(found(w, outcome, attempts));
                         }
                     }
                     return Err(widest_err);
@@ -132,11 +139,7 @@ pub fn minimum_channel_width(
                     Err(_) => known_bad = mid,
                 }
             }
-            Ok(WidthOutcome {
-                channel_width: best.0,
-                outcome: best.1,
-                attempts,
-            })
+            Ok(found(best.0, best.1, attempts))
         }
     }
 }
@@ -207,13 +210,7 @@ pub fn minimum_channel_width_parallel(
         });
         for (result, &w) in results.into_iter().zip(&widths) {
             match result.expect("every width probed") {
-                Ok(outcome) => {
-                    return Ok(WidthOutcome {
-                        channel_width: w,
-                        outcome,
-                        attempts,
-                    })
-                }
+                Ok(outcome) => return Ok(found(w, outcome, attempts)),
                 Err(e @ FpgaError::Unroutable { .. }) => last_err = Some(e),
                 Err(e) => return Err(e),
             }

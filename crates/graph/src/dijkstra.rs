@@ -106,7 +106,13 @@ impl ShortestPaths {
     ) -> Result<ShortestPaths, GraphError> {
         g.require_live_node(source)?;
         // Tally locally and flush once at the end: a thread-local lookup
-        // per edge would be measurable.
+        // per edge would be measurable. Wall-clock is captured under the
+        // same TRACED gate — untraced runs never touch the clock.
+        let started = if TRACED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut pops = 0u64;
         let mut relaxations = 0u64;
         // Read-set recording for speculative routing: every settled node
@@ -153,6 +159,12 @@ impl ShortestPaths {
             route_trace::count(route_trace::Counter::DijkstraRuns, 1);
             route_trace::count(route_trace::Counter::DijkstraHeapPops, pops);
             route_trace::count(route_trace::Counter::DijkstraRelaxations, relaxations);
+            if let Some(started) = started {
+                route_trace::record_duration(
+                    route_trace::Metric::DijkstraRunNs,
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
         }
         if RECORDING {
             crate::readset::extend(&reads);

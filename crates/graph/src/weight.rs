@@ -199,6 +199,19 @@ mod tests {
     }
 
     #[test]
+    fn weight_max_lands_in_the_last_histogram_bucket() {
+        // Saturated weights get fed to latency histograms as raw milli
+        // values; the top bucket must absorb `Weight::MAX` rather than
+        // wrap or panic.
+        use route_trace::{bucket_index, bucket_upper_bound, HISTOGRAM_BUCKETS};
+        assert_eq!(bucket_index(Weight::MAX.as_milli()), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            bucket_upper_bound(bucket_index(Weight::MAX.as_milli())),
+            u64::MAX
+        );
+    }
+
+    #[test]
     fn arithmetic_is_exact() {
         let w = Weight::from_milli(1);
         let mut acc = Weight::ZERO;

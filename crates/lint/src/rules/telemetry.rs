@@ -1,6 +1,6 @@
 //! Rule `telemetry-sync`: the telemetry surface stays documented.
 //!
-//! Two cross-file checks, both workspace-level (they read Rust *and*
+//! Three cross-file checks, all workspace-level (they read Rust *and*
 //! markdown, so they run once per lint invocation rather than per file):
 //!
 //! 1. **Counter glossary** — every `trace::Counter` variant's emitted
@@ -9,13 +9,20 @@
 //!    real counter. The glossary is the region between the
 //!    `<!-- lint:counter-glossary:start -->` / `:end` markers; each
 //!    table row's first backticked word is the counter name.
-//! 2. **CLI flags** — every flag tuple `("name", takes_value)` parsed
+//! 2. **Metric glossary** — every `trace::Metric` / `trace::Gauge`
+//!    emitted name and every JSONL record type in `check.rs`'s
+//!    `RECORD_TYPES` appears in the README's metric-glossary table
+//!    (between the `<!-- lint:metric-glossary:start -->` / `:end`
+//!    markers), and every row names a real metric, gauge, or record
+//!    type.
+//! 3. **CLI flags** — every flag tuple `("name", takes_value)` parsed
 //!    in `src/bin/fpga_route.rs` has `--name` mentioned somewhere in
 //!    the README.
 //!
 //! Telemetry consumers (trace-check, the experiment drivers, humans
-//! reading JSONL) key on these names; an undocumented counter or flag
-//! is an interface change that silently skipped review.
+//! reading JSONL) key on these names; an undocumented counter, metric,
+//! record type, or flag is an interface change that silently skipped
+//! review.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -28,6 +35,8 @@ use crate::{cfg_test_mask, Diagnostic};
 pub const RULE: &str = "telemetry-sync";
 
 const COUNTER_RS: &str = "crates/trace/src/counter.rs";
+const METRICS_RS: &str = "crates/trace/src/metrics.rs";
+const CHECK_RS: &str = "crates/trace/src/check.rs";
 const CLI_RS: &str = "src/bin/fpga_route.rs";
 const README: &str = "README.md";
 
@@ -35,16 +44,32 @@ const README: &str = "README.md";
 pub const GLOSSARY_START: &str = "<!-- lint:counter-glossary:start -->";
 /// Closing marker of the README counter glossary.
 pub const GLOSSARY_END: &str = "<!-- lint:counter-glossary:end -->";
+/// Opening marker of the README metric glossary (histogram metrics,
+/// gauges, and JSONL record types).
+pub const METRIC_GLOSSARY_START: &str = "<!-- lint:metric-glossary:start -->";
+/// Closing marker of the README metric glossary.
+pub const METRIC_GLOSSARY_END: &str = "<!-- lint:metric-glossary:end -->";
 
 pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let counters = std::fs::read_to_string(root.join(COUNTER_RS))
         .map(|src| extract_counters(&src))
         .unwrap_or_default();
+    // The metric surface: histogram/gauge names from metrics.rs plus the
+    // JSONL record types trace-check accepts — one namespace, one
+    // glossary (the names are disjoint by construction).
+    let mut metrics = std::fs::read_to_string(root.join(METRICS_RS))
+        .map(|src| extract_metrics(&src))
+        .unwrap_or_default();
+    if let Ok(src) = std::fs::read_to_string(root.join(CHECK_RS)) {
+        for (name, line) in extract_record_types(&src) {
+            metrics.entry(name).or_insert(line);
+        }
+    }
     let flags = std::fs::read_to_string(root.join(CLI_RS))
         .map(|src| extract_flags(&src))
         .unwrap_or_default();
-    if counters.is_empty() && flags.is_empty() {
+    if counters.is_empty() && metrics.is_empty() && flags.is_empty() {
         return diags;
     }
     let Ok(readme) = std::fs::read_to_string(root.join(README)) else {
@@ -52,7 +77,7 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
             path: README.to_string(),
             line: 1,
             rule: RULE,
-            message: "README.md is missing but counters/CLI flags exist".to_string(),
+            message: "README.md is missing but counters/metrics/CLI flags exist".to_string(),
             hint: "document the telemetry surface in README.md".to_string(),
         });
         return diags;
@@ -60,43 +85,34 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
 
     // --- counter glossary, both directions -------------------------------
     if !counters.is_empty() {
-        match extract_glossary(&readme) {
-            None => diags.push(Diagnostic {
-                path: README.to_string(),
-                line: 1,
-                rule: RULE,
-                message: format!("README has no counter glossary ({GLOSSARY_START} … {GLOSSARY_END})"),
-                hint: "add a glossary table between the markers with one `name` row per counter"
-                    .to_string(),
-            }),
-            Some(glossary) => {
-                for (name, &line) in &counters {
-                    if !glossary.contains_key(name) {
-                        diags.push(Diagnostic {
-                            path: COUNTER_RS.to_string(),
-                            line,
-                            rule: RULE,
-                            message: format!("counter `{name}` is not in the README glossary"),
-                            hint: format!(
-                                "add a table row for `{name}` to the README counter glossary"
-                            ),
-                        });
-                    }
-                }
-                for (name, &line) in &glossary {
-                    if !counters.contains_key(name) {
-                        diags.push(Diagnostic {
-                            path: README.to_string(),
-                            line,
-                            rule: RULE,
-                            message: format!("glossary row `{name}` names no Counter variant"),
-                            hint: "remove the stale row or rename it to a real counter name"
-                                .to_string(),
-                        });
-                    }
-                }
-            }
-        }
+        glossary_drift(
+            &mut diags,
+            &counters,
+            extract_glossary(&readme, GLOSSARY_START, GLOSSARY_END),
+            GlossaryKind {
+                source_path: COUNTER_RS,
+                what: "counter",
+                names: "Counter variant",
+                start: GLOSSARY_START,
+                end: GLOSSARY_END,
+            },
+        );
+    }
+
+    // --- metric glossary, both directions --------------------------------
+    if !metrics.is_empty() {
+        glossary_drift(
+            &mut diags,
+            &metrics,
+            extract_glossary(&readme, METRIC_GLOSSARY_START, METRIC_GLOSSARY_END),
+            GlossaryKind {
+                source_path: METRICS_RS,
+                what: "metric",
+                names: "Metric/Gauge variant or record type",
+                start: METRIC_GLOSSARY_START,
+                end: METRIC_GLOSSARY_END,
+            },
+        );
     }
 
     // --- CLI flags: parsed ⇒ documented ----------------------------------
@@ -112,6 +128,70 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
         }
     }
     diags
+}
+
+/// Where one glossary's names come from and how its diagnostics read.
+struct GlossaryKind {
+    source_path: &'static str,
+    what: &'static str,
+    names: &'static str,
+    start: &'static str,
+    end: &'static str,
+}
+
+/// Both-direction drift between emitted names and a README glossary:
+/// missing glossary, undocumented name, and stale row each diagnose.
+fn glossary_drift(
+    diags: &mut Vec<Diagnostic>,
+    emitted: &BTreeMap<String, usize>,
+    glossary: Option<BTreeMap<String, usize>>,
+    kind: GlossaryKind,
+) {
+    match glossary {
+        None => diags.push(Diagnostic {
+            path: README.to_string(),
+            line: 1,
+            rule: RULE,
+            message: format!(
+                "README has no {} glossary ({} … {})",
+                kind.what, kind.start, kind.end
+            ),
+            hint: format!(
+                "add a glossary table between the markers with one `name` row per {}",
+                kind.what
+            ),
+        }),
+        Some(glossary) => {
+            for (name, &line) in emitted {
+                if !glossary.contains_key(name) {
+                    diags.push(Diagnostic {
+                        path: kind.source_path.to_string(),
+                        line,
+                        rule: RULE,
+                        message: format!("{} `{name}` is not in the README glossary", kind.what),
+                        hint: format!(
+                            "add a table row for `{name}` to the README {} glossary",
+                            kind.what
+                        ),
+                    });
+                }
+            }
+            for (name, &line) in &glossary {
+                if !emitted.contains_key(name) {
+                    diags.push(Diagnostic {
+                        path: README.to_string(),
+                        line,
+                        rule: RULE,
+                        message: format!("glossary row `{name}` names no {}", kind.names),
+                        hint: format!(
+                            "remove the stale row or rename it to a real {} name",
+                            kind.what
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// `Counter::Variant => "name"` match arms → `name → line` (of the
@@ -133,6 +213,70 @@ fn extract_counters(source: &str) -> BTreeMap<String, usize> {
         {
             let lit = get(4).expect("checked above");
             out.entry(lit.text.clone()).or_insert(lit.line);
+        }
+    }
+    out
+}
+
+/// `Metric::Variant => "name"` and `Gauge::Variant => "name"` match arms
+/// → `name → line`, skipping `#[cfg(test)]` regions. Same token shape as
+/// counters; histograms and gauges share the metric glossary.
+fn extract_metrics(source: &str) -> BTreeMap<String, usize> {
+    let tokens = lexer::lex(source);
+    let in_test = cfg_test_mask(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::LineComment && !in_test[i])
+        .collect();
+    let mut out = BTreeMap::new();
+    for (k, &i) in code.iter().enumerate() {
+        let get = |o: usize| code.get(k + o).map(|&j| &tokens[j]);
+        if (tokens[i].is_ident("Metric") || tokens[i].is_ident("Gauge"))
+            && get(1).is_some_and(|t| t.is_punct("::"))
+            && get(2).is_some_and(|t| t.kind == TokenKind::Ident)
+            && get(3).is_some_and(|t| t.is_punct("=>"))
+            && get(4).is_some_and(|t| t.kind == TokenKind::Literal)
+        {
+            let lit = get(4).expect("checked above");
+            out.entry(lit.text.clone()).or_insert(lit.line);
+        }
+    }
+    out
+}
+
+/// The string literals of the `RECORD_TYPES` array initializer → `name →
+/// line`: everything between the `=`-side `[` and its closing `]`.
+fn extract_record_types(source: &str) -> BTreeMap<String, usize> {
+    let tokens = lexer::lex(source);
+    let in_test = cfg_test_mask(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::LineComment && !in_test[i])
+        .collect();
+    let mut out = BTreeMap::new();
+    // `pub const RECORD_TYPES: [&str; N] = ["a", ...];` — the type
+    // annotation contains a bracket and a numeric literal of its own, so
+    // collection starts only after the `=`.
+    let mut seen_name = false;
+    let mut collecting = false;
+    for &i in &code {
+        let tok = &tokens[i];
+        if tok.is_ident("RECORD_TYPES") {
+            seen_name = true;
+            continue;
+        }
+        if seen_name && !collecting {
+            if tok.is_punct("=") {
+                collecting = true;
+            }
+            continue;
+        }
+        if !collecting {
+            continue;
+        }
+        if tok.is_punct("]") {
+            break;
+        }
+        if tok.kind == TokenKind::Literal && tok.text.chars().any(|c| c.is_ascii_alphabetic()) {
+            out.entry(tok.text.clone()).or_insert(tok.line);
         }
     }
     out
@@ -162,20 +306,20 @@ fn extract_flags(source: &str) -> BTreeMap<String, usize> {
     out
 }
 
-/// The glossary rows between the markers: `name → line`. `None` when the
-/// markers are absent.
-fn extract_glossary(readme: &str) -> Option<BTreeMap<String, usize>> {
+/// The glossary rows between the given markers: `name → line`. `None`
+/// when the markers are absent.
+fn extract_glossary(readme: &str, start: &str, end: &str) -> Option<BTreeMap<String, usize>> {
     let mut out = BTreeMap::new();
     let mut inside = false;
     let mut seen_markers = false;
     for (idx, line) in readme.lines().enumerate() {
         let lineno = idx + 1;
-        if line.contains(GLOSSARY_START) {
+        if line.contains(start) {
             inside = true;
             seen_markers = true;
             continue;
         }
-        if line.contains(GLOSSARY_END) {
+        if line.contains(end) {
             inside = false;
             continue;
         }
@@ -225,13 +369,37 @@ mod tests {
         let readme = "intro `not_a_counter`\n<!-- lint:counter-glossary:start -->\n\
                       | counter | meaning |\n|---|---|\n| `dijkstra_runs` | runs |\n\
                       <!-- lint:counter-glossary:end -->\n| `outside` | x |\n";
-        let got = extract_glossary(readme).expect("markers present");
+        let got = extract_glossary(readme, GLOSSARY_START, GLOSSARY_END).expect("markers present");
         assert_eq!(got.keys().collect::<Vec<_>>(), vec!["dijkstra_runs"]);
-        assert_eq!(extract_glossary("no markers here"), None);
+        assert_eq!(
+            extract_glossary("no markers here", GLOSSARY_START, GLOSSARY_END),
+            None
+        );
     }
 
     #[test]
-    fn workspace_check_reports_all_four_drift_kinds() {
+    fn metrics_extract_from_metric_and_gauge_arms() {
+        let src = "match self {\n\
+                   Metric::NetRouteNs => \"net_route_ns\",\n\
+                   Gauge::SchedWorkers => \"sched_workers\",\n }\n";
+        let got = extract_metrics(src);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            vec!["net_route_ns", "sched_workers"]
+        );
+    }
+
+    #[test]
+    fn record_types_extract_from_the_array_literal() {
+        let src = "pub const RECORD_TYPES: [&str; 3] = [\"meta\", \"span\",\n \"gauge\"];\n\
+                   const OTHER: [&str; 1] = [\"nope\"];\n";
+        let got = extract_record_types(src);
+        assert_eq!(got.keys().collect::<Vec<_>>(), vec!["gauge", "meta", "span"]);
+        assert_eq!(got.get("gauge"), Some(&2));
+    }
+
+    #[test]
+    fn workspace_check_reports_every_drift_kind() {
         let dir = std::env::temp_dir().join("fpga_lint_telemetry_test");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(dir.join("crates/trace/src")).unwrap();
@@ -244,23 +412,66 @@ mod tests {
         )
         .unwrap();
         std::fs::write(
+            dir.join(METRICS_RS),
+            "fn name(self) -> &'static str { match self {\n\
+             Metric::NetRouteNs => \"net_route_ns\",\n\
+             Gauge::SchedWorkers => \"sched_workers\",\n } }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(CHECK_RS),
+            "pub const RECORD_TYPES: [&str; 2] = [\"meta\", \"convergence\"];\n",
+        )
+        .unwrap();
+        std::fs::write(
             dir.join(CLI_RS),
             "const F: FlagSpec = &[(\"circuit\", true), (\"ghost\", false)];\n",
         )
         .unwrap();
+        // Drift, one of each kind: undocumented counter (`pfa_folds`),
+        // stale counter row, undocumented gauge (`sched_workers`),
+        // undocumented record type (`convergence`), stale metric row,
+        // undocumented CLI flag (`--ghost`).
         std::fs::write(
             dir.join(README),
             "use `--circuit` to pick one\n<!-- lint:counter-glossary:start -->\n\
              | `dijkstra_runs` | runs |\n| `stale_counter` | gone |\n\
-             <!-- lint:counter-glossary:end -->\n",
+             <!-- lint:counter-glossary:end -->\n\
+             <!-- lint:metric-glossary:start -->\n\
+             | `net_route_ns` | per-net time |\n| `meta` | header |\n\
+             | `ghost_metric` | gone |\n\
+             <!-- lint:metric-glossary:end -->\n",
         )
         .unwrap();
         let diags = check_workspace(&dir);
-        let rules: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
-        assert_eq!(diags.len(), 3, "{rules:?}");
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(diags.len(), 6, "{msgs:?}");
         assert!(diags.iter().any(|d| d.message.contains("`pfa_folds`") && d.path == COUNTER_RS));
         assert!(diags.iter().any(|d| d.message.contains("`stale_counter`") && d.path == README));
+        assert!(diags.iter().any(|d| d.message.contains("`sched_workers`") && d.path == METRICS_RS));
+        assert!(diags.iter().any(|d| d.message.contains("`convergence`") && d.path == METRICS_RS));
+        assert!(diags.iter().any(|d| d.message.contains("`ghost_metric`") && d.path == README));
         assert!(diags.iter().any(|d| d.message.contains("`--ghost`") && d.path == CLI_RS));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metric_glossary_is_not_required_when_no_metrics_exist() {
+        let dir = std::env::temp_dir().join("fpga_lint_telemetry_nometrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/trace/src")).unwrap();
+        std::fs::write(
+            dir.join(COUNTER_RS),
+            "match self { Counter::DijkstraRuns => \"dijkstra_runs\", }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(README),
+            "<!-- lint:counter-glossary:start -->\n| `dijkstra_runs` | runs |\n\
+             <!-- lint:counter-glossary:end -->\n",
+        )
+        .unwrap();
+        assert!(check_workspace(&dir).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

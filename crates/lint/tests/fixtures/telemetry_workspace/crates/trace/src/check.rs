@@ -1,0 +1,4 @@
+//! Fixture trace-check record-type table for the telemetry-sync
+//! mini-workspace: both types are documented in the fixture README.
+
+pub const RECORD_TYPES: [&str; 2] = ["meta", "span"];

@@ -1,0 +1,27 @@
+//! Fixture metrics enum for the telemetry-sync mini-workspace: one
+//! histogram metric deliberately absent from the fixture README's
+//! metric glossary, one gauge that is documented.
+
+pub enum Metric {
+    GhostNs,
+}
+
+pub enum Gauge {
+    Workers,
+}
+
+impl Metric {
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::GhostNs => "ghost_ns",
+        }
+    }
+}
+
+impl Gauge {
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Workers => "workers",
+        }
+    }
+}

@@ -124,7 +124,7 @@ fn stale_allow_markers_are_themselves_diagnostics() {
 fn telemetry_sync_fires_on_the_mini_workspace() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/telemetry_workspace");
     let diags = telemetry::check_workspace(&root);
-    assert_eq!(diags.len(), 3, "got {diags:#?}");
+    assert_eq!(diags.len(), 4, "got {diags:#?}");
     for d in &diags {
         assert_eq!(d.rule, telemetry::RULE);
         assert!(d.line >= 1 && !d.message.is_empty() && !d.hint.is_empty());
@@ -136,6 +136,10 @@ fn telemetry_sync_fires_on_the_mini_workspace() {
     assert!(
         diags.iter().any(|d| d.message.contains("`stale_counter`")),
         "glossary row naming no variant"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("`ghost_ns`")),
+        "emitted metric missing from the metric glossary"
     );
     assert!(
         diags.iter().any(|d| d.message.contains("`--bar`")),

@@ -24,6 +24,8 @@ use std::time::Instant;
 
 use crate::congestion::CongestionSnapshot;
 use crate::counter::{Counter, CounterSet};
+use crate::metrics::{ConvergenceRecord, Gauge, GaugeSet, HistogramSet, Metric, TimelineRecord};
+use crate::profile;
 use crate::sink::{StreamingJsonlSink, Trace};
 use crate::span::{SpanId, SpanKind, SpanRecord};
 
@@ -47,6 +49,13 @@ struct Shared {
     spans: Mutex<Vec<SpanRecord>>,
     snapshots: Mutex<Vec<CongestionSnapshot>>,
     counters: Mutex<CounterSet>,
+    metrics: Mutex<HistogramSet>,
+    gauges: Mutex<GaugeSet>,
+    /// Once-per-iteration PathFinder convergence records; rare, so they
+    /// go straight to the shared side like snapshots.
+    convergence: Mutex<Vec<ConvergenceRecord>>,
+    /// Once-per-worker-per-pass scheduler timelines; same rarity rule.
+    timelines: Mutex<Vec<TimelineRecord>>,
     /// `true` when `stream` holds a sink — checked (relaxed) before
     /// taking the stream lock so non-streaming sessions pay one atomic
     /// load per closed span, never a lock.
@@ -65,6 +74,10 @@ impl Shared {
             spans: Mutex::new(Vec::new()),
             snapshots: Mutex::new(Vec::new()),
             counters: Mutex::new(CounterSet::new()),
+            metrics: Mutex::new(HistogramSet::new()),
+            gauges: Mutex::new(GaugeSet::new()),
+            convergence: Mutex::new(Vec::new()),
+            timelines: Mutex::new(Vec::new()),
             streaming: AtomicBool::new(stream.is_some()),
             stream: Mutex::new(stream),
         }
@@ -91,6 +104,8 @@ struct LocalBuf {
     shared: Option<Arc<Shared>>,
     thread: u64,
     counters: CounterSet,
+    metrics: HistogramSet,
+    gauges: GaugeSet,
     spans: Vec<SpanRecord>,
     stack: Vec<SpanId>,
     /// Parent adopted from the spawning thread (worker threads): roots
@@ -105,6 +120,8 @@ impl LocalBuf {
             shared: None,
             thread: 0,
             counters: CounterSet::new(),
+            metrics: HistogramSet::new(),
+            gauges: GaugeSet::new(),
             spans: Vec::new(),
             stack: Vec::new(),
             adopted_parent: None,
@@ -128,11 +145,16 @@ impl LocalBuf {
         self.shared.is_some()
     }
 
-    /// Merges buffered spans and counters into the shared state.
+    /// Merges buffered spans, counters, metrics, and gauges into the
+    /// shared state. Histogram and gauge merges are commutative and
+    /// associative, so (as for counters) worker join order cannot change
+    /// the merged result.
     fn flush(&mut self) {
         let Some(shared) = &self.shared else {
             self.spans.clear();
             self.counters = CounterSet::new();
+            self.metrics = HistogramSet::new();
+            self.gauges = GaugeSet::new();
             return;
         };
         if !self.spans.is_empty() {
@@ -149,6 +171,22 @@ impl LocalBuf {
                 .expect("trace counter store poisoned")
                 .merge(&self.counters);
             self.counters = CounterSet::new();
+        }
+        if !self.metrics.is_empty() {
+            shared
+                .metrics
+                .lock()
+                .expect("trace metric store poisoned")
+                .merge(&self.metrics);
+            self.metrics = HistogramSet::new();
+        }
+        if !self.gauges.is_empty() {
+            shared
+                .gauges
+                .lock()
+                .expect("trace gauge store poisoned")
+                .merge(&self.gauges);
+            self.gauges = GaugeSet::new();
         }
     }
 }
@@ -189,6 +227,69 @@ pub fn count(c: Counter, n: u64) {
             buf.counters.add(c, n);
         }
     });
+}
+
+/// Records one latency sample (nanoseconds) into a metric histogram in
+/// the current thread's buffer. No-op when no collector is installed.
+#[inline]
+pub fn record_duration(metric: Metric, nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.ensure_attached() {
+            buf.metrics.record(metric, nanos);
+        }
+    });
+}
+
+/// Offers a gauge observation in the current thread's buffer; the
+/// session keeps the maximum offered across all threads. No-op when no
+/// collector is installed.
+#[inline]
+pub fn set_gauge(gauge: Gauge, value: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.ensure_attached() {
+            buf.gauges.set(gauge, value);
+        }
+    });
+}
+
+/// Records one PathFinder iteration's convergence state. Once per
+/// iteration, so it goes straight to the shared store like snapshots.
+pub fn record_convergence(record: ConvergenceRecord) {
+    if !enabled() {
+        return;
+    }
+    let shared = registry().lock().expect("trace registry poisoned").clone();
+    if let Some(shared) = shared {
+        shared
+            .convergence
+            .lock()
+            .expect("trace convergence store poisoned")
+            .push(record);
+    }
+}
+
+/// Records one scheduler participant's per-pass timeline. Once per
+/// worker per pass, so it goes straight to the shared store.
+pub fn record_timeline(record: TimelineRecord) {
+    if !enabled() {
+        return;
+    }
+    let shared = registry().lock().expect("trace registry poisoned").clone();
+    if let Some(shared) = shared {
+        shared
+            .timelines
+            .lock()
+            .expect("trace timeline store poisoned")
+            .push(record);
+    }
 }
 
 /// Opens a span at the given hierarchy level. The returned guard records
@@ -446,15 +547,64 @@ impl Collector {
                 .expect("trace counter store poisoned");
             counters.clone()
         };
+        let metrics = {
+            let metrics = self
+                .shared
+                .metrics
+                .lock()
+                .expect("trace metric store poisoned");
+            metrics.clone()
+        };
+        let gauges = {
+            let gauges = self
+                .shared
+                .gauges
+                .lock()
+                .expect("trace gauge store poisoned");
+            gauges.clone()
+        };
+        let mut convergence = {
+            let mut conv = self
+                .shared
+                .convergence
+                .lock()
+                .expect("trace convergence store poisoned");
+            std::mem::take(&mut *conv)
+        };
+        convergence.sort_by_key(|c| c.iteration);
+        let mut timelines = {
+            let mut tl = self
+                .shared
+                .timelines
+                .lock()
+                .expect("trace timeline store poisoned");
+            std::mem::take(&mut *tl)
+        };
+        timelines.sort_by_key(|t| (t.pass, t.role, t.worker));
+        let profile = profile::compute(&spans);
         self.shared.streaming.store(false, Ordering::Relaxed);
         let stream = self.shared.stream.lock().ok().and_then(|mut s| s.take());
         if let Some(mut sink) = stream {
-            let _ = sink.write_tail(&counters, &snapshots);
+            let tail = crate::sink::Tail {
+                counters: &counters,
+                snapshots: &snapshots,
+                metrics: &metrics,
+                gauges: &gauges,
+                convergence: &convergence,
+                timelines: &timelines,
+                profile: &profile,
+            };
+            let _ = sink.write_tail(&tail);
         }
         Trace {
             spans,
             counters,
             snapshots,
+            metrics,
+            gauges,
+            convergence,
+            timelines,
+            profile,
         }
     }
 }

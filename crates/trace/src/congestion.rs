@@ -121,4 +121,33 @@ mod tests {
         assert_eq!(snap.mean_occupancy_milli, 0);
         assert_eq!(snap.histogram.len(), 5);
     }
+
+    #[test]
+    fn zero_channel_width_stays_well_defined() {
+        // A degenerate device with no tracks: every occupied position is
+        // simultaneously saturated and overused, and the histogram keeps
+        // its one (clamped) bucket rather than going zero-width.
+        let snap = CongestionSnapshot::from_usage(1, 0, &[0, 2, 1]);
+        assert_eq!(snap.histogram, vec![3], "single bucket, never empty");
+        assert_eq!(snap.used_positions, 2);
+        assert_eq!(snap.saturated_positions, 3, "0 >= 0 counts as saturated");
+        assert_eq!(snap.overused_positions, 2);
+        assert_eq!(snap.max_overuse, 2);
+        assert_eq!(snap.max_occupancy, 2);
+        assert_eq!(snap.mean_occupancy_milli, 1000);
+    }
+
+    #[test]
+    fn fully_saturated_channel_is_reported_exactly() {
+        // Every position at exactly full capacity: saturated everywhere,
+        // overused nowhere.
+        let snap = CongestionSnapshot::from_usage(3, 4, &[4, 4, 4, 4]);
+        assert_eq!(snap.used_positions, 4);
+        assert_eq!(snap.saturated_positions, 4);
+        assert_eq!(snap.overused_positions, 0);
+        assert_eq!(snap.max_overuse, 0);
+        assert_eq!(snap.max_occupancy, 4);
+        assert_eq!(snap.histogram, vec![0, 0, 0, 0, 4]);
+        assert_eq!(snap.mean_occupancy_milli, 4000);
+    }
 }

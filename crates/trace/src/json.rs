@@ -1,10 +1,12 @@
-//! Minimal JSON support: an escaping writer and a validating parser.
+//! Minimal JSON support: an escaping writer and two parsers.
 //!
-//! The crate is zero-dependency by design, so both directions are
-//! hand-rolled. The writer emits exactly the subset the sinks need
-//! (objects, arrays, strings, unsigned integers). The parser does *not*
-//! build a document — it only checks well-formedness — which is all the
-//! `trace-check` CLI subcommand and the CI smoke test require.
+//! The crate is zero-dependency by design, so everything is hand-rolled.
+//! The writer emits exactly the subset the sinks need (objects, arrays,
+//! strings, unsigned integers). [`validate`] checks well-formedness
+//! without building anything — the `trace-check` fast path — and
+//! [`JsonValue::parse`] builds a document tree for the consumers that
+//! need values: `trace-report` aggregation, `bench-diff`, and the
+//! semantic record checks.
 
 use std::fmt::Write as _;
 
@@ -298,6 +300,221 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// A parsed JSON document, for consumers that need values rather than
+/// just well-formedness (reports, bench diffs, semantic checks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers beyond 2^53 lose precision — the trace
+    /// consumers compare durations and counts, where that is acceptable).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// An array, element order preserved.
+    Array(Vec<JsonValue>),
+    /// An object, key order preserved (duplicate keys: last one wins on
+    /// [`get`](JsonValue::get) lookups going front-to-back — first match).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses exactly one JSON value (trailing input is an error).
+    ///
+    /// # Errors
+    /// Returns the same [`JsonError`]s as [`validate`].
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let value = build_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::new(pos, "trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup (first match); `None` on non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if this is a non-negative finite
+    /// integer-valued number that fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n)
+                if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn build_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b'"') {
+                    return Err(JsonError::new(*pos, "expected object key string"));
+                }
+                let key = build_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::new(*pos, "expected ':' after object key"));
+                }
+                *pos += 1;
+                let value = build_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(members));
+                    }
+                    _ => return Err(JsonError::new(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(build_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(JsonError::new(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::String(build_string(bytes, pos)?)),
+        Some(b't') => {
+            parse_literal(bytes, pos, b"true")?;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') => {
+            parse_literal(bytes, pos, b"false")?;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') => {
+            parse_literal(bytes, pos, b"null")?;
+            Ok(JsonValue::Null)
+        }
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            parse_number(bytes, pos)?;
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| JsonError::new(start, "invalid UTF-8 in number"))?;
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| JsonError::new(start, "number out of range"))
+        }
+        Some(_) => Err(JsonError::new(*pos, "unexpected character")),
+    }
+}
+
+/// Parses a string (cursor on the opening quote), resolving escapes.
+fn build_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    let start = *pos;
+    parse_string(bytes, pos)?;
+    let raw = std::str::from_utf8(&bytes[start + 1..*pos - 1])
+        .map_err(|_| JsonError::new(start, "invalid UTF-8 in string"))?;
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let mut code = 0u32;
+                for _ in 0..4 {
+                    let h = chars
+                        .next()
+                        .and_then(|c| c.to_digit(16))
+                        .ok_or_else(|| JsonError::new(start, "invalid \\u escape"))?;
+                    code = code * 16 + h;
+                }
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err(JsonError::new(start, "invalid escape sequence")),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +568,37 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn json_value_parses_documents() {
+        let v = JsonValue::parse(
+            r#"{"a":1,"b":[true,null,-2.5],"c":{"d":"e\nf"},"big":18446744073709551615}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        let b = v.get("b").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], JsonValue::Bool(true));
+        assert_eq!(b[1], JsonValue::Null);
+        assert_eq!(b[2].as_f64(), Some(-2.5));
+        assert_eq!(b[2].as_u64(), None, "negative numbers are not u64");
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(JsonValue::as_str),
+            Some("e\nf")
+        );
+        assert!(v.get("missing").is_none());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse(r#"{"a":}"#).is_err());
+    }
+
+    #[test]
+    fn json_value_u64_rejects_fractions_and_overflow() {
+        let v = JsonValue::parse(r#"{"f":1.5,"neg":-1,"ok":42}"#).unwrap();
+        assert_eq!(v.get("f").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("neg").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(1.5));
     }
 
     #[test]

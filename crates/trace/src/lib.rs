@@ -16,6 +16,16 @@
 //! * **Congestion snapshots** ([`record_snapshot`]): per-pass channel
 //!   occupancy histograms.
 //!
+//! The observability suite layers four more on the same machinery:
+//! latency **histograms** ([`record_duration`], [`Metric`]) and
+//! **gauges** ([`set_gauge`], [`Gauge`]) merged per-worker exactly like
+//! counters, per-iteration PathFinder **convergence records**
+//! ([`record_convergence`]), per-worker scheduler **timelines**
+//! ([`record_timeline`]), and a post-hoc **self-profiler**
+//! ([`ProfileEntry`]) attributing wall-clock to the span hierarchy.
+//! [`report`] renders all of it as text tables and diffs benchmark
+//! result files.
+//!
 //! # Cost model
 //!
 //! With no collector installed every entry point is one relaxed atomic
@@ -49,14 +59,22 @@ mod collector;
 mod congestion;
 mod counter;
 pub mod json;
+mod metrics;
+mod profile;
+pub mod report;
 mod sink;
 mod span;
 
 pub use collector::{
-    adopt_parent, count, current_span, enabled, flush_thread, record_snapshot, span, Collector,
-    SpanGuard,
+    adopt_parent, count, current_span, enabled, flush_thread, record_convergence, record_duration,
+    record_snapshot, record_timeline, set_gauge, span, Collector, SpanGuard,
 };
 pub use congestion::CongestionSnapshot;
 pub use counter::{Counter, CounterSet};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, ConvergenceRecord, Gauge, GaugeSet, Histogram, HistogramSet,
+    Metric, TimelineRecord, HISTOGRAM_BUCKETS,
+};
+pub use profile::{compute as compute_profile, ProfileEntry};
 pub use sink::{JsonSink, JsonlSink, StreamingJsonlSink, Trace, TraceSink};
 pub use span::{SpanId, SpanKind, SpanRecord};

@@ -17,6 +17,8 @@ use std::io::{self, Write};
 use crate::congestion::CongestionSnapshot;
 use crate::counter::CounterSet;
 use crate::json::ObjectWriter;
+use crate::metrics::{ConvergenceRecord, GaugeSet, Histogram, HistogramSet, TimelineRecord};
+use crate::profile::ProfileEntry;
 use crate::span::{SpanKind, SpanRecord};
 
 /// Everything one collector session recorded.
@@ -28,13 +30,29 @@ pub struct Trace {
     pub counters: CounterSet,
     /// Per-pass congestion snapshots, in recording order.
     pub snapshots: Vec<CongestionSnapshot>,
+    /// Merged latency histograms from every participating thread.
+    pub metrics: HistogramSet,
+    /// Merged gauges (slot-wise maximum) from every participating thread.
+    pub gauges: GaugeSet,
+    /// Per-iteration PathFinder convergence records, iteration order.
+    pub convergence: Vec<ConvergenceRecord>,
+    /// Per-worker scheduler timelines, sorted by (pass, role, worker).
+    pub timelines: Vec<TimelineRecord>,
+    /// Wall-clock attribution per span kind, outermost first.
+    pub profile: Vec<ProfileEntry>,
 }
 
 impl Trace {
     /// `true` when nothing at all was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.snapshots.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.snapshots.is_empty()
+            && self.metrics.is_empty()
+            && self.gauges.is_empty()
+            && self.convergence.is_empty()
+            && self.timelines.is_empty()
     }
 
     /// Spans of one kind, in start order.
@@ -56,6 +74,20 @@ impl Trace {
         ));
         for (c, v) in self.counters.iter_nonzero() {
             out.push_str(&format!("  {:<30} {v}\n", c.name()));
+        }
+        for (m, h) in self.metrics.iter_nonzero() {
+            out.push_str(&format!(
+                "  {:<30} n={} p50={} p95={} p99={} max={}\n",
+                m.name(),
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+        for (g, v) in self.gauges.iter_set() {
+            out.push_str(&format!("  {:<30} {v}\n", g.name()));
         }
         for snap in &self.snapshots {
             out.push_str(&format!(
@@ -110,6 +142,110 @@ fn snapshot_object(snap: &CongestionSnapshot) -> String {
         .u64("overused_positions", snap.overused_positions as u64)
         .u64("max_overuse", u64::from(snap.max_overuse));
     o.finish()
+}
+
+fn histogram_object(name: &str, h: &Histogram) -> String {
+    let mut buckets = String::from("[");
+    for (i, (idx, n)) in h.iter_nonzero().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        buckets.push_str(&format!("[{idx},{n}]"));
+    }
+    buckets.push(']');
+    let mut o = ObjectWriter::new();
+    o.str("type", "histogram")
+        .str("name", name)
+        .u64("count", h.count())
+        .u64("sum", h.sum())
+        .u64("mean", h.mean())
+        .u64("p50", h.quantile(0.50))
+        .u64("p95", h.quantile(0.95))
+        .u64("p99", h.quantile(0.99))
+        .u64("max", h.max())
+        .raw("buckets", &buckets);
+    o.finish()
+}
+
+fn gauge_object(name: &str, value: u64) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "gauge").str("name", name).u64("value", value);
+    o.finish()
+}
+
+fn profile_object(entry: &ProfileEntry) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "profile")
+        .str("kind", entry.kind.name())
+        .u64("count", entry.count)
+        .u64("inclusive_ns", entry.inclusive_ns)
+        .u64("exclusive_ns", entry.exclusive_ns);
+    o.finish()
+}
+
+fn convergence_object(rec: &ConvergenceRecord) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "convergence")
+        .u64("iteration", rec.iteration as u64)
+        .u64("overcapacity", rec.overcapacity as u64)
+        .u64("history_milli", rec.history_milli)
+        .u64("nets_rerouted", rec.nets_rerouted as u64)
+        .u64("present_milli", rec.present_milli);
+    o.finish()
+}
+
+fn timeline_object(rec: &TimelineRecord) -> String {
+    let mut o = ObjectWriter::new();
+    o.str("type", "timeline")
+        .u64("pass", rec.pass as u64)
+        .u64("worker", rec.worker as u64)
+        .str("role", rec.role)
+        .u64("busy_ns", rec.busy_ns)
+        .u64("nets", rec.nets as u64)
+        .u64("steals", rec.steals as u64)
+        .u64("stalls", rec.stalls as u64);
+    o.finish()
+}
+
+/// Borrowed view of everything a session's tail carries (counters,
+/// snapshots, and all the observability records) — one parameter pack
+/// for the streaming sink so the collector and the batch sinks stay in
+/// lockstep about what a complete trace contains.
+pub(crate) struct Tail<'a> {
+    pub(crate) counters: &'a CounterSet,
+    pub(crate) snapshots: &'a [CongestionSnapshot],
+    pub(crate) metrics: &'a HistogramSet,
+    pub(crate) gauges: &'a GaugeSet,
+    pub(crate) convergence: &'a [ConvergenceRecord],
+    pub(crate) timelines: &'a [TimelineRecord],
+    pub(crate) profile: &'a [ProfileEntry],
+}
+
+fn write_tail_lines(out: &mut dyn Write, tail: &Tail<'_>) -> io::Result<()> {
+    for (c, v) in tail.counters.iter_nonzero() {
+        let mut o = ObjectWriter::new();
+        o.str("type", "counter").str("name", c.name()).u64("value", v);
+        writeln!(out, "{}", o.finish())?;
+    }
+    for (m, h) in tail.metrics.iter_nonzero() {
+        writeln!(out, "{}", histogram_object(m.name(), h))?;
+    }
+    for (g, v) in tail.gauges.iter_set() {
+        writeln!(out, "{}", gauge_object(g.name(), v))?;
+    }
+    for entry in tail.profile {
+        writeln!(out, "{}", profile_object(entry))?;
+    }
+    for rec in tail.convergence {
+        writeln!(out, "{}", convergence_object(rec))?;
+    }
+    for rec in tail.timelines {
+        writeln!(out, "{}", timeline_object(rec))?;
+    }
+    for snap in tail.snapshots {
+        writeln!(out, "{}", snapshot_object(snap))?;
+    }
+    Ok(())
 }
 
 fn meta_object(trace: &Trace) -> String {
@@ -168,27 +304,19 @@ impl StreamingJsonlSink {
         self.out.flush()
     }
 
-    /// Appends the session's merged counters and congestion snapshots —
-    /// the collector calls this once, from `finish`.
-    pub(crate) fn write_tail(
-        &mut self,
-        counters: &CounterSet,
-        snapshots: &[CongestionSnapshot],
-    ) -> io::Result<()> {
-        for (c, v) in counters.iter_nonzero() {
-            let mut o = ObjectWriter::new();
-            o.str("type", "counter").str("name", c.name()).u64("value", v);
-            writeln!(self.out, "{}", o.finish())?;
-        }
-        for snap in snapshots {
-            writeln!(self.out, "{}", snapshot_object(snap))?;
-        }
+    /// Appends the session's tail — merged counters, histograms, gauges,
+    /// profile, convergence, timelines, and congestion snapshots — the
+    /// collector calls this once, from `finish`.
+    pub(crate) fn write_tail(&mut self, tail: &Tail<'_>) -> io::Result<()> {
+        write_tail_lines(&mut self.out, tail)?;
         self.out.flush()
     }
 }
 
 /// Emits one JSON object per line: a `meta` header, then every span,
-/// every nonzero counter, and every congestion snapshot.
+/// then the tail — nonzero counters, latency histograms, gauges, the
+/// span-kind profile, convergence and timeline records, and every
+/// congestion snapshot.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsonlSink;
 
@@ -198,20 +326,24 @@ impl TraceSink for JsonlSink {
         for span in &trace.spans {
             writeln!(out, "{}", span_object(span))?;
         }
-        for (c, v) in trace.counters.iter_nonzero() {
-            let mut o = ObjectWriter::new();
-            o.str("type", "counter").str("name", c.name()).u64("value", v);
-            writeln!(out, "{}", o.finish())?;
-        }
-        for snap in &trace.snapshots {
-            writeln!(out, "{}", snapshot_object(snap))?;
-        }
-        Ok(())
+        write_tail_lines(
+            out,
+            &Tail {
+                counters: &trace.counters,
+                snapshots: &trace.snapshots,
+                metrics: &trace.metrics,
+                gauges: &trace.gauges,
+                convergence: &trace.convergence,
+                timelines: &trace.timelines,
+                profile: &trace.profile,
+            },
+        )
     }
 }
 
 /// Emits the whole trace as one JSON document
-/// (`{"meta":…,"spans":[…],"counters":{…},"congestion":[…]}`).
+/// (`{"meta":…,"spans":[…],"counters":{…},"histograms":[…],"gauges":{…},
+/// "profile":[…],"convergence":[…],"timelines":[…],"congestion":[…]}`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsonSink;
 
@@ -237,7 +369,46 @@ impl TraceSink for JsonSink {
             doc.push(':');
             doc.push_str(&v.to_string());
         }
-        doc.push_str("},\"congestion\":[");
+        doc.push_str("},\"histograms\":[");
+        for (i, (m, h)) in trace.metrics.iter_nonzero().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&histogram_object(m.name(), h));
+        }
+        doc.push_str("],\"gauges\":{");
+        for (i, (g, v)) in trace.gauges.iter_set().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            let mut pair = String::new();
+            crate::json::write_str(&mut pair, g.name());
+            doc.push_str(&pair);
+            doc.push(':');
+            doc.push_str(&v.to_string());
+        }
+        doc.push_str("},\"profile\":[");
+        for (i, entry) in trace.profile.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&profile_object(entry));
+        }
+        doc.push_str("],\"convergence\":[");
+        for (i, rec) in trace.convergence.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&convergence_object(rec));
+        }
+        doc.push_str("],\"timelines\":[");
+        for (i, rec) in trace.timelines.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&timeline_object(rec));
+        }
+        doc.push_str("],\"congestion\":[");
         for (i, snap) in trace.snapshots.iter().enumerate() {
             if i > 0 {
                 doc.push(',');
@@ -255,6 +426,7 @@ mod tests {
     use super::*;
     use crate::counter::Counter;
     use crate::json::validate;
+    use crate::metrics::{Gauge, Metric};
     use crate::span::SpanId;
 
     fn sample_trace() -> Trace {
@@ -286,7 +458,33 @@ mod tests {
             ],
             counters,
             snapshots: vec![CongestionSnapshot::from_usage(1, 2, &[1, 2, 0])],
+            ..Trace::default()
         }
+    }
+
+    fn observability_trace() -> Trace {
+        let mut trace = sample_trace();
+        trace.metrics.record(Metric::NetRouteNs, 1500);
+        trace.metrics.record(Metric::NetRouteNs, 90);
+        trace.gauges.set(Gauge::SchedWorkers, 4);
+        trace.convergence.push(ConvergenceRecord {
+            iteration: 1,
+            overcapacity: 12,
+            history_milli: 340,
+            nets_rerouted: 5,
+            present_milli: 250,
+        });
+        trace.timelines.push(TimelineRecord {
+            pass: 1,
+            worker: 0,
+            role: "worker",
+            busy_ns: 700,
+            nets: 2,
+            steals: 1,
+            stalls: 0,
+        });
+        trace.profile = crate::profile::compute(&trace.spans);
+        trace
     }
 
     #[test]
@@ -329,6 +527,48 @@ mod tests {
         let mut buf = Vec::new();
         JsonSink.emit(&trace, &mut buf).unwrap();
         validate(String::from_utf8(buf).unwrap().trim_end()).unwrap();
+    }
+
+    #[test]
+    fn jsonl_emits_every_observability_record_type() {
+        let mut buf = Vec::new();
+        JsonlSink.emit(&observability_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            validate(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        }
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"name\":\"net_route_ns\""));
+        assert!(text.contains("\"p50\":"));
+        assert!(text.contains("\"type\":\"gauge\""));
+        assert!(text.contains("\"name\":\"sched_workers\""));
+        assert!(text.contains("\"type\":\"profile\""));
+        assert!(text.contains("\"inclusive_ns\":"));
+        assert!(text.contains("\"type\":\"convergence\""));
+        assert!(text.contains("\"present_milli\":250"));
+        assert!(text.contains("\"type\":\"timeline\""));
+        assert!(text.contains("\"role\":\"worker\""));
+    }
+
+    #[test]
+    fn json_document_carries_observability_sections() {
+        let mut buf = Vec::new();
+        JsonSink.emit(&observability_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(text.trim_end()).unwrap();
+        assert!(text.contains("\"histograms\":["));
+        assert!(text.contains("\"gauges\":{\"sched_workers\":4}"));
+        assert!(text.contains("\"profile\":["));
+        assert!(text.contains("\"convergence\":["));
+        assert!(text.contains("\"timelines\":["));
+    }
+
+    #[test]
+    fn summary_mentions_histograms_and_gauges() {
+        let s = observability_trace().summary();
+        assert!(s.contains("net_route_ns"));
+        assert!(s.contains("p95="));
+        assert!(s.contains("sched_workers"));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!                  [--probe-threads 0] [--trace out.jsonl] [--metrics]
 //! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
 //! fpga-route trace-check <file.jsonl>
+//! fpga-route trace-report <file.jsonl>
+//! fpga-route bench-diff <before.json> <after.json> [--threshold 5] [--warn-only]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,6 +68,8 @@ usage:
                    [--probe-threads <n>] [--trace <file>] [--stream] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
   fpga-route trace-check <file.jsonl>
+  fpga-route trace-report <file.jsonl>
+  fpga-route bench-diff <before.json> <after.json> [--threshold <pct>] [--warn-only]
 
 --threads: routing workers; 0 = automatic (sequential for small or
            few-large-net circuits, one worker per available core otherwise)
@@ -77,8 +81,11 @@ usage:
         fully-parallel iterations — bit-identical across thread counts
 --pf-iterations: pathfinder iteration budget before reporting unroutable
 --probe-threads: concurrent width probes; 0 = one worker per available core
---trace: telemetry as JSONL (or a single JSON document for .json paths)
+--trace: telemetry as JSONL (or a single JSON document for .json paths);
+         `-` writes JSONL to stdout
 --stream: append trace lines live as spans close (requires --trace, JSONL only)
+--threshold: bench-diff regression gate in percent on *_us fields (default 5)
+--warn-only: report bench-diff regressions without failing the exit code
 algorithms: kmb zel ikmb izel djka dom pfa idom";
 
 /// A flag a command accepts: name and whether it consumes a value
@@ -145,6 +152,8 @@ fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
         "width" => cmd_width(&parse_flags(&args[1..], "width", WIDTH_FLAGS)?),
         "net" => cmd_net(&parse_flags(&args[1..], "net", NET_FLAGS)?),
         "trace-check" => cmd_trace_check(&args[1..]),
+        "trace-report" => cmd_trace_report(&args[1..]),
+        "bench-diff" => cmd_bench_diff(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -176,13 +185,20 @@ fn parse_flags(
             .into());
         };
         if !takes_value {
-            flags.insert(key.to_string(), "true".to_string());
+            if flags.insert(key.to_string(), "true".to_string()).is_some() {
+                return Err(format!("flag --{key} given more than once").into());
+            }
             continue;
         }
         let Some(value) = it.next() else {
             return Err(format!("flag --{key} needs a value").into());
         };
-        flags.insert(key.to_string(), value.clone());
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!(
+                "flag --{key} given more than once (each sink flag takes a single destination)"
+            )
+            .into());
+        }
     }
     Ok(flags)
 }
@@ -288,9 +304,13 @@ fn maybe_collector(
         if path.ends_with(".json") {
             return Err("--stream emits JSONL; use a non-.json --trace path".into());
         }
-        let file = std::fs::File::create(path)?;
+        let sink: Box<dyn std::io::Write + Send> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(std::fs::File::create(path)?)
+        };
         return Ok(Some(CollectorSession {
-            collector: Collector::install_streaming(Box::new(file))?,
+            collector: Collector::install_streaming(sink)?,
             streaming: true,
         }));
     }
@@ -316,18 +336,35 @@ fn finish_collector(
     let trace = session.collector.finish();
     if let Some(path) = flags.get("trace") {
         if session.streaming {
-            println!("telemetry streamed to {path}");
+            if path != "-" {
+                println!("telemetry streamed to {path}");
+            }
         } else {
             write_trace(&trace, path)?;
-            println!("telemetry written to {path}");
+            if path != "-" {
+                println!("telemetry written to {path}");
+            }
         }
     }
     if flags.contains_key("metrics") {
-        print!("{}", trace.summary());
+        print_human(flags, &trace.summary());
     }
     Ok(())
 }
 
+/// Prints human-readable run output: to stderr when `--trace -` owns
+/// stdout for JSONL, to stdout otherwise — so a piped
+/// `--trace - | fpga-route trace-report -` sees pure JSONL.
+fn print_human(flags: &HashMap<String, String>, text: &str) {
+    if flags.get("trace").is_some_and(|p| p == "-") {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+}
+
+/// Writes the trace to `path`: a single JSON document for `.json` paths,
+/// JSONL otherwise; `-` sends JSONL to stdout.
 fn write_trace(trace: &Trace, path: &str) -> Result<(), Box<dyn Error>> {
     let mut buf = Vec::new();
     if path.ends_with(".json") {
@@ -335,7 +372,12 @@ fn write_trace(trace: &Trace, path: &str) -> Result<(), Box<dyn Error>> {
     } else {
         JsonlSink.emit(trace, &mut buf)?;
     }
-    std::fs::write(path, buf)?;
+    if path == "-" {
+        use std::io::Write as _;
+        std::io::stdout().write_all(&buf)?;
+    } else {
+        std::fs::write(path, buf)?;
+    }
     Ok(())
 }
 
@@ -390,21 +432,22 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     } else {
         threads.to_string()
     };
-    println!(
-        "{name}: routed {} nets at W = {width} with {} in {} pass(es), {} thread(s)",
-        circuit.net_count(),
-        config.algorithm.label(),
-        outcome.passes,
-        thread_desc
-    );
-    println!(
-        "total wirelength {}, critical pathlength {}",
-        outcome.total_wirelength,
-        outcome.critical_pathlength()
+    print_human(
+        flags,
+        &format!(
+            "{name}: routed {} nets at W = {width} with {} in {} pass(es), {} thread(s)\n\
+             total wirelength {}, critical pathlength {}\n",
+            circuit.net_count(),
+            config.algorithm.label(),
+            outcome.passes,
+            thread_desc,
+            outcome.total_wirelength,
+            outcome.critical_pathlength()
+        ),
     );
     if let Some(svg_path) = flags.get("svg") {
         std::fs::write(svg_path, viz::render_svg(&device, &circuit, &outcome)?)?;
-        println!("rendering written to {svg_path}");
+        print_human(flags, &format!("rendering written to {svg_path}\n"));
     }
     finish_collector(collector, flags)
 }
@@ -466,12 +509,15 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     } else {
         minimum_channel_width(base, min..=max, WidthSearch::Binary, route)?
     };
-    println!(
-        "{name}: minimum channel width {} with {} ({} routing attempts, wirelength {})",
-        found.channel_width,
-        if use_baseline { "2PIN baseline" } else { algo.label() },
-        found.attempts,
-        found.outcome.total_wirelength
+    print_human(
+        flags,
+        &format!(
+            "{name}: minimum channel width {} with {} ({} routing attempts, wirelength {})\n",
+            found.channel_width,
+            if use_baseline { "2PIN baseline" } else { algo.label() },
+            found.attempts,
+            found.outcome.total_wirelength
+        ),
     );
     finish_collector(collector, flags)
 }
@@ -533,16 +579,18 @@ fn cmd_trace_check(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     let text = std::fs::read_to_string(path)?;
     let mut checked = 0usize;
-    let mut counters = fpga_route::trace::check::CounterCheck::new();
+    let mut records = fpga_route::trace::check::RecordCheck::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         fpga_route::trace::json::validate(line)
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        // Semantic pass: counter records must name real Counter
-        // variants, once per session each.
-        counters
+        // Semantic pass: every typed record must be a known type with
+        // sound fields (counters/histograms/gauges must name real
+        // variants, durations must be finite non-negative integers,
+        // congestion histograms must be non-empty).
+        records
             .line(line)
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         checked += 1;
@@ -552,6 +600,92 @@ fn cmd_trace_check(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     println!("{path}: {checked} JSON lines OK");
     Ok(())
+}
+
+/// Renders a JSONL telemetry file as human-readable text tables: span
+/// profile, latency histograms, gauges, PathFinder convergence, and
+/// scheduler timelines. `-` reads from stdin.
+fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let [path] = args else {
+        return Err(
+            "trace-report takes exactly one argument: the JSONL file to render (`-` = stdin)"
+                .into(),
+        );
+    };
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    let rendered = fpga_route::trace::report::render_report(&text)
+        .map_err(|e| format!("{path}: {e}"))?;
+    print!("{rendered}");
+    Ok(())
+}
+
+/// Diffs two `BENCH_*.json` result files and fails (nonzero exit) when
+/// any `*_us` timing field regressed past the threshold, unless
+/// `--warn-only` downgrades the failure to a stderr warning.
+fn cmd_bench_diff(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold_pct = 5.0f64;
+    let mut warn_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = it.next().ok_or("flag --threshold needs a value")?;
+                threshold_pct = value
+                    .parse()
+                    .map_err(|_| format!("--threshold: not a number: `{value}`"))?;
+            }
+            "--warn-only" => warn_only = true,
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag `{other}` for `bench-diff` (accepted: --threshold --warn-only)"
+                )
+                .into());
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [before_path, after_path] = paths[..] else {
+        return Err("bench-diff takes two positional arguments: <before.json> <after.json>".into());
+    };
+    let before = std::fs::read_to_string(before_path)?;
+    let after = std::fs::read_to_string(after_path)?;
+    let report = fpga_route::trace::report::bench_diff(&before, &after, threshold_pct)?;
+    print!("{}", report.rendered);
+    if report.regressions.is_empty() {
+        return Ok(());
+    }
+    let lines: Vec<String> = report
+        .regressions
+        .iter()
+        .map(|r| {
+            format!(
+                "{}.{}: {} -> {} (+{:.1}%)",
+                r.circuit, r.field, r.before, r.after, r.delta_pct
+            )
+        })
+        .collect();
+    if warn_only {
+        eprintln!(
+            "warning: {} field(s) regressed past {threshold_pct}%: {}",
+            report.regressions.len(),
+            lines.join(", ")
+        );
+        return Ok(());
+    }
+    Err(format!(
+        "{} field(s) regressed past {threshold_pct}%: {}",
+        report.regressions.len(),
+        lines.join(", ")
+    )
+    .into())
 }
 
 #[cfg(test)]
@@ -714,6 +848,93 @@ mod tests {
             ("algorithm", "idom"),
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_with_a_clear_error() {
+        let err = parse_flags(
+            &[
+                "--trace".into(),
+                "a.jsonl".into(),
+                "--trace".into(),
+                "b.jsonl".into(),
+            ],
+            "route",
+            ROUTE_FLAGS,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--trace"), "error names the flag: {msg}");
+        assert!(msg.contains("more than once"), "error says why: {msg}");
+
+        let err = parse_flags(
+            &["--metrics".into(), "--metrics".into()],
+            "route",
+            ROUTE_FLAGS,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--metrics"));
+    }
+
+    #[test]
+    fn dash_trace_path_means_stdout() {
+        // `-` is not a `.json` path, so the trace goes out as JSONL;
+        // write_trace must not try to create a file literally named `-`.
+        let trace = Trace::default();
+        write_trace(&trace, "-").unwrap();
+        assert!(!std::path::Path::new("-").exists(), "no file named `-`");
+    }
+
+    #[test]
+    fn trace_report_renders_observability_records() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("fpga_route_trace_report_test.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"type\":\"meta\",\"version\":1}\n",
+                "{\"type\":\"histogram\",\"name\":\"net_route_ns\",\"count\":2,\"sum\":300,",
+                "\"mean\":150,\"p50\":100,\"p95\":200,\"p99\":200,\"max\":200}\n",
+                "{\"type\":\"convergence\",\"iteration\":1,\"overcapacity\":4,",
+                "\"history_milli\":0,\"nets_rerouted\":9,\"present_milli\":500}\n",
+            ),
+        )
+        .unwrap();
+        cmd_trace_report(&[path.to_string_lossy().into_owned()]).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regressions_unless_warn_only() {
+        let dir = std::env::temp_dir();
+        let before = dir.join("fpga_route_bench_diff_before.json");
+        let after = dir.join("fpga_route_bench_diff_after.json");
+        std::fs::write(
+            &before,
+            "{\"circuits\":[{\"name\":\"term1\",\"pathfinder_us\":1000,\"pathfinder_width\":9}]}",
+        )
+        .unwrap();
+        std::fs::write(
+            &after,
+            "{\"circuits\":[{\"name\":\"term1\",\"pathfinder_us\":2000,\"pathfinder_width\":9}]}",
+        )
+        .unwrap();
+        let b = before.to_string_lossy().into_owned();
+        let a = after.to_string_lossy().into_owned();
+        // Identical files never gate.
+        cmd_bench_diff(&[b.clone(), b.clone()]).unwrap();
+        // A 100% slowdown on a *_us field fails past the default 5%...
+        let err = cmd_bench_diff(&[b.clone(), a.clone()]).unwrap_err();
+        assert!(err.to_string().contains("pathfinder_us"), "{err}");
+        // ...passes with a generous threshold...
+        cmd_bench_diff(&[b.clone(), a.clone(), "--threshold".into(), "150".into()]).unwrap();
+        // ...and is downgraded to a warning by --warn-only.
+        cmd_bench_diff(&[b.clone(), a.clone(), "--warn-only".into()]).unwrap();
+        // Unknown flags and missing positionals are rejected.
+        assert!(cmd_bench_diff(&[b.clone(), a.clone(), "--bogus".into()]).is_err());
+        assert!(cmd_bench_diff(std::slice::from_ref(&b)).is_err());
+        let _ = std::fs::remove_file(before);
+        let _ = std::fs::remove_file(after);
     }
 
     #[test]
