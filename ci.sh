@@ -70,6 +70,17 @@ git checkout -- BENCH_pathfinder.json 2>/dev/null || true
 ./target/release/fpga_route bench-diff BENCH_pathfinder.json "$fresh_bench" \
     --threshold 25 --warn-only
 
+echo "==> kernel bench smoke (release, BENCH_QUICK; asserts A*+CSR >= 1.3x)"
+BENCH_QUICK=1 cargo bench -p bench --bench kernel
+
+echo "==> bench-diff kernel perf gate (checked-in baseline vs fresh run, warn-only)"
+fresh_kernel="$(mktemp /tmp/fpga_bench_kernel.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$fresh_bench" "$fresh_kernel"' EXIT
+cp BENCH_kernel.json "$fresh_kernel"
+git checkout -- BENCH_kernel.json 2>/dev/null || true
+./target/release/fpga_route bench-diff BENCH_kernel.json "$fresh_kernel" \
+    --threshold 25 --warn-only
+
 echo "==> snapshot bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench snapshot
 

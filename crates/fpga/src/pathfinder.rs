@@ -57,8 +57,8 @@
 
 use route_graph::rng::SplitMix64;
 use route_graph::{
-    EdgeId, Graph, GraphError, GraphOverlay, GraphView, GraphViewMut, NodeId, OverlayArena,
-    Weight,
+    CsrView, EdgeId, Graph, GraphError, GraphOverlay, GraphView, GraphViewMut, NodeId,
+    OverlayArena, Weight,
 };
 use steiner_route::{NegotiatedPricing, RoutingTree};
 
@@ -272,7 +272,7 @@ pub(crate) fn route_negotiated(
                 critical,
                 threads,
                 arenas,
-                &mut priced,
+                &priced,
                 &final_trees,
                 ctx,
                 iteration,
@@ -469,7 +469,16 @@ fn trees_differ(a: Option<&RoutingTree>, b: Option<&RoutingTree>) -> bool {
 ///
 /// `Some(tree)` per routed net, `None` for a disconnected one. The
 /// snapshot is left exactly as it was on entry (masking and exclusion
-/// are restored per net, overlay deltas die with the workers).
+/// happen on per-worker overlays whose deltas die with the phase).
+///
+/// The priced graph is packed once per phase into a flat-CSR snapshot
+/// ([`CsrView`]) so every net's shortest-path relaxations sweep
+/// contiguous `(neighbor, edge, weight)` triples instead of chasing
+/// the mutable graph's per-node edge lists. Both the sequential path
+/// and the workers bind their copy-on-write overlays over that CSR
+/// arena; the view surface is identical (same iteration order, same
+/// liveness, same weights), so the phase stays bit-identical to
+/// routing against the [`Graph`] directly, for any thread count.
 #[allow(clippy::too_many_arguments)] // internal plumbing for one call site
 fn route_all(
     router: &Router<'_>,
@@ -477,24 +486,33 @@ fn route_all(
     critical: &[bool],
     threads: usize,
     arenas: &mut Vec<OverlayArena>,
-    priced: &mut Graph,
+    priced: &Graph,
     prev: &[Option<RoutingTree>],
     ctx: ExclusionCtx<'_>,
     iteration: usize,
 ) -> Result<Vec<Option<RoutingTree>>, FpgaError> {
     let net_count = circuit.net_count();
     let prev_of = |ni: usize| prev.get(ni).and_then(Option::as_ref);
+    let csr = CsrView::build(priced);
     if threads <= 1 {
         let phase_started = if route_trace::enabled() {
             Some(std::time::Instant::now())
         } else {
             None
         };
+        // `route_classified` allocates no arenas for the sequential
+        // mode; the CSR path still routes through an overlay (the CSR
+        // snapshot is immutable), so make sure one exists and reuse it
+        // across iterations like the workers reuse theirs.
+        if arenas.is_empty() {
+            arenas.push(OverlayArena::new());
+        }
+        let mut overlay = GraphOverlay::bind(&csr, &mut arenas[0]);
         let mut trees: Vec<Option<RoutingTree>> = Vec::with_capacity(net_count);
         for ni in 0..net_count {
             trees.push(route_net_excluded(
                 router,
-                priced,
+                &mut overlay,
                 circuit,
                 ni,
                 critical,
@@ -518,7 +536,7 @@ fn route_all(
     while arenas.len() < threads {
         arenas.push(OverlayArena::new());
     }
-    let snapshot: &Graph = priced;
+    let snapshot: &CsrView = &csr;
     let parent_span = route_trace::current_span();
     let mut worker_results: Vec<WorkerRoutes> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {

@@ -1,8 +1,22 @@
-//! Dijkstra single-source shortest paths.
+//! Dijkstra single-source shortest paths, plain and goal-oriented.
+//!
+//! One generic kernel serves both modes. The heap priority is the tuple
+//! `(dist + h(v), dist)`: under the zero potential that is `(d, d)`, which
+//! compares exactly like the bare distance the historical kernel queued,
+//! so plain runs are bit-identical to the pre-A* implementation. Under an
+//! admissible consistent potential the same loop becomes goal-oriented A*
+//! — settled distances are unchanged and, with the canonical parent
+//! tie-break below, returned paths are too (DESIGN.md §5g).
 
 use crate::heap::IndexedBinaryHeap;
+use crate::lowerbound::{Potential, ZeroPotential};
 use crate::view::GraphView;
 use crate::{EdgeId, GraphError, NodeId, Path, Weight};
+
+/// Heap priority of a frontier node: `(dist ⊕ h(node), dist)`. The second
+/// component makes key ties pop in ascending true distance, which the
+/// identical-paths guarantee of the guided kernel relies on.
+type Rank = (Weight, Weight);
 
 /// The result of a Dijkstra run from one source: distances and parent links
 /// for every reachable live node.
@@ -49,7 +63,33 @@ impl ShortestPaths {
     /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
     /// if the source is invalid.
     pub fn run<G: GraphView>(g: &G, source: NodeId) -> Result<ShortestPaths, GraphError> {
-        Self::run_until(g, source, |_| false)
+        let mut heap = IndexedBinaryHeap::new(g.node_count());
+        Self::run_until(g, source, &ZeroPotential, &mut heap, |_| false)
+    }
+
+    /// Runs goal-oriented (A*) search from `source`, ordering the frontier
+    /// by `dist + h(v)`. With an admissible consistent potential the
+    /// settled distances — and, for positive edge weights, the returned
+    /// paths — are exactly those of [`run`](ShortestPaths::run).
+    ///
+    /// Without an early exit the guidance only reorders work, so this
+    /// variant pays off through [`run_to_targets_guided`]-style early
+    /// termination; it exists so full-table callers can share one entry
+    /// point when a potential is already in hand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
+    /// if the source is invalid.
+    ///
+    /// [`run_to_targets_guided`]: ShortestPaths::run_to_targets_guided
+    pub fn run_guided<G: GraphView, P: Potential>(
+        g: &G,
+        source: NodeId,
+        potential: &P,
+    ) -> Result<ShortestPaths, GraphError> {
+        let mut heap = IndexedBinaryHeap::new(g.node_count());
+        Self::run_until(g, source, potential, &mut heap, |_| false)
     }
 
     /// Runs Dijkstra from `source`, stopping early once every node in
@@ -64,6 +104,28 @@ impl ShortestPaths {
         source: NodeId,
         targets: &[NodeId],
     ) -> Result<ShortestPaths, GraphError> {
+        Self::run_to_targets_guided(g, source, targets, &ZeroPotential)
+    }
+
+    /// Goal-oriented variant of [`run_to_targets`]: the frontier is ordered
+    /// by `dist + h(v)`, so with a potential built for (a superset of)
+    /// `targets` the search explores a corridor toward them instead of a
+    /// full cost ball. Settled targets carry exactly the plain-Dijkstra
+    /// distances and paths; *unsettled* nodes may differ (the guided run
+    /// settles fewer of them — that is the speedup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
+    /// if the source is invalid.
+    ///
+    /// [`run_to_targets`]: ShortestPaths::run_to_targets
+    pub fn run_to_targets_guided<G: GraphView, P: Potential>(
+        g: &G,
+        source: NodeId,
+        targets: &[NodeId],
+        potential: &P,
+    ) -> Result<ShortestPaths, GraphError> {
         let mut remaining: Vec<bool> = vec![false; g.node_count()];
         let mut missing = 0usize;
         for &t in targets {
@@ -72,7 +134,8 @@ impl ShortestPaths {
                 missing += 1;
             }
         }
-        Self::run_until(g, source, move |settled: NodeId| {
+        let mut heap = IndexedBinaryHeap::new(g.node_count());
+        Self::run_until(g, source, potential, &mut heap, move |settled: NodeId| {
             if remaining[settled.index()] {
                 remaining[settled.index()] = false;
                 missing -= 1;
@@ -81,9 +144,55 @@ impl ShortestPaths {
         })
     }
 
-    fn run_until<G: GraphView>(
+    /// Scratch-arena variant of [`run_to_targets`]: reuses the caller's
+    /// heap and target-flag buffers instead of allocating per query. The
+    /// result is identical to the allocating entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::NodeRemoved`]
+    /// if the source is invalid.
+    ///
+    /// [`run_to_targets`]: ShortestPaths::run_to_targets
+    pub fn run_to_targets_with<G: GraphView>(
         g: &G,
         source: NodeId,
+        targets: &[NodeId],
+        scratch: &mut KernelScratch,
+    ) -> Result<ShortestPaths, GraphError> {
+        let n = g.node_count();
+        scratch.reserve(n);
+        let KernelScratch { heap, flags, .. } = scratch;
+        heap.clear();
+        let mut missing = 0usize;
+        for &t in targets.iter() {
+            if t.index() < n && !flags[t.index()] {
+                flags[t.index()] = true;
+                missing += 1;
+            }
+        }
+        let res = Self::run_until(g, source, &ZeroPotential, heap, |settled: NodeId| {
+            if flags[settled.index()] {
+                flags[settled.index()] = false;
+                missing -= 1;
+            }
+            missing == 0
+        });
+        // Leave the flag buffer all-false for the next query (early exit
+        // clears settled targets; unsettled ones are cleared here).
+        for &t in targets.iter() {
+            if t.index() < n {
+                flags[t.index()] = false;
+            }
+        }
+        res
+    }
+
+    fn run_until<G: GraphView, P: Potential>(
+        g: &G,
+        source: NodeId,
+        potential: &P,
+        heap: &mut IndexedBinaryHeap<Rank>,
         done: impl FnMut(NodeId) -> bool,
     ) -> Result<ShortestPaths, GraphError> {
         // Monomorphize the hot loop on the two instrumentation flags so
@@ -92,16 +201,18 @@ impl ShortestPaths {
         // router's hottest path and even well-predicted branches there
         // are measurable in the timing bench.
         match (route_trace::enabled(), crate::readset::is_active()) {
-            (false, false) => Self::run_until_impl::<G, false, false>(g, source, done),
-            (false, true) => Self::run_until_impl::<G, false, true>(g, source, done),
-            (true, false) => Self::run_until_impl::<G, true, false>(g, source, done),
-            (true, true) => Self::run_until_impl::<G, true, true>(g, source, done),
+            (false, false) => Self::run_until_impl::<G, P, false, false>(g, source, potential, heap, done),
+            (false, true) => Self::run_until_impl::<G, P, false, true>(g, source, potential, heap, done),
+            (true, false) => Self::run_until_impl::<G, P, true, false>(g, source, potential, heap, done),
+            (true, true) => Self::run_until_impl::<G, P, true, true>(g, source, potential, heap, done),
         }
     }
 
-    fn run_until_impl<G: GraphView, const TRACED: bool, const RECORDING: bool>(
+    fn run_until_impl<G: GraphView, P: Potential, const TRACED: bool, const RECORDING: bool>(
         g: &G,
         source: NodeId,
+        potential: &P,
+        heap: &mut IndexedBinaryHeap<Rank>,
         mut done: impl FnMut(NodeId) -> bool,
     ) -> Result<ShortestPaths, GraphError> {
         g.require_live_node(source)?;
@@ -115,6 +226,7 @@ impl ShortestPaths {
         };
         let mut pops = 0u64;
         let mut relaxations = 0u64;
+        let mut pushes = 0u64;
         // Read-set recording for speculative routing: every settled node
         // and every relaxed neighbor is a node whose liveness or incident
         // edge weights this run observed. Same local-buffer discipline as
@@ -123,9 +235,12 @@ impl ShortestPaths {
         let n = g.node_count();
         let mut dist: Vec<Option<Weight>> = vec![None; n];
         let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-        let mut heap = IndexedBinaryHeap::new(n);
-        heap.push(source.index(), Weight::ZERO);
-        while let Some((vi, d)) = heap.pop() {
+        heap.ensure_keys(n);
+        heap.push(source.index(), (potential.h(source), Weight::ZERO));
+        if TRACED {
+            pushes += 1;
+        }
+        while let Some((vi, (_, d))) = heap.pop() {
             if TRACED {
                 pops += 1;
             }
@@ -150,8 +265,25 @@ impl ShortestPaths {
                 // Saturate: near-`Weight::MAX` congestion weights must rank
                 // as "infinitely far", not panic the relaxation.
                 let nd = d.saturating_add(w);
-                if heap.push(u.index(), nd) {
+                let rank: Rank = (nd.saturating_add(potential.h(u)), nd);
+                if heap.push(u.index(), rank) {
+                    if TRACED {
+                        pushes += 1;
+                    }
                     parent[u.index()] = Some((v, e));
+                } else if heap.priority(u.index()) == Some(rank) {
+                    // Canonical tie-break: among equal-cost predecessors,
+                    // keep the lexicographically smallest (node, edge)
+                    // pair. This makes the chosen parent a function of the
+                    // *set* of achieving predecessors rather than of their
+                    // relaxation order, which is what lets the guided and
+                    // plain kernels return bit-identical paths even though
+                    // they relax in different orders (DESIGN.md §5g).
+                    if let Some((pv, pe)) = parent[u.index()] {
+                        if (v.index(), e.index()) < (pv.index(), pe.index()) {
+                            parent[u.index()] = Some((v, e));
+                        }
+                    }
                 }
             }
         }
@@ -159,11 +291,16 @@ impl ShortestPaths {
             route_trace::count(route_trace::Counter::DijkstraRuns, 1);
             route_trace::count(route_trace::Counter::DijkstraHeapPops, pops);
             route_trace::count(route_trace::Counter::DijkstraRelaxations, relaxations);
+            route_trace::count(route_trace::Counter::HeapPushes, pushes);
+            if !potential.is_zero() {
+                // Whatever the early exit left queued is frontier work a
+                // plain run would (mostly) have settled — the A* dividend.
+                route_trace::count(route_trace::Counter::AstarPrunedNodes, heap.len() as u64);
+            }
             if let Some(started) = started {
-                route_trace::record_duration(
-                    route_trace::Metric::DijkstraRunNs,
-                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                );
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                route_trace::record_duration(route_trace::Metric::DijkstraRunNs, ns);
+                route_trace::record_duration(route_trace::Metric::KernelQueryNs, ns);
             }
         }
         if RECORDING {
@@ -229,6 +366,48 @@ impl ShortestPaths {
     }
 }
 
+/// Reusable per-query buffers for the shortest-path kernel.
+///
+/// One query's transient state — the indexed heap, the target-flag vector,
+/// and a generation-stamped distance array for point-to-point queries —
+/// amounts to several `O(node_count)` allocations. A scratch arena (held
+/// by [`DistanceOracle`](crate::DistanceOracle)) amortizes them across the
+/// thousands of kernel queries a routing pass issues.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    /// Frontier heap, cleared (not reallocated) between queries.
+    heap: IndexedBinaryHeap<Rank>,
+    /// Target marks for early termination, all-false between queries.
+    flags: Vec<bool>,
+    /// Generation stamp validating `dist` entries without clearing them.
+    stamp: u64,
+    /// `dist[i]` is meaningful iff `dist_stamp[i] == stamp`.
+    dist_stamp: Vec<u64>,
+    dist: Vec<Weight>,
+    /// Read-set buffer reused across recorded queries.
+    reads: Vec<NodeId>,
+}
+
+impl KernelScratch {
+    /// An empty scratch arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> KernelScratch {
+        KernelScratch::default()
+    }
+
+    /// Grows every buffer to cover node indices `0..n`.
+    fn reserve(&mut self, n: usize) {
+        self.heap.ensure_keys(n);
+        if self.flags.len() < n {
+            self.flags.resize(n, false);
+        }
+        if self.dist_stamp.len() < n {
+            self.dist_stamp.resize(n, 0);
+            self.dist.resize(n, Weight::ZERO);
+        }
+    }
+}
+
 /// Computes `minpath_G(u, v)` — the cost of a shortest path between two
 /// nodes — with an early-terminating Dijkstra.
 ///
@@ -241,6 +420,110 @@ pub fn minpath<G: GraphView>(g: &G, u: NodeId, v: NodeId) -> Result<Weight, Grap
     let sp = ShortestPaths::run_to_targets(g, u, &[v])?;
     sp.dist(v)
         .ok_or(GraphError::Disconnected { from: u, to: v })
+}
+
+/// Goal-oriented variant of [`minpath`]: the early-terminating query is
+/// steered by `potential` (built for a target set containing `v`). The
+/// returned cost is identical to [`minpath`]'s.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeRemoved`] / [`GraphError::NodeOutOfBounds`] for
+/// an invalid endpoint, or [`GraphError::Disconnected`] if no path exists.
+pub fn minpath_guided<G: GraphView, P: Potential>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    potential: &P,
+) -> Result<Weight, GraphError> {
+    g.require_live_node(v)?;
+    let sp = ShortestPaths::run_to_targets_guided(g, u, &[v], potential)?;
+    sp.dist(v)
+        .ok_or(GraphError::Disconnected { from: u, to: v })
+}
+
+/// Allocation-free variant of [`minpath`] over a scratch arena: the heap,
+/// distance array, and read buffer are reused across queries, and no
+/// `ShortestPaths` table is materialized. Returns exactly what [`minpath`]
+/// returns for the same arguments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeRemoved`] / [`GraphError::NodeOutOfBounds`] for
+/// an invalid endpoint, or [`GraphError::Disconnected`] if no path exists.
+pub fn minpath_with<G: GraphView>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    scratch: &mut KernelScratch,
+) -> Result<Weight, GraphError> {
+    g.require_live_node(v)?;
+    g.require_live_node(u)?;
+    let traced = route_trace::enabled();
+    let recording = crate::readset::is_active();
+    let started = if traced {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
+    let n = g.node_count();
+    scratch.reserve(n);
+    scratch.stamp = scratch.stamp.wrapping_add(1);
+    let stamp = scratch.stamp;
+    let KernelScratch {
+        heap,
+        dist_stamp,
+        dist,
+        reads,
+        ..
+    } = scratch;
+    heap.clear();
+    reads.clear();
+    let mut pops = 0u64;
+    let mut relaxations = 0u64;
+    let mut pushes = 1u64;
+    heap.push(u.index(), (Weight::ZERO, Weight::ZERO));
+    let mut found: Option<Weight> = None;
+    while let Some((vi, (_, d))) = heap.pop() {
+        pops += 1;
+        dist_stamp[vi] = stamp;
+        dist[vi] = d;
+        if recording {
+            reads.push(NodeId::from_index(vi));
+        }
+        if vi == v.index() {
+            found = Some(d);
+            break;
+        }
+        for (w_node, _, w) in g.neighbors(NodeId::from_index(vi)) {
+            relaxations += 1;
+            if recording {
+                reads.push(w_node);
+            }
+            if dist_stamp[w_node.index()] == stamp {
+                continue; // settled this query
+            }
+            let nd = d.saturating_add(w);
+            if heap.push(w_node.index(), (nd, nd)) {
+                pushes += 1;
+            }
+        }
+    }
+    if traced {
+        route_trace::count(route_trace::Counter::DijkstraRuns, 1);
+        route_trace::count(route_trace::Counter::DijkstraHeapPops, pops);
+        route_trace::count(route_trace::Counter::DijkstraRelaxations, relaxations);
+        route_trace::count(route_trace::Counter::HeapPushes, pushes);
+        if let Some(started) = started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            route_trace::record_duration(route_trace::Metric::DijkstraRunNs, ns);
+            route_trace::record_duration(route_trace::Metric::KernelQueryNs, ns);
+        }
+    }
+    if recording {
+        crate::readset::extend(reads);
+    }
+    found.ok_or(GraphError::Disconnected { from: u, to: v })
 }
 
 #[cfg(test)]

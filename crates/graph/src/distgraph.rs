@@ -13,6 +13,8 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::dijkstra::KernelScratch;
+use crate::lowerbound::{Potential, ZeroPotential};
 use crate::view::GraphView;
 use crate::{GraphError, NodeId, Path, ShortestPaths, Weight};
 
@@ -68,7 +70,7 @@ impl TerminalDistances {
         g: &G,
         terminals: &[NodeId],
     ) -> Result<TerminalDistances, GraphError> {
-        Self::compute_inner(g, terminals, None)
+        Self::compute_inner(g, terminals, None, &ZeroPotential)
     }
 
     /// Like [`compute`](Self::compute), but each per-terminal Dijkstra
@@ -97,19 +99,46 @@ impl TerminalDistances {
         terminals: &[NodeId],
         extra_targets: &[NodeId],
     ) -> Result<TerminalDistances, GraphError> {
+        Self::compute_to_targets_guided(g, terminals, extra_targets, &ZeroPotential)
+    }
+
+    /// Goal-oriented variant of [`compute_to_targets`]: each per-terminal
+    /// early-terminating Dijkstra is steered by `potential`, an admissible
+    /// lower bound on the distance to the nearest member of
+    /// `terminals ∪ extra_targets` (see [`lowerbound`](crate::lowerbound)).
+    /// For every target-set query the distances and paths are exactly
+    /// those of the plain computation — the guidance only shrinks the set
+    /// of *extra* nodes each run happens to settle on the way.
+    ///
+    /// [`push_terminal`](Self::push_terminal) on a guided instance runs
+    /// unguided (the potential is not retained); the appended terminal's
+    /// distances are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`compute`](Self::compute).
+    ///
+    /// [`compute_to_targets`]: Self::compute_to_targets
+    pub fn compute_to_targets_guided<G: GraphView, P: Potential>(
+        g: &G,
+        terminals: &[NodeId],
+        extra_targets: &[NodeId],
+        potential: &P,
+    ) -> Result<TerminalDistances, GraphError> {
         let mut targets: Vec<NodeId> = terminals.to_vec();
         // Dead extras can never settle and would defeat early
         // termination, silently degrading to a full-component run.
         targets.extend(extra_targets.iter().copied().filter(|&v| g.is_node_live(v)));
         targets.sort_unstable();
         targets.dedup();
-        Self::compute_inner(g, terminals, Some(targets))
+        Self::compute_inner(g, terminals, Some(targets), potential)
     }
 
-    fn compute_inner<G: GraphView>(
+    fn compute_inner<G: GraphView, P: Potential>(
         g: &G,
         terminals: &[NodeId],
         targets: Option<Vec<NodeId>>,
+        potential: &P,
     ) -> Result<TerminalDistances, GraphError> {
         if terminals.is_empty() {
             return Err(GraphError::EmptyTerminalSet);
@@ -123,11 +152,11 @@ impl TerminalDistances {
             seen[t.index()] = true;
         }
         let sp = if crate::par::dijkstra_fanout() > 1 && terminals.len() > 1 {
-            Self::fanned_runs(g, terminals, &targets)?
+            Self::fanned_runs(g, terminals, &targets, potential)?
         } else {
             terminals
                 .iter()
-                .map(|&t| Self::one_run(g, t, &targets).map(Rc::new))
+                .map(|&t| Self::one_run(g, t, &targets, potential).map(Rc::new))
                 .collect::<Result<Vec<_>, _>>()?
         };
         Ok(TerminalDistances {
@@ -137,14 +166,15 @@ impl TerminalDistances {
         })
     }
 
-    fn one_run<G: GraphView>(
+    fn one_run<G: GraphView, P: Potential>(
         g: &G,
         t: NodeId,
         targets: &Option<Vec<NodeId>>,
+        potential: &P,
     ) -> Result<ShortestPaths, GraphError> {
         match targets {
-            Some(set) => ShortestPaths::run_to_targets(g, t, set),
-            None => ShortestPaths::run(g, t),
+            Some(set) => ShortestPaths::run_to_targets_guided(g, t, set, potential),
+            None => ShortestPaths::run_guided(g, t, potential),
         }
     }
 
@@ -162,10 +192,11 @@ impl TerminalDistances {
     /// speculative conflict check and acceptance would be unsound. The
     /// merged set can only be a superset of the sequential one (threads
     /// past a failing terminal keep running), which is conservative.
-    fn fanned_runs<G: GraphView>(
+    fn fanned_runs<G: GraphView, P: Potential>(
         g: &G,
         terminals: &[NodeId],
         targets: &Option<Vec<NodeId>>,
+        potential: &P,
     ) -> Result<Vec<Rc<ShortestPaths>>, GraphError> {
         let workers = crate::par::dijkstra_fanout().min(terminals.len());
         let parent_recording = crate::readset::is_active();
@@ -189,7 +220,7 @@ impl TerminalDistances {
                             .enumerate()
                             .skip(w)
                             .step_by(workers)
-                            .map(|(i, &t)| (i, Self::one_run(g, t, targets)))
+                            .map(|(i, &t)| (i, Self::one_run(g, t, targets, potential)))
                             .collect();
                         let reads = if parent_recording {
                             crate::readset::take()
@@ -350,6 +381,9 @@ impl TerminalDistances {
 pub struct DistanceOracle {
     cache: HashMap<NodeId, Rc<ShortestPaths>>,
     epoch: Option<u64>,
+    /// Reusable kernel buffers for the uncached query entry points below
+    /// ([`minpath`](Self::minpath), [`run_to_targets`](Self::run_to_targets)).
+    scratch: KernelScratch,
 }
 
 impl DistanceOracle {
@@ -384,6 +418,40 @@ impl DistanceOracle {
         let sp = Rc::new(ShortestPaths::run(g, source)?);
         self.cache.insert(source, Rc::clone(&sp));
         Ok(sp)
+    }
+
+    /// Computes `minpath_G(u, v)` over the oracle's scratch arena: the
+    /// heap, distance array, and read buffer are reused across calls
+    /// instead of being reallocated per query. The answer is exactly
+    /// [`dijkstra::minpath`](crate::dijkstra::minpath)'s, always computed
+    /// fresh against `g` (no caching, so no epoch staleness to manage).
+    ///
+    /// # Errors
+    ///
+    /// As [`dijkstra::minpath`](crate::dijkstra::minpath).
+    pub fn minpath<G: GraphView>(
+        &mut self,
+        g: &G,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<Weight, GraphError> {
+        crate::dijkstra::minpath_with(g, u, v, &mut self.scratch)
+    }
+
+    /// Early-terminating run over the oracle's scratch arena; identical
+    /// results to [`ShortestPaths::run_to_targets`], minus the per-call
+    /// heap and target-flag allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShortestPaths::run_to_targets`].
+    pub fn run_to_targets<G: GraphView>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> Result<ShortestPaths, GraphError> {
+        ShortestPaths::run_to_targets_with(g, source, targets, &mut self.scratch)
     }
 
     /// Number of distinct sources cached for the current epoch.

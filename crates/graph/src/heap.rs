@@ -33,6 +33,17 @@ pub struct IndexedBinaryHeap<P> {
     pos: Vec<Option<usize>>,
 }
 
+impl<P> Default for IndexedBinaryHeap<P> {
+    /// An empty heap with no key capacity; grow it with
+    /// [`ensure_keys`](IndexedBinaryHeap::ensure_keys) before pushing.
+    fn default() -> IndexedBinaryHeap<P> {
+        IndexedBinaryHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+}
+
 impl<P: Ord + Copy> IndexedBinaryHeap<P> {
     /// Creates a heap able to hold keys `0..capacity`.
     #[must_use]
@@ -41,6 +52,24 @@ impl<P: Ord + Copy> IndexedBinaryHeap<P> {
             heap: Vec::with_capacity(capacity.min(1024)),
             pos: vec![None; capacity],
         }
+    }
+
+    /// Grows the key capacity to at least `capacity`, keeping queued
+    /// entries intact. New keys start unqueued.
+    pub fn ensure_keys(&mut self, capacity: usize) {
+        if self.pos.len() < capacity {
+            self.pos.resize(capacity, None);
+        }
+    }
+
+    /// Empties the heap in `O(len)` without releasing its allocations, so
+    /// a scratch arena can reuse one heap across kernel queries instead of
+    /// reallocating `pos` (`O(node_count)`) per call.
+    pub fn clear(&mut self) {
+        for &(_, key) in &self.heap {
+            self.pos[key] = None;
+        }
+        self.heap.clear();
     }
 
     /// Number of queued keys.
@@ -198,6 +227,46 @@ mod tests {
         h.push(0, 2);
         assert_eq!(h.pop(), Some((0, 2)));
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_without_reallocation() {
+        let mut h = IndexedBinaryHeap::new(4);
+        h.push(0, 3u64);
+        h.push(1, 1);
+        h.push(3, 2);
+        h.pop();
+        h.clear();
+        assert!(h.is_empty());
+        for k in 0..4 {
+            assert_eq!(h.priority(k), None);
+        }
+        // The heap must be fully usable again after clearing.
+        h.push(3, 9);
+        h.push(0, 4);
+        assert_eq!(h.pop(), Some((0, 4)));
+        assert_eq!(h.pop(), Some((3, 9)));
+    }
+
+    #[test]
+    fn ensure_keys_grows_capacity() {
+        let mut h = IndexedBinaryHeap::new(2);
+        h.push(1, 5u64);
+        h.ensure_keys(8);
+        h.push(7, 1);
+        assert_eq!(h.pop(), Some((7, 1)));
+        assert_eq!(h.pop(), Some((1, 5)));
+    }
+
+    #[test]
+    fn tuple_priorities_order_lexicographically() {
+        let mut h = IndexedBinaryHeap::new(3);
+        h.push(0, (2u64, 9u64));
+        h.push(1, (2, 1));
+        h.push(2, (1, 99));
+        assert_eq!(h.pop(), Some((2, (1, 99))));
+        assert_eq!(h.pop(), Some((1, (2, 1))));
+        assert_eq!(h.pop(), Some((0, (2, 9))));
     }
 
     #[test]

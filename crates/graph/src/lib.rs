@@ -18,7 +18,16 @@
 //!   and would be meaningless under floating-point drift.
 //! * [`ShortestPaths`] — Dijkstra single-source shortest paths with parent
 //!   links and path extraction, backed by the [`heap::IndexedBinaryHeap`]
-//!   decrease-key priority queue.
+//!   decrease-key priority queue. Goal-oriented (A*) variants (`run_guided`,
+//!   `run_to_targets_guided`, `minpath_guided`) reorder the frontier by an
+//!   admissible lower bound while settling bit-identical distances and paths.
+//! * [`lowerbound`] — the admissible potentials steering those variants:
+//!   grid-Manhattan bounds for RR-graph-shaped grids and ALT landmark
+//!   tables for general graphs, all in saturating [`Weight`] math.
+//! * [`csr`] — flat compressed-sparse-row adjacency snapshots
+//!   ([`csr::CsrView`]) packing `(neighbor, edge, weight)` into contiguous
+//!   arrays for cache-friendly relaxation sweeps; serves both [`GraphView`]
+//!   and [`OverlayBase`], so per-worker overlays bind over it unchanged.
 //! * [`TerminalDistances`] — the *distance graph* over a net's terminals
 //!   (the complete graph whose edge weights are shortest-path costs in `G`),
 //!   the shared primitive of KMB, ZEL, DOM and the iterated constructions.
@@ -65,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod dijkstra;
 pub mod distgraph;
 pub mod dsu;
@@ -74,6 +84,7 @@ pub mod graph;
 pub mod grid;
 pub mod heap;
 mod ids;
+pub mod lowerbound;
 pub mod mst;
 pub mod multiweight;
 pub mod overlay;
@@ -86,8 +97,10 @@ pub mod shared;
 pub mod view;
 mod weight;
 
-pub use dijkstra::ShortestPaths;
+pub use csr::CsrView;
+pub use dijkstra::{KernelScratch, ShortestPaths};
 pub use distgraph::{DistanceOracle, TerminalDistances};
+pub use lowerbound::{GridPotential, LandmarkPotential, Potential, ZeroPotential};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use grid::GridGraph;

@@ -1,0 +1,438 @@
+//! Admissible lower-bound potentials for goal-oriented (A*) kernel queries.
+//!
+//! The router's hot path is repeated multi-target Dijkstra fan-outs, and a
+//! plain Dijkstra run floods a cost ball around the source until the last
+//! target settles. Goal-oriented search ("Dijkstra meets Steiner") reorders
+//! the frontier by `dist(v) + h(v)` where `h` is an *admissible* lower bound
+//! on the remaining cost to the nearest target, pruning most of the ball
+//! while provably settling the same distances.
+//!
+//! Two providers are implemented:
+//!
+//! * [`GridPotential`] — for RR-graph-shaped grids: `h(v)` is the Manhattan
+//!   distance to the nearest target scaled by the smallest per-hop edge
+//!   cost. This is the natural bound for the paper's Table 1/Table 5 grid
+//!   substrates where shortest paths reflect rectilinear distance.
+//! * [`LandmarkPotential`] — ALT landmarks for general graphs: a small set
+//!   of full Dijkstra tables from far-apart landmark nodes, combined via
+//!   the triangle inequality into a bound on the distance to the nearest
+//!   target.
+//!
+//! Both providers use *consistent* potentials (`h(v) <= w(v,u) + h(u)` for
+//! every live edge), which is what lets the guided kernel settle each node
+//! at its true distance on first pop, exactly like plain Dijkstra. All
+//! arithmetic saturates at [`Weight::MAX`] / [`Weight::ZERO`] so potentials
+//! built over congestion-saturated weights degrade to "no information"
+//! instead of wrapping (see DESIGN.md §5g for the correctness argument).
+
+use crate::dijkstra::ShortestPaths;
+use crate::view::GraphView;
+use crate::{GraphError, GridGraph, NodeId, Weight};
+
+/// An admissible future-cost lower bound for goal-oriented search.
+///
+/// Implementations must be *admissible* with respect to the target set the
+/// potential was built for — `h(v) <= true_dist(v, nearest target)` for
+/// every node `v` — and should be *consistent* so the guided kernel never
+/// re-expands a settled node. `Sync` is required so the distance-graph
+/// fan-out can share one potential across worker threads.
+pub trait Potential: Sync {
+    /// The lower bound on the cost from `v` to the nearest target.
+    fn h(&self, v: NodeId) -> Weight;
+
+    /// `true` for the trivial zero potential, letting the kernel skip
+    /// A*-specific accounting (pruning telemetry) on plain runs.
+    fn is_zero(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Potential + ?Sized> Potential for &P {
+    fn h(&self, v: NodeId) -> Weight {
+        (**self).h(v)
+    }
+
+    fn is_zero(&self) -> bool {
+        (**self).is_zero()
+    }
+}
+
+/// The trivial potential `h ≡ 0`: guided search degenerates to plain
+/// Dijkstra (the kernel's frontier order is bit-identical, see
+/// `dijkstra.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroPotential;
+
+impl Potential for ZeroPotential {
+    fn h(&self, _v: NodeId) -> Weight {
+        Weight::ZERO
+    }
+
+    fn is_zero(&self) -> bool {
+        true
+    }
+}
+
+/// Grid-Manhattan distance potential for RR-graph-shaped grids.
+///
+/// `h(v) = unit_bound · manhattan(v, nearest target)` where `unit_bound`
+/// is the minimum over live edges of `weight / manhattan_span`. Any path
+/// from `v` to a target `t` crosses at least `manhattan(v, t)` units of
+/// rectilinear span, each costing at least `unit_bound`, so the bound is
+/// admissible; it is consistent because crossing one edge changes the
+/// Manhattan term by at most that edge's span.
+///
+/// # Example
+///
+/// ```
+/// use route_graph::lowerbound::{GridPotential, Potential};
+/// use route_graph::{GridGraph, Weight};
+///
+/// # fn main() -> Result<(), route_graph::GraphError> {
+/// let grid = GridGraph::new(8, 8, Weight::UNIT)?;
+/// let target = grid.node_at(7, 7)?;
+/// let pot = GridPotential::new(&grid, &[target])?;
+/// let corner = grid.node_at(0, 0)?;
+/// assert_eq!(pot.h(corner), Weight::from_units(14));
+/// assert_eq!(pot.h(target), Weight::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridPotential {
+    rows: usize,
+    cols: usize,
+    /// Conservative per-Manhattan-hop cost floor (milli-exact).
+    unit_bound: Weight,
+    /// Target positions as `(row, col)` pairs.
+    targets: Vec<(usize, usize)>,
+}
+
+impl GridPotential {
+    /// Builds the potential for `targets` over the grid's current live
+    /// edge weights.
+    ///
+    /// The bound is computed against the weights at build time; it stays
+    /// admissible as long as no live edge's weight *decreases* below the
+    /// captured floor (congestion pricing only raises weights, so rebuild
+    /// after any discount pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyTerminalSet`] if `targets` is empty, or
+    /// [`GraphError::NodeOutOfBounds`] if a target is not a grid node.
+    pub fn new(grid: &GridGraph, targets: &[NodeId]) -> Result<GridPotential, GraphError> {
+        if targets.is_empty() {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        let g = grid.graph();
+        // Floor of cost-per-Manhattan-hop over live edges. Edges that span
+        // more than one hop (chords added on top of the grid) divide their
+        // weight across the span, keeping the bound admissible; zero-span
+        // self-loops never advance a path and are skipped.
+        let mut unit_bound = Weight::MAX;
+        for e in g.edge_ids() {
+            if !g.is_edge_usable(e) {
+                continue;
+            }
+            let Ok((a, b)) = g.endpoints(e) else {
+                continue;
+            };
+            let span = grid.manhattan(a, b) as u64;
+            if span == 0 {
+                continue;
+            }
+            let Ok(w) = g.weight(e) else { continue };
+            let per_hop = Weight::from_milli(w.as_milli() / span);
+            unit_bound = unit_bound.min(per_hop);
+        }
+        if unit_bound == Weight::MAX {
+            // No usable edges: nothing is reachable, so the only honest
+            // admissible bound is "unknown" — degrade to zero.
+            unit_bound = Weight::ZERO;
+        }
+        let positions = targets
+            .iter()
+            .map(|&t| grid.position(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::LowerboundBuilds, 1);
+        }
+        Ok(GridPotential {
+            rows: grid.rows(),
+            cols: grid.cols(),
+            unit_bound,
+            targets: positions,
+        })
+    }
+}
+
+impl Potential for GridPotential {
+    fn h(&self, v: NodeId) -> Weight {
+        if v.index() >= self.rows.saturating_mul(self.cols) {
+            return Weight::ZERO; // off-grid nodes get no information
+        }
+        let (r, c) = (v.index() / self.cols, v.index() % self.cols);
+        let mut best = Weight::MAX;
+        for &(tr, tc) in &self.targets {
+            let hops = (r.abs_diff(tr)).saturating_add(c.abs_diff(tc)) as u64;
+            best = best.min(self.unit_bound.scale(hops));
+        }
+        if best == Weight::MAX {
+            Weight::ZERO
+        } else {
+            best
+        }
+    }
+}
+
+/// ALT (A*, Landmarks, Triangle inequality) potential for general graphs.
+///
+/// A small set of landmark nodes is chosen by deterministic farthest-point
+/// selection; a full Dijkstra table is computed from each. For a landmark
+/// `l` with `lo = min_t d(l, t)` and `hi = max_t d(l, t)` over reachable
+/// targets, the triangle inequality on an undirected graph gives two lower
+/// bounds on the distance from `v` to *every* target, hence to the nearest:
+///
+/// ```text
+/// d(v, t) >= d(l, v) - d(l, t) >= d(l, v) ⊖ hi
+/// d(v, t) >= d(l, t) - d(l, v) >= lo ⊖ d(l, v)
+/// ```
+///
+/// The potential is the max of both bounds over all landmarks (saturating
+/// subtraction keeps them valid — and merely loose — when table distances
+/// saturate at [`Weight::MAX`]).
+#[derive(Debug, Clone)]
+pub struct LandmarkPotential {
+    /// One full single-source table per landmark.
+    tables: Vec<ShortestPaths>,
+    /// Per landmark: `(min, max)` table distance over reachable targets.
+    bounds: Vec<(Weight, Weight)>,
+}
+
+impl LandmarkPotential {
+    /// Builds a `k`-landmark potential for `targets` over the live part of
+    /// `g`.
+    ///
+    /// Landmark selection is deterministic: the first landmark is the
+    /// lowest-index live target, and each subsequent landmark is the live
+    /// node maximizing the minimum table distance to the landmarks chosen
+    /// so far (lowest index wins ties), which spreads landmarks toward the
+    /// graph periphery where the triangle bounds are tightest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyTerminalSet`] if `targets` is empty or
+    /// contains no live node, and propagates invalid-node errors from the
+    /// underlying Dijkstra runs.
+    pub fn build<G: GraphView>(
+        g: &G,
+        k: usize,
+        targets: &[NodeId],
+    ) -> Result<LandmarkPotential, GraphError> {
+        let first = targets
+            .iter()
+            .copied()
+            .filter(|&t| g.is_node_live(t))
+            .min_by_key(|t| t.index())
+            .ok_or(GraphError::EmptyTerminalSet)?;
+        let mut tables: Vec<ShortestPaths> = Vec::new();
+        let mut picked: Vec<NodeId> = Vec::new();
+        let mut next = first;
+        for _ in 0..k.max(1) {
+            if picked.contains(&next) {
+                break; // graph exhausted: every candidate already chosen
+            }
+            tables.push(ShortestPaths::run(g, next)?);
+            picked.push(next);
+            // Farthest-point step: maximize the minimum distance to the
+            // chosen set, considering only nodes every landmark reaches.
+            let mut best: Option<(Weight, NodeId)> = None;
+            for v in g.node_ids() {
+                if !g.is_node_live(v) || picked.contains(&v) {
+                    continue;
+                }
+                let Some(closest) = tables
+                    .iter()
+                    .map(|t| t.dist(v))
+                    .try_fold(Weight::MAX, |acc, d| d.map(|d| acc.min(d)))
+                else {
+                    continue;
+                };
+                let better = match best {
+                    None => true,
+                    Some((bd, bv)) => closest > bd || (closest == bd && v.index() < bv.index()),
+                };
+                if better {
+                    best = Some((closest, v));
+                }
+            }
+            match best {
+                Some((_, v)) => next = v,
+                None => break,
+            }
+        }
+        let mut kept_tables = Vec::new();
+        let mut bounds = Vec::new();
+        for table in tables {
+            let mut lo = Weight::MAX;
+            let mut hi = Weight::ZERO;
+            let mut reachable = 0usize;
+            for &t in targets {
+                if let Some(d) = table.dist(t) {
+                    lo = lo.min(d);
+                    hi = hi.max(d);
+                    reachable = reachable.saturating_add(1);
+                }
+            }
+            // A landmark that reaches only part of the target set cannot
+            // bound the distance to the unreachable rest; keep it only
+            // when it covers every target, otherwise the `lo ⊖ d(l,v)`
+            // term could exceed the true nearest-target distance.
+            if reachable == targets.len() && reachable > 0 {
+                kept_tables.push(table);
+                bounds.push((lo, hi));
+            }
+        }
+        if route_trace::enabled() {
+            route_trace::count(route_trace::Counter::LowerboundBuilds, 1);
+        }
+        Ok(LandmarkPotential {
+            tables: kept_tables,
+            bounds,
+        })
+    }
+
+    /// Number of landmarks retained (those covering the full target set).
+    #[must_use]
+    pub fn landmark_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+impl Potential for LandmarkPotential {
+    fn h(&self, v: NodeId) -> Weight {
+        let mut best = Weight::ZERO;
+        for (table, &(lo, hi)) in self.tables.iter().zip(&self.bounds) {
+            let Some(dlv) = table.dist(v) else {
+                continue; // v unreachable from this landmark: no information
+            };
+            best = best.max(dlv.saturating_sub(hi));
+            best = best.max(lo.saturating_sub(dlv));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, GridGraph};
+
+    #[test]
+    fn zero_potential_is_zero_everywhere() {
+        let pot = ZeroPotential;
+        assert!(pot.is_zero());
+        assert_eq!(pot.h(NodeId::from_index(17)), Weight::ZERO);
+        // The blanket reference impl forwards both methods.
+        let by_ref: &ZeroPotential = &pot;
+        assert!(Potential::is_zero(&by_ref));
+        assert_eq!(Potential::h(&by_ref, NodeId::from_index(3)), Weight::ZERO);
+    }
+
+    #[test]
+    fn grid_potential_matches_manhattan_on_uniform_grid() {
+        let grid = GridGraph::new(5, 7, Weight::UNIT).unwrap();
+        let t = grid.node_at(4, 6).unwrap();
+        let pot = GridPotential::new(&grid, &[t]).unwrap();
+        assert!(!pot.is_zero());
+        for r in 0..5 {
+            for c in 0..7 {
+                let v = grid.node_at(r, c).unwrap();
+                assert_eq!(
+                    pot.h(v),
+                    Weight::from_units(grid.manhattan(v, t) as u64),
+                    "h({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_potential_takes_nearest_of_many_targets() {
+        let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let t1 = grid.node_at(0, 5).unwrap();
+        let t2 = grid.node_at(5, 0).unwrap();
+        let pot = GridPotential::new(&grid, &[t1, t2]).unwrap();
+        let v = grid.node_at(4, 1).unwrap();
+        let nearest = grid.manhattan(v, t1).min(grid.manhattan(v, t2)) as u64;
+        assert_eq!(pot.h(v), Weight::from_units(nearest));
+    }
+
+    #[test]
+    fn grid_potential_uses_min_edge_weight() {
+        let mut grid = GridGraph::new(3, 3, Weight::from_units(4)).unwrap();
+        let a = grid.node_at(0, 0).unwrap();
+        let b = grid.node_at(0, 1).unwrap();
+        let e = grid.edge_between(a, b).unwrap();
+        grid.graph_mut().set_weight(e, Weight::from_milli(500)).unwrap();
+        let t = grid.node_at(2, 2).unwrap();
+        let pot = GridPotential::new(&grid, &[t]).unwrap();
+        // Floor is 0.5 per hop; corner is 4 hops away.
+        assert_eq!(pot.h(a), Weight::from_milli(4 * 500));
+    }
+
+    #[test]
+    fn grid_potential_rejects_empty_and_foreign_targets() {
+        let grid = GridGraph::new(3, 3, Weight::UNIT).unwrap();
+        assert!(matches!(
+            GridPotential::new(&grid, &[]),
+            Err(GraphError::EmptyTerminalSet)
+        ));
+        assert!(matches!(
+            GridPotential::new(&grid, &[NodeId::from_index(99)]),
+            Err(GraphError::NodeOutOfBounds(_))
+        ));
+    }
+
+    #[test]
+    fn landmark_potential_is_admissible_and_exact_at_landmark_targets() {
+        let grid = GridGraph::new(6, 6, Weight::UNIT).unwrap();
+        let t = grid.node_at(5, 5).unwrap();
+        let pot = LandmarkPotential::build(grid.graph(), 3, &[t]).unwrap();
+        assert!(pot.landmark_count() >= 1);
+        let truth = ShortestPaths::run(grid.graph(), t).unwrap();
+        for v in grid.graph().node_ids() {
+            let bound = pot.h(v);
+            let exact = truth.dist(v).unwrap();
+            assert!(bound <= exact, "h({v}) = {bound} > {exact}");
+        }
+        // The first landmark is the target itself, so the bound is exact.
+        let far = grid.node_at(0, 0).unwrap();
+        assert_eq!(pot.h(far), truth.dist(far).unwrap());
+    }
+
+    #[test]
+    fn landmark_potential_skips_partial_coverage() {
+        // Two disconnected components: a landmark in one cannot bound
+        // distances to targets split across both, so it must be dropped.
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(n[0], n[1], Weight::UNIT).unwrap();
+        g.add_edge(n[2], n[3], Weight::UNIT).unwrap();
+        let pot = LandmarkPotential::build(&g, 2, &[n[0], n[2]]).unwrap();
+        assert_eq!(pot.landmark_count(), 0);
+        assert_eq!(pot.h(n[3]), Weight::ZERO);
+    }
+
+    #[test]
+    fn landmark_potential_requires_live_targets() {
+        let mut g = Graph::with_nodes(2);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        g.remove_node(n[0]).unwrap();
+        assert!(matches!(
+            LandmarkPotential::build(&g, 2, &[n[0]]),
+            Err(GraphError::EmptyTerminalSet)
+        ));
+    }
+}

@@ -33,10 +33,12 @@ use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
 /// (endpoint liveness excluded, since the overlay re-derives that from
 /// its own node state).
 ///
-/// Implemented by [`Graph`] (the batch engine's per-pass snapshot) and by
+/// Implemented by [`Graph`] (the batch engine's per-pass snapshot), by
 /// [`SharedPassView`](crate::SharedPassView) (the wavefront scheduler's
-/// atomically-updated shared pass graph), so workers can bind the same
-/// overlay machinery over either.
+/// atomically-updated shared pass graph), and by
+/// [`CsrView`](crate::csr::CsrView) (the flat-CSR arena the negotiated
+/// router snapshots its priced graph into each iteration), so workers can
+/// bind the same overlay machinery over any of them.
 pub trait OverlayBase: GraphView {
     /// Raw adjacency entries of `v` in insertion order, including entries
     /// whose edge or neighbor is currently removed.

@@ -1,10 +1,13 @@
 //! Read (and write) views over routing graphs.
 //!
-//! [`GraphView`] abstracts the read surface shared by [`Graph`] and
-//! [`GraphOverlay`](crate::overlay::GraphOverlay): every shortest-path
-//! routine and Steiner construction is generic over it, so the same code
-//! routes against the real pass graph or against a per-worker
-//! copy-on-write overlay during speculative parallel routing.
+//! [`GraphView`] abstracts the read surface shared by [`Graph`],
+//! [`GraphOverlay`](crate::overlay::GraphOverlay), and the flat-CSR
+//! snapshot [`CsrView`](crate::csr::CsrView): every shortest-path routine
+//! and Steiner construction is generic over it, so the same code routes
+//! against the real pass graph, against a per-worker copy-on-write
+//! overlay during speculative parallel routing, or against the
+//! cache-packed CSR arena the kernel benches and the pathfinder's route
+//! phase iterate.
 //! [`GraphViewMut`] adds the mutations the router needs while building a
 //! net (pin masking and congestion feedback).
 //!

@@ -1,0 +1,193 @@
+//! Property tests for the goal-oriented (A*) kernel: on seeded random
+//! grids — including congestion-saturated ones near `Weight::MAX` — the
+//! potentials stay admissible and the guided kernel settles the same
+//! distances (and, away from saturation ties, the same paths) as plain
+//! Dijkstra. DESIGN.md §5g holds the correctness argument these tests
+//! pin down.
+
+use route_graph::dijkstra::{minpath, minpath_guided};
+use route_graph::lowerbound::{GridPotential, LandmarkPotential, Potential, ZeroPotential};
+use route_graph::rng::{Rng, SplitMix64};
+use route_graph::{DistanceOracle, GridGraph, NodeId, ShortestPaths, Weight};
+
+/// A seeded grid with randomized edge weights in `lo..=hi` milli, plus a
+/// deterministic pseudo-random source and target set.
+fn random_grid(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    lo: u64,
+    hi: u64,
+) -> (GridGraph, NodeId, Vec<NodeId>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut grid = GridGraph::new(rows, cols, Weight::UNIT).unwrap();
+    let edges: Vec<_> = grid.graph().edge_ids().collect();
+    for e in edges {
+        let w = Weight::from_milli(rng.gen_range(lo..=hi));
+        grid.graph_mut().set_weight(e, w).unwrap();
+    }
+    let node = |rng: &mut SplitMix64, grid: &GridGraph| {
+        let r = rng.gen_range(0..grid.rows());
+        let c = rng.gen_range(0..grid.cols());
+        grid.node_at(r, c).unwrap()
+    };
+    let source = node(&mut rng, &grid);
+    let count = rng.gen_range(2..=5usize);
+    let mut targets: Vec<NodeId> = (0..count).map(|_| node(&mut rng, &grid)).collect();
+    targets.sort_by_key(|t| t.index());
+    targets.dedup();
+    targets.retain(|&t| t != source);
+    if targets.is_empty() {
+        targets.push(grid.node_at(rows - 1, cols - 1).unwrap());
+    }
+    (grid, source, targets)
+}
+
+/// True distance from `v` to its nearest target, via full runs from each
+/// target (the graph is undirected, so `d(t, v) == d(v, t)`).
+fn nearest_target_dist(truths: &[ShortestPaths], v: NodeId) -> Option<Weight> {
+    truths.iter().filter_map(|t| t.dist(v)).min()
+}
+
+fn assert_admissible<P: Potential>(grid: &GridGraph, targets: &[NodeId], pot: &P, label: &str) {
+    let truths: Vec<ShortestPaths> = targets
+        .iter()
+        .map(|&t| ShortestPaths::run(grid.graph(), t).unwrap())
+        .collect();
+    for v in grid.graph().node_ids() {
+        let bound = pot.h(v);
+        match nearest_target_dist(&truths, v) {
+            Some(exact) => assert!(
+                bound <= exact,
+                "{label}: h({v}) = {bound} exceeds true nearest-target dist {exact}"
+            ),
+            None => assert_eq!(
+                bound,
+                Weight::ZERO,
+                "{label}: unreachable {v} must get the zero bound"
+            ),
+        }
+    }
+}
+
+/// Full-run equality: same settled distances everywhere, identical
+/// extracted paths (nodes *and* edges) to every reached node.
+fn assert_guided_matches_plain<P: Potential>(
+    grid: &GridGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    pot: &P,
+    check_paths: bool,
+    label: &str,
+) {
+    let g = grid.graph();
+    let plain = ShortestPaths::run(g, source).unwrap();
+    let guided = ShortestPaths::run_guided(g, source, pot).unwrap();
+    for v in g.node_ids() {
+        assert_eq!(plain.dist(v), guided.dist(v), "{label}: dist({v}) differs");
+        if check_paths && plain.dist(v).is_some() {
+            let pp = plain.path_to(v).unwrap();
+            let gp = guided.path_to(v).unwrap();
+            assert_eq!(pp.nodes(), gp.nodes(), "{label}: path nodes to {v}");
+            assert_eq!(pp.edges(), gp.edges(), "{label}: path edges to {v}");
+        }
+    }
+    // Early-exit variant: distances and paths agree on the target set.
+    let plain_t = ShortestPaths::run_to_targets(g, source, targets).unwrap();
+    let guided_t = ShortestPaths::run_to_targets_guided(g, source, targets, pot).unwrap();
+    for &t in targets {
+        assert_eq!(
+            plain_t.dist(t),
+            guided_t.dist(t),
+            "{label}: target dist({t}) differs"
+        );
+        assert_eq!(plain.dist(t), guided_t.dist(t), "{label}: early exit vs full run");
+        if check_paths && plain_t.dist(t).is_some() {
+            let pp = plain_t.path_to(t).unwrap();
+            let gp = guided_t.path_to(t).unwrap();
+            assert_eq!(pp.nodes(), gp.nodes(), "{label}: target path nodes to {t}");
+            assert_eq!(pp.edges(), gp.edges(), "{label}: target path edges to {t}");
+        }
+    }
+    // Point-to-point variant.
+    let t0 = targets[0];
+    assert_eq!(
+        minpath(g, source, t0).unwrap(),
+        minpath_guided(g, source, t0, pot).unwrap(),
+        "{label}: minpath_guided differs"
+    );
+}
+
+#[test]
+fn grid_potential_admissible_and_equal_on_random_grids() {
+    for seed in 0..12u64 {
+        let (grid, source, targets) = random_grid(seed, 9, 11, 200, 4_000);
+        let pot = GridPotential::new(&grid, &targets).unwrap();
+        assert_admissible(&grid, &targets, &pot, "grid");
+        assert_guided_matches_plain(&grid, source, &targets, &pot, true, "grid");
+    }
+}
+
+#[test]
+fn landmark_potential_admissible_and_equal_on_random_grids() {
+    for seed in 100..108u64 {
+        let (grid, source, targets) = random_grid(seed, 8, 8, 100, 2_500);
+        let pot = LandmarkPotential::build(grid.graph(), 3, &targets).unwrap();
+        assert!(pot.landmark_count() >= 1, "connected grid keeps landmarks");
+        assert_admissible(&grid, &targets, &pot, "landmark");
+        assert_guided_matches_plain(&grid, source, &targets, &pot, true, "landmark");
+    }
+}
+
+#[test]
+fn zero_potential_guided_run_is_plain_dijkstra() {
+    let (grid, source, targets) = random_grid(7, 6, 10, 500, 1_500);
+    assert_guided_matches_plain(&grid, source, &targets, &ZeroPotential, true, "zero");
+}
+
+/// Congestion prices edges toward `Weight::MAX`; distances then saturate
+/// and distinct routes collapse onto the same saturated cost, so path
+/// identity is not guaranteed — but admissibility and settled-distance
+/// equality must survive.
+#[test]
+fn saturated_weights_keep_bounds_admissible_and_distances_equal() {
+    let max_milli: u64 = Weight::MAX.as_milli();
+    let near_max = max_milli - 5_000;
+    for seed in 200..206u64 {
+        let (grid, source, targets) = random_grid(seed, 6, 6, near_max, near_max + 4_999);
+        let gpot = GridPotential::new(&grid, &targets).unwrap();
+        assert_admissible(&grid, &targets, &gpot, "grid/saturated");
+        assert_guided_matches_plain(&grid, source, &targets, &gpot, false, "grid/saturated");
+        let lpot = LandmarkPotential::build(grid.graph(), 2, &targets).unwrap();
+        assert_admissible(&grid, &targets, &lpot, "landmark/saturated");
+        assert_guided_matches_plain(&grid, source, &targets, &lpot, false, "landmark/saturated");
+    }
+}
+
+/// The oracle's arena-backed queries are a pure reuse optimization: same
+/// results as the allocating entry points, query after query.
+#[test]
+fn oracle_scratch_queries_match_allocating_kernels() {
+    let mut oracle = DistanceOracle::new();
+    for seed in 300..304u64 {
+        let (grid, source, targets) = random_grid(seed, 7, 9, 100, 3_000);
+        let g = grid.graph();
+        for &t in &targets {
+            assert_eq!(
+                oracle.minpath(g, source, t).unwrap(),
+                minpath(g, source, t).unwrap(),
+                "scratch minpath differs (seed {seed})"
+            );
+        }
+        let fresh = ShortestPaths::run_to_targets(g, source, &targets).unwrap();
+        let reused = oracle.run_to_targets(g, source, &targets).unwrap();
+        for v in g.node_ids() {
+            assert_eq!(fresh.dist(v), reused.dist(v), "scratch dist({v}) differs");
+            assert_eq!(
+                fresh.parent(v),
+                reused.parent(v),
+                "scratch parent({v}) differs"
+            );
+        }
+    }
+}

@@ -58,14 +58,23 @@ fn exempt_path(path: &str) -> bool {
 }
 
 /// The entry points whose callers must be vetted: `(type, method)`.
-/// A `None` type matches a bare function call.
+/// A `None` type matches a bare function call. The goal-oriented (A*)
+/// variants record read sets exactly like their plain counterparts
+/// (the guided kernel settles the same nodes it would have read-set
+/// recorded anyway, plus an early-exit records what it actually read),
+/// but their *callers* need the same vetting: a construction that
+/// grabs guided distances still has to flow them through recording.
 const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (Some("ShortestPaths"), "run"),
+    (Some("ShortestPaths"), "run_guided"),
     (Some("ShortestPaths"), "run_to_targets"),
+    (Some("ShortestPaths"), "run_to_targets_guided"),
     (Some("TerminalDistances"), "compute"),
     (Some("TerminalDistances"), "compute_to_targets"),
+    (Some("TerminalDistances"), "compute_to_targets_guided"),
     (Some("DistanceOracle"), "paths"),
     (None, "minpath"),
+    (None, "minpath_guided"),
 ];
 
 pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
@@ -141,6 +150,23 @@ mod tests {
         assert_eq!(lint_source("crates/fpga/src/newmod.rs", call).len(), 1);
         let def = "pub fn minpath(g: &G, u: NodeId, v: NodeId) {}\n";
         assert!(lint_source("crates/fpga/src/newmod.rs", def).is_empty());
+    }
+
+    #[test]
+    fn guided_variants_fire_like_their_plain_counterparts() {
+        for src in [
+            "fn f() { let sp = ShortestPaths::run_guided(&g, s, &pot); }\n",
+            "fn f() { let sp = ShortestPaths::run_to_targets_guided(&g, s, ts, &pot); }\n",
+            "fn f() { let td = TerminalDistances::compute_to_targets_guided(&g, ts, None, &pot); }\n",
+            "fn f() { let d = minpath_guided(&g, u, v, &pot)?; }\n",
+        ] {
+            let diags = lint_source("crates/fpga/src/newmod.rs", src);
+            assert_eq!(diags.len(), 1, "guided entry point must be vetted: {src}");
+            assert_eq!(diags[0].rule, RULE);
+            // Vetted modules and the graph crate itself stay clean.
+            assert!(lint_source("crates/core/src/kmb.rs", src).is_empty());
+            assert!(lint_source("crates/graph/src/lowerbound.rs", src).is_empty());
+        }
     }
 
     #[test]

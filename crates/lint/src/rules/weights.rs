@@ -208,6 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn lowerbound_module_is_covered_not_exempt() {
+        // The potential providers do exactly the arithmetic this rule
+        // exists to police — `d ⊖ hi` landmark bounds near saturated
+        // weights — so `lowerbound.rs` must NOT join the exempt set.
+        let bare = "fn h(d: Weight, hi: Weight) -> Weight { d - hi }\n";
+        let diags = lint_source("crates/graph/src/lowerbound.rs", bare);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE);
+        let saturating = "fn h(d: Weight, hi: Weight) -> Weight {\n\
+                          let lo = d.saturating_sub(hi);\n\
+                          lo.saturating_add(Weight::ZERO)\n}\n";
+        assert!(lint_source("crates/graph/src/lowerbound.rs", saturating).is_empty());
+        // Same for the CSR snapshot's weight lanes.
+        let csr = "fn pack(w: Weight, tilt: Weight) -> Weight { w + tilt }\n";
+        assert_eq!(lint_source("crates/graph/src/csr.rs", csr).len(), 1);
+    }
+
+    #[test]
     fn weight_modules_are_exempt() {
         let src = "fn f(a: Weight, b: Weight) -> Weight { a + b }\n";
         assert!(lint_source("crates/graph/src/weight.rs", src).is_empty());

@@ -68,11 +68,20 @@ pub enum Counter {
     /// History-cost accumulations applied by the negotiated-congestion
     /// cost-update phase (one per over-capacity node per iteration).
     PathfinderHistoryUpdates,
+    /// Frontier nodes a goal-oriented (A*) kernel query left unsettled
+    /// in the heap at early exit — work plain Dijkstra would have done.
+    AstarPrunedNodes,
+    /// Heap inserts plus strict decrease-key accepts across all kernel
+    /// queries (guided or plain).
+    HeapPushes,
+    /// Lower-bound potential constructions (grid-Manhattan or landmark
+    /// tables) built for goal-oriented kernel queries.
+    LowerboundBuilds,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the dense index order).
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 28] = [
         Counter::DijkstraRuns,
         Counter::DijkstraHeapPops,
         Counter::DijkstraRelaxations,
@@ -98,6 +107,9 @@ impl Counter {
         Counter::PathfinderIterations,
         Counter::PathfinderOvercapacityNodes,
         Counter::PathfinderHistoryUpdates,
+        Counter::AstarPrunedNodes,
+        Counter::HeapPushes,
+        Counter::LowerboundBuilds,
     ];
 
     /// Stable snake_case name used in emitted JSON and summary tables.
@@ -129,6 +141,9 @@ impl Counter {
             Counter::PathfinderIterations => "pathfinder_iterations",
             Counter::PathfinderOvercapacityNodes => "pathfinder_overcapacity_nodes",
             Counter::PathfinderHistoryUpdates => "pathfinder_history_updates",
+            Counter::AstarPrunedNodes => "astar_pruned_nodes",
+            Counter::HeapPushes => "heap_pushes",
+            Counter::LowerboundBuilds => "lowerbound_builds",
         }
     }
 }

@@ -29,15 +29,19 @@ pub enum Metric {
     CommitApplyNs,
     /// Wall-clock of one full PathFinder route-all/reprice iteration.
     PfIterationNs,
+    /// Wall-clock of one shortest-path kernel query (guided or plain,
+    /// including scratch-arena `minpath` queries).
+    KernelQueryNs,
 }
 
 impl Metric {
     /// Every variant, in declaration (= discriminant) order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 5] = [
         Metric::NetRouteNs,
         Metric::DijkstraRunNs,
         Metric::CommitApplyNs,
         Metric::PfIterationNs,
+        Metric::KernelQueryNs,
     ];
 
     /// Stable snake_case name used in JSONL records and reports.
@@ -48,6 +52,7 @@ impl Metric {
             Metric::DijkstraRunNs => "dijkstra_run_ns",
             Metric::CommitApplyNs => "commit_apply_ns",
             Metric::PfIterationNs => "pf_iteration_ns",
+            Metric::KernelQueryNs => "kernel_query_ns",
         }
     }
 }
