@@ -56,6 +56,17 @@ grep -q '"type":"timeline"' "$pf_trace"
 echo "==> trace-report renders the pathfinder smoke trace"
 ./target/release/fpga_route trace-report "$pf_trace"
 
+echo "==> selective pathfinder smoke: route --pf-selective --trace --stream"
+sel_trace="$(mktemp /tmp/fpga_route_sel.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$sel_trace"' EXIT
+./target/release/fpga_route route --circuit term1 --arch 4000 --width 10 \
+    --mode pathfinder --pf-selective --threads 2 --trace "$sel_trace" --stream --metrics
+./target/release/fpga_route trace-check "$sel_trace"
+grep -q '"dirty_nets"' "$sel_trace"
+grep -q '"name":"pathfinder_dirty_nets"' "$sel_trace"
+grep -q '"name":"pathfinder_skipped_nets"' "$sel_trace"
+grep -q '"name":"pathfinder_repriced_edges"' "$sel_trace"
+
 echo "==> bench-diff self-check (identical snapshots must pass the gate)"
 ./target/release/fpga_route bench-diff BENCH_pathfinder.json BENCH_pathfinder.json --threshold 5
 
@@ -64,22 +75,40 @@ BENCH_QUICK=1 cargo bench -p bench --bench pathfinder
 
 echo "==> bench-diff perf gate (checked-in baseline vs fresh run, warn-only)"
 fresh_bench="$(mktemp /tmp/fpga_bench_fresh.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$fresh_bench"' EXIT
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$sel_trace" "$fresh_bench"' EXIT
 cp BENCH_pathfinder.json "$fresh_bench"
 git checkout -- BENCH_pathfinder.json 2>/dev/null || true
 ./target/release/fpga_route bench-diff BENCH_pathfinder.json "$fresh_bench" \
     --threshold 25 --warn-only
 
-echo "==> kernel bench smoke (release, BENCH_QUICK; asserts A*+CSR >= 1.3x)"
-BENCH_QUICK=1 cargo bench -p bench --bench kernel
-
-echo "==> bench-diff kernel perf gate (checked-in baseline vs fresh run, warn-only)"
+echo "==> kernel bench + bench-diff perf gate (hard fail, retried)"
+# The kernel bench runs full reps (it takes under a second) so the
+# comparison matches the checked-in baseline's rep count. Sub-ms
+# medians on this shared container can transiently blow out several
+# hundred percent when a CPU slice lands mid-bench, so the gate is
+# hard but retried: a transient spike passes on a later attempt, a
+# real regression fails all three. The 60% threshold absorbs steady
+# cross-session drift while still catching integer-factor slowdowns;
+# the bench's own A*+CSR >= 1.3x assertion is retried with it.
 fresh_kernel="$(mktemp /tmp/fpga_bench_kernel.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$fresh_bench" "$fresh_kernel"' EXIT
-cp BENCH_kernel.json "$fresh_kernel"
-git checkout -- BENCH_kernel.json 2>/dev/null || true
-./target/release/fpga_route bench-diff BENCH_kernel.json "$fresh_kernel" \
-    --threshold 25 --warn-only
+trap 'rm -f "$trace_file" "$bad_file" "$pf_trace" "$sel_trace" "$fresh_bench" "$fresh_kernel"' EXIT
+kernel_gate_ok=0
+for attempt in 1 2 3; do
+    if cargo bench -p bench --bench kernel \
+        && cp BENCH_kernel.json "$fresh_kernel" \
+        && { git checkout -- BENCH_kernel.json 2>/dev/null || true; } \
+        && ./target/release/fpga_route bench-diff BENCH_kernel.json "$fresh_kernel" \
+            --threshold 60; then
+        kernel_gate_ok=1
+        break
+    fi
+    echo "kernel perf gate attempt ${attempt}/3 regressed; settling before retry" >&2
+    sleep 5
+done
+if [ "$kernel_gate_ok" -ne 1 ]; then
+    echo "kernel perf gate failed on all 3 attempts" >&2
+    exit 1
+fi
 
 echo "==> snapshot bench smoke (release, BENCH_QUICK)"
 BENCH_QUICK=1 cargo bench -p bench --bench snapshot

@@ -71,7 +71,7 @@
 
 use std::collections::HashSet;
 
-use route_graph::{Graph, GraphOverlay, NodeId, OverlayArena};
+use route_graph::{CsrView, Graph, GraphOverlay, NodeId, OverlayArena};
 use steiner_route::RoutingTree;
 
 use crate::netlist::Circuit;
@@ -114,11 +114,18 @@ type Speculation = (usize, NetSpeculation);
 
 /// Routes every net of `batch` against copy-on-write overlays of the
 /// shared `snapshot` on up to `threads` scoped worker threads. Results
-/// come back in batch order. Each worker binds its arena over the
-/// snapshot once per wave and resets the overlay after every net
+/// come back in batch order. The snapshot — immutable for the whole
+/// wave — is packed once into a flat-CSR view ([`CsrView`]) so every
+/// speculative shortest-path run sweeps contiguous adjacency lanes
+/// instead of chasing the mutable graph's per-node edge lists (the same
+/// packing PathFinder's route phase uses). Each worker binds its arena
+/// over that CSR once per wave and resets the overlay after every net
 /// (routing masks and unmasks pins but never commits), so all
 /// speculation observes the identical snapshot regardless of how nets
-/// land on workers — without ever cloning the graph.
+/// land on workers — without ever cloning the graph. The CSR view
+/// surface is identical to the graph's (same iteration order, same
+/// liveness, same weights), so speculative results are bit-identical
+/// to routing against the [`Graph`] directly.
 #[allow(clippy::too_many_arguments)] // internal plumbing for one call site
 fn speculate(
     router: &Router<'_>,
@@ -131,6 +138,8 @@ fn speculate(
     worker_stats: &mut [(u64, usize)],
 ) -> Vec<NetSpeculation> {
     let workers = threads.min(batch.len()).min(arenas.len()).max(1);
+    let csr = CsrView::build(snapshot);
+    let snapshot: &CsrView = &csr;
     let mut collected: Vec<Option<NetSpeculation>> = (0..batch.len()).map(|_| None).collect();
     // Workers record into per-thread trace buffers that merge into the
     // collector when the scope joins (thread exit), so speculation adds

@@ -39,13 +39,41 @@
 //!    nodes away from nets with other options, and history breaks
 //!    oscillation between equally-priced choices.
 //!
+//! ## Selective (dirty-net) negotiation
+//!
+//! With [`RouterConfig::pf_selective`] the iteration cost scales with
+//! *remaining congestion* instead of circuit size. After each cost
+//! update the single writer computes the **dirty set**: nets whose
+//! committed route touches an over-capacity node, plus nets whose path
+//! cost went *stale* — the history summed along their own tree grew
+//! past [`RouterConfig::pf_stale_slack_milli`] since they were last
+//! routed. Only dirty nets rip up and reroute next iteration; every
+//! other net keeps its tree, and because the usage tally is recomputed
+//! over **all** trees (kept and rerouted alike) the skipped nets'
+//! occupancy stays visible to the negotiation — usage is conserved.
+//! The cost update likewise narrows from the full [`reprice_edges`]
+//! sweep to a [`reprice_incident_edges`] delta over the nodes whose
+//! pressure actually changed (tracked by comparing each node's newly
+//! computed pressure against the value baked into the snapshot). Dirty
+//! nets are routed most-congested-first — ranked by how many
+//! over-capacity nodes fall inside the bounding box of the net's
+//! previous route — so the parallel phase drains contention early; the
+//! ordering only changes which worker routes which net, never any
+//! net's result. An optional ParaLarH-style multiplicative history
+//! decay ([`RouterConfig::pf_history_decay_milli`]) runs in the same
+//! writer sweep, before the iteration's increments. Dirty-set
+//! membership, the reroute order, and the delta node set are all
+//! functions of the priced snapshot alone, so selective mode stays
+//! bit-identical across thread counts and schedulers.
+//!
 //! The single-writer claim is structural: `route_negotiated` owns the
 //! priced [`Graph`] by value; during the route phase workers hold only
 //! `&`-borrows of it (the borrow checker forbids repricing while any
 //! worker is alive), and the repricing sweep runs after the scoped join,
 //! on the owning thread. `fpga_lint`'s commit-path-mutation rule pins
-//! [`reprice_edges`] calls to this module the same way it pins
-//! `SharedPassWriter` to the scheduler commit paths.
+//! [`reprice_edges`] and [`reprice_incident_edges`] calls to this module
+//! the same way it pins `SharedPassWriter` to the scheduler commit
+//! paths.
 //!
 //! All pricing arithmetic saturates at `Weight::MAX` (see
 //! [`NegotiatedPricing`]): history accumulates monotonically for the
@@ -54,6 +82,10 @@
 //! [`GraphOverlay`]: route_graph::GraphOverlay
 //! [`Graph`]: route_graph::Graph
 //! [`reprice_edges`]: route_graph::Graph::reprice_edges
+//! [`reprice_incident_edges`]: route_graph::Graph::reprice_incident_edges
+//! [`RouterConfig::pf_selective`]: crate::router::RouterConfig::pf_selective
+//! [`RouterConfig::pf_stale_slack_milli`]: crate::router::RouterConfig::pf_stale_slack_milli
+//! [`RouterConfig::pf_history_decay_milli`]: crate::router::RouterConfig::pf_history_decay_milli
 
 use route_graph::rng::SplitMix64;
 use route_graph::{
@@ -62,6 +94,7 @@ use route_graph::{
 };
 use steiner_route::{NegotiatedPricing, RoutingTree};
 
+use crate::device::{Device, NodeKind};
 use crate::netlist::Circuit;
 use crate::router::{RouteOutcome, Router};
 use crate::FpgaError;
@@ -250,6 +283,22 @@ pub(crate) fn route_negotiated(
     let mut history: Vec<Weight> = vec![Weight::ZERO; node_count];
     let width = device.arch().channel_width;
     let budget = config.pf_max_iterations.max(1);
+    let net_count = circuit.net_count();
+    let selective = config.pf_selective;
+    let decay_milli = config.pf_history_decay_milli.min(1000);
+    // Nets the next route phase rips up and reroutes, most-congested
+    // first in selective mode. Iteration 1 (and every full-reroute
+    // iteration) routes everything in net-index order.
+    let mut order: Vec<usize> = (0..net_count).collect();
+    // Per-net history milli summed along the net's own tree at the time
+    // it was last routed — the baseline the staleness test compares
+    // against (selective mode only).
+    let mut stale_base: Vec<u64> = vec![0; net_count];
+    // Per-node pressure currently baked into the priced snapshot: the
+    // delta sweep reprices exactly the edges incident to nodes whose
+    // freshly computed pressure differs (selective mode only; the
+    // pristine snapshot carries zero pressure everywhere).
+    let mut prev_pressure: Vec<Weight> = vec![Weight::ZERO; node_count];
     let mut passes_telemetry: Vec<crate::telemetry::PassTelemetry> = Vec::new();
     let mut final_overcap: Vec<NodeId> = Vec::new();
     let mut final_trees: Vec<Option<RoutingTree>> = Vec::new();
@@ -266,7 +315,7 @@ pub(crate) fn route_negotiated(
                 usage: &prev_usage,
                 claims: &prev_claims,
             };
-            let trees = route_all(
+            let routed = route_all(
                 router,
                 circuit,
                 critical,
@@ -276,7 +325,20 @@ pub(crate) fn route_negotiated(
                 &final_trees,
                 ctx,
                 iteration,
+                &order,
             )?;
+            // Merge: rerouted nets get their fresh trees, every other
+            // net keeps the tree (and therefore the usage) it already
+            // committed — the dirty-net conservation invariant.
+            let mut trees: Vec<Option<RoutingTree>> =
+                if order.len() == net_count || final_trees.len() != net_count {
+                    (0..net_count).map(|_| None).collect()
+                } else {
+                    final_trees.clone()
+                };
+            for (ni, tree) in routed {
+                trees[ni] = tree;
+            }
             if let Some(ni) = trees.iter().position(Option::is_none) {
                 // Disconnected with every resource live: no amount of
                 // negotiation finds a route (pin masking alone cut the
@@ -347,11 +409,12 @@ pub(crate) fn route_negotiated(
                 trees_differ(tree.as_ref(), final_trees.get(*ni).and_then(Option::as_ref))
             })
             .count();
-        let timing = crate::telemetry::PassTelemetry {
+        let mut timing = crate::telemetry::PassTelemetry {
             pass: iteration,
             overcapacity: overcap.len(),
             history_updates: if converged { 0 } else { overcap.len() },
             nets_rerouted,
+            dirty_nets: order.len(),
             elapsed: started.elapsed(),
             congestion: crate::telemetry::CongestionSnapshot::from_usage(
                 iteration, width, &pos_usage,
@@ -365,6 +428,11 @@ pub(crate) fn route_negotiated(
                 route_trace::Counter::PathfinderOvercapacityNodes,
                 overcap.len() as u64,
             );
+            route_trace::count(route_trace::Counter::PathfinderDirtyNets, order.len() as u64);
+            route_trace::count(
+                route_trace::Counter::PathfinderSkippedNets,
+                (net_count - order.len()) as u64,
+            );
             route_trace::record_convergence(route_trace::ConvergenceRecord {
                 iteration,
                 overcapacity: overcap.len(),
@@ -373,6 +441,7 @@ pub(crate) fn route_negotiated(
                     .fold(0u64, |acc, h| acc.saturating_add(h.as_milli())),
                 nets_rerouted,
                 present_milli: pricing_for(iteration).present_milli,
+                dirty_nets: order.len(),
             });
             route_trace::record_duration(
                 route_trace::Metric::PfIterationNs,
@@ -383,8 +452,8 @@ pub(crate) fn route_negotiated(
                 overcap.len() as u64,
             );
         }
-        passes_telemetry.push(timing);
         if converged {
+            passes_telemetry.push(timing);
             // Disjoint routing: report trees against the pristine device
             // graph so costs measure physical wire, not negotiated prices.
             let rebuilt: Vec<Option<RoutingTree>> = trees
@@ -399,6 +468,19 @@ pub(crate) fn route_negotiated(
             };
             return Ok(outcome);
         }
+        // Optional multiplicative history decay (ParaLarH's h = d·h +
+        // overuse), applied to *every* node before this iteration's
+        // increments. `0` skips the sweep entirely, leaving the run
+        // bit-identical to the undecayed router.
+        if decay_milli > 0 {
+            let retained = u128::from(1000 - decay_milli);
+            for h in &mut history {
+                if *h != Weight::ZERO {
+                    let milli = u128::from(h.as_milli()) * retained / 1000;
+                    *h = Weight::from_milli(u64::try_from(milli).unwrap_or(u64::MAX));
+                }
+            }
+        }
         // History accumulates only on over-capacity nodes, saturating.
         for &v in &overcap {
             let overuse = usage[v.index()].saturating_sub(1);
@@ -411,16 +493,110 @@ pub(crate) fn route_negotiated(
                 overcap.len() as u64,
             );
         }
-        // Reprice the snapshot for the next iteration in one sweep,
-        // under the next iteration's ramped present factor.
         let next = pricing_for(iteration.saturating_add(1));
-        priced.reprice_edges(|e, a, b, _| {
-            next.edge_weight(
-                base_weights[e.index()],
-                next.node_pressure(usage[a.index()], history[a.index()]),
-                next.node_pressure(usage[b.index()], history[b.index()]),
-            )
-        });
+        let repriced_edges = if selective {
+            // Dirty-net selection for the next iteration, from the
+            // freshly updated history: a net reroutes iff its tree
+            // touches an over-capacity node, or the history summed
+            // along its own tree outgrew its last-routed baseline by
+            // more than the slack. Everything here reads single-writer
+            // state only, so the set (and its order) is identical
+            // whatever thread count routed the phase.
+            let mut over = vec![false; node_count];
+            for &v in &overcap {
+                over[v.index()] = true;
+            }
+            let over_coords: Vec<(usize, usize)> = overcap
+                .iter()
+                .filter_map(|&v| node_coords(device, v))
+                .collect();
+            let mut routed_mask = vec![false; net_count];
+            for &ni in &order {
+                routed_mask[ni] = true;
+            }
+            // (congestion priority, net index) — sorted most-congested
+            // first below, ties by ascending net index.
+            let mut dirty: Vec<(usize, usize)> = Vec::new();
+            for (ni, tree) in trees.iter().enumerate() {
+                let Some(tree) = tree.as_ref() else { continue };
+                let mut tree_history: u64 = 0;
+                let mut touches_overcap = false;
+                let mut bbox: Option<(usize, usize, usize, usize)> = None;
+                for v in tree.nodes() {
+                    if device.segment_position(v).is_none() {
+                        continue;
+                    }
+                    tree_history = tree_history.saturating_add(history[v.index()].as_milli());
+                    touches_overcap |= over[v.index()];
+                    if let Some((x, y)) = node_coords(device, v) {
+                        bbox = Some(bbox.map_or((x, x, y, y), |(x0, x1, y0, y1)| {
+                            (x0.min(x), x1.max(x), y0.min(y), y1.max(y))
+                        }));
+                    }
+                }
+                if routed_mask[ni] {
+                    stale_base[ni] = tree_history;
+                }
+                let stale = tree_history
+                    > stale_base[ni].saturating_add(config.pf_stale_slack_milli);
+                if touches_overcap || stale {
+                    // Candidate region = the previous route's bounding
+                    // box; its congestion priority is how many of the
+                    // over-capacity nodes fall inside. Ordering only
+                    // decides which worker routes which net — each
+                    // net's route is partition-independent.
+                    let priority = bbox.map_or(0, |(x0, x1, y0, y1)| {
+                        over_coords
+                            .iter()
+                            .filter(|&&(x, y)| x >= x0 && x <= x1 && y >= y0 && y <= y1)
+                            .count()
+                    });
+                    dirty.push((priority, ni));
+                }
+            }
+            dirty.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            order = dirty.into_iter().map(|(_, ni)| ni).collect();
+            // Incremental repricing: recompute every node's pressure
+            // under the next iteration's ramped present factor and
+            // sweep only the edges around nodes whose pressure moved.
+            // Unused, history-free nodes — the bulk of a converging
+            // circuit — keep their prices without being touched.
+            let mut changed: Vec<NodeId> = Vec::new();
+            for i in 0..node_count {
+                let pressure = next.node_pressure(usage[i], history[i]);
+                if pressure != prev_pressure[i] {
+                    prev_pressure[i] = pressure;
+                    changed.push(NodeId::from_index(i));
+                }
+            }
+            priced.reprice_incident_edges(&changed, |e, a, b, _| {
+                next.edge_weight(
+                    base_weights[e.index()],
+                    prev_pressure[a.index()],
+                    prev_pressure[b.index()],
+                )
+            })
+        } else {
+            // Full-reroute mode: reprice the snapshot for the next
+            // iteration in one sweep, under the next iteration's ramped
+            // present factor.
+            priced.reprice_edges(|e, a, b, _| {
+                next.edge_weight(
+                    base_weights[e.index()],
+                    next.node_pressure(usage[a.index()], history[a.index()]),
+                    next.node_pressure(usage[b.index()], history[b.index()]),
+                )
+            });
+            priced.edge_count()
+        };
+        timing.repriced_edges = repriced_edges;
+        if route_trace::enabled() {
+            route_trace::count(
+                route_trace::Counter::PathfinderRepricedEdges,
+                repriced_edges as u64,
+            );
+        }
+        passes_telemetry.push(timing);
         final_overcap = overcap;
         final_trees = trees;
         prev_usage = usage;
@@ -443,6 +619,19 @@ pub(crate) fn route_negotiated(
     })
 }
 
+/// Grid coordinates `(x, y)` of a routing resource, for the dirty-net
+/// bounding boxes: horizontal segments sit at (their segment along the
+/// row, their channel), vertical segments transposed, pins at their
+/// block. Nodes outside the device (never the case for tree nodes)
+/// report `None`.
+fn node_coords(device: &Device, v: NodeId) -> Option<(usize, usize)> {
+    match device.node_kind(v).ok()? {
+        NodeKind::HorizontalSegment { channel, seg, .. } => Some((seg, channel)),
+        NodeKind::VerticalSegment { channel, seg, .. } => Some((channel, seg)),
+        NodeKind::Pin { row, col, .. } => Some((col, row)),
+    }
+}
+
 /// Whether a net's route changed between iterations: same edge *set*,
 /// whatever order the construction emitted the edges in, counts as
 /// unchanged.
@@ -460,16 +649,19 @@ fn trees_differ(a: Option<&RoutingTree>, b: Option<&RoutingTree>) -> bool {
     }
 }
 
-/// The route phase: every net of `circuit`, each against the same priced
-/// snapshot minus its own previous present cost (see
-/// [`route_net_excluded`]). With `threads > 1`, worker `k` routes nets
-/// `k, k+threads, …` over its own [`GraphOverlay`]; the partition is
-/// invisible in the results because no net's route depends on any other
-/// net's — only on the shared snapshot and that net's own previous tree.
+/// The route phase: the nets listed in `order` (all of them in
+/// full-reroute mode, the dirty set in selective mode), each against
+/// the same priced snapshot minus its own previous present cost (see
+/// [`route_net_excluded`]). With `threads > 1`, worker `k` routes the
+/// nets at positions `k, k+threads, …` of `order` over its own
+/// [`GraphOverlay`]; the partition is invisible in the results because
+/// no net's route depends on any other net's — only on the shared
+/// snapshot and that net's own previous tree.
 ///
-/// `Some(tree)` per routed net, `None` for a disconnected one. The
-/// snapshot is left exactly as it was on entry (masking and exclusion
-/// happen on per-worker overlays whose deltas die with the phase).
+/// Returns `(net index, Some(tree))` per routed net, `None` for a
+/// disconnected one; nets outside `order` are untouched. The snapshot
+/// is left exactly as it was on entry (masking and exclusion happen on
+/// per-worker overlays whose deltas die with the phase).
 ///
 /// The priced graph is packed once per phase into a flat-CSR snapshot
 /// ([`CsrView`]) so every net's shortest-path relaxations sweep
@@ -490,8 +682,8 @@ fn route_all(
     prev: &[Option<RoutingTree>],
     ctx: ExclusionCtx<'_>,
     iteration: usize,
-) -> Result<Vec<Option<RoutingTree>>, FpgaError> {
-    let net_count = circuit.net_count();
+    order: &[usize],
+) -> Result<Vec<(usize, Option<RoutingTree>)>, FpgaError> {
     let prev_of = |ni: usize| prev.get(ni).and_then(Option::as_ref);
     let csr = CsrView::build(priced);
     if threads <= 1 {
@@ -508,17 +700,20 @@ fn route_all(
             arenas.push(OverlayArena::new());
         }
         let mut overlay = GraphOverlay::bind(&csr, &mut arenas[0]);
-        let mut trees: Vec<Option<RoutingTree>> = Vec::with_capacity(net_count);
-        for ni in 0..net_count {
-            trees.push(route_net_excluded(
-                router,
-                &mut overlay,
-                circuit,
+        let mut routed: Vec<(usize, Option<RoutingTree>)> = Vec::with_capacity(order.len());
+        for &ni in order {
+            routed.push((
                 ni,
-                critical,
-                prev_of(ni),
-                ctx,
-            )?);
+                route_net_excluded(
+                    router,
+                    &mut overlay,
+                    circuit,
+                    ni,
+                    critical,
+                    prev_of(ni),
+                    ctx,
+                )?,
+            ));
         }
         if let Some(started) = phase_started {
             route_trace::record_timeline(route_trace::TimelineRecord {
@@ -526,12 +721,12 @@ fn route_all(
                 worker: 0,
                 role: "pf-worker",
                 busy_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                nets: net_count,
+                nets: order.len(),
                 steals: 0,
                 stalls: 0,
             });
         }
-        return Ok(trees);
+        return Ok(routed);
     }
     while arenas.len() < threads {
         arenas.push(OverlayArena::new());
@@ -554,7 +749,7 @@ fn route_all(
                     route_trace::count(route_trace::Counter::OverlayBinds, 1);
                 }
                 let mut routed = Vec::new();
-                for ni in (k..net_count).step_by(threads) {
+                for ni in (k..order.len()).step_by(threads).map(|j| order[j]) {
                     routed.push((
                         ni,
                         route_net_excluded(
@@ -589,11 +784,11 @@ fn route_all(
             worker_results.push(handle.join().expect("pathfinder worker panicked"));
         }
     });
-    let mut trees: Vec<Option<RoutingTree>> = (0..net_count).map(|_| None).collect();
+    let mut routed: Vec<(usize, Option<RoutingTree>)> = Vec::with_capacity(order.len());
     let mut first_error: Option<(usize, FpgaError)> = None;
     for (ni, result) in worker_results.into_iter().flatten() {
         match result {
-            Ok(tree) => trees[ni] = tree,
+            Ok(tree) => routed.push((ni, tree)),
             // Report the lowest-indexed erroring net, whatever worker
             // order the scope joined in.
             Err(e) => {
@@ -606,7 +801,7 @@ fn route_all(
     if let Some((_, e)) = first_error {
         return Err(e);
     }
-    Ok(trees)
+    Ok(routed)
 }
 
 /// Routes one net with a reversible price adjustment along its previous

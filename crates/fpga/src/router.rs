@@ -188,6 +188,31 @@ pub struct RouterConfig {
     /// accumulated per unit of overuse per iteration on nodes that end an
     /// iteration over capacity ([`RouteMode::Pathfinder`] only).
     pub pf_history_milli: u64,
+    /// Selective dirty-net negotiation ([`RouteMode::Pathfinder`] only):
+    /// after each cost update, only nets whose committed route touches an
+    /// over-capacity node (or whose path cost went stale past
+    /// [`pf_stale_slack_milli`](RouterConfig::pf_stale_slack_milli)) rip
+    /// up and reroute; every other net keeps its tree and its usage stays
+    /// in the tally. The cost update also switches from the full
+    /// `reprice_edges` sweep to a delta sweep over nodes whose pressure
+    /// changed. Iteration work then scales with remaining congestion
+    /// instead of circuit size. Off by default; results may legitimately
+    /// differ from full-reroute mode (different, equally valid routings)
+    /// but stay bit-identical across thread counts and schedulers.
+    pub pf_selective: bool,
+    /// Staleness slack for selective mode, in milli-units: a clean net is
+    /// also marked dirty when the history cost summed over its own tree's
+    /// segment nodes has grown by more than this slack since the net was
+    /// last routed — its path price drifted even though it is not itself
+    /// in conflict. `u64::MAX` disables staleness reselection entirely.
+    pub pf_stale_slack_milli: u64,
+    /// Optional ParaLarH-style multiplicative history decay, in
+    /// milli-units removed per iteration ([`RouteMode::Pathfinder`]
+    /// only): before accumulating this iteration's increments, every
+    /// node's history is scaled by `(1000 - decay)/1000`. `0` (the
+    /// default) skips the decay sweep entirely and is bit-identical to
+    /// the undecayed router. Values are clamped to `1000`.
+    pub pf_history_decay_milli: u64,
     /// Feasibility threshold: passes before declaring the width unroutable
     /// (the paper arbitrarily sets 20).
     pub max_passes: usize,
@@ -254,6 +279,9 @@ impl Default for RouterConfig {
             pf_max_iterations: 50,
             pf_present_milli: 2000,
             pf_history_milli: 1000,
+            pf_selective: false,
+            pf_stale_slack_milli: 8000,
+            pf_history_decay_milli: 0,
             max_passes: 20,
             congestion_alpha_milli: 1500,
             candidate_margin: 1,

@@ -51,6 +51,15 @@ pub struct PassTelemetry {
     /// Nets whose route changed relative to the previous iteration
     /// (negotiated-congestion mode only; iteration 1 counts every net).
     pub nets_rerouted: usize,
+    /// Nets this iteration actually routed: the dirty set in selective
+    /// negotiated-congestion mode, every net otherwise (negotiated-
+    /// congestion mode only; rip-up engines report 0).
+    pub dirty_nets: usize,
+    /// Edges rewritten by this iteration's cost update — the full edge
+    /// count under the full sweep, only the delta under selective mode's
+    /// incremental sweep (negotiated-congestion mode only; 0 on the
+    /// converged iteration, which skips the update).
+    pub repriced_edges: usize,
     /// Wall-clock time of the whole pass.
     pub elapsed: Duration,
     /// Channel occupancy at the end of the pass (or at the failing net,

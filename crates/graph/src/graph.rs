@@ -272,6 +272,46 @@ impl Graph {
         self.epoch += 1;
     }
 
+    /// Delta variant of [`reprice_edges`](Graph::reprice_edges): reprices
+    /// only the edges incident to `nodes`, each exactly once (an edge
+    /// with both endpoints listed is visited once), and returns how many
+    /// edges were repriced.
+    ///
+    /// This is the incremental negotiated-congestion sweep: when the
+    /// single writer knows which nodes' pressure (usage or history)
+    /// changed between iterations, touching only their incident edges
+    /// makes the cost update scale with *remaining congestion* instead
+    /// of graph size. Edge prices that depend only on the two endpoint
+    /// pressures plus an immutable base are exactly reproduced, because
+    /// an edge whose endpoints both kept their pressure keeps its price.
+    ///
+    /// Removed edges incident to a listed node are repriced too, and
+    /// unknown node ids are skipped — both matching the full sweep's
+    /// tolerance. The visit order is ascending edge id regardless of the
+    /// order (or duplication) of `nodes`, so the resulting weights and
+    /// the epoch history are functions of the *set* alone. The epoch
+    /// advances exactly once, as in the full sweep.
+    pub fn reprice_incident_edges<F: FnMut(EdgeId, NodeId, NodeId, Weight) -> Weight>(
+        &mut self,
+        nodes: &[NodeId],
+        mut f: F,
+    ) -> usize {
+        let mut touched: Vec<EdgeId> = Vec::new();
+        for v in nodes {
+            if let Some(rec) = self.nodes.get(v.index()) {
+                touched.extend(rec.adj.iter().map(|&(_, e)| e));
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &e in &touched {
+            let rec = &mut self.edges[e.index()];
+            rec.weight = f(e, rec.a, rec.b, rec.weight);
+        }
+        self.epoch += 1;
+        touched.len()
+    }
+
     /// Removes edge `e` (reversible). Removing an already-removed edge is a
     /// no-op.
     ///
@@ -479,6 +519,55 @@ mod tests {
         assert_eq!(g.weight(e[1]).unwrap(), Weight::from_units(3));
         assert_eq!(g.weight(e[2]).unwrap(), Weight::from_units(5));
         assert!(!g.is_edge_usable(e[1]));
+    }
+
+    #[test]
+    fn reprice_incident_edges_visits_each_touched_edge_once() {
+        let (mut g, n, e) = triangle();
+        g.remove_edge(e[1]).unwrap();
+        let before = g.epoch();
+        let mut seen = Vec::new();
+        // n[1] is incident to e0 and e1; n[2] to e1 and e2 — e1 is shared
+        // and must be visited once. Duplicated and unknown ids are
+        // tolerated.
+        let count = g.reprice_incident_edges(
+            &[n[2], n[1], n[1], NodeId::from_index(99)],
+            |id, a, b, w| {
+                seen.push((id, a, b));
+                w.saturating_add(Weight::UNIT)
+            },
+        );
+        assert_eq!(count, 3);
+        assert_eq!(g.epoch(), before + 1);
+        assert_eq!(
+            seen,
+            vec![(e[0], n[0], n[1]), (e[1], n[1], n[2]), (e[2], n[0], n[2])],
+            "ascending edge-id order, independent of the node-list order"
+        );
+        assert_eq!(g.weight(e[1]).unwrap(), Weight::from_units(3), "removed edges reprice too");
+
+        // A node list covering only n[0] must leave e1 untouched.
+        let count = g.reprice_incident_edges(&[n[0]], |_, _, _, w| w.saturating_add(Weight::UNIT));
+        assert_eq!(count, 2);
+        assert_eq!(g.weight(e[0]).unwrap(), Weight::from_units(3));
+        assert_eq!(g.weight(e[1]).unwrap(), Weight::from_units(3));
+        assert_eq!(g.weight(e[2]).unwrap(), Weight::from_units(6));
+
+        // Matching full-sweep semantics for the delta: repricing the
+        // edges incident to *changed* nodes with a pressure-sum closure
+        // reproduces exactly what the full sweep would compute.
+        let mut full = g.clone();
+        let pressure = |v: NodeId| Weight::from_milli(250 * (v.index() as u64 + 1));
+        let base = Weight::UNIT;
+        full.reprice_edges(|_, a, b, _| {
+            base.saturating_add(pressure(a)).saturating_add(pressure(b))
+        });
+        g.reprice_incident_edges(&[n[0], n[1], n[2]], |_, a, b, _| {
+            base.saturating_add(pressure(a)).saturating_add(pressure(b))
+        });
+        for &edge in &e {
+            assert_eq!(g.weight(edge).unwrap(), full.weight(edge).unwrap());
+        }
     }
 
     #[test]

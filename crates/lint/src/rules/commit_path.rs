@@ -14,10 +14,12 @@
 //!
 //! The negotiated-congestion router makes the same argument for its
 //! cost-update phase: `.reprice_edges(` bulk-rewrites every edge weight
-//! of the priced snapshot, which is only sound after the route phase's
-//! workers have joined. Calling it anywhere but `pathfinder.rs` (or the
-//! graph crate that defines it) would mutate prices some overlay might
-//! still be reading through.
+//! of the priced snapshot, and its delta variant
+//! `.reprice_incident_edges(` rewrites the edges around nodes whose
+//! pressure changed — either is only sound after the route phase's
+//! workers have joined. Calling them anywhere but `pathfinder.rs` (or
+//! the graph crate that defines them) would mutate prices some overlay
+//! might still be reading through.
 
 use crate::{Diagnostic, FileCtx};
 
@@ -48,7 +50,10 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
             Some("`SharedPassWriter` named".to_string())
         } else if tok.is_punct(".")
             && next(1).is_some_and(|t| {
-                t.is_ident("writer") || t.is_ident("publish") || t.is_ident("reprice_edges")
+                t.is_ident("writer")
+                    || t.is_ident("publish")
+                    || t.is_ident("reprice_edges")
+                    || t.is_ident("reprice_incident_edges")
             })
             && next(2).is_some_and(|t| t.is_punct("("))
         {
@@ -105,6 +110,16 @@ mod tests {
         let diags = lint_source("crates/fpga/src/router.rs", src);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("reprice_edges"));
+        assert!(lint_source("crates/fpga/src/pathfinder.rs", src).is_empty());
+        assert!(lint_source("crates/graph/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn delta_reprice_fires_outside_the_pathfinder_cost_update() {
+        let src = "fn f(g: &mut Graph) { g.reprice_incident_edges(&[], |_, _, _, w| w); }\n";
+        let diags = lint_source("crates/fpga/src/router.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("reprice_incident_edges"));
         assert!(lint_source("crates/fpga/src/pathfinder.rs", src).is_empty());
         assert!(lint_source("crates/graph/src/graph.rs", src).is_empty());
     }

@@ -241,6 +241,7 @@ impl RecordCheck {
                     "history_milli",
                     "nets_rerouted",
                     "present_milli",
+                    "dirty_nets",
                 ] {
                     req_u64(&doc, "convergence", key)?;
                 }
@@ -489,7 +490,7 @@ mod tests {
             r#"{"type":"histogram","name":"net_route_ns","count":2,"sum":100,"mean":50,"p50":63,"p95":63,"p99":63,"max":60,"buckets":[[6,2]]}"#,
             r#"{"type":"gauge","name":"sched_workers","value":4}"#,
             r#"{"type":"profile","kind":"pass","count":1,"inclusive_ns":85,"exclusive_ns":20}"#,
-            r#"{"type":"convergence","iteration":1,"overcapacity":9,"history_milli":120,"nets_rerouted":4,"present_milli":250}"#,
+            r#"{"type":"convergence","iteration":1,"overcapacity":9,"history_milli":120,"nets_rerouted":4,"present_milli":250,"dirty_nets":6}"#,
             r#"{"type":"timeline","pass":1,"worker":0,"role":"worker","busy_ns":70,"nets":2,"steals":0,"stalls":1}"#,
             r#"{"type":"congestion","pass":1,"channel_width":4,"positions":2,"used_positions":2,"histogram":[0,1,1],"max_occupancy":2,"mean_occupancy_milli":1500,"saturated_positions":0,"overused_positions":0,"max_overuse":0}"#,
             r#"{"a":[1,2]}"#,

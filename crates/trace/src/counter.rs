@@ -68,6 +68,15 @@ pub enum Counter {
     /// History-cost accumulations applied by the negotiated-congestion
     /// cost-update phase (one per over-capacity node per iteration).
     PathfinderHistoryUpdates,
+    /// Nets selected as dirty (touching an over-capacity node, or stale
+    /// past the slack bound) and rerouted by a selective-mode iteration.
+    PathfinderDirtyNets,
+    /// Nets whose trees were kept as-is by a selective-mode iteration
+    /// (their usage stays in the tally without a reroute).
+    PathfinderSkippedNets,
+    /// Edges rewritten by the negotiated-congestion cost update, full
+    /// sweeps and incremental (delta) sweeps combined.
+    PathfinderRepricedEdges,
     /// Frontier nodes a goal-oriented (A*) kernel query left unsettled
     /// in the heap at early exit — work plain Dijkstra would have done.
     AstarPrunedNodes,
@@ -81,7 +90,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order (the dense index order).
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 31] = [
         Counter::DijkstraRuns,
         Counter::DijkstraHeapPops,
         Counter::DijkstraRelaxations,
@@ -107,6 +116,9 @@ impl Counter {
         Counter::PathfinderIterations,
         Counter::PathfinderOvercapacityNodes,
         Counter::PathfinderHistoryUpdates,
+        Counter::PathfinderDirtyNets,
+        Counter::PathfinderSkippedNets,
+        Counter::PathfinderRepricedEdges,
         Counter::AstarPrunedNodes,
         Counter::HeapPushes,
         Counter::LowerboundBuilds,
@@ -141,6 +153,9 @@ impl Counter {
             Counter::PathfinderIterations => "pathfinder_iterations",
             Counter::PathfinderOvercapacityNodes => "pathfinder_overcapacity_nodes",
             Counter::PathfinderHistoryUpdates => "pathfinder_history_updates",
+            Counter::PathfinderDirtyNets => "pathfinder_dirty_nets",
+            Counter::PathfinderSkippedNets => "pathfinder_skipped_nets",
+            Counter::PathfinderRepricedEdges => "pathfinder_repriced_edges",
             Counter::AstarPrunedNodes => "astar_pruned_nodes",
             Counter::HeapPushes => "heap_pushes",
             Counter::LowerboundBuilds => "lowerbound_builds",

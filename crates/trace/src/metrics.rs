@@ -361,6 +361,9 @@ pub struct ConvergenceRecord {
     pub nets_rerouted: usize,
     /// Present-factor ramp value used by this iteration, in milli units.
     pub present_milli: u64,
+    /// Nets the iteration actually routed: the dirty set in selective
+    /// mode, every net in full-reroute mode.
+    pub dirty_nets: usize,
 }
 
 /// One scheduler participant's occupancy for one pass: how much of its

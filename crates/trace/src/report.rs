@@ -102,15 +102,16 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         let _ = writeln!(out, "\npathfinder convergence");
         let _ = writeln!(
             out,
-            "  {:>9} {:>12} {:>13} {:>13} {:>13}",
-            "iteration", "overcap", "rerouted", "history_milli", "present_milli"
+            "  {:>9} {:>12} {:>7} {:>13} {:>13} {:>13}",
+            "iteration", "overcap", "dirty", "rerouted", "history_milli", "present_milli"
         );
         for c in &convergence {
             let _ = writeln!(
                 out,
-                "  {:>9} {:>12} {:>13} {:>13} {:>13}",
+                "  {:>9} {:>12} {:>7} {:>13} {:>13} {:>13}",
                 get_u64(c, "iteration"),
                 get_u64(c, "overcapacity"),
+                get_u64(c, "dirty_nets"),
                 get_u64(c, "nets_rerouted"),
                 get_u64(c, "history_milli"),
                 get_u64(c, "present_milli"),
@@ -311,8 +312,8 @@ mod tests {
             "{\"type\":\"histogram\",\"name\":\"net_route_ns\",\"count\":9,\"sum\":900,\"mean\":100,\"p50\":90,\"p95\":200,\"p99\":240,\"max\":250,\"buckets\":[[7,9]]}\n",
             "{\"type\":\"gauge\",\"name\":\"sched_workers\",\"value\":4}\n",
             "{\"type\":\"profile\",\"kind\":\"pass\",\"count\":1,\"inclusive_ns\":5000000,\"exclusive_ns\":1000000}\n",
-            "{\"type\":\"convergence\",\"iteration\":1,\"overcapacity\":14,\"history_milli\":70,\"nets_rerouted\":9,\"present_milli\":250}\n",
-            "{\"type\":\"convergence\",\"iteration\":2,\"overcapacity\":3,\"history_milli\":140,\"nets_rerouted\":5,\"present_milli\":500}\n",
+            "{\"type\":\"convergence\",\"iteration\":1,\"overcapacity\":14,\"history_milli\":70,\"nets_rerouted\":9,\"present_milli\":250,\"dirty_nets\":9}\n",
+            "{\"type\":\"convergence\",\"iteration\":2,\"overcapacity\":3,\"history_milli\":140,\"nets_rerouted\":5,\"present_milli\":500,\"dirty_nets\":6}\n",
             "{\"type\":\"timeline\",\"pass\":1,\"worker\":0,\"role\":\"worker\",\"busy_ns\":4000000,\"nets\":5,\"steals\":1,\"stalls\":2}\n",
         );
         let report = render_report(jsonl).unwrap();

@@ -190,7 +190,8 @@ fn convergence_object(rec: &ConvergenceRecord) -> String {
         .u64("overcapacity", rec.overcapacity as u64)
         .u64("history_milli", rec.history_milli)
         .u64("nets_rerouted", rec.nets_rerouted as u64)
-        .u64("present_milli", rec.present_milli);
+        .u64("present_milli", rec.present_milli)
+        .u64("dirty_nets", rec.dirty_nets as u64);
     o.finish()
 }
 
@@ -473,6 +474,7 @@ mod tests {
             history_milli: 340,
             nets_rerouted: 5,
             present_milli: 250,
+            dirty_nets: 7,
         });
         trace.timelines.push(TimelineRecord {
             pass: 1,

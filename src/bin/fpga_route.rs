@@ -4,12 +4,15 @@
 //! fpga-route profiles
 //! fpga-route route --circuit term1 --arch 4000 --width 9 [--algorithm ikmb]
 //!                  [--seed 1995] [--passes 10] [--threads 0] [--scheduler wavefront]
-//!                  [--mode ripup] [--pf-iterations 50]
+//!                  [--mode ripup] [--pf-iterations 50] [--pf-selective]
+//!                  [--pf-stale-slack-milli 8000] [--pf-history-decay-milli 0]
 //!                  [--spec-exit-misses 4] [--spec-probe-period 32]
 //!                  [--svg out.svg] [--trace out.jsonl] [--metrics]
 //! fpga-route width --circuit term1 --arch 4000 [--min 3] [--max 24]
 //!                  [--algorithm ikmb] [--baseline] [--threads 0]
 //!                  [--scheduler wavefront] [--mode ripup] [--pf-iterations 50]
+//!                  [--pf-selective] [--pf-stale-slack-milli 8000]
+//!                  [--pf-history-decay-milli 0]
 //!                  [--spec-exit-misses 4] [--spec-probe-period 32]
 //!                  [--probe-threads 0] [--trace out.jsonl] [--metrics]
 //! fpga-route net --rows 20 --cols 20 --pins 5 [--algorithm idom] [--seed 7]
@@ -57,13 +60,16 @@ usage:
   fpga-route route --circuit <name> --arch <3000|4000> --width <W>
                    [--algorithm <name>] [--seed <n>] [--passes <n>] [--threads <n>]
                    [--scheduler <wavefront|batch>] [--mode <ripup|pathfinder>]
-                   [--pf-iterations <n>] [--spec-exit-misses <n>]
-                   [--spec-probe-period <n>] [--svg <file>] [--trace <file>]
-                   [--stream] [--metrics]
+                   [--pf-iterations <n>] [--pf-selective]
+                   [--pf-stale-slack-milli <n>] [--pf-history-decay-milli <n>]
+                   [--spec-exit-misses <n>] [--spec-probe-period <n>]
+                   [--svg <file>] [--trace <file>] [--stream] [--metrics]
   fpga-route width --circuit <name> --arch <3000|4000>
                    [--min <W>] [--max <W>] [--algorithm <name>] [--baseline]
                    [--threads <n>] [--scheduler <wavefront|batch>]
                    [--mode <ripup|pathfinder>] [--pf-iterations <n>]
+                   [--pf-selective] [--pf-stale-slack-milli <n>]
+                   [--pf-history-decay-milli <n>]
                    [--spec-exit-misses <n>] [--spec-probe-period <n>]
                    [--probe-threads <n>] [--trace <file>] [--stream] [--metrics]
   fpga-route net   --rows <n> --cols <n> --pins <n> [--algorithm <name>] [--seed <n>]
@@ -80,6 +86,13 @@ usage:
         nets, pathfinder negotiates via present + history pricing with
         fully-parallel iterations — bit-identical across thread counts
 --pf-iterations: pathfinder iteration budget before reporting unroutable
+--pf-selective: pathfinder dirty-net mode — only nets touching over-capacity
+                nodes (or gone stale) reroute each iteration, with delta
+                repricing; iteration cost tracks remaining congestion
+--pf-stale-slack-milli: history growth along a clean net's own tree before
+                        selective mode reroutes it anyway (default 8000)
+--pf-history-decay-milli: per-iteration multiplicative history decay out of
+                          1000 (default 0 = off, bit-identical to no decay)
 --probe-threads: concurrent width probes; 0 = one worker per available core
 --trace: telemetry as JSONL (or a single JSON document for .json paths);
          `-` writes JSONL to stdout
@@ -104,6 +117,9 @@ const ROUTE_FLAGS: FlagSpec = &[
     ("scheduler", true),
     ("mode", true),
     ("pf-iterations", true),
+    ("pf-selective", false),
+    ("pf-stale-slack-milli", true),
+    ("pf-history-decay-milli", true),
     ("spec-exit-misses", true),
     ("spec-probe-period", true),
     ("svg", true),
@@ -124,6 +140,9 @@ const WIDTH_FLAGS: FlagSpec = &[
     ("scheduler", true),
     ("mode", true),
     ("pf-iterations", true),
+    ("pf-selective", false),
+    ("pf-stale-slack-milli", true),
+    ("pf-history-decay-milli", true),
     ("spec-exit-misses", true),
     ("spec-probe-period", true),
     ("probe-threads", true),
@@ -421,6 +440,17 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         scheduler: scheduler(flags)?,
         mode: mode(flags)?,
         pf_max_iterations: get_usize(flags, "pf-iterations", Some(defaults.pf_max_iterations))?,
+        pf_selective: flags.contains_key("pf-selective"),
+        pf_stale_slack_milli: get_u64(
+            flags,
+            "pf-stale-slack-milli",
+            defaults.pf_stale_slack_milli,
+        )?,
+        pf_history_decay_milli: get_u64(
+            flags,
+            "pf-history-decay-milli",
+            defaults.pf_history_decay_milli,
+        )?,
         spec_exit_misses: get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?,
         spec_probe_period: get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?,
         ..defaults
@@ -473,6 +503,14 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let route_mode = mode(flags)?;
     let defaults = RouterConfig::default();
     let pf_max_iterations = get_usize(flags, "pf-iterations", Some(defaults.pf_max_iterations))?;
+    let pf_selective = flags.contains_key("pf-selective");
+    let pf_stale_slack_milli =
+        get_u64(flags, "pf-stale-slack-milli", defaults.pf_stale_slack_milli)?;
+    let pf_history_decay_milli = get_u64(
+        flags,
+        "pf-history-decay-milli",
+        defaults.pf_history_decay_milli,
+    )?;
     let spec_exit_misses = get_usize(flags, "spec-exit-misses", Some(defaults.spec_exit_misses))?;
     let spec_probe_period = get_usize(flags, "spec-probe-period", Some(defaults.spec_probe_period))?;
     let route = |device: &Device| {
@@ -495,6 +533,9 @@ fn cmd_width(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                     scheduler: sched,
                     mode: route_mode,
                     pf_max_iterations,
+                    pf_selective,
+                    pf_stale_slack_milli,
+                    pf_history_decay_milli,
                     spec_exit_misses,
                     spec_probe_period,
                     ..RouterConfig::default()
@@ -817,6 +858,44 @@ mod tests {
     }
 
     #[test]
+    fn selective_pathfinder_flags_parse() {
+        // `--pf-selective` is a presence flag; the two tuning knobs take
+        // values and default to RouterConfig's.
+        let parsed = parse_flags(
+            &[
+                "--pf-selective".into(),
+                "--pf-stale-slack-milli".into(),
+                "4000".into(),
+                "--pf-history-decay-milli".into(),
+                "200".into(),
+            ],
+            "route",
+            ROUTE_FLAGS,
+        )
+        .unwrap();
+        assert!(parsed.contains_key("pf-selective"));
+        assert_eq!(get_u64(&parsed, "pf-stale-slack-milli", 8000).unwrap(), 4000);
+        assert_eq!(get_u64(&parsed, "pf-history-decay-milli", 0).unwrap(), 200);
+        let defaults = RouterConfig::default();
+        assert!(!defaults.pf_selective);
+        assert_eq!(
+            get_u64(&flags(&[]), "pf-stale-slack-milli", defaults.pf_stale_slack_milli).unwrap(),
+            8000
+        );
+        assert_eq!(
+            get_u64(
+                &flags(&[]),
+                "pf-history-decay-milli",
+                defaults.pf_history_decay_milli
+            )
+            .unwrap(),
+            0
+        );
+        // The width command accepts the same trio.
+        assert!(parse_flags(&["--pf-selective".into()], "width", WIDTH_FLAGS).is_ok());
+    }
+
+    #[test]
     fn probe_thread_flag_resolves_zero_to_available_cores() {
         assert_eq!(get_threads(&flags(&[]), "probe-threads").unwrap(), 1);
         assert_eq!(
@@ -896,7 +975,8 @@ mod tests {
                 "{\"type\":\"histogram\",\"name\":\"net_route_ns\",\"count\":2,\"sum\":300,",
                 "\"mean\":150,\"p50\":100,\"p95\":200,\"p99\":200,\"max\":200}\n",
                 "{\"type\":\"convergence\",\"iteration\":1,\"overcapacity\":4,",
-                "\"history_milli\":0,\"nets_rerouted\":9,\"present_milli\":500}\n",
+                "\"history_milli\":0,\"nets_rerouted\":9,\"present_milli\":500,",
+                "\"dirty_nets\":9}\n",
             ),
         )
         .unwrap();

@@ -169,6 +169,180 @@ fn unroutable_reports_the_over_capacity_nodes_identically_across_threads() {
     }
 }
 
+fn selective_config(threads: usize, scheduler: SchedulerKind) -> RouterConfig {
+    RouterConfig {
+        pf_selective: true,
+        ..pf_config(threads, scheduler)
+    }
+}
+
+#[test]
+fn selective_mode_is_bit_identical_across_threads_and_schedulers() {
+    // Dirty-set membership and the congestion-priced reroute order are
+    // functions of the single-writer state alone; the worker partition
+    // must stay invisible in every observable output, telemetry
+    // included.
+    let sequential = route_tiny(8, selective_config(1, SchedulerKind::Wavefront)).unwrap();
+    for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+        for threads in [1usize, 2, 4] {
+            let parallel = route_tiny(8, selective_config(threads, scheduler)).unwrap();
+            let context = format!("threads {threads}, {}", scheduler.name());
+            assert_eq!(parallel.trees, sequential.trees, "{context}");
+            assert_eq!(parallel.passes, sequential.passes, "{context}");
+            assert_eq!(
+                parallel.total_wirelength, sequential.total_wirelength,
+                "{context}"
+            );
+            assert_eq!(
+                parallel.max_pathlengths, sequential.max_pathlengths,
+                "{context}"
+            );
+            let dirty: Vec<usize> = parallel
+                .telemetry
+                .passes
+                .iter()
+                .map(|p| p.dirty_nets)
+                .collect();
+            let reference: Vec<usize> = sequential
+                .telemetry
+                .passes
+                .iter()
+                .map(|p| p.dirty_nets)
+                .collect();
+            assert_eq!(dirty, reference, "{context}: dirty trajectory differs");
+        }
+    }
+}
+
+#[test]
+fn selective_converged_routing_is_segment_disjoint() {
+    // Usage conservation: skipped nets keep their trees in the tally,
+    // so a selective convergence is a real disjointness proof, not an
+    // artifact of forgetting the nets that never rerouted.
+    let profile = tiny_profile();
+    let circuit = synthesize(&profile, 2, 1995).expect("synthesizable");
+    let device = Device::new(ArchSpec::xilinx4000(profile.rows, profile.cols, 8)).unwrap();
+    let outcome = Router::new(&device, selective_config(4, SchedulerKind::Wavefront))
+        .route(&circuit)
+        .expect("routable at a generous width");
+    let mut used = vec![false; device.graph().node_count()];
+    for (ni, tree) in outcome.trees.iter().enumerate() {
+        for v in tree.nodes() {
+            if device.segment_position(v).is_some() {
+                assert!(
+                    !used[v.index()],
+                    "net {ni} shares segment node {v:?} with an earlier net"
+                );
+                used[v.index()] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn selective_dirty_nets_shrink_while_converging() {
+    // The acceptance trajectory: iteration 1 routes everything, and the
+    // dirty set then strictly decreases to convergence on this circuit —
+    // iteration cost tracks remaining congestion, not circuit size.
+    let outcome = route_tiny(8, selective_config(1, SchedulerKind::Wavefront)).unwrap();
+    let dirty: Vec<usize> = outcome
+        .telemetry
+        .passes
+        .iter()
+        .map(|p| p.dirty_nets)
+        .collect();
+    assert!(
+        outcome.passes >= 2,
+        "need at least one negotiation round for the trajectory to mean anything"
+    );
+    assert_eq!(dirty[0], 11, "iteration 1 must route every net of the tiny profile");
+    assert!(
+        dirty.windows(2).all(|w| w[1] < w[0]),
+        "dirty-net counts must strictly decrease across converging iterations: {dirty:?}"
+    );
+    // The iterations after the first leave clean nets untouched.
+    assert!(
+        dirty[1..].iter().all(|&d| d < 11),
+        "no later iteration may reroute the whole circuit: {dirty:?}"
+    );
+}
+
+#[test]
+fn selective_unroutable_matches_full_mode_and_is_thread_independent() {
+    // On a circuit where every net stays in conflict, the dirty set is
+    // the whole circuit each iteration, so selective mode must walk the
+    // exact trajectory full-reroute mode walks — same final
+    // over-capacity set, same failed net — and stay identical across
+    // thread counts.
+    let circuit = crossing_circuit();
+    let device = Device::new(ArchSpec::xilinx4000(2, 2, 1)).unwrap();
+    let unroutable = |config: RouterConfig| -> (usize, usize, Vec<_>) {
+        let err = Router::new(&device, config)
+            .route(&circuit)
+            .expect_err("W = 1 cannot host the crossing circuit");
+        match err {
+            FpgaError::Unroutable {
+                channel_width,
+                passes,
+                failed_net,
+                overcapacity,
+            } => {
+                assert_eq!(channel_width, 1);
+                assert!(!overcapacity.is_empty(), "failure must name contested nodes");
+                assert!(overcapacity.windows(2).all(|w| w[0] < w[1]));
+                (passes, failed_net, overcapacity)
+            }
+            other => panic!("expected Unroutable, got {other}"),
+        }
+    };
+    let full = unroutable(RouterConfig {
+        pf_max_iterations: 4,
+        ..pf_config(1, SchedulerKind::Wavefront)
+    });
+    for scheduler in [SchedulerKind::Wavefront, SchedulerKind::Batch] {
+        for threads in [1usize, 2, 4] {
+            let selective = unroutable(RouterConfig {
+                pf_max_iterations: 4,
+                ..selective_config(threads, scheduler)
+            });
+            assert_eq!(
+                selective, full,
+                "threads {threads}, {}: selective failure report diverged from full mode",
+                scheduler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn history_decay_is_deterministic_across_threads() {
+    // Decay runs in the single-writer sweep, so a decayed negotiation is
+    // just as partition-independent as an undecayed one.
+    let config = |threads| RouterConfig {
+        pf_history_decay_milli: 125,
+        ..selective_config(threads, SchedulerKind::Wavefront)
+    };
+    let sequential = route_tiny(8, config(1)).unwrap();
+    for threads in [2usize, 4] {
+        let parallel = route_tiny(8, config(threads)).unwrap();
+        assert_eq!(parallel.trees, sequential.trees, "threads {threads}");
+        assert_eq!(parallel.passes, sequential.passes, "threads {threads}");
+    }
+    // Decay off is the exact undecayed router: the flag default changes
+    // nothing about the trajectory.
+    let undecayed = route_tiny(8, selective_config(1, SchedulerKind::Wavefront)).unwrap();
+    let explicit_zero = route_tiny(
+        8,
+        RouterConfig {
+            pf_history_decay_milli: 0,
+            ..selective_config(1, SchedulerKind::Wavefront)
+        },
+    )
+    .unwrap();
+    assert_eq!(explicit_zero.trees, undecayed.trees);
+    assert_eq!(explicit_zero.passes, undecayed.passes);
+}
+
 #[test]
 fn saturated_pricing_degrades_gracefully_instead_of_panicking() {
     // Maximal pricing drives every contended node to Weight::MAX after
