@@ -10,12 +10,45 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p fpga-lint -q (linter self-tests incl. adversarial gate)"
+cargo test -p fpga-lint -q
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> fpga_lint: workspace invariants"
+echo "==> fpga_lint: workspace invariants (cone-scoped, JSON report)"
+# Aux-path waiver budgets: bench harnesses time phases with Instant and
+# report float percentages by design; the budget keeps that bounded
+# instead of demanding a waiver comment in every bench body.
 cargo build --release -p fpga-lint
-./target/release/fpga_lint --root .
+lint_json="$(mktemp /tmp/fpga_lint_report.XXXXXX.json)"
+lint_status=0
+./target/release/fpga_lint --root . --json \
+    --waiver-budget determinism-wall-clock=8 \
+    --waiver-budget determinism-float-weight=2 \
+    > "$lint_json" || lint_status=$?
+python3 - "$lint_json" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+cone = report["cone"]
+print(f"hot-path cone: {cone['functions']} function(s) across {cone['files']} file(s)")
+for entry in cone["entries"]:
+    reach = entry["reachable"]
+    print(f"  {entry['entry']}: {'MISSING' if reach is None else reach}")
+if report["summary"]:
+    print("per-rule violations:")
+    for rule, n in sorted(report["summary"].items()):
+        print(f"  {rule}: {n}")
+for d in report["diagnostics"]:
+    if not d["budget_waived"]:
+        print(f"  {d['code']} {d['path']}:{d['line']}: {d['message']}")
+PY
+rm -f "$lint_json"
+if [ "$lint_status" -ne 0 ]; then
+    echo "fpga_lint found violations (exit $lint_status)" >&2
+    exit 1
+fi
 
 echo "==> fpga_lint: failure-mode smoke (bad file must exit nonzero)"
 bad_file="$(mktemp /tmp/fpga_lint_bad.XXXXXX.rs)"
@@ -25,6 +58,16 @@ lint_status=0
 ./target/release/fpga_lint --check-file "$bad_file" --as crates/fpga/src/router.rs || lint_status=$?
 if [ "$lint_status" -ne 1 ]; then
     echo "fpga_lint must exit 1 on a known-bad file (got $lint_status)" >&2
+    exit 1
+fi
+
+echo "==> fpga_lint: determinism smoke (seeded hash-iter fixture must exit nonzero)"
+lint_status=0
+./target/release/fpga_lint \
+    --check-file crates/lint/tests/fixtures/det_hash_iter.rs \
+    --as crates/fpga/src/det_hash_iter.rs || lint_status=$?
+if [ "$lint_status" -ne 1 ]; then
+    echo "fpga_lint must exit 1 on the determinism fixture (got $lint_status)" >&2
     exit 1
 fi
 

@@ -153,6 +153,7 @@ fn speculate(
             .map(|(worker, arena)| {
                 scope.spawn(move || -> (usize, Vec<Speculation>, u64) {
                     route_trace::adopt_parent(parent_span);
+                    // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
                     let wave_started = route_trace::enabled().then(std::time::Instant::now);
                     let mut g = GraphOverlay::bind(snapshot, arena);
                     let routed: Vec<Speculation> = batch
@@ -178,6 +179,7 @@ fn speculate(
             })
             .collect();
         for handle in handles {
+            // lint: allow(panic-hygiene): join() only errs if the worker already panicked; re-raising is the correct propagation
             let (worker, routed, busy_ns) = handle.join().expect("routing worker panicked");
             if let Some(stats) = worker_stats.get_mut(worker) {
                 stats.0 = stats.0.saturating_add(busy_ns);
@@ -190,6 +192,7 @@ fn speculate(
     });
     collected
         .into_iter()
+        // lint: allow(panic-hygiene): structural invariant — the strided worker partition covers every batch index exactly once
         .map(|slot| slot.expect("every batch slot speculated"))
         .collect()
 }

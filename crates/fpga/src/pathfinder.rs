@@ -305,6 +305,7 @@ pub(crate) fn route_negotiated(
     let mut prev_usage: Vec<u32> = Vec::new();
     let mut prev_claims: Vec<usize> = Vec::new();
     for iteration in 1..=budget {
+        // lint: allow(determinism-wall-clock): per-iteration timing lands in IterationStats reporting; cost updates never read it
         let started = std::time::Instant::now();
         let (trees, usage, pos_usage, claims, overcap) = {
             let _pass_span =
@@ -688,6 +689,7 @@ fn route_all(
     let csr = CsrView::build(priced);
     if threads <= 1 {
         let phase_started = if route_trace::enabled() {
+            // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
             Some(std::time::Instant::now())
         } else {
             None
@@ -740,6 +742,7 @@ fn route_all(
             handles.push(scope.spawn(move || {
                 route_trace::adopt_parent(parent_span);
                 let worker_started = if route_trace::enabled() {
+                    // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
                     Some(std::time::Instant::now())
                 } else {
                     None
@@ -781,6 +784,7 @@ fn route_all(
         }
         for handle in handles {
             // A worker panic is a router bug; propagate it.
+            // lint: allow(panic-hygiene): join() only errs if the worker already panicked; re-raising is the correct propagation
             worker_results.push(handle.join().expect("pathfinder worker panicked"));
         }
     });

@@ -579,6 +579,7 @@ impl<'d> Router<'d> {
     ) -> Result<Option<RoutingTree>, FpgaError> {
         let _net_span = route_trace::span(route_trace::SpanKind::Net, "net", ni as u64);
         let net_started = if route_trace::enabled() {
+            // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
             Some(std::time::Instant::now())
         } else {
             None
@@ -662,6 +663,7 @@ impl<'d> Router<'d> {
         mut changed: Option<&mut std::collections::HashSet<NodeId>>,
     ) -> Result<(), FpgaError> {
         let commit_started = if route_trace::enabled() {
+            // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
             Some(std::time::Instant::now())
         } else {
             None

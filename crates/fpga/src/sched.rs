@@ -311,6 +311,7 @@ pub(crate) fn route_pass_wavefront(
     pass: usize,
 ) -> Result<(PassResult, PassTelemetry), FpgaError> {
     let pass_started = if route_trace::enabled() {
+        // lint: allow(determinism-wall-clock): gated on route_trace::enabled(); feeds the span timeline only, never routing state
         Some(std::time::Instant::now())
     } else {
         None
@@ -471,6 +472,7 @@ pub(crate) fn route_pass_wavefront(
                             route_trace::count(route_trace::Counter::SchedSteals, 1);
                         }
                     }
+                    // lint: allow(determinism-wall-clock): gated on the timeline flag; feeds worker-timeline telemetry only, never routing state
                     let route_started = timeline.then(std::time::Instant::now);
 
                     // --- speculate outside the lock --------------------

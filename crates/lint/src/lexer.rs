@@ -156,7 +156,7 @@ pub fn lex(source: &str) -> Vec<Token> {
             b'\'' => {
                 // Char literal or lifetime. A lifetime is `'` followed by
                 // an identifier NOT closed by another `'`.
-                if is_char_literal(b, i) {
+                if is_char_literal(source, i) {
                     let tok_line = line;
                     let start = i + 1;
                     i = skip_quoted(b, start, b'\'', &mut line);
@@ -219,8 +219,14 @@ pub fn lex(source: &str) -> Vec<Token> {
             _ => {
                 let rest = &source[i..];
                 let op = COMPOUND.iter().find(|op| rest.starts_with(**op));
-                let text = op.map_or_else(|| rest[..1].to_string(), ToString::to_string);
-                i += text.len();
+                // Fall back to one whole *character*, not one byte: a
+                // multi-byte codepoint here (stray `é`, `→` in macro-ish
+                // code) must not split mid-UTF-8 and panic the linter.
+                let text = op.map_or_else(
+                    || rest.chars().next().map_or_else(String::new, |c| c.to_string()),
+                    ToString::to_string,
+                );
+                i += text.len().max(1);
                 tokens.push(Token {
                     kind: TokenKind::Punct,
                     text,
@@ -260,10 +266,14 @@ fn raw_string_hashes(b: &[u8], i: usize) -> Option<(usize, usize)> {
 }
 
 /// `true` if the `'` at `i` opens a char literal rather than a lifetime.
-fn is_char_literal(b: &[u8], i: usize) -> bool {
-    match b.get(i + 1) {
-        Some(b'\\') => true,                       // '\n', '\'', …
-        Some(_) => b.get(i + 2) == Some(&b'\''),   // 'a'
+/// Char-aware, not byte-aware: `'é'` is a two-byte codepoint whose
+/// closing quote sits at byte `i + 3`, and a byte-indexed check would
+/// misread it as a lifetime and leave the lexer mid-codepoint.
+fn is_char_literal(source: &str, i: usize) -> bool {
+    let mut chars = source[i + 1..].chars();
+    match chars.next() {
+        Some('\\') => true,                  // '\n', '\'', …
+        Some(_) => chars.next() == Some('\''), // 'a', 'é'
         None => false,
     }
 }
@@ -289,7 +299,15 @@ fn quoted_content(source: &str, start: usize, end: usize, quote: u8) -> String {
 fn skip_quoted(b: &[u8], mut i: usize, quote: u8, line: &mut usize) -> usize {
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\`-newline continuation still ends a source line;
+                // skipping it blind would shift every later line number
+                // and misapply line-anchored allow-markers.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -385,5 +403,58 @@ mod tests {
     #[test]
     fn raw_identifiers_strip_prefix() {
         assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+
+    #[test]
+    fn raw_strings_with_multi_hash_closers_do_not_leak() {
+        // An `r##"…"##` body containing `"#` (a shorter closer) must not
+        // end the literal early and spill `unwrap` into the ident stream.
+        let src = "let s = r##\"body \"# still_inside unwrap()\"##; fn after() {}";
+        assert_eq!(idents(src), vec!["let", "s", "fn", "after"]);
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::Literal).unwrap();
+        assert_eq!(lit.text, "body \"# still_inside unwrap()");
+        // Byte-string raw literals take the same path.
+        assert_eq!(idents("let b = br#\"x \" unwrap\"#;"), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        // Two levels of nesting: the inner `*/` must not close the outer
+        // comment, and every newline inside still advances the line.
+        let src = "/* outer\n /* inner\n */ still_comment\n*/\nfn f() {}";
+        let toks = lex(src);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+        assert_eq!(toks.iter().find(|t| t.is_ident("f")).unwrap().line, 5);
+    }
+
+    #[test]
+    fn non_ascii_char_literals_are_literals_not_lifetimes() {
+        // `'é'` is a two-byte codepoint; a byte-indexed disambiguation
+        // would misread it as a lifetime and then panic slicing the
+        // continuation byte. It must lex as one Literal without panicking.
+        let toks = lex("let c = 'é'; fn f<'a>(x: &'a str) {}");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["é"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(),
+            2,
+            "the generic parameter and reference lifetimes survive"
+        );
+        // A stray multi-byte punct-position char must not panic either.
+        let toks = lex("let x = 1; → let y = 2;");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Punct && t.text == "→"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        let src = "let s = \"one\\\ntwo\";\nfn f() {}\n";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.is_ident("f")).unwrap();
+        assert_eq!(f.line, 3, "backslash-newline continuation advances the line count");
     }
 }

@@ -24,6 +24,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -33,34 +35,86 @@ use std::path::Path;
 
 use lexer::{Token, TokenKind};
 
-/// Every rule the linter knows, with a one-line description.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        rules::readset::RULE,
-        "Dijkstra/distance-graph entry points may only be called from readset-recording modules",
-    ),
-    (
-        rules::commit_path::RULE,
-        "shared-graph write handles and snapshot repricing stay on single-writer commit paths",
-    ),
-    (
-        rules::weights::RULE,
-        "bare +/-/* on Weight values outside weight.rs/multiweight.rs",
-    ),
-    (
-        rules::hygiene::RULE_UNSAFE,
-        "every crate root keeps #![forbid(unsafe_code)]",
-    ),
-    (
-        rules::hygiene::RULE_PANIC,
-        "unwrap()/expect() banned in hot-path modules outside #[cfg(test)]",
-    ),
-    (
-        rules::telemetry::RULE,
-        "trace counters and CLI flags stay in sync with the README",
-    ),
-    (MARKER_RULE, "malformed // lint: allow(...) markers"),
+/// One registered rule: its marker name, stable machine-readable code
+/// (for `--json` consumers; codes never get reused), and description.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub code: &'static str,
+    pub what: &'static str,
+}
+
+/// Every rule the linter knows.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: rules::readset::RULE,
+        code: "FL001",
+        what: "Dijkstra/distance-graph entry points may only be called from readset-recording modules",
+    },
+    RuleInfo {
+        name: rules::commit_path::RULE,
+        code: "FL002",
+        what: "shared-graph write handles and snapshot repricing stay on single-writer commit paths",
+    },
+    RuleInfo {
+        name: rules::weights::RULE,
+        code: "FL003",
+        what: "bare +/-/* on Weight values outside weight.rs/multiweight.rs",
+    },
+    RuleInfo {
+        name: rules::hygiene::RULE_UNSAFE,
+        code: "FL004",
+        what: "every crate root keeps #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        name: rules::hygiene::RULE_PANIC,
+        code: "FL005",
+        what: "unwrap()/expect() banned in hot-path-cone functions outside #[cfg(test)]",
+    },
+    RuleInfo {
+        name: rules::telemetry::RULE,
+        code: "FL006",
+        what: "trace counters and CLI flags stay in sync with the README",
+    },
+    RuleInfo {
+        name: MARKER_RULE,
+        code: "FL007",
+        what: "malformed // lint: allow(...) markers",
+    },
+    RuleInfo {
+        name: rules::determinism::RULE_HASH,
+        code: "FL010",
+        what: "HashMap/HashSet iteration in the hot-path cone without a sort or reduction",
+    },
+    RuleInfo {
+        name: rules::determinism::RULE_CLOCK,
+        code: "FL011",
+        what: "Instant/SystemTime in hot-path-cone code outside the telemetry modules",
+    },
+    RuleInfo {
+        name: rules::determinism::RULE_THREAD,
+        code: "FL012",
+        what: "thread identity or worker-index branching outside the scheduler assignment layer",
+    },
+    RuleInfo {
+        name: rules::determinism::RULE_FLOAT,
+        code: "FL013",
+        what: "float accumulation in hot-path-cone code that feeds Weight",
+    },
+    RuleInfo {
+        name: rules::determinism::RULE_CONE,
+        code: "FL014",
+        what: "every pinned hot-path entry point still exists (the cone cannot silently shrink)",
+    },
 ];
+
+/// The stable code of `rule`, for machine-readable output.
+pub fn rule_code(rule: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|r| r.name == rule)
+        .map_or("FL000", |r| r.code)
+}
 
 /// Rule name for diagnostics about the markers themselves.
 pub const MARKER_RULE: &str = "lint-marker";
@@ -97,6 +151,20 @@ struct AllowMarker {
     rule: String,
 }
 
+/// Where a file's rule scopes came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeSource {
+    /// A workspace lint with a real call graph: `in_cone` is the
+    /// computed hot-path cone, `aux` marks tests/benches files.
+    Workspace,
+    /// A single-file lint (`lint_source` / `--check-file`): no call
+    /// graph exists, so cone-scoped rules fall back to conservative
+    /// path-based approximations (library-crate files are presumed
+    /// in-cone for the determinism family; panic-hygiene keeps its
+    /// legacy hot-file list).
+    SingleFile,
+}
+
 /// Everything a per-file rule gets to look at.
 pub struct FileCtx<'a> {
     /// Workspace-relative path with forward slashes.
@@ -105,6 +173,14 @@ pub struct FileCtx<'a> {
     pub tokens: &'a [Token],
     /// `in_test[i]` — token `i` sits inside a `#[cfg(test)]` item.
     pub in_test: &'a [bool],
+    /// `in_cone[i]` — token `i` sits inside a hot-path-cone function.
+    /// All-false outside the call-graph universe and in single-file mode.
+    pub in_cone: &'a [bool],
+    /// The file sits in an auxiliary scan scope (integration tests,
+    /// benches): the determinism family applies whole-file there.
+    pub aux: bool,
+    /// Workspace (real cone) or single-file (fallback scopes).
+    pub scope: ScopeSource,
 }
 
 impl FileCtx<'_> {
@@ -117,48 +193,156 @@ impl FileCtx<'_> {
     pub fn file_name(&self) -> &str {
         self.path.rsplit('/').next().unwrap_or(self.path)
     }
+
+    /// Whether token `i` is in scope for the determinism family: the
+    /// hot-path cone, the aux scan scope, or (single-file fallback) any
+    /// library-crate file — conservative, because without a call graph
+    /// a fixture or work-in-progress file cannot prove itself cold.
+    pub fn determinism_scope(&self, i: usize) -> bool {
+        match self.scope {
+            ScopeSource::Workspace => self.in_cone[i] || self.aux,
+            ScopeSource::SingleFile => callgraph::in_universe(self.path) || self.aux,
+        }
+    }
 }
 
 /// Lints one file's source under its workspace-relative logical path.
 ///
 /// The logical path drives every rule's applicability (hot-path file
 /// lists, allowlisted modules, exempt directories), so fixtures can be
-/// checked *as if* they lived anywhere in the tree.
+/// checked *as if* they lived anywhere in the tree. No call graph
+/// exists in this mode: cone-scoped rules use their conservative
+/// single-file fallbacks (see [`ScopeSource::SingleFile`]).
 pub fn lint_source(logical_path: &str, source: &str) -> Vec<Diagnostic> {
     let tokens = lexer::lex(source);
-    let in_test = cfg_test_mask(&tokens);
+    let in_cone = vec![false; tokens.len()];
+    lint_tokens(
+        logical_path,
+        &tokens,
+        &in_cone,
+        aux_path(logical_path),
+        ScopeSource::SingleFile,
+    )
+}
+
+/// The shared per-file rule pipeline.
+fn lint_tokens(
+    path: &str,
+    tokens: &[Token],
+    in_cone: &[bool],
+    aux: bool,
+    scope: ScopeSource,
+) -> Vec<Diagnostic> {
+    let in_test = cfg_test_mask(tokens);
     let ctx = FileCtx {
-        path: logical_path,
-        tokens: &tokens,
+        path,
+        tokens,
         in_test: &in_test,
+        in_cone,
+        aux,
+        scope,
     };
     let mut diags = Vec::new();
     diags.extend(rules::readset::check(&ctx));
     diags.extend(rules::commit_path::check(&ctx));
     diags.extend(rules::weights::check(&ctx));
     diags.extend(rules::hygiene::check(&ctx));
-    let (markers, marker_diags) = collect_markers(logical_path, &tokens);
+    diags.extend(rules::determinism::check(&ctx));
+    let (markers, marker_diags) = collect_markers(path, tokens);
     diags.extend(marker_diags);
-    apply_markers(logical_path, diags, &markers)
+    apply_markers(path, diags, &markers)
 }
 
-/// Lints the whole workspace under `root`: every `.rs` file through the
-/// per-file rules, plus the cross-file telemetry-sync rule.
+/// Auxiliary scan scope: integration tests and benches. Not part of the
+/// call-graph universe (they call into the libraries, never the
+/// reverse) but scanned whole-file by the determinism family — a
+/// nondeterministic test is a flaky bit-identity assertion. The
+/// linter's own tree is excluded (its tests are made of deliberately
+/// nondeterministic fixture text).
+pub fn aux_path(path: &str) -> bool {
+    !path.starts_with("crates/lint/")
+        && (path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/"))
+}
+
+/// A workspace lint result: the diagnostics plus the hot-path cone they
+/// were scoped by.
+pub struct WorkspaceReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub cone: callgraph::Cone,
+}
+
+/// Lints the whole workspace under `root`: lexes every `.rs` file,
+/// builds the item model and approximate call graph over the library
+/// crates, computes the hot-path cone, then runs every per-file rule
+/// with real cone scopes, plus the cross-file telemetry-sync rule.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from walking or reading the tree.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(lint_workspace_report(root)?.diagnostics)
+}
+
+/// [`lint_workspace`], keeping the cone for reporting.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace_report(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     walk(root, root, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
-    for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))?;
-        diags.extend(lint_source(rel, &source));
+
+    // Pass 1: lex everything once; extract items over the call-graph
+    // universe and compute the cone.
+    let mut lexed: Vec<(String, Vec<Token>)> = Vec::new();
+    let mut model: BTreeMap<String, items::FileItems> = BTreeMap::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let tokens = lexer::lex(&source);
+        if callgraph::in_universe(&rel) {
+            model.insert(rel.clone(), items::extract(&tokens));
+        }
+        lexed.push((rel, tokens));
     }
-    diags.extend(rules::telemetry::check_workspace(root));
-    Ok(diags)
+    let cone = callgraph::compute_cone(&model);
+
+    // A pinned entry point that no longer resolves means the cone — and
+    // with it every cone-scoped rule — silently shrank.
+    let mut diagnostics: Vec<Diagnostic> = cone
+        .missing_entry_points()
+        .map(|entry| {
+            let (path, name) = entry.rsplit_once("::").unwrap_or((entry, entry));
+            Diagnostic {
+                path: path.to_string(),
+                line: 1,
+                rule: rules::determinism::RULE_CONE,
+                message: format!(
+                    "hot-path entry point `{name}` not found — the cone lost an anchor"
+                ),
+                hint: "re-pin the renamed/moved entry point in callgraph::ENTRY_POINTS so \
+                       cone-scoped rules keep covering the parallel route phases"
+                    .to_string(),
+            }
+        })
+        .collect();
+
+    // Pass 2: per-file rules under real cone scopes.
+    for (rel, tokens) in &lexed {
+        let in_cone: Vec<bool> = tokens
+            .iter()
+            .map(|t| cone.contains_line(rel, t.line))
+            .collect();
+        diagnostics.extend(lint_tokens(
+            rel,
+            tokens,
+            &in_cone,
+            aux_path(rel),
+            ScopeSource::Workspace,
+        ));
+    }
+    diagnostics.extend(rules::telemetry::check_workspace(root));
+    Ok(WorkspaceReport { diagnostics, cone })
 }
 
 /// Directories never scanned: build output, VCS, the linter's own
@@ -212,7 +396,7 @@ fn collect_markers(path: &str, tokens: &[Token]) -> (Vec<AllowMarker>, Vec<Diagn
             continue;
         };
         let rule = rest[..close].trim().to_string();
-        if !RULES.iter().any(|(name, _)| *name == rule) {
+        if !RULES.iter().any(|r| r.name == rule) {
             diags.push(marker_diag(
                 path,
                 t.line,

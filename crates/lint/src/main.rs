@@ -2,17 +2,29 @@
 //! invariant-rule diagnostic. See the library docs for the rules.
 //!
 //! ```text
-//! fpga_lint [--root <dir>]                  # lint the whole workspace
+//! fpga_lint [--root <dir>] [--json] [--waiver-budget <rule>=<N>]...
 //! fpga_lint --check-file <path> --as <rel>  # lint one file under a logical path
 //! fpga_lint --list-rules
 //! ```
+//!
+//! Workspace mode prints a cone report (functions reachable from each
+//! pinned entry point) and a per-rule summary to stderr; `--json` emits
+//! machine-readable diagnostics on stdout for CI to consume.
+//! `--waiver-budget` tolerates up to N diagnostics of one rule in *aux*
+//! paths (integration tests and benches) — bench timing code reads
+//! `Instant` legitimately and a per-site waiver in every bench body
+//! would drown the signal; the budget keeps the count bounded instead.
 //!
 //! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use fpga_lint::{aux_path, rule_code, Diagnostic};
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -32,21 +44,38 @@ fn run(args: Vec<String>) -> Result<usize, String> {
     let mut root = PathBuf::from(".");
     let mut check_file: Option<PathBuf> = None;
     let mut logical: Option<String> = None;
+    let mut json = false;
+    let mut budgets: BTreeMap<String, usize> = BTreeMap::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => root = PathBuf::from(next_value(&mut it, "--root")?),
             "--check-file" => check_file = Some(PathBuf::from(next_value(&mut it, "--check-file")?)),
             "--as" => logical = Some(next_value(&mut it, "--as")?),
+            "--json" => json = true,
+            "--waiver-budget" => {
+                let spec = next_value(&mut it, "--waiver-budget")?;
+                let (rule, n) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--waiver-budget wants <rule>=<N>, got `{spec}`"))?;
+                if !fpga_lint::RULES.iter().any(|r| r.name == rule) {
+                    return Err(format!("--waiver-budget: unknown rule `{rule}`"));
+                }
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--waiver-budget: bad count in `{spec}`"))?;
+                budgets.insert(rule.to_string(), n);
+            }
             "--list-rules" => {
-                for (name, what) in fpga_lint::RULES {
-                    println!("{name:<22} {what}");
+                for r in fpga_lint::RULES {
+                    println!("{:<6} {:<26} {}", r.code, r.name, r.what);
                 }
                 return Ok(0);
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: fpga_lint [--root <dir>] | --check-file <path> --as <workspace-rel-path> | --list-rules"
+                    "usage: fpga_lint [--root <dir>] [--json] [--waiver-budget <rule>=<N>]... \
+                     | --check-file <path> --as <workspace-rel-path> [--json] | --list-rules"
                 );
                 return Ok(0);
             }
@@ -54,18 +83,201 @@ fn run(args: Vec<String>) -> Result<usize, String> {
         }
     }
 
-    let diags = if let Some(path) = check_file {
+    let mut cone_json = String::from("null");
+    let (diags, snippet_root) = if let Some(path) = check_file {
         let logical = logical.ok_or("--check-file needs --as <workspace-relative-path>")?;
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        fpga_lint::lint_source(&logical, &source)
+        let diags = fpga_lint::lint_source(&logical, &source);
+        // Snippets come from the physical file, whatever logical path
+        // the rules saw it under.
+        (diags, SnippetRoot::Single(path, logical))
     } else {
-        fpga_lint::lint_workspace(&root).map_err(|e| format!("{}: {e}", root.display()))?
+        let report = fpga_lint::lint_workspace_report(&root)
+            .map_err(|e| format!("{}: {e}", root.display()))?;
+        cone_json = render_cone_json(&report.cone);
+        report_cone(&report.cone);
+        (report.diagnostics, SnippetRoot::Workspace(root))
     };
+
+    // Partition by the aux-path waiver budget: budgeted rules tolerate
+    // up to N hits in tests/benches; the moment a rule exceeds its
+    // budget, *all* its aux hits fail so CI points at every site.
+    let mut aux_counts: BTreeMap<&str, usize> = BTreeMap::new();
     for d in &diags {
-        println!("{d}");
+        if aux_path(&d.path) && budgets.contains_key(d.rule) {
+            *aux_counts.entry(d.rule).or_default() += 1;
+        }
     }
-    Ok(diags.len())
+    let within_budget = |d: &Diagnostic| {
+        aux_path(&d.path)
+            && budgets
+                .get(d.rule)
+                .is_some_and(|cap| aux_counts.get(d.rule).is_some_and(|n| n <= cap))
+    };
+    let (tolerated, failing): (Vec<&Diagnostic>, Vec<&Diagnostic>) =
+        diags.iter().partition(|d| within_budget(d));
+
+    if json {
+        println!(
+            "{}",
+            render_json(&failing, &tolerated, &cone_json, &snippet_root)
+        );
+    } else {
+        for d in &failing {
+            println!("{d}");
+        }
+    }
+    report_summary(&failing, &tolerated, &budgets, &aux_counts);
+    Ok(failing.len())
+}
+
+enum SnippetRoot {
+    Workspace(PathBuf),
+    Single(PathBuf, String),
+}
+
+impl SnippetRoot {
+    fn physical(&self, logical: &str) -> Option<PathBuf> {
+        match self {
+            SnippetRoot::Workspace(root) => Some(root.join(logical)),
+            SnippetRoot::Single(path, as_logical) => {
+                (as_logical == logical).then(|| path.clone())
+            }
+        }
+    }
+}
+
+fn report_cone(cone: &fpga_lint::callgraph::Cone) {
+    eprintln!(
+        "fpga_lint: hot-path cone: {} function(s) across {} file(s)",
+        cone.fn_count,
+        cone.file_count()
+    );
+    for stat in &cone.entry_stats {
+        match stat.reachable {
+            Some(n) => eprintln!("  {:<48} {n:>4} reachable", stat.entry),
+            None => eprintln!("  {:<48} MISSING (see determinism-cone)", stat.entry),
+        }
+    }
+}
+
+fn report_summary(
+    failing: &[&Diagnostic],
+    tolerated: &[&Diagnostic],
+    budgets: &BTreeMap<String, usize>,
+    aux_counts: &BTreeMap<&str, usize>,
+) {
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in failing {
+        *per_rule.entry(d.rule).or_default() += 1;
+    }
+    if per_rule.is_empty() && tolerated.is_empty() {
+        eprintln!("fpga_lint: clean");
+    }
+    for (rule, n) in &per_rule {
+        eprintln!("fpga_lint: {:<6} {rule:<26} {n} violation(s)", rule_code(rule));
+    }
+    for (rule, cap) in budgets {
+        let used = aux_counts.get(rule.as_str()).copied().unwrap_or(0);
+        if used > 0 {
+            let status = if used <= *cap { "within" } else { "OVER" };
+            eprintln!(
+                "fpga_lint: aux budget {rule}: {used}/{cap} used ({status})"
+            );
+        }
+    }
+}
+
+/// Minimal JSON string escaping — the std library has no serializer and
+/// the crate is dependency-free by design.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_cone_json(cone: &fpga_lint::callgraph::Cone) -> String {
+    let entries: Vec<String> = cone
+        .entry_stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"entry\":\"{}\",\"reachable\":{}}}",
+                esc(&s.entry),
+                s.reachable.map_or("null".to_string(), |n| n.to_string())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"functions\":{},\"files\":{},\"entries\":[{}]}}",
+        cone.fn_count,
+        cone.file_count(),
+        entries.join(",")
+    )
+}
+
+fn render_json(
+    failing: &[&Diagnostic],
+    tolerated: &[&Diagnostic],
+    cone_json: &str,
+    snippets: &SnippetRoot,
+) -> String {
+    let mut cache: BTreeMap<String, Option<Vec<String>>> = BTreeMap::new();
+    let mut snippet = |path: &str, line: usize| -> String {
+        let lines = cache.entry(path.to_string()).or_insert_with(|| {
+            let physical = snippets.physical(path)?;
+            let text = std::fs::read_to_string(physical).ok()?;
+            Some(text.lines().map(|l| l.trim().to_string()).collect())
+        });
+        lines
+            .as_ref()
+            .and_then(|ls| ls.get(line.saturating_sub(1)))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let mut render = |d: &Diagnostic, budget_waived: bool| -> String {
+        format!(
+            "{{\"code\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\
+             \"message\":\"{}\",\"hint\":\"{}\",\"budget_waived\":{}}}",
+            esc(rule_code(d.rule)),
+            esc(d.rule),
+            esc(&d.path),
+            d.line,
+            esc(&snippet(&d.path, d.line)),
+            esc(&d.message),
+            esc(&d.hint),
+            budget_waived
+        )
+    };
+    let mut items: Vec<String> = failing.iter().map(|d| render(d, false)).collect();
+    items.extend(tolerated.iter().map(|d| render(d, true)));
+    let mut summary: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in failing {
+        *summary.entry(d.rule).or_default() += 1;
+    }
+    let summary_items: Vec<String> = summary
+        .iter()
+        .map(|(rule, n)| format!("\"{}\":{n}", esc(rule)))
+        .collect();
+    format!(
+        "{{\"cone\":{cone_json},\"summary\":{{{}}},\"failing\":{},\"diagnostics\":[{}]}}",
+        summary_items.join(","),
+        failing.len(),
+        items.join(",")
+    )
 }
 
 fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {

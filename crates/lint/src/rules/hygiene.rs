@@ -23,9 +23,27 @@ pub const RULE_UNSAFE: &str = "unsafe-forbid";
 /// Rule name for the hot-path `.unwrap()`/`.expect()` ban.
 pub const RULE_PANIC: &str = "panic-hygiene";
 
-/// File names whose modules sit on the routing hot path: a panic there
-/// takes down a mid-pass worker or the committer.
-const HOT_PATH_FILES: &[&str] = &["dijkstra.rs", "sched.rs", "router.rs", "overlay.rs", "shared.rs"];
+/// The mutex-critical tier: modules where the scheduler lock (or a
+/// worker holding work the committer waits on) is live, so *any* panic
+/// — even a documented-invariant `.expect()` — deadlocks or aborts the
+/// pass. Here both `.unwrap()` and `.expect()` are banned.
+///
+/// In workspace mode the rule's *scope* is no longer this list but the
+/// hot-path cone (`crate::callgraph`): `.unwrap()` is banned in every
+/// function reachable from a route entry point (it asserts an invariant
+/// without stating one), while `.expect("…")` — the workspace's
+/// documented-invariant idiom — stays legal in cone code outside this
+/// tier. Single-file mode (no call graph) falls back to this list as
+/// the whole scope, as before.
+const HOT_PATH_FILES: &[&str] = &[
+    "dijkstra.rs",
+    "sched.rs",
+    "router.rs",
+    "overlay.rs",
+    "shared.rs",
+    "parallel.rs",
+    "pathfinder.rs",
+];
 
 /// `path` is a crate root that must open with `#![forbid(unsafe_code)]`.
 fn is_crate_root(path: &str) -> bool {
@@ -72,9 +90,21 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     }
 
     // --- panic-hygiene ---------------------------------------------------
-    if is_hot_path(ctx.path, ctx.file_name()) {
+    let mutex_critical = is_hot_path(ctx.path, ctx.file_name());
+    let file_scope = match ctx.scope {
+        // Cone masks are per-token; enter the loop whenever the cone
+        // touches this file at all (the per-token check gates the rest).
+        crate::ScopeSource::Workspace => {
+            !ctx.path.starts_with("crates/lint/") && ctx.in_cone.iter().any(|&c| c)
+        }
+        crate::ScopeSource::SingleFile => mutex_critical,
+    };
+    if file_scope {
         for (k, &i) in code.iter().enumerate() {
             if ctx.in_test[i] {
+                continue;
+            }
+            if matches!(ctx.scope, crate::ScopeSource::Workspace) && !ctx.in_cone[i] {
                 continue;
             }
             let tok = &ctx.tokens[i];
@@ -86,12 +116,22 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
                 let callee = next(1).map_or("unwrap", |t| {
                     if t.is_ident("expect") { "expect" } else { "unwrap" }
                 });
+                // `.expect("…")` documents its invariant; it stays legal
+                // in cone code outside the mutex-critical tier.
+                if callee == "expect" && !mutex_critical {
+                    continue;
+                }
                 let line = next(1).map_or(tok.line, |t| t.line);
+                let place = if mutex_critical {
+                    "a mutex-critical module"
+                } else {
+                    "the hot-path cone"
+                };
                 diags.push(Diagnostic {
                     path: ctx.path.to_string(),
                     line,
                     rule: RULE_PANIC,
-                    message: format!("`.{callee}()` on a hot-path module"),
+                    message: format!("`.{callee}()` on {place}"),
                     hint: "propagate via Result/Option (a mid-pass panic poisons the scheduler \
                            lock); if a panic is genuinely right, justify with an allow-marker"
                         .to_string(),

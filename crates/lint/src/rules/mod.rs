@@ -3,6 +3,7 @@
 //! discipline each rule protects and [`crate::RULES`] for the registry.
 
 pub mod commit_path;
+pub mod determinism;
 pub mod hygiene;
 pub mod readset;
 pub mod telemetry;

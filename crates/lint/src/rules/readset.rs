@@ -41,9 +41,14 @@ pub const READSET_RECORDING: &[&str] = &[
     "crates/core/src/tradeoff.rs",
 ];
 
-/// Directories whose code never runs under speculation: experiment
+/// Single-file fallback only (no call graph available there):
+/// directories whose code never runs under speculation — experiment
 /// drivers, benches, tests, examples, and CLI binaries route on the
-/// live graph sequentially, so their reads need no recording.
+/// live graph sequentially, so their reads need no recording. In
+/// workspace mode this hand-pinned list is replaced by the hot-path
+/// cone: a call site is checked iff it sits in a function reachable
+/// from a speculate/commit entry point (`crate::callgraph`), which is
+/// exactly the code that can run under speculation.
 fn exempt_path(path: &str) -> bool {
     path.starts_with("crates/graph/")
         || path.starts_with("crates/lint/")
@@ -78,13 +83,26 @@ const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
 ];
 
 pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
-    if exempt_path(ctx.path) || READSET_RECORDING.contains(&ctx.path) {
+    // The graph crate hosts the recording machinery itself, and the
+    // vetted modules record by construction — both exempt in any mode.
+    if ctx.path.starts_with("crates/graph/")
+        || ctx.path.starts_with("crates/lint/")
+        || READSET_RECORDING.contains(&ctx.path)
+    {
+        return Vec::new();
+    }
+    if matches!(ctx.scope, crate::ScopeSource::SingleFile) && exempt_path(ctx.path) {
         return Vec::new();
     }
     let code: Vec<usize> = ctx.code_indices().collect();
     let mut diags = Vec::new();
     for (k, &i) in code.iter().enumerate() {
         if ctx.in_test[i] {
+            continue;
+        }
+        // Workspace mode: only call sites inside the hot-path cone can
+        // execute under speculation; everything else is sequential.
+        if matches!(ctx.scope, crate::ScopeSource::Workspace) && !ctx.in_cone[i] {
             continue;
         }
         let tok = &ctx.tokens[i];

@@ -196,8 +196,13 @@ mod tests {
 
     #[test]
     fn field_assignments_do_not_taint_bare_locals() {
+        // The float local does owe a determinism-float-weight diagnostic
+        // these days; this test only pins that *saturating-weights*
+        // stays quiet on the untainted bare local.
         let src = "fn f(c: &mut C) { c.jogs = Weight::UNIT; let mut jogs = 0.0; jogs += 1.0; }\n";
-        assert!(lint_source("crates/core/src/newalgo.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/newalgo.rs", src)
+            .iter()
+            .all(|d| d.rule != RULE));
     }
 
     #[test]

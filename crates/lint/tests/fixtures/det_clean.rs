@@ -1,0 +1,18 @@
+//! Known-good fixture: the compliant counterparts of the determinism
+//! family's bans — a sorted projection instead of raw hash iteration,
+//! and a justified waiver where order provably cannot escape.
+
+pub fn collect_ready(pending: &HashMap<u32, NetState>, out: &mut Vec<u32>) {
+    let mut ready: Vec<u32> = pending.keys().copied().collect();
+    ready.sort_unstable();
+    for net in ready {
+        if pending[&net].ready {
+            out.push(net);
+        }
+    }
+}
+
+pub fn congestion_total(usage: &HashMap<u32, u32>) -> u64 {
+    // lint: allow(determinism-hash-iter): u64 addition is commutative; the total is order-free
+    usage.values().map(|&u| u as u64).fold(0, |a, b| a + b)
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: float accumulation feeding a `Weight`. Float
+//! addition is not associative, so the rounded total depends on commit
+//! order — edge costs must stay in integer milli-units.
+
+pub fn total_cost(edges: &[Weight]) -> Weight {
+    let mut acc: f64 = 0.0;
+    for w in edges {
+        acc += w.as_f64();
+    }
+    Weight::from_milli(acc as u64)
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: hash-order iteration in hot-path code. The net
+//! order pushed into `out` inherits `HashMap`'s randomized iteration
+//! order, so two runs route nets in different orders.
+
+pub fn collect_ready(pending: &HashMap<u32, NetState>, out: &mut Vec<u32>) {
+    for (net, state) in pending {
+        if state.ready {
+            out.push(*net);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: a wall-clock reading in result-affecting hot
+//! code. The elapsed time steers the rip-up budget, so the same input
+//! routes differently under load.
+
+pub fn ripup_budget(base: u32) -> u32 {
+    let started = Instant::now();
+    let slack = started.elapsed().as_millis() as u32;
+    base.saturating_sub(slack)
+}

@@ -5,7 +5,7 @@
 
 use std::path::Path;
 
-use fpga_lint::rules::{commit_path, hygiene, readset, telemetry, weights};
+use fpga_lint::rules::{commit_path, determinism, hygiene, readset, telemetry, weights};
 use fpga_lint::{lint_source, Diagnostic, MARKER_RULE};
 
 /// Reads a fixture from `tests/fixtures/`.
@@ -144,6 +144,64 @@ fn telemetry_sync_fires_on_the_mini_workspace() {
     assert!(
         diags.iter().any(|d| d.message.contains("`--bar`")),
         "undocumented CLI flag"
+    );
+}
+
+#[test]
+fn determinism_hash_iter_fires_on_raw_hashmap_iteration() {
+    let d = assert_fires_once(
+        "det_hash_iter.rs",
+        "crates/fpga/src/det_hash_iter.rs",
+        determinism::RULE_HASH,
+    );
+    assert_eq!(d.line, 6, "diagnostic anchors to the for-loop");
+    assert!(d.message.contains("pending"), "names the container");
+}
+
+#[test]
+fn determinism_wall_clock_fires_on_instant_now() {
+    let d = assert_fires_once(
+        "det_wall_clock.rs",
+        "crates/fpga/src/det_wall_clock.rs",
+        determinism::RULE_CLOCK,
+    );
+    assert_eq!(d.line, 6, "diagnostic anchors to the Instant::now call");
+}
+
+#[test]
+fn determinism_thread_id_fires_outside_the_scheduler_layer() {
+    let d = assert_fires_once(
+        "det_thread_id.rs",
+        "crates/fpga/src/det_thread_id.rs",
+        determinism::RULE_THREAD,
+    );
+    assert_eq!(d.line, 6, "diagnostic anchors to thread::current");
+    // The identical source inside the scheduler assignment layer is
+    // legal: work distribution is identity-dependent by design.
+    assert!(lint_source("crates/fpga/src/sched.rs", &fixture("det_thread_id.rs")).is_empty());
+}
+
+#[test]
+fn determinism_float_weight_fires_on_accumulation_near_weight() {
+    let d = assert_fires_once(
+        "det_float_weight.rs",
+        "crates/fpga/src/det_float_weight.rs",
+        determinism::RULE_FLOAT,
+    );
+    assert_eq!(d.line, 8, "diagnostic anchors to the `+=`");
+    assert!(d.message.contains("acc"), "names the accumulator");
+}
+
+#[test]
+fn determinism_clean_fixture_shows_the_sanctioned_escapes() {
+    // Sorted projection and a justified waiver both lint clean under a
+    // hot-path logical name — the escapes DESIGN.md §5i prescribes.
+    assert!(lint_source("crates/fpga/src/det_clean.rs", &fixture("det_clean.rs")).is_empty());
+    // Under a telemetry path even the bad wall-clock fixture is fine:
+    // timing is that module's product.
+    assert!(
+        lint_source("crates/trace/src/det_wall_clock.rs", &fixture("det_wall_clock.rs"))
+            .is_empty()
     );
 }
 
